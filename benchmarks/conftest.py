@@ -1,0 +1,24 @@
+"""Shared fixtures for the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig3, run_fig4
+
+
+@pytest.fixture(scope="session")
+def fig3_rows():
+    """The full Fig. 3 sweep: 3 algorithms x 10 sizes on qubit_maj_ns_e4."""
+    return run_fig3()
+
+
+@pytest.fixture(scope="session")
+def fig4_rows():
+    """The full Fig. 4 sweep: 3 algorithms x 6 profiles at 2048 bits."""
+    return run_fig4()
+
+
+def series(rows, algorithm):
+    """Rows of one algorithm, sorted by bits."""
+    return sorted((r for r in rows if r.algorithm == algorithm), key=lambda r: r.bits)

@@ -1,0 +1,142 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but sensitivity studies a user of the tool
+would run: window-size sweeps, Karatsuba cutoff/cleanup choices, error
+budget sensitivity, and the T-factory constraint trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Constraints, estimate, estimate_frontier, qubit_params
+from repro.arithmetic import (
+    KaratsubaMultiplier,
+    SchoolbookMultiplier,
+    WindowedMultiplier,
+    default_window_size,
+)
+
+MAJ = qubit_params("qubit_maj_ns_e4")
+BITS = 1024
+
+
+def test_ablation_window_size(benchmark, capsys):
+    """The default window is within a few percent of the best window."""
+    def sweep():
+        results = {}
+        for window in range(2, 11):
+            counts = WindowedMultiplier(BITS, window=window).logical_counts()
+            results[window] = estimate(counts, MAJ, budget=1e-4).runtime_seconds
+        return results
+
+    runtimes = benchmark(sweep)
+    best_window = min(runtimes, key=runtimes.get)
+    default = default_window_size(BITS)
+    assert runtimes[default] <= runtimes[best_window] * 1.15
+    with capsys.disabled():
+        print(f"\nwindow sweep @ {BITS} bits: best w={best_window}, default w={default}")
+        for w, t in sorted(runtimes.items()):
+            print(f"  w={w:2d}: {t:8.3f} s")
+
+
+def test_ablation_karatsuba_cutoff(benchmark):
+    """Larger cutoffs trade AND count for workspace (and vice versa)."""
+    def sweep():
+        return {
+            cutoff: KaratsubaMultiplier(2048, cutoff=cutoff).logical_counts()
+            for cutoff in (64, 128, 256, 512, 1024)
+        }
+
+    by_cutoff = benchmark(sweep)
+    ands = [c.ccix_count for _, c in sorted(by_cutoff.items())]
+    widths = [c.num_qubits for _, c in sorted(by_cutoff.items())]
+    # Small cutoffs recurse deeper: fewer ANDs, more workspace.
+    assert ands == sorted(ands)
+    assert widths == sorted(widths, reverse=True)
+
+
+def test_ablation_karatsuba_bennett_cleanup(benchmark):
+    """Bennett cleanup roughly doubles ANDs but frees all workspace."""
+    def both():
+        return (
+            KaratsubaMultiplier(BITS, clean=True).logical_counts(),
+            KaratsubaMultiplier(BITS, clean=False).logical_counts(),
+        )
+
+    clean, dirty = benchmark(both)
+    assert clean.ccix_count > 1.7 * dirty.ccix_count
+    assert clean.ccix_count < 2.3 * dirty.ccix_count
+
+
+def test_ablation_error_budget_sensitivity(benchmark, capsys):
+    """Code distance and footprint vs total error budget (decade sweep)."""
+    counts = SchoolbookMultiplier(BITS).logical_counts()
+
+    def sweep():
+        return {
+            budget: estimate(counts, MAJ, budget=budget)
+            for budget in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6)
+        }
+
+    results = benchmark(sweep)
+    budgets = sorted(results, reverse=True)  # loosest first
+    distances = [results[b].code_distance for b in budgets]
+    qubits = [results[b].physical_qubits for b in budgets]
+    assert distances == sorted(distances)
+    assert qubits == sorted(qubits)
+    with capsys.disabled():
+        print(f"\nbudget sweep @ {BITS} bits on {MAJ.name}:")
+        for b in budgets:
+            r = results[b]
+            print(
+                f"  budget {b:7.0e}: d={r.code_distance:2d}, "
+                f"{r.physical_qubits:>11,} qubits, {r.runtime_seconds:7.2f} s"
+            )
+
+
+def test_ablation_t_factory_cap(benchmark):
+    """Capping T factories monotonically shrinks qubits, stretches runtime."""
+    counts = WindowedMultiplier(BITS).logical_counts()
+
+    def sweep():
+        uncapped = estimate(counts, MAJ, budget=1e-4)
+        capped = {
+            cap: estimate(
+                counts, MAJ, budget=1e-4, constraints=Constraints(max_t_factories=cap)
+            )
+            for cap in (8, 4, 2, 1)
+        }
+        return uncapped, capped
+
+    uncapped, capped = benchmark(sweep)
+    assert uncapped.t_factory is not None
+    previous_factory_qubits = uncapped.breakdown.physical_qubits_for_t_factories
+    previous_runtime = uncapped.runtime_seconds
+    for cap in (8, 4, 2, 1):
+        r = capped[cap]
+        assert r.t_factory is not None and r.t_factory.copies <= cap
+        # The factory footprint shrinks monotonically with the cap; total
+        # qubits need not (stretching the program can raise the code
+        # distance, growing the algorithm's own footprint — the very
+        # trade-off the frontier sweep exists to explore).
+        assert (
+            r.breakdown.physical_qubits_for_t_factories <= previous_factory_qubits
+        )
+        assert r.runtime_seconds >= previous_runtime
+        previous_factory_qubits = r.breakdown.physical_qubits_for_t_factories
+        previous_runtime = r.runtime_seconds
+
+
+def test_ablation_frontier_consistency(benchmark):
+    """The frontier endpoints agree with direct constrained estimates."""
+    counts = SchoolbookMultiplier(256).logical_counts()
+
+    def run():
+        return estimate_frontier(counts, MAJ, budget=1e-4)
+
+    points = benchmark(run)
+    assert points
+    direct = estimate(counts, MAJ, budget=1e-4)
+    fastest = points[0]
+    assert fastest.runtime_seconds <= direct.runtime_seconds * 1.001

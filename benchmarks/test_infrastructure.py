@@ -1,0 +1,78 @@
+"""Throughput benchmarks of the library's own machinery.
+
+Not paper figures — these track the costs that determine how large a
+sweep the library can sustain: circuit emission, tracing, simulation,
+factory-catalog construction, and the code-distance solver. The HPC
+guides' advice applies here: measure before optimizing; these benches are
+the measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LogicalCounts, estimate, qubit_params
+from repro.arithmetic import SchoolbookMultiplier, WindowedMultiplier
+from repro.distillation import TFactoryDesigner
+from repro.ir import CircuitBuilder, trace
+from repro.qec import FLOQUET_CODE
+from repro.sim import run_reversible
+
+MAJ = qubit_params("qubit_maj_ns_e4")
+
+
+def _build_multiplier_circuit(bits: int):
+    return SchoolbookMultiplier(bits).circuit()
+
+
+def test_bench_circuit_emission(benchmark):
+    """Emission rate for a ~100k-instruction arithmetic circuit."""
+    # A fresh instance each call so the per-instance cache never hits.
+    circuit = benchmark(lambda: SchoolbookMultiplier(96).circuit())
+    assert len(circuit) > 50_000
+
+
+def test_bench_tracer_throughput(benchmark):
+    """Tracing rate over a prebuilt ~100k-instruction stream."""
+    circuit = _build_multiplier_circuit(96)
+    counts = benchmark(trace, circuit)
+    assert counts.ccix_count == 96 * 96
+
+
+def test_bench_reversible_simulation(benchmark):
+    """Bit-exact simulation rate of a multiplier circuit."""
+    mult = WindowedMultiplier(64)
+    b = CircuitBuilder()
+    x = b.allocate_register(64)
+    acc = b.allocate_register(128)
+    mult.emit(b, x, acc)
+    circuit = b.finish()
+    xv = (1 << 63) | 12345
+    init = {q: (xv >> i) & 1 for i, q in enumerate(x)}
+
+    sim = benchmark(run_reversible, circuit, init)
+    assert sim.read_register(acc) == xv * mult.constant
+
+
+def test_bench_factory_catalog(benchmark):
+    """Full T-factory design-space enumeration for one (qubit, scheme)."""
+    def build():
+        designer = TFactoryDesigner()  # fresh: no cache
+        return designer.design(MAJ, FLOQUET_CODE, 1e-12)
+
+    factory = benchmark(build)
+    assert factory.output_error_rate <= 1e-12
+
+
+def test_bench_estimate_with_warm_catalog(benchmark):
+    """Steady-state estimation cost during a sweep (catalog cached)."""
+    counts = LogicalCounts(num_qubits=1000, ccz_count=10**6, measurement_count=10**5)
+    estimate(counts, MAJ, budget=1e-4)  # warm the shared designer
+    result = benchmark(estimate, counts, MAJ, budget=1e-4)
+    assert result.physical_qubits > 0
+
+
+def test_bench_closed_form_counts_largest_point(benchmark):
+    """Count generation at the sweep's largest size must stay sub-second-ish."""
+    counts = benchmark(lambda: WindowedMultiplier(16384).logical_counts())
+    assert counts.num_qubits > 5 * 16384 - 100

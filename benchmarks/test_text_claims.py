@@ -1,0 +1,65 @@
+"""Section V in-text claims: the paper's most precise quantitative numbers.
+
+"For 2048-bit numbers, the windowed algorithm uses 1.12e11 logical quantum
+operations and 20 597 logical qubits. The estimated runtime varies between
+12 and 9e4 seconds, hence the subroutine computes at between 1.37e6 and
+9.1e9 rQOPS."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import evaluate_claims
+from repro.experiments.claims import format_claims
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return {c.claim_id: c for c in evaluate_claims()}
+
+
+def test_claims_logical_qubits(benchmark, claims):
+    """~20,597 logical qubits for 2048-bit windowed multiplication."""
+    c = benchmark(lambda: claims["logical-qubits-2048-windowed"])
+    assert c.holds, f"paper {c.paper_value} vs measured {c.measured_value}"
+    measured = int(c.measured_value)
+    assert abs(measured - 20597) / 20597 < 0.02  # we land within 1%
+
+
+def test_claims_logical_operations(benchmark, claims):
+    """~1.12e11 logical operations (logical qubits x logical depth)."""
+    c = benchmark(lambda: claims["logical-ops-2048-windowed"])
+    assert c.holds, f"paper {c.paper_value} vs measured {c.measured_value}"
+    measured = float(c.measured_value)
+    assert 1.12e11 / 4 <= measured <= 1.12e11 * 4
+
+
+def test_claims_runtime_span(benchmark, claims):
+    c = benchmark(lambda: claims["runtime-span-2048-windowed"])
+    assert c.holds, f"paper {c.paper_value} vs measured {c.measured_value}"
+
+
+def test_claims_rqops_span(benchmark, claims):
+    c = benchmark(lambda: claims["rqops-span-2048-windowed"])
+    assert c.holds, f"paper {c.paper_value} vs measured {c.measured_value}"
+
+
+def test_claims_karatsuba_conclusions(benchmark, claims):
+    """The paper's two qualitative conclusions about Karatsuba."""
+    def both():
+        return (
+            claims["karatsuba-most-qubits"],
+            claims["karatsuba-not-faster-2048"],
+        )
+
+    most_qubits, not_faster = benchmark(both)
+    assert most_qubits.holds
+    assert not_faster.holds
+
+
+def test_claims_emit_report(benchmark, claims, capsys):
+    report = benchmark(format_claims, list(claims.values()))
+    with capsys.disabled():
+        print("\n=== Section V in-text claims ===")
+        print(report)

@@ -1,0 +1,76 @@
+"""Customizing every layer of the stack (paper Sec. IV-C).
+
+Shows the four customization points the tool exposes: physical qubit
+parameters, the QEC scheme (with formula parameters), distillation units,
+and the qubit/runtime trade-off via the frontier sweep.
+
+Run:  python examples/custom_hardware.py
+"""
+
+from repro import (
+    LogicalCounts,
+    QECScheme,
+    TFactoryDesigner,
+    estimate,
+    estimate_frontier,
+    qubit_params,
+)
+from repro.distillation import LogicalUnitSpec, T15_RM_PREP
+from repro.qubits import InstructionSet
+
+workload = LogicalCounts(num_qubits=80, t_count=2_000_000, measurement_count=10_000)
+
+# --- 1. Customize physical qubit parameters. --------------------------------
+baseline = qubit_params("qubit_gate_ns_e3")
+improved = qubit_params("qubit_gate_ns_e3").customized(
+    name="transmon-nextgen",
+    two_qubit_gate_error_rate=2e-4,
+    one_qubit_gate_error_rate=2e-4,
+    one_qubit_measurement_error_rate=2e-4,
+)
+
+for qubit in (baseline, improved):
+    r = estimate(workload, qubit, budget=1e-3)
+    print(
+        f"{qubit.name:<18} distance {r.code_distance:>2}, "
+        f"{r.physical_qubits:>11,} physical qubits, {r.runtime_seconds:7.2f} s"
+    )
+
+# --- 2. A fully custom QEC scheme via formula strings. -----------------------
+dense_code = QECScheme(
+    name="dense_surface_variant",
+    crossing_prefactor=0.05,
+    error_correction_threshold=0.008,
+    logical_cycle_time="(2 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance",
+    physical_qubits_per_logical_qubit="1.5 * codeDistance^2 + 2 * codeDistance",
+    instruction_set=InstructionSet.GATE_BASED,
+)
+r = estimate(workload, baseline, scheme=dense_code, budget=1e-3)
+print(
+    f"{dense_code.name:<18} distance {r.code_distance:>2}, "
+    f"{r.physical_qubits:>11,} physical qubits, {r.runtime_seconds:7.2f} s"
+)
+
+# --- 3. A custom distillation unit library. ----------------------------------
+compact_unit = T15_RM_PREP.customized(
+    name="15-to-1 compact",
+    logical_spec=LogicalUnitSpec(num_logical_qubits=16, duration_in_cycles=21),
+)
+designer = TFactoryDesigner(units=(T15_RM_PREP, compact_unit))
+r = estimate(workload, baseline, budget=1e-3, factory_designer=designer)
+assert r.t_factory is not None
+print(
+    f"custom unit library: factory uses {r.t_factory.factory.physical_qubits:,} "
+    f"qubits x {r.t_factory.copies} copies "
+    f"({r.t_factory.factory.rounds[-1].to_dict()['unit']} in the last round)"
+)
+
+# --- 4. The qubit/runtime frontier (paper Sec. IV-C.4). -----------------------
+print("\nqubits vs runtime frontier (slowing the program shrinks the machine):")
+for point in estimate_frontier(workload, baseline, budget=1e-3):
+    r = point.estimates
+    print(
+        f"  slowdown {point.logical_depth_factor:>6.1f}x -> "
+        f"{r.physical_qubits:>11,} qubits, {r.runtime_seconds:8.2f} s, "
+        f"{r.t_factory.copies if r.t_factory else 0:>3} factory copies"
+    )

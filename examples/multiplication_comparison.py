@@ -1,0 +1,57 @@
+"""The paper's case study (Sec. V): comparing three multiplication circuits.
+
+Builds the schoolbook, Karatsuba, and windowed multipliers as real
+circuits, verifies one of them bit-exactly on the reversible simulator,
+and estimates their fault-tolerant cost on Majorana hardware with the
+floquet code — a compact version of the paper's Figure 3 analysis.
+
+Run:  python examples/multiplication_comparison.py [bits]
+"""
+
+import sys
+
+from repro import estimate, qubit_params
+from repro.arithmetic import multiplier_by_name
+from repro.ir import CircuitBuilder
+from repro.sim import run_reversible
+
+bits = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+algorithms = ("schoolbook", "karatsuba", "windowed")
+
+# --- 1. Prove a multiplier correct before costing it. -----------------------
+demo = multiplier_by_name("windowed", 32)
+builder = CircuitBuilder()
+x = builder.allocate_register(32)
+acc = builder.allocate_register(64)
+demo.emit(builder, x, acc)
+circuit = builder.finish()
+
+x_value = 0xDEADBEEF
+sim = run_reversible(circuit, {q: (x_value >> i) & 1 for i, q in enumerate(x)})
+product = sim.read_register(acc)
+assert product == x_value * demo.constant
+print(
+    f"verified: windowed 32-bit circuit computes "
+    f"{x_value:#x} * {demo.constant:#x} = {product:#x}"
+)
+
+# --- 2. Estimate all three at the chosen size. -------------------------------
+qubit = qubit_params("qubit_maj_ns_e4")
+print(f"\n{bits}-bit multiplication on {qubit.name} (floquet code, budget 1e-4):\n")
+print(f"{'algorithm':<12} {'CCiX gates':>12} {'logical qb':>10} "
+      f"{'phys qubits':>12} {'runtime':>10} {'distance':>8}")
+for name in algorithms:
+    mult = multiplier_by_name(name, bits)
+    counts = mult.logical_counts()  # closed form, validated against traces
+    result = estimate(counts, qubit, budget=1e-4)
+    print(
+        f"{name:<12} {counts.ccix_count:>12,} {result.logical_qubits:>10,} "
+        f"{result.physical_qubits:>12,} {result.runtime_seconds:>9.3g}s "
+        f"{result.code_distance:>8}"
+    )
+
+print(
+    "\nNote the paper's findings: Karatsuba needs the most qubits, and its "
+    "asymptotic\nadvantage only pays off for inputs in the multi-thousand-bit "
+    "range."
+)

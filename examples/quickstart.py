@@ -1,0 +1,52 @@
+"""Quickstart: estimate physical resources from known logical counts.
+
+This is the "known logical estimates" input path of the tool (paper
+Sec. IV-B.3): no circuit needed, just the gate counts of your algorithm —
+here a workload sized like a small quantum chemistry simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Constraints, LogicalCounts, estimate, qubit_params
+
+# A workload with every kind of logical resource: qubits, T gates,
+# Toffolis (CCZ), arbitrary rotations, and measurements.
+counts = LogicalCounts(
+    num_qubits=230,
+    t_count=700_000,
+    ccz_count=1_200_000,
+    rotation_count=25_000,
+    rotation_depth=8_000,
+    measurement_count=300_000,
+)
+
+# Estimate for a superconducting-style profile with the surface code
+# (the default scheme for gate-based hardware) and a 0.1% error budget.
+result = estimate(counts, qubit_params("qubit_gate_ns_e3"), budget=1e-3)
+
+print(result.summary())
+print()
+print(f"The computation runs at {result.rqops:.3g} rQOPS and needs")
+print(
+    f"{result.physical_qubits:,} physical qubits for "
+    f"{result.runtime_seconds:.1f} seconds."
+)
+
+# The same workload under a T-factory cap: fewer factories, longer runtime.
+capped = estimate(
+    counts,
+    qubit_params("qubit_gate_ns_e3"),
+    budget=1e-3,
+    constraints=Constraints(max_t_factories=5),
+)
+print()
+print(
+    f"Capped at 5 T factories: {capped.physical_qubits:,} physical qubits "
+    f"(was {result.physical_qubits:,}), "
+    f"{capped.runtime_seconds:.1f} s (was {result.runtime_seconds:.1f} s)."
+)
+
+# Full machine-readable output (the tool's eight output groups).
+report = capped.to_dict()
+print()
+print("Output groups:", ", ".join(sorted(report)))

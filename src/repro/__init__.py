@@ -1,0 +1,96 @@
+"""repro — a reproduction of the Azure Quantum Resource Estimator (SC'23).
+
+This library estimates the logical and physical resources required to run
+quantum algorithms on fault-tolerant quantum computers, following
+"Using Azure Quantum Resource Estimator for Assessing Performance of Fault
+Tolerant Quantum Computation" (van Dam, Mykhailova, Soeken; SC 2023) and
+its companion technical paper (Beverland et al., arXiv:2211.07629).
+
+Quickstart
+----------
+>>> from repro import LogicalCounts, estimate, qubit_params
+>>> counts = LogicalCounts(num_qubits=100, t_count=10**6, measurement_count=10**5)
+>>> result = estimate(counts, qubit_params("qubit_gate_ns_e3"), budget=1e-3)
+>>> print(result.summary())
+
+The case-study quantum arithmetic (schoolbook / Karatsuba / windowed
+multiplication) lives in :mod:`repro.arithmetic`; figure reproduction
+drivers live in :mod:`repro.experiments`.
+"""
+
+from .advantage import AdvantageAssessment, ImplementationLevel, assess
+from .budget import ErrorBudget, ErrorBudgetPartition
+from .counts import LogicalCounts
+from .distillation import (
+    DistillationRound,
+    DistillationUnit,
+    TFactory,
+    TFactoryDesigner,
+    design_t_factory,
+)
+from .estimator import (
+    Constraints,
+    EstimationError,
+    PhysicalResourceEstimates,
+    estimate,
+    estimate_frontier,
+)
+from .formulas import Formula
+from .layout import layout_resources, logical_qubits_after_layout
+from .qec import (
+    FLOQUET_CODE,
+    LogicalQubit,
+    QECScheme,
+    SURFACE_CODE_GATE_BASED,
+    SURFACE_CODE_MAJORANA,
+    default_scheme_for,
+    qec_scheme,
+)
+from .qubits import (
+    InstructionSet,
+    PREDEFINED_PROFILES,
+    PhysicalQubitParams,
+    qubit_params,
+)
+from .qir import emit_qir, parse_qir
+from .report import render_report
+from .synthesis import RotationSynthesis
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AdvantageAssessment",
+    "Constraints",
+    "DistillationRound",
+    "DistillationUnit",
+    "ErrorBudget",
+    "ErrorBudgetPartition",
+    "EstimationError",
+    "FLOQUET_CODE",
+    "Formula",
+    "ImplementationLevel",
+    "InstructionSet",
+    "LogicalCounts",
+    "LogicalQubit",
+    "PREDEFINED_PROFILES",
+    "PhysicalQubitParams",
+    "PhysicalResourceEstimates",
+    "QECScheme",
+    "RotationSynthesis",
+    "SURFACE_CODE_GATE_BASED",
+    "SURFACE_CODE_MAJORANA",
+    "TFactory",
+    "TFactoryDesigner",
+    "assess",
+    "default_scheme_for",
+    "design_t_factory",
+    "emit_qir",
+    "estimate",
+    "estimate_frontier",
+    "layout_resources",
+    "logical_qubits_after_layout",
+    "parse_qir",
+    "qec_scheme",
+    "qubit_params",
+    "render_report",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro`` — the command-line estimator (see :mod:`repro.cli`)."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Quantum computing implementation levels and practical-advantage checks.
+
+The paper's framing (Sec. I–II):
+
+* **Level 1 — Foundational (NISQ)**: noisy physical qubits; circuits
+  capped at roughly a few thousand gates by physical error rates.
+* **Level 2 — Resilient**: logical qubits whose error rate beats the
+  physical error rate of their components.
+* **Level 3 — Scale**: enough reliable qubits and logical clock speed for
+  commercially relevant advantage.
+
+and its quantitative bar for practical advantage: the ability to reliably
+execute on the order of ``10^12`` quantum gates (Sec. II, citing [1]),
+completing within a practical time of about ``10^6`` seconds, with
+practical solutions typically sitting between ``10^2`` and ``10^9`` rQOPS.
+
+:func:`assess` turns a :class:`~repro.estimator.PhysicalResourceEstimates`
+into this classification, giving resource estimation its "physical side"
+purpose from the paper: necessary-and-sufficient conditions a machine
+must meet to be considered practical for the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from .estimator import PhysicalResourceEstimates
+
+#: Gate count needed "to outperform classical computation for practical
+#: applications" (paper Sec. II).
+PRACTICAL_LOGICAL_OPERATIONS: float = 1e12
+
+#: "Within a practical amount of time, say within 10^6 seconds" (Sec. II).
+PRACTICAL_RUNTIME_SECONDS: float = 1e6
+
+#: "Rates for practical quantum solutions will typically sit between
+#: 10^2 rQOPS and 10^9 rQOPS" (Sec. III-E).
+PRACTICAL_RQOPS_RANGE: tuple[float, float] = (1e2, 1e9)
+
+
+class ImplementationLevel(IntEnum):
+    """The three quantum computing implementation levels of Sec. II."""
+
+    FOUNDATIONAL = 1
+    RESILIENT = 2
+    SCALE = 3
+
+
+@dataclass(frozen=True)
+class AdvantageAssessment:
+    """Where a (workload, machine) estimate sits on the road to advantage."""
+
+    level: ImplementationLevel
+    logical_operations: int
+    runtime_seconds: float
+    rqops: float
+    logical_error_rate: float
+    physical_error_rate: float
+    runs_within_practical_time: bool
+    reaches_practical_scale: bool
+    notes: tuple[str, ...]
+
+    @property
+    def practical_advantage(self) -> bool:
+        """Meets all of the paper's quantitative advantage criteria."""
+        return self.level is ImplementationLevel.SCALE
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "level": int(self.level),
+            "levelName": self.level.name.lower(),
+            "logicalOperations": self.logical_operations,
+            "runtime_s": self.runtime_seconds,
+            "rqops": self.rqops,
+            "logicalErrorRate": self.logical_error_rate,
+            "physicalErrorRate": self.physical_error_rate,
+            "runsWithinPracticalTime": self.runs_within_practical_time,
+            "reachesPracticalScale": self.reaches_practical_scale,
+            "practicalAdvantage": self.practical_advantage,
+            "notes": list(self.notes),
+        }
+
+
+def assess(
+    estimates: PhysicalResourceEstimates,
+    *,
+    required_logical_operations: float = PRACTICAL_LOGICAL_OPERATIONS,
+    practical_runtime_seconds: float = PRACTICAL_RUNTIME_SECONDS,
+) -> AdvantageAssessment:
+    """Classify an estimate against the paper's implementation levels.
+
+    Parameters
+    ----------
+    estimates:
+        Output of :func:`repro.estimator.estimate`.
+    required_logical_operations:
+        Reliable-operation count defining "practical scale"; defaults to
+        the paper's ``10^12``.
+    practical_runtime_seconds:
+        Runtime bound for a practical solution; defaults to ``10^6`` s.
+    """
+    logical_error = estimates.logical_qubit.logical_error_rate
+    physical_error = estimates.qubit_params.clifford_error_rate
+    ops = estimates.breakdown.logical_operations
+    runtime = estimates.runtime_seconds
+    rqops = estimates.rqops
+    notes: list[str] = []
+
+    resilient = logical_error < physical_error
+    if not resilient:
+        notes.append(
+            f"logical error rate {logical_error:.2e} does not beat the physical "
+            f"error rate {physical_error:.2e}: still at the foundational level"
+        )
+
+    in_time = runtime <= practical_runtime_seconds
+    if not in_time:
+        notes.append(
+            f"runtime {runtime:.3g} s exceeds the practical bound "
+            f"{practical_runtime_seconds:.0e} s"
+        )
+
+    at_scale = ops >= required_logical_operations
+    if not at_scale:
+        notes.append(
+            f"workload exercises {ops:.3g} reliable operations, below the "
+            f"practical-advantage scale of {required_logical_operations:.0e}"
+        )
+
+    low, high = PRACTICAL_RQOPS_RANGE
+    if rqops < low:
+        notes.append(f"rQOPS {rqops:.3g} below the practical range [{low:.0e}, {high:.0e}]")
+    elif rqops > high:
+        notes.append(
+            f"rQOPS {rqops:.3g} above the typical practical range "
+            f"[{low:.0e}, {high:.0e}] (beyond projected near-term machines)"
+        )
+
+    if not resilient:
+        level = ImplementationLevel.FOUNDATIONAL
+    elif at_scale and in_time:
+        level = ImplementationLevel.SCALE
+    else:
+        level = ImplementationLevel.RESILIENT
+
+    return AdvantageAssessment(
+        level=level,
+        logical_operations=ops,
+        runtime_seconds=runtime,
+        rqops=rqops,
+        logical_error_rate=logical_error,
+        physical_error_rate=physical_error,
+        runs_within_practical_time=in_time,
+        reaches_practical_scale=at_scale,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,94 @@
+"""Quantum arithmetic library — the paper's case-study workload (Sec. V).
+
+Everything is built from the Clifford + temporary-AND gate set (1 CCiX per
+AND compute, one measurement per uncompute), the construction style of
+Gidney's adder/multiplier papers (arXiv:1709.06648, 1904.07356,
+1905.07682). Each building block ships in two mirrored forms:
+
+* an **emitter** producing a real IR circuit, verified bit-exactly by the
+  reversible simulator; and
+* a **count function** giving the identical gate tallies in closed form,
+  used for the largest experiment sizes where tracing a multi-hundred-
+  million-gate stream would be wasteful. Tests assert ``counts == trace``
+  across a range of sizes, so the closed forms are validated, not assumed.
+
+Multiplication algorithms (``repro.arithmetic.multipliers``): schoolbook,
+Karatsuba, and windowed, multiplying an n-bit quantum integer by an n-bit
+classical constant (the modular-arithmetic setting of Gidney's papers); a
+quantum-by-quantum schoolbook variant is also provided.
+"""
+
+from .tally import GateTally
+from .registers import copy_register, write_constant, xor_constant
+from .adders import (
+    add_constant_controlled,
+    add_constant_controlled_counts,
+    add_into,
+    add_into_counts,
+    subtract_into,
+    subtract_into_counts,
+)
+from .comparator import (
+    add_constant,
+    compare_greater_equal_constant,
+    compare_less_than,
+    compare_less_than_constant,
+    increment,
+    subtract_constant,
+)
+from .lookahead import add_lookahead, add_lookahead_counts
+from .lookup import lookup, lookup_counts, unlookup_adjoint
+from .modexp import mod_mul_inplace, modexp_circuit, modexp_logical_counts
+from .modular import (
+    ModularMultiplier,
+    mod_add,
+    mod_add_constant_controlled,
+    mod_add_counts,
+)
+from .multipliers import (
+    KaratsubaMultiplier,
+    Multiplier,
+    SchoolbookMultiplier,
+    WindowedMultiplier,
+    default_window_size,
+    multiplier_by_name,
+    schoolbook_multiply_qq,
+)
+
+__all__ = [
+    "GateTally",
+    "KaratsubaMultiplier",
+    "ModularMultiplier",
+    "Multiplier",
+    "SchoolbookMultiplier",
+    "WindowedMultiplier",
+    "add_constant",
+    "add_constant_controlled",
+    "add_constant_controlled_counts",
+    "add_into",
+    "add_into_counts",
+    "add_lookahead",
+    "add_lookahead_counts",
+    "compare_greater_equal_constant",
+    "compare_less_than",
+    "compare_less_than_constant",
+    "copy_register",
+    "default_window_size",
+    "increment",
+    "lookup",
+    "lookup_counts",
+    "mod_add",
+    "mod_add_constant_controlled",
+    "mod_add_counts",
+    "mod_mul_inplace",
+    "modexp_circuit",
+    "modexp_logical_counts",
+    "multiplier_by_name",
+    "schoolbook_multiply_qq",
+    "subtract_constant",
+    "subtract_into",
+    "subtract_into_counts",
+    "unlookup_adjoint",
+    "write_constant",
+    "xor_constant",
+]

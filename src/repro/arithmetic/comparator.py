@@ -1,0 +1,158 @@
+"""Comparators, uncontrolled constant addition, and the incrementer.
+
+Comparison is implemented by the borrow trick: copy the operand into a
+scratch register one bit wider, subtract, and read the top (borrow) bit —
+``(x - y) mod 2^(n+1)`` has bit ``n`` set exactly when ``x < y`` for
+n-bit operands. The scratch is then uncomputed by adding back and
+un-copying, so comparisons are clean and cost four additions' worth of
+ANDs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir import CircuitBuilder
+from .adders import add_into, add_into_counts, subtract_into
+from .registers import copy_register
+from .tally import GateTally
+
+
+def add_constant(
+    builder: CircuitBuilder,
+    constant: int,
+    b: Sequence[int],
+    scratch: Sequence[int],
+) -> None:
+    """In-place ``b += constant (mod 2^len(b))`` (uncontrolled).
+
+    ``scratch`` is a zeroed register of at least ``constant.bit_length()``
+    qubits, returned to zero (imprint with X gates, add, unimprint).
+    """
+    if constant < 0:
+        raise ValueError(f"constant must be non-negative, got {constant}")
+    constant &= (1 << len(b)) - 1
+    if constant == 0:
+        return
+    width = constant.bit_length()
+    if width > len(scratch):
+        raise ValueError(
+            f"scratch register ({len(scratch)} qubits) too small for constant "
+            f"of {width} bits"
+        )
+    used = scratch[:width]
+    for position, qubit in enumerate(used):
+        if (constant >> position) & 1:
+            builder.x(qubit)
+    add_into(builder, used, b)
+    for position, qubit in enumerate(used):
+        if (constant >> position) & 1:
+            builder.x(qubit)
+
+
+def add_constant_counts(constant: int, b_len: int) -> GateTally:
+    """Gate tally of :func:`add_constant`."""
+    constant &= (1 << b_len) - 1
+    if constant == 0:
+        return GateTally()
+    return add_into_counts(constant.bit_length(), b_len)
+
+
+def subtract_constant(
+    builder: CircuitBuilder,
+    constant: int,
+    b: Sequence[int],
+    scratch: Sequence[int],
+) -> None:
+    """In-place ``b -= constant (mod 2^len(b))``."""
+    m = len(b)
+    constant &= (1 << m) - 1
+    if constant == 0:
+        return
+    # b - k = b + (2^m - k) mod 2^m.
+    add_constant(builder, (1 << m) - constant, b, scratch)
+
+
+def increment(
+    builder: CircuitBuilder, register: Sequence[int], scratch: Sequence[int]
+) -> None:
+    """In-place ``register += 1 (mod 2^len)``."""
+    add_constant(builder, 1, register, scratch)
+
+
+def compare_less_than(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    y: Sequence[int],
+    out: int,
+) -> None:
+    """``out ^= (x < y)`` for equal-length quantum registers; x, y preserved."""
+    if len(x) != len(y):
+        raise ValueError(
+            f"comparison needs equal lengths, got {len(x)} and {len(y)}"
+        )
+    n = len(x)
+    scratch = builder.allocate_register(n + 1)
+    copy_register(builder, x, scratch)
+    subtract_into(builder, y, scratch)
+    builder.cx(scratch[n], out)  # borrow bit == (x < y)
+    add_into(builder, y, scratch)
+    copy_register(builder, x, scratch)  # CX is self-inverse: un-copy
+    builder.release_register(scratch)
+
+
+def compare_less_than_counts(n: int) -> GateTally:
+    """Gate tally of :func:`compare_less_than`."""
+    return add_into_counts(n, n + 1) * 2
+
+
+def compare_less_than_constant(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    constant: int,
+    out: int,
+) -> None:
+    """``out ^= (x < constant)``; x preserved.
+
+    ``constant`` may be any non-negative value; comparisons against values
+    above ``2^len(x) - 1`` are always true and cost a single X gate.
+    """
+    if constant < 0:
+        raise ValueError(f"constant must be non-negative, got {constant}")
+    n = len(x)
+    if constant >> n:
+        builder.x(out)  # every n-bit x is smaller
+        return
+    if constant == 0:
+        return  # x < 0 is never true
+    scratch = builder.allocate_register(n + 1)
+    # The subtraction imprints the complement 2^(n+1) - constant, which can
+    # occupy all n+1 bits regardless of the constant's own width.
+    const_scratch = builder.allocate_register(n + 1)
+    copy_register(builder, x, scratch)
+    subtract_constant(builder, constant, scratch, const_scratch)
+    builder.cx(scratch[n], out)
+    add_constant(builder, constant, scratch, const_scratch)
+    copy_register(builder, x, scratch)
+    builder.release_register(const_scratch)
+    builder.release_register(scratch)
+
+
+def compare_less_than_constant_counts(n: int, constant: int) -> GateTally:
+    """Gate tally of :func:`compare_less_than_constant`."""
+    if constant >> n or constant == 0:
+        return GateTally()
+    m = n + 1
+    down = (1 << m) - (constant & ((1 << m) - 1))
+    return add_constant_counts(down, m) + add_constant_counts(constant, m)
+
+
+def compare_greater_equal_constant(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    constant: int,
+    out: int,
+) -> None:
+    """``out ^= (x >= constant)``; x preserved."""
+    builder.x(out)
+    compare_less_than_constant(builder, x, constant, out)

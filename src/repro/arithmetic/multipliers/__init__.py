@@ -1,0 +1,34 @@
+"""The three multiplication algorithms of the paper's case study (Sec. V).
+
+All multipliers compute ``acc += x * k`` where ``x`` is an n-qubit quantum
+integer and ``k`` an n-bit classical constant, into a 2n-qubit accumulator
+— the multiply-by-constant setting of Gidney's windowed-arithmetic paper
+(the building block of modular exponentiation). A quantum-by-quantum
+schoolbook multiplier is provided as :func:`schoolbook_multiply_qq` for
+library completeness.
+
+* :class:`SchoolbookMultiplier` — standard long multiplication: one
+  controlled constant addition per bit of ``x``; Theta(n^2) ANDs.
+* :class:`KaratsubaMultiplier` — divide-and-conquer with three half-size
+  products (arXiv:1904.07356 style); Theta(n^lg3) ANDs but superlinear
+  workspace, which is why the paper finds it uses the most qubits.
+* :class:`WindowedMultiplier` — processes ``w`` bits of ``x`` per step via
+  a table lookup of the pre-multiplied constant (arXiv:1905.07682);
+  Theta(n^2 / w) ANDs with near-schoolbook workspace.
+"""
+
+from .base import Multiplier, default_constant, multiplier_by_name
+from .schoolbook import SchoolbookMultiplier, schoolbook_multiply_qq
+from .karatsuba import KaratsubaMultiplier
+from .windowed import WindowedMultiplier, default_window_size
+
+__all__ = [
+    "KaratsubaMultiplier",
+    "Multiplier",
+    "SchoolbookMultiplier",
+    "WindowedMultiplier",
+    "default_constant",
+    "default_window_size",
+    "multiplier_by_name",
+    "schoolbook_multiply_qq",
+]

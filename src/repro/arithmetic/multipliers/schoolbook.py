@@ -1,0 +1,128 @@
+"""Standard long multiplication (paper Sec. V, "standard multiplication").
+
+``acc += x * k`` one bit of ``x`` at a time: for bit ``i``, conditionally
+add ``k << i`` into the accumulator window ``acc[i : i+n+1]`` (the window
+bound is exact: after ``i`` partial additions the running sum is below
+``2^(n+i+1)``, so carries never escape the window). Each controlled
+constant addition costs ``n`` ANDs via the shared-scratch imprint trick,
+for ``n^2`` ANDs total — the Omega(n^2) complexity the paper quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...ir import CircuitBuilder
+from ..adders import (
+    add_constant_controlled,
+    add_constant_controlled_counts,
+    add_into,
+    add_into_counts,
+)
+from ..tally import GateTally
+from .base import Multiplier
+
+
+class SchoolbookMultiplier(Multiplier):
+    """Theta(n^2) ANDs, Theta(n) workspace."""
+
+    name = "schoolbook"
+
+    def emit(
+        self, builder: CircuitBuilder, x: Sequence[int], acc: Sequence[int]
+    ) -> None:
+        emit_schoolbook(builder, x, acc, self.constant)
+
+    def tally(self) -> GateTally:
+        n = self.bits
+        body = schoolbook_tally(n, 2 * n, self.constant)
+        return body + GateTally(measurements=2 * n)  # final readout
+
+    def num_qubits(self) -> int:
+        n = self.bits
+        return 3 * n + schoolbook_peak_workspace(n, 2 * n, self.constant)
+
+
+def emit_schoolbook(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    acc: Sequence[int],
+    constant: int,
+) -> None:
+    """``acc += x * constant`` into an accumulator window of any length.
+
+    Used directly by the multiplier and as the Karatsuba recursion base.
+    """
+    n = len(x)
+    m = len(acc)
+    if constant == 0 or n == 0:
+        return
+    scratch = builder.allocate_register(min(n, m))
+    for i in range(n):
+        if i >= m:
+            break
+        window = acc[i : i + n + 1]
+        add_constant_controlled(builder, x[i], constant, window, scratch)
+    builder.release_register(scratch)
+
+
+def schoolbook_tally(n: int, acc_len: int, constant: int) -> GateTally:
+    """Mirror of :func:`emit_schoolbook`."""
+    total = GateTally()
+    if constant == 0 or n == 0:
+        return total
+    for i in range(min(n, acc_len)):
+        window_len = min(n + 1, acc_len - i)
+        total = total + add_constant_controlled_counts(constant, window_len)
+    return total
+
+
+def schoolbook_peak_workspace(n: int, acc_len: int, constant: int) -> int:
+    """Peak ancillas of :func:`emit_schoolbook` beyond x and acc."""
+    if constant == 0 or n == 0:
+        return 0
+    scratch = min(n, acc_len)
+    peak_carries = 0
+    for i in range(min(n, acc_len)):
+        window_len = min(n + 1, acc_len - i)
+        masked = constant & ((1 << window_len) - 1)
+        if masked == 0 or window_len < 2:
+            continue
+        peak_carries = max(peak_carries, window_len - 1)
+    return scratch + peak_carries
+
+
+def schoolbook_multiply_qq(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    y: Sequence[int],
+    acc: Sequence[int],
+) -> None:
+    """Quantum-by-quantum ``acc += x * y`` (library extra, not benchmarked).
+
+    For each bit of ``x``, the partial product ``x_i AND y`` is computed
+    into a temporary register with temporary ANDs, added into the window,
+    and uncomputed for free: ``2 n^2`` ANDs, ``Theta(n)`` workspace.
+    """
+    n = len(x)
+    if len(acc) < len(x) + len(y):
+        raise ValueError(
+            f"accumulator ({len(acc)} qubits) too small for a "
+            f"{len(x)}x{len(y)}-bit product"
+        )
+    for i in range(n):
+        partial = [builder.and_compute(x[i], yq) for yq in y]
+        window = acc[i : i + len(y) + 1]
+        add_into(builder, partial, window)
+        for yq, pq in zip(reversed(y), reversed(partial)):
+            builder.and_uncompute(x[i], yq, pq)
+
+
+def schoolbook_multiply_qq_tally(x_len: int, y_len: int, acc_len: int) -> GateTally:
+    """Mirror of :func:`schoolbook_multiply_qq`."""
+    total = GateTally()
+    for i in range(x_len):
+        window_len = min(y_len + 1, acc_len - i)
+        total = total + GateTally(ccix=y_len, measurements=y_len)
+        total = total + add_into_counts(y_len, window_len)
+    return total

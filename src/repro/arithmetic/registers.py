@@ -1,0 +1,37 @@
+"""Register-level helpers (little-endian throughout the library)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir import CircuitBuilder
+
+
+def xor_constant(builder: CircuitBuilder, register: Sequence[int], value: int) -> None:
+    """``register ^= value`` via X gates on the set bits."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >> len(register):
+        raise ValueError(
+            f"value {value} does not fit in a {len(register)}-qubit register"
+        )
+    for position, qubit in enumerate(register):
+        if (value >> position) & 1:
+            builder.x(qubit)
+
+
+# Writing assumes the register is in |0...0>, making XOR a write.
+write_constant = xor_constant
+
+
+def copy_register(
+    builder: CircuitBuilder, source: Sequence[int], target: Sequence[int]
+) -> None:
+    """``target ^= source`` bitwise via CNOTs (a copy when target is zero)."""
+    if len(target) < len(source):
+        raise ValueError(
+            f"target register ({len(target)} qubits) shorter than source "
+            f"({len(source)} qubits)"
+        )
+    for src, dst in zip(source, target):
+        builder.cx(src, dst)

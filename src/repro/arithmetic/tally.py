@@ -1,0 +1,62 @@
+"""Gate tallies for the closed-form cost functions.
+
+``GateTally`` mirrors the non-Clifford/measurement fields of
+:class:`~repro.counts.LogicalCounts` (arithmetic circuits contain no
+rotations) and adds nothing else: the point is exact agreement with the
+tracer, checked by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..counts import LogicalCounts
+
+
+@dataclass(frozen=True)
+class GateTally:
+    """Non-Clifford and measurement tallies of an arithmetic block."""
+
+    ccix: int = 0
+    ccz: int = 0
+    t: int = 0
+    measurements: int = 0
+
+    def __add__(self, other: "GateTally") -> "GateTally":
+        return GateTally(
+            ccix=self.ccix + other.ccix,
+            ccz=self.ccz + other.ccz,
+            t=self.t + other.t,
+            measurements=self.measurements + other.measurements,
+        )
+
+    def __mul__(self, factor: int) -> "GateTally":
+        return GateTally(
+            ccix=self.ccix * factor,
+            ccz=self.ccz * factor,
+            t=self.t * factor,
+            measurements=self.measurements * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def to_logical_counts(self, num_qubits: int) -> LogicalCounts:
+        """Combine with a width to form pre-layout logical counts."""
+        return LogicalCounts(
+            num_qubits=num_qubits,
+            t_count=self.t,
+            ccz_count=self.ccz,
+            ccix_count=self.ccix,
+            measurement_count=self.measurements,
+        )
+
+    @classmethod
+    def from_logical_counts(cls, counts: LogicalCounts) -> "GateTally":
+        if counts.rotation_count:
+            raise ValueError("GateTally cannot represent rotations")
+        return cls(
+            ccix=counts.ccix_count,
+            ccz=counts.ccz_count,
+            t=counts.t_count,
+            measurements=counts.measurement_count,
+        )

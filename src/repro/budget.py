@@ -1,0 +1,97 @@
+"""Error-budget specification and partitioning (paper Sec. IV-C.3).
+
+The total error budget ``eps`` is the maximum allowed failure probability
+of the whole algorithm. It is split into three parts that independently
+constrain different layers of the stack:
+
+* ``logical`` — budget for logical (QEC) errors; drives the code distance.
+* ``t_states`` — budget for faulty distilled T states; drives the factory.
+* ``rotations`` — budget for imperfect rotation synthesis; drives the
+  number of T gates per rotation.
+
+By default the total is split into equal thirds, matching the tool. When
+the program contains no arbitrary rotations the rotation share is
+redistributed equally to the other two parts so the budget is not wasted
+(the tool does the same re-normalization). Users may also pin each part
+explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ErrorBudgetPartition:
+    """A concrete three-way split of the total error budget."""
+
+    logical: float
+    t_states: float
+    rotations: float
+
+    def __post_init__(self) -> None:
+        for name in ("logical", "t_states", "rotations"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} budget must be in [0, 1), got {value}")
+        if self.logical <= 0.0:
+            raise ValueError("logical error budget must be positive")
+        if self.total >= 1.0:
+            raise ValueError(f"total error budget must be < 1, got {self.total}")
+
+    @property
+    def total(self) -> float:
+        return self.logical + self.t_states + self.rotations
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "logical": self.logical,
+            "tStates": self.t_states,
+            "rotations": self.rotations,
+        }
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """User-facing error-budget input.
+
+    Either give ``total`` alone (default split), or give all three parts
+    explicitly via :meth:`explicit`.
+    """
+
+    total: float = 1e-3
+    _explicit: ErrorBudgetPartition | None = None
+
+    def __post_init__(self) -> None:
+        if self._explicit is None and not 0.0 < self.total < 1.0:
+            raise ValueError(f"total error budget must be in (0, 1), got {self.total}")
+
+    @classmethod
+    def explicit(
+        cls, *, logical: float, t_states: float, rotations: float
+    ) -> "ErrorBudget":
+        """Budget with user-pinned parts (their sum is the total)."""
+        part = ErrorBudgetPartition(logical, t_states, rotations)
+        return cls(total=part.total, _explicit=part)
+
+    def partition(self, *, has_rotations: bool, has_t_states: bool) -> ErrorBudgetPartition:
+        """Split the budget for a program with the given features.
+
+        Parameters
+        ----------
+        has_rotations:
+            Whether the program contains arbitrary rotations. If not, the
+            default split redistributes the rotation share.
+        has_t_states:
+            Whether the program consumes any T states (T/CCZ/CCiX or
+            rotations). If not, everything goes to the logical share.
+        """
+        if self._explicit is not None:
+            return self._explicit
+        if not has_t_states:
+            return ErrorBudgetPartition(self.total, 0.0, 0.0)
+        if not has_rotations:
+            half = self.total / 2.0
+            return ErrorBudgetPartition(half, half, 0.0)
+        third = self.total / 3.0
+        return ErrorBudgetPartition(third, third, third)

@@ -1,0 +1,156 @@
+"""Command-line interface: estimate resources without writing Python.
+
+Mirrors the submit-a-job experience of the cloud tool (paper Sec. IV-A):
+feed it an algorithm (logical counts as JSON, or a QIR file), pick a
+hardware profile and budget, get the report.
+
+Usage::
+
+    python -m repro --counts counts.json --profile qubit_gate_ns_e3
+    python -m repro --qir program.ll --profile qubit_maj_ns_e4 \\
+        --budget 1e-4 --qec-scheme floquet_code --max-t-factories 10 --json
+
+``counts.json`` uses the LogicalCounts field names::
+
+    {"num_qubits": 100, "t_count": 1000000, "ccz_count": 500000,
+     "rotation_count": 0, "rotation_depth": 0, "measurement_count": 10000}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .advantage import assess
+from .budget import ErrorBudget
+from .counts import LogicalCounts
+from .estimator import Constraints, EstimationError, estimate
+from .qec import default_scheme_for, qec_scheme
+from .qir import QIRParseError, parse_qir
+from .qubits import PREDEFINED_PROFILES, qubit_params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant quantum resource estimation "
+        "(Azure Quantum Resource Estimator reproduction).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--counts", type=Path, help="JSON file with LogicalCounts fields"
+    )
+    source.add_argument("--qir", type=Path, help="QIR text file (.ll)")
+    parser.add_argument(
+        "--profile",
+        default="qubit_gate_ns_e3",
+        choices=sorted(PREDEFINED_PROFILES),
+        help="hardware profile (default: qubit_gate_ns_e3)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=1e-3,
+        help="total error budget (default: 1e-3)",
+    )
+    parser.add_argument(
+        "--qec-scheme",
+        default=None,
+        help="QEC scheme name (default: technology default — surface_code "
+        "for gate-based, floquet_code for Majorana)",
+    )
+    parser.add_argument(
+        "--max-t-factories",
+        type=int,
+        default=None,
+        help="cap on parallel T-factory copies",
+    )
+    parser.add_argument(
+        "--depth-factor",
+        type=float,
+        default=1.0,
+        help="logical-depth slowdown factor >= 1 (trades runtime for qubits)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full eight-group report as JSON instead of the summary",
+    )
+    parser.add_argument(
+        "--assess",
+        action="store_true",
+        help="also classify the result against the quantum computing "
+        "implementation levels",
+    )
+    return parser
+
+
+def _load_program(args: argparse.Namespace):
+    if args.counts is not None:
+        try:
+            data = json.loads(args.counts.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot read counts file: {exc}")
+        try:
+            return LogicalCounts.from_dict(data)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"error: invalid logical counts: {exc}")
+    try:
+        text = args.qir.read_text()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read QIR file: {exc}")
+    try:
+        return parse_qir(text, name=args.qir.stem)
+    except QIRParseError as exc:
+        raise SystemExit(f"error: QIR parse failed: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    program = _load_program(args)
+    qubit = qubit_params(args.profile)
+    scheme = (
+        qec_scheme(args.qec_scheme, qubit)
+        if args.qec_scheme
+        else default_scheme_for(qubit)
+    )
+    try:
+        constraints = Constraints(
+            max_t_factories=args.max_t_factories,
+            logical_depth_factor=args.depth_factor,
+        )
+        result = estimate(
+            program,
+            qubit,
+            scheme=scheme,
+            budget=ErrorBudget(total=args.budget),
+            constraints=constraints,
+        )
+    except (EstimationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        report = result.to_dict()
+        if args.assess:
+            report["advantageAssessment"] = assess(result).to_dict()
+        print(json.dumps(report, indent=2))
+    else:
+        print(result.summary())
+        if args.assess:
+            verdict = assess(result)
+            print("Implementation level")
+            print(f"  Level:                      {verdict.level.name.lower()}")
+            print(
+                f"  Practical advantage:        "
+                f"{'yes' if verdict.practical_advantage else 'no'}"
+            )
+            for note in verdict.notes:
+                print(f"  Note: {note}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""T-state distillation units and T-factory design (paper Sec. III-D, IV-C.5).
+
+A *distillation unit* consumes ``n_in`` noisy T states and, on success,
+produces ``n_out`` better ones; its failure probability and output error
+rate are formula parameters over the input error rate and the Clifford
+error rate of the substrate it runs on (bare physical qubits, or logical
+qubits of the chosen QEC code at some distance).
+
+A *T factory* is a pipeline of distillation rounds. The design search
+enumerates unit choices, round counts, and per-round code distances to
+find the cheapest factory whose output T states are good enough for the
+algorithm's distillation error budget.
+"""
+
+from .units import (
+    DistillationUnit,
+    DistillationUnitError,
+    LogicalUnitSpec,
+    PhysicalUnitSpec,
+    PREDEFINED_UNITS,
+    T15_RM_PREP,
+    T15_SPACE_EFFICIENT,
+)
+from .factory import DistillationRound, TFactory, TFactoryError, evaluate_pipeline
+from .search import TFactoryDesigner, design_t_factory
+
+__all__ = [
+    "DistillationRound",
+    "DistillationUnit",
+    "DistillationUnitError",
+    "LogicalUnitSpec",
+    "PhysicalUnitSpec",
+    "PREDEFINED_UNITS",
+    "T15_RM_PREP",
+    "T15_SPACE_EFFICIENT",
+    "TFactory",
+    "TFactoryDesigner",
+    "TFactoryError",
+    "design_t_factory",
+    "evaluate_pipeline",
+]

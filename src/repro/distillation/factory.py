@@ -1,0 +1,214 @@
+"""T-factory pipeline evaluation.
+
+A pipeline is a sequence of :class:`DistillationRound`\\ s. Round 1 takes
+raw (physical) T states with the technology's T-gate error rate; each
+later round takes the previous round's outputs. Rounds run one after
+another on the same patch of hardware, so the factory's physical qubit
+footprint is the *maximum* round footprint while its duration is the *sum*
+of round durations.
+
+Failure handling follows the tool: instead of modelling restarts in time,
+each round over-provisions parallel unit copies by ``1 / (1 - p_fail)`` so
+that the expected number of successful units covers the next round's input
+demand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..qec import QECScheme
+from ..qubits import PhysicalQubitParams
+from .units import DistillationUnit
+
+
+class TFactoryError(ValueError):
+    """Raised when a pipeline is malformed or infeasible."""
+
+
+@dataclass(frozen=True)
+class DistillationRound:
+    """One round of a factory pipeline.
+
+    ``code_distance`` is ``None`` for a round running on bare physical
+    qubits (allowed only in the first round) and an odd distance for a
+    round running on logical qubits of the factory's QEC scheme.
+    """
+
+    unit: DistillationUnit
+    code_distance: int | None
+
+    def __post_init__(self) -> None:
+        if self.code_distance is None:
+            if self.unit.physical_spec is None:
+                raise TFactoryError(
+                    f"unit {self.unit.name!r} has no physical spec; give a code distance"
+                )
+        else:
+            if self.unit.logical_spec is None:
+                raise TFactoryError(
+                    f"unit {self.unit.name!r} has no logical spec; "
+                    "it can only run on physical qubits"
+                )
+            if self.code_distance < 1 or self.code_distance % 2 == 0:
+                raise TFactoryError(
+                    f"code distance must be a positive odd integer, got {self.code_distance}"
+                )
+
+    @property
+    def is_physical(self) -> bool:
+        return self.code_distance is None
+
+
+@dataclass(frozen=True)
+class _RoundReport:
+    """Evaluated state of one round within a concrete factory."""
+
+    round: DistillationRound
+    num_units: int
+    failure_probability: float
+    input_error_rate: float
+    output_error_rate: float
+    physical_qubits: int
+    duration_ns: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "unit": self.round.unit.name,
+            "codeDistance": self.round.code_distance,
+            "numUnits": self.num_units,
+            "failureProbability": self.failure_probability,
+            "inputErrorRate": self.input_error_rate,
+            "outputErrorRate": self.output_error_rate,
+            "physicalQubits": self.physical_qubits,
+            "duration_ns": self.duration_ns,
+        }
+
+
+@dataclass(frozen=True)
+class TFactory:
+    """A fully evaluated T factory (paper Sec. IV-D.4 output group)."""
+
+    rounds: tuple[_RoundReport, ...]
+    physical_qubits: int
+    duration_ns: float
+    output_t_states: int
+    output_error_rate: float
+    input_t_error_rate: float
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def input_t_states(self) -> int:
+        """Raw T states consumed per factory run."""
+        first = self.rounds[0]
+        return first.num_units * first.round.unit.num_input_ts
+
+    def runs_required(self, num_t_states: int) -> int:
+        """Factory invocations needed to supply ``num_t_states``."""
+        if num_t_states < 0:
+            raise ValueError(f"num_t_states must be >= 0, got {num_t_states}")
+        return math.ceil(num_t_states / self.output_t_states)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "numRounds": self.num_rounds,
+            "physicalQubits": self.physical_qubits,
+            "duration_ns": self.duration_ns,
+            "outputTStates": self.output_t_states,
+            "outputErrorRate": self.output_error_rate,
+            "inputTErrorRate": self.input_t_error_rate,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+
+def evaluate_pipeline(
+    rounds: Sequence[DistillationRound],
+    qubit: PhysicalQubitParams,
+    scheme: QECScheme,
+) -> TFactory | None:
+    """Evaluate a pipeline into a concrete :class:`TFactory`.
+
+    Returns ``None`` when the pipeline is infeasible at these error rates
+    (a round's failure probability reaches 1, or distillation fails to
+    improve the error, indicating the protocol is operating above its own
+    threshold). Raises :class:`TFactoryError` for structurally invalid
+    pipelines.
+    """
+    if not rounds:
+        raise TFactoryError("a T factory needs at least one distillation round")
+    for r in rounds[1:]:
+        if r.is_physical:
+            raise TFactoryError(
+                "physical-level distillation units may only appear in round 1"
+            )
+
+    # Forward pass: propagate error rates and per-unit failure.
+    error_rate = qubit.t_gate_error_rate
+    per_round: list[tuple[float, float, float]] = []  # (fail, e_in, e_out)
+    for r in rounds:
+        if r.is_physical:
+            clifford = qubit.clifford_error_rate
+        else:
+            assert r.code_distance is not None
+            clifford = scheme.logical_error_rate(qubit, r.code_distance)
+        failure, out_error = r.unit.evaluate(error_rate, clifford)
+        if failure >= 1.0:
+            return None
+        if out_error >= error_rate and out_error >= 1.0:
+            return None
+        per_round.append((failure, error_rate, out_error))
+        error_rate = out_error
+
+    # Backward pass: unit multiplicities. The final round runs one unit.
+    multiplicities = [0] * len(rounds)
+    multiplicities[-1] = 1
+    for i in range(len(rounds) - 2, -1, -1):
+        needed_inputs = multiplicities[i + 1] * rounds[i + 1].unit.num_input_ts
+        failure = per_round[i][0]
+        produced_per_unit = rounds[i].unit.num_output_ts * (1.0 - failure)
+        multiplicities[i] = math.ceil(needed_inputs / produced_per_unit)
+
+    # Footprint and duration.
+    reports: list[_RoundReport] = []
+    for r, mult, (failure, e_in, e_out) in zip(rounds, multiplicities, per_round):
+        if r.is_physical:
+            assert r.unit.physical_spec is not None
+            qubits = mult * r.unit.physical_spec.num_qubits
+            duration = r.unit.physical_spec.duration.evaluate_positive(
+                qubit.formula_environment(1)
+            )
+        else:
+            assert r.unit.logical_spec is not None and r.code_distance is not None
+            qubits = (
+                mult
+                * r.unit.logical_spec.num_logical_qubits
+                * scheme.physical_qubits(qubit, r.code_distance)
+            )
+            duration = r.unit.logical_spec.duration_in_cycles * scheme.cycle_time_ns(
+                qubit, r.code_distance
+            )
+        reports.append(
+            _RoundReport(
+                round=r,
+                num_units=mult,
+                failure_probability=failure,
+                input_error_rate=e_in,
+                output_error_rate=e_out,
+                physical_qubits=qubits,
+                duration_ns=duration,
+            )
+        )
+
+    return TFactory(
+        rounds=tuple(reports),
+        physical_qubits=max(rep.physical_qubits for rep in reports),
+        duration_ns=sum(rep.duration_ns for rep in reports),
+        output_t_states=rounds[-1].unit.num_output_ts,
+        output_error_rate=per_round[-1][2],
+        input_t_error_rate=qubit.t_gate_error_rate,
+    )

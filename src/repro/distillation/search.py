@@ -1,0 +1,177 @@
+"""T-factory design search (paper Sec. III-D).
+
+Given the required output T-state error rate, the designer enumerates
+candidate pipelines — number of rounds, unit choice per round, physical
+first round or not, and per-round code distances — evaluates each, and
+keeps the feasible factory minimizing physical qubits, breaking ties by
+duration. This mirrors the tool's exploration of the "number of qubits
+versus runtime of the factories" trade-off and exposes the full frontier
+for callers that want to pick differently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..qec import QECScheme
+from ..qubits import PhysicalQubitParams
+from .factory import DistillationRound, TFactory, TFactoryError, evaluate_pipeline
+from .units import PREDEFINED_UNITS, DistillationUnit
+
+
+def _odd_distances(limit: int) -> list[int]:
+    return list(range(1, limit + 1, 2))
+
+
+@dataclass
+class TFactoryDesigner:
+    """Searches the distillation design space for a cheapest factory.
+
+    Parameters
+    ----------
+    units:
+        Unit library to draw from (defaults to the predefined 15-to-1
+        variants).
+    max_rounds:
+        Maximum pipeline length. 15-to-1 cubes the input error per round,
+        so even the noisiest predefined profile converges in 3 rounds.
+    max_code_distance:
+        Largest per-round code distance explored.
+    """
+
+    units: Sequence[DistillationUnit] = field(
+        default_factory=lambda: tuple(PREDEFINED_UNITS.values())
+    )
+    max_rounds: int = 3
+    max_code_distance: int = 35
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if not self.units:
+            raise ValueError("unit library must not be empty")
+        # Feasible-factory catalog per (qubit, scheme): the pipeline space
+        # does not depend on the required output error, so sweeps (Fig. 3/4)
+        # evaluate it once and answer each query with a filtered minimum.
+        self._catalog_cache: dict[tuple, list[TFactory]] = {}
+
+    def _catalog(self, qubit: PhysicalQubitParams, scheme: QECScheme) -> list[TFactory]:
+        key = (qubit, scheme)
+        catalog = self._catalog_cache.get(key)
+        if catalog is None:
+            catalog = []
+            for pipeline in self.candidate_pipelines(qubit, scheme):
+                factory = evaluate_pipeline(pipeline, qubit, scheme)
+                if factory is not None:
+                    catalog.append(factory)
+            self._catalog_cache[key] = catalog
+        return catalog
+
+    def candidate_pipelines(
+        self, qubit: PhysicalQubitParams, scheme: QECScheme
+    ) -> Iterator[list[DistillationRound]]:
+        """Yield structurally valid pipelines, without evaluating them.
+
+        Distances are constrained to be non-decreasing across rounds:
+        later rounds hold better T states, which would be wasted on a
+        weaker code. This prunes the space without losing good designs.
+        """
+        logical_units = [u for u in self.units if u.logical_spec is not None]
+        physical_units = [u for u in self.units if u.physical_spec is not None]
+        distances = _odd_distances(min(self.max_code_distance, scheme.max_code_distance))
+
+        for num_rounds in range(1, self.max_rounds + 1):
+            # Choice of unit per round.
+            first_round_options: list[tuple[DistillationUnit, int | None]] = [
+                (u, None) for u in physical_units
+            ] + [(u, 0) for u in logical_units]  # 0 = placeholder for a distance
+            later_units: list[list[DistillationUnit]] = [
+                logical_units for _ in range(num_rounds - 1)
+            ]
+            for first, *rest in itertools.product(first_round_options, *later_units):
+                first_unit, first_kind = first
+                num_logical_rounds = (0 if first_kind is None else 1) + len(rest)
+                if num_logical_rounds == 0:
+                    yield [DistillationRound(first_unit, None)]
+                    continue
+                for combo in itertools.combinations_with_replacement(
+                    distances, num_logical_rounds
+                ):
+                    rounds = []
+                    combo_iter = iter(combo)
+                    if first_kind is None:
+                        rounds.append(DistillationRound(first_unit, None))
+                    else:
+                        rounds.append(DistillationRound(first_unit, next(combo_iter)))
+                    for unit in rest:
+                        rounds.append(DistillationRound(unit, next(combo_iter)))
+                    yield rounds
+
+    def design(
+        self,
+        qubit: PhysicalQubitParams,
+        scheme: QECScheme,
+        required_output_error_rate: float,
+    ) -> TFactory:
+        """Find the cheapest feasible factory for the target error rate.
+
+        Raises :class:`TFactoryError` if no pipeline in the search space
+        meets the requirement.
+        """
+        if required_output_error_rate <= 0:
+            raise TFactoryError(
+                "required T-state error rate must be positive, got "
+                f"{required_output_error_rate}"
+            )
+        scheme.check_compatible(qubit)
+
+        best: TFactory | None = None
+        for factory in self._catalog(qubit, scheme):
+            if factory.output_error_rate > required_output_error_rate:
+                continue
+            if best is None or self._better(factory, best):
+                best = factory
+        if best is None:
+            raise TFactoryError(
+                f"no T factory in the search space reaches output error rate "
+                f"{required_output_error_rate:.3e} on {qubit.name!r} with "
+                f"scheme {scheme.name!r}; consider more rounds or a larger "
+                "max code distance"
+            )
+        return best
+
+    def frontier(
+        self,
+        qubit: PhysicalQubitParams,
+        scheme: QECScheme,
+        required_output_error_rate: float,
+    ) -> list[TFactory]:
+        """All Pareto-optimal feasible factories (qubits vs duration)."""
+        feasible = [
+            factory
+            for factory in self._catalog(qubit, scheme)
+            if factory.output_error_rate <= required_output_error_rate
+        ]
+        frontier: list[TFactory] = []
+        for f in sorted(feasible, key=lambda f: (f.physical_qubits, f.duration_ns)):
+            if all(f.duration_ns < g.duration_ns for g in frontier):
+                frontier.append(f)
+        return frontier
+
+    @staticmethod
+    def _better(a: TFactory, b: TFactory) -> bool:
+        """Prefer fewer physical qubits, then shorter duration."""
+        return (a.physical_qubits, a.duration_ns) < (b.physical_qubits, b.duration_ns)
+
+
+def design_t_factory(
+    qubit: PhysicalQubitParams,
+    scheme: QECScheme,
+    required_output_error_rate: float,
+    **designer_options: object,
+) -> TFactory:
+    """Convenience wrapper: design a factory with default search settings."""
+    designer = TFactoryDesigner(**designer_options)  # type: ignore[arg-type]
+    return designer.design(qubit, scheme, required_output_error_rate)

@@ -1,0 +1,31 @@
+"""The resource estimation pipeline (paper Sec. III and IV-D).
+
+:func:`estimate` is the main entry point: it takes a program (as
+pre-layout :class:`~repro.counts.LogicalCounts`, or anything with a
+``logical_counts()`` method such as a traced circuit), a hardware profile,
+and optional QEC scheme / error budget / constraints, and returns
+:class:`PhysicalResourceEstimates` with all eight output groups of the
+tool.
+"""
+
+from .constraints import Constraints
+from .result import (
+    PhysicalCounts,
+    PhysicalResourceEstimates,
+    ResourceBreakdown,
+    TFactoryUsage,
+)
+from .pipeline import EstimationError, estimate
+from .frontier import FrontierPoint, estimate_frontier
+
+__all__ = [
+    "Constraints",
+    "EstimationError",
+    "FrontierPoint",
+    "PhysicalCounts",
+    "PhysicalResourceEstimates",
+    "ResourceBreakdown",
+    "TFactoryUsage",
+    "estimate",
+    "estimate_frontier",
+]

@@ -1,0 +1,54 @@
+"""Estimation constraints (paper Sec. IV-C.4).
+
+Constraints steer the qubit-versus-runtime trade-off:
+
+* ``max_t_factories`` caps the number of T-factory copies running in
+  parallel. When the cap binds, the algorithm is slowed down (its logical
+  depth stretched) so fewer factories can still deliver all T states in
+  time.
+* ``logical_depth_factor`` stretches the algorithmic depth outright
+  (values > 1 slow the program, giving factories more time and usually
+  reducing factory qubits).
+* ``max_duration_ns`` / ``max_physical_qubits`` reject estimates whose
+  runtime/footprint exceed a budget, so sweeps can detect infeasible
+  configurations instead of silently reporting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """T-factory and resource constraints for an estimation run."""
+
+    max_t_factories: int | None = None
+    logical_depth_factor: float = 1.0
+    max_duration_ns: float | None = None
+    max_physical_qubits: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_t_factories is not None and self.max_t_factories < 1:
+            raise ValueError(
+                f"max_t_factories must be >= 1, got {self.max_t_factories}"
+            )
+        if self.logical_depth_factor < 1.0:
+            raise ValueError(
+                "logical_depth_factor must be >= 1 (values < 1 would claim the "
+                f"program runs faster than its depth), got {self.logical_depth_factor}"
+            )
+        if self.max_duration_ns is not None and self.max_duration_ns <= 0:
+            raise ValueError(f"max_duration_ns must be positive, got {self.max_duration_ns}")
+        if self.max_physical_qubits is not None and self.max_physical_qubits < 1:
+            raise ValueError(
+                f"max_physical_qubits must be >= 1, got {self.max_physical_qubits}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "maxTFactories": self.max_t_factories,
+            "logicalDepthFactor": self.logical_depth_factor,
+            "maxDuration_ns": self.max_duration_ns,
+            "maxPhysicalQubits": self.max_physical_qubits,
+        }

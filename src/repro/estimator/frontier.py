@@ -1,0 +1,84 @@
+"""Qubit-versus-runtime frontier estimation (paper Sec. III-D, IV-C.4).
+
+Sweeping the logical-depth slowdown factor trades runtime for T-factory
+parallelism: a slower program needs fewer simultaneous factory copies, so
+it uses fewer physical qubits. :func:`estimate_frontier` evaluates a
+geometric ladder of slowdown factors and returns the Pareto-optimal
+(physical qubits, runtime) points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..budget import ErrorBudget
+from ..qec import QECScheme
+from ..qubits import PhysicalQubitParams
+from .constraints import Constraints
+from .pipeline import EstimationError, estimate
+from .result import PhysicalResourceEstimates
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One Pareto point: the estimate obtained at a given slowdown."""
+
+    logical_depth_factor: float
+    estimates: PhysicalResourceEstimates
+
+    @property
+    def physical_qubits(self) -> int:
+        return self.estimates.physical_qubits
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.estimates.runtime_seconds
+
+
+def estimate_frontier(
+    program: object,
+    qubit: PhysicalQubitParams,
+    *,
+    scheme: QECScheme | None = None,
+    budget: ErrorBudget | float = 1e-3,
+    depth_factors: Sequence[float] | None = None,
+    **estimate_kwargs: object,
+) -> list[FrontierPoint]:
+    """Estimate the Pareto frontier of qubits vs runtime.
+
+    Parameters
+    ----------
+    depth_factors:
+        Slowdown factors to evaluate; defaults to a geometric ladder
+        ``1, 2, 4, ..., 1024``.
+
+    Returns the Pareto-optimal points sorted by increasing runtime. Points
+    where estimation fails (e.g. a constraint violation) are skipped.
+    """
+    if depth_factors is None:
+        depth_factors = [float(2**k) for k in range(11)]
+    if not depth_factors:
+        raise ValueError("depth_factors must not be empty")
+
+    points: list[FrontierPoint] = []
+    for factor in depth_factors:
+        try:
+            result = estimate(
+                program,
+                qubit,
+                scheme=scheme,
+                budget=budget,
+                constraints=Constraints(logical_depth_factor=factor),
+                **estimate_kwargs,  # type: ignore[arg-type]
+            )
+        except EstimationError:
+            continue
+        points.append(FrontierPoint(logical_depth_factor=factor, estimates=result))
+
+    points.sort(key=lambda pt: (pt.runtime_seconds, pt.physical_qubits))
+    frontier: list[FrontierPoint] = []
+    for pt in points:
+        if all(pt.physical_qubits < kept.physical_qubits for kept in frontier):
+            frontier.append(pt)
+    return frontier

@@ -1,0 +1,58 @@
+"""Entry point: ``python -m repro.experiments [fig3|fig4|claims|all|save DIR]``.
+
+``save DIR`` runs every experiment and archives fig3/fig4 CSV+JSON and the
+claims JSON under ``DIR`` (default ``results/``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .claims import evaluate_claims, format_claims
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .io import regenerate_all
+from .runner import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    which = args[0] if args else "all"
+    if which == "save":
+        directory = args[1] if len(args) > 1 else "results"
+        written = regenerate_all(directory)
+        for name, path in sorted(written.items()):
+            print(f"wrote {path}")
+        return 0
+    if which not in ("fig3", "fig4", "claims", "all"):
+        print(__doc__)
+        return 2
+    plot = "--plot" in args
+    if which in ("fig3", "all"):
+        print("=== Figure 3: qubit_maj_ns_e4 + floquet code, budget 1e-4 ===")
+        rows = run_fig3()
+        print(format_table(rows))
+        if plot:
+            from .plots import render_fig3_charts
+
+            print()
+            print(render_fig3_charts(rows))
+        print()
+    if which in ("fig4", "all"):
+        print("=== Figure 4: 2048-bit inputs across six profiles, budget 1e-4 ===")
+        rows = run_fig4()
+        print(format_table(rows))
+        if plot:
+            from .plots import render_fig4_chart
+
+            print()
+            print(render_fig4_chart(rows))
+        print()
+    if which in ("claims", "all"):
+        print("=== Section V in-text claims ===")
+        print(format_claims(evaluate_claims()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

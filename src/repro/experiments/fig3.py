@@ -1,0 +1,38 @@
+"""Figure 3: the three multipliers vs input size on Majorana hardware.
+
+Paper setup: hardware profile ``qubit_maj_ns_e4``, floquet-code QEC,
+total error budget 1e-4, input sizes 32 .. 16384 bits. The paper's
+headline observations, all checked by ``benchmarks/test_fig3_scaling.py``:
+
+* code distance climbs from 9 (32 bits) to 17 (16384 bits), with d = 15
+  at 2048 bits — visible as jumps in the physical-qubit curves;
+* Karatsuba uses the most physical qubits at every large size;
+* Karatsuba's runtime first beats schoolbook's only in the
+  multi-thousand-bit range despite its better asymptotics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .runner import ALGORITHMS, PAPER_ERROR_BUDGET, EstimateRow, run_estimate_row
+
+#: The paper sweeps 32 .. 16384 bits (powers of two).
+FIG3_BIT_SIZES: tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+FIG3_PROFILE = "qubit_maj_ns_e4"
+
+
+def run_fig3(
+    bit_sizes: Sequence[int] | None = None,
+    *,
+    budget: float = PAPER_ERROR_BUDGET,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> list[EstimateRow]:
+    """Reproduce the Fig. 3 sweep; rows ordered by (algorithm, bits)."""
+    sizes = tuple(bit_sizes) if bit_sizes is not None else FIG3_BIT_SIZES
+    return [
+        run_estimate_row(algorithm, bits, FIG3_PROFILE, budget=budget)
+        for algorithm in algorithms
+        for bits in sizes
+    ]

@@ -1,0 +1,122 @@
+"""Terminal rendering of the paper's figures (log-log ASCII charts).
+
+Matplotlib-free so the harness works anywhere the library does. Each
+chart plots one metric (physical qubits or runtime) against input size,
+one glyph per algorithm — the same two panels as the paper's Figures 3
+and a grouped view for Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from .runner import EstimateRow
+
+#: Plot glyphs per algorithm, in the paper's ordering.
+GLYPHS: dict[str, str] = {"schoolbook": "s", "karatsuba": "k", "windowed": "w"}
+
+
+def _log_positions(values: Sequence[float], cells: int) -> list[int]:
+    lo = math.log10(min(values))
+    hi = math.log10(max(values))
+    span = hi - lo or 1.0
+    return [
+        min(cells - 1, max(0, round((math.log10(v) - lo) / span * (cells - 1))))
+        for v in values
+    ]
+
+
+def render_scaling_chart(
+    rows: Sequence[EstimateRow],
+    metric: Callable[[EstimateRow], float],
+    *,
+    title: str,
+    width: int = 72,
+    height: int = 18,
+) -> str:
+    """Log-log chart of ``metric`` vs input size, one glyph per algorithm.
+
+    Points from different algorithms that land on the same cell are drawn
+    as ``*``.
+    """
+    if not rows:
+        raise ValueError("no rows to plot")
+    sizes = sorted({r.bits for r in rows})
+    xs = _log_positions(sizes, width)
+    x_for_bits = dict(zip(sizes, xs))
+
+    values = [metric(r) for r in rows]
+    if any(v <= 0 for v in values):
+        raise ValueError("log-log chart needs positive metric values")
+    ys = _log_positions(values, height)
+
+    grid = [[" "] * width for _ in range(height)]
+    for row, y in zip(rows, ys):
+        glyph = GLYPHS.get(row.algorithm, "?")
+        x = x_for_bits[row.bits]
+        cell = grid[height - 1 - y][x]
+        grid[height - 1 - y][x] = glyph if cell in (" ", glyph) else "*"
+
+    top = f"{max(values):.2e}"
+    bottom = f"{min(values):.2e}"
+    lines = [title]
+    for i, row_cells in enumerate(grid):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{label:>9} |{''.join(row_cells)}|")
+    axis = [" "] * width
+    for bits in sizes:
+        x = x_for_bits[bits]
+        text = str(bits)
+        if x + len(text) > width:  # right-align ticks at the chart edge
+            x = width - len(text)
+        for offset, ch in enumerate(text):
+            axis[x + offset] = ch
+    lines.append(f"{'':>9} +{'-' * width}+")
+    lines.append(f"{'bits':>9}  {''.join(axis)}")
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in GLYPHS.items())
+    lines.append(f"{'':>9}  {legend}   (* = overlap)")
+    return "\n".join(lines)
+
+
+def render_fig3_charts(rows: Sequence[EstimateRow]) -> str:
+    """Both Fig. 3 panels as ASCII charts."""
+    qubits = render_scaling_chart(
+        rows,
+        lambda r: float(r.physical_qubits),
+        title="Figure 3a: physical qubits vs input size (log-log)",
+    )
+    runtime = render_scaling_chart(
+        rows,
+        lambda r: r.runtime_seconds,
+        title="Figure 3b: runtime [s] vs input size (log-log)",
+    )
+    return qubits + "\n\n" + runtime
+
+
+def render_fig4_chart(rows: Sequence[EstimateRow]) -> str:
+    """Fig. 4 as grouped horizontal bars (log scale) per profile."""
+    if not rows:
+        raise ValueError("no rows to plot")
+    runtimes = [r.runtime_seconds for r in rows]
+    lo = math.log10(min(runtimes))
+    hi = math.log10(max(runtimes))
+    span = hi - lo or 1.0
+    bar_width = 48
+    lines = ["Figure 4: runtime by profile (log scale, bar length ~ log10 s)"]
+    profiles: list[str] = []
+    for r in rows:
+        if r.profile not in profiles:
+            profiles.append(r.profile)
+    for profile in profiles:
+        lines.append(f"{profile}:")
+        for r in rows:
+            if r.profile != profile:
+                continue
+            filled = 1 + round((math.log10(r.runtime_seconds) - lo) / span * (bar_width - 1))
+            bar = "#" * filled
+            lines.append(
+                f"  {r.algorithm:<11} |{bar:<{bar_width}}| "
+                f"{r.runtime_seconds:9.3g} s  {r.physical_qubits:>13,} qubits"
+            )
+    return "\n".join(lines)

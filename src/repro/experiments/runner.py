@@ -1,0 +1,106 @@
+"""Shared machinery for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..arithmetic import multiplier_by_name
+from ..estimator import PhysicalResourceEstimates, estimate
+from ..qec import default_scheme_for
+from ..qubits import qubit_params
+
+#: The three algorithms compared by the paper, in its plotting order.
+ALGORITHMS = ("schoolbook", "karatsuba", "windowed")
+
+#: Total error budget used throughout the paper's evaluation (Sec. V).
+PAPER_ERROR_BUDGET = 1e-4
+
+
+@dataclass(frozen=True)
+class EstimateRow:
+    """One point of a figure: an algorithm/size/profile combination."""
+
+    algorithm: str
+    bits: int
+    profile: str
+    physical_qubits: int
+    runtime_seconds: float
+    code_distance: int
+    logical_qubits: int
+    logical_depth: int
+    num_t_states: int
+    t_factory_copies: int
+    rqops: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "bits": self.bits,
+            "profile": self.profile,
+            "physicalQubits": self.physical_qubits,
+            "runtime_s": self.runtime_seconds,
+            "codeDistance": self.code_distance,
+            "logicalQubits": self.logical_qubits,
+            "logicalDepth": self.logical_depth,
+            "numTStates": self.num_t_states,
+            "tFactoryCopies": self.t_factory_copies,
+            "rqops": self.rqops,
+        }
+
+
+def run_estimate_row(
+    algorithm: str,
+    bits: int,
+    profile: str,
+    *,
+    budget: float = PAPER_ERROR_BUDGET,
+) -> EstimateRow:
+    """Estimate one figure point, using the profile's default QEC scheme.
+
+    Matches the paper's setup: surface code for gate-based profiles,
+    floquet code for Majorana profiles, default T-factory search.
+    """
+    result = _estimate(algorithm, bits, profile, budget)
+    return EstimateRow(
+        algorithm=algorithm,
+        bits=bits,
+        profile=profile,
+        physical_qubits=result.physical_qubits,
+        runtime_seconds=result.runtime_seconds,
+        code_distance=result.code_distance,
+        logical_qubits=result.logical_qubits,
+        logical_depth=result.breakdown.logical_depth,
+        num_t_states=result.breakdown.num_t_states,
+        t_factory_copies=result.t_factory.copies if result.t_factory else 0,
+        rqops=result.rqops,
+    )
+
+
+def _estimate(
+    algorithm: str, bits: int, profile: str, budget: float
+) -> PhysicalResourceEstimates:
+    qubit = qubit_params(profile)
+    multiplier = multiplier_by_name(algorithm, bits)
+    return estimate(
+        multiplier.logical_counts(),
+        qubit,
+        scheme=default_scheme_for(qubit),
+        budget=budget,
+    )
+
+
+def format_table(rows: list[EstimateRow]) -> str:
+    """Fixed-width table of estimate rows for terminal output."""
+    header = (
+        f"{'algorithm':<11} {'bits':>6} {'profile':<17} {'phys qubits':>12} "
+        f"{'runtime[s]':>11} {'d':>3} {'log qubits':>10} {'rQOPS':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.algorithm:<11} {r.bits:>6} {r.profile:<17} "
+            f"{r.physical_qubits:>12,} {r.runtime_seconds:>11.3g} "
+            f"{r.code_distance:>3} {r.logical_qubits:>10,} {r.rqops:>10.3g}"
+        )
+    return "\n".join(lines)

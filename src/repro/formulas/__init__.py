@@ -1,0 +1,45 @@
+"""Arithmetic formula engine for user-customizable model parameters.
+
+The paper (Sec. IV-C.2, IV-C.5) specifies that QEC schemes and distillation
+units expose *formula parameters*: strings over simple arithmetic operations
+and named variables (gate/measurement times, code distance, error rates).
+This package implements that little language from scratch — a tokenizer, a
+recursive-descent parser producing a small AST, and a compiler to fast
+Python callables — so users can plug in custom QEC schemes and distillation
+units exactly as they can with the Azure tool.
+
+Example
+-------
+>>> from repro.formulas import Formula
+>>> f = Formula("(4 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance")
+>>> f(twoQubitGateTime=50, oneQubitMeasurementTime=100, codeDistance=9)
+3600
+"""
+
+from .ast import (
+    BinaryOp,
+    Call,
+    FormulaError,
+    FormulaNode,
+    Number,
+    UnaryOp,
+    Variable,
+)
+from .parser import FormulaParseError, parse, tokenize
+from .formula import Formula, FormulaEvalError, FormulaLike
+
+__all__ = [
+    "BinaryOp",
+    "Call",
+    "Formula",
+    "FormulaError",
+    "FormulaEvalError",
+    "FormulaLike",
+    "FormulaNode",
+    "FormulaParseError",
+    "Number",
+    "UnaryOp",
+    "Variable",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,133 @@
+"""AST node types for the formula language.
+
+The language is deliberately tiny: numbers, named variables, unary +/-,
+binary ``+ - * / ^``, and calls to a whitelisted set of math functions.
+Nodes are immutable dataclasses; evaluation lives on the nodes so a parsed
+tree can be evaluated repeatedly against different variable bindings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+
+class FormulaError(ValueError):
+    """Base class for formula parse/eval errors."""
+
+
+#: Functions callable from formula strings. All accept and return numbers.
+FUNCTIONS: Mapping[str, Callable[..., float]] = {
+    "log2": math.log2,
+    "log10": math.log10,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+    "ceil": math.ceil,
+    "floor": math.floor,
+    "abs": abs,
+    "max": max,
+    "min": min,
+    "pow": math.pow,
+    "exp": math.exp,
+}
+
+
+class FormulaNode:
+    """Base class for formula AST nodes."""
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """Free variables referenced anywhere below this node."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Number(FormulaNode):
+    value: float
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Variable(FormulaNode):
+    name: str
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise FormulaError(
+                f"formula references unbound variable {self.name!r}; "
+                f"bound: {sorted(env)}"
+            ) from None
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True)
+class UnaryOp(FormulaNode):
+    op: str  # '+' or '-'
+    operand: FormulaNode
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        val = self.operand.evaluate(env)
+        return -val if self.op == "-" else +val
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class BinaryOp(FormulaNode):
+    op: str  # one of + - * / ^
+    left: FormulaNode
+    right: FormulaNode
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        lhs = self.left.evaluate(env)
+        rhs = self.right.evaluate(env)
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        if self.op == "/":
+            if rhs == 0:
+                raise FormulaError("division by zero in formula")
+            return lhs / rhs
+        if self.op == "^":
+            return lhs**rhs
+        raise FormulaError(f"unknown operator {self.op!r}")
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Call(FormulaNode):
+    func: str
+    args: tuple[FormulaNode, ...]
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        try:
+            fn = FUNCTIONS[self.func]
+        except KeyError:
+            raise FormulaError(
+                f"unknown function {self.func!r}; available: {sorted(FUNCTIONS)}"
+            ) from None
+        return fn(*(a.evaluate(env) for a in self.args))
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.variables()
+        return out

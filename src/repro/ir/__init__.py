@@ -1,0 +1,31 @@
+"""Quantum program IR, builder, and pre-layout resource tracer.
+
+This package plays the role of QIR in the tool (paper Sec. III-A, IV-B):
+a flat instruction stream recording qubit allocation/release, gate
+applications, and measurements. Programs are authored with
+:class:`CircuitBuilder` (the stand-in for Q#/Qiskit front ends), traced
+into :class:`~repro.counts.LogicalCounts` by :func:`trace`, and validated
+for well-formedness by :func:`validate`.
+
+The gate set matches what the tool counts: Clifford gates (free at the
+logical level), T gates, arbitrary rotations, CCZ/CCiX, logical-AND
+compute/uncompute (Gidney's temporary AND), and single-qubit measurements.
+``account_for_estimates`` injects known logical estimates for a subroutine
+without emitting its gates, mirroring Q#'s ``AccountForEstimates``.
+"""
+
+from .ops import Op, OPCODE_NAMES
+from .circuit import Circuit, CircuitBuilder, CircuitError, QubitHandle
+from .tracer import trace
+from .validate import validate
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitError",
+    "OPCODE_NAMES",
+    "Op",
+    "QubitHandle",
+    "trace",
+    "validate",
+]

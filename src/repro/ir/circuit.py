@@ -1,0 +1,353 @@
+"""Circuit container and builder front end.
+
+``CircuitBuilder`` is the library's authoring API — the stand-in for the
+Q#/Qiskit front ends of the tool. Qubits are plain integer ids managed by
+an allocator with a free list, so releasing temporary ancillas and
+re-allocating them reuses ids, exactly like the qubit-tracking pass the
+tool runs over QIR (paper Sec. IV-B.1: "track qubit allocation, qubit
+release, gate application, and measurement events").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..counts import LogicalCounts
+from .ops import Op
+
+#: Qubits are plain ints; the alias documents intent in signatures.
+QubitHandle = int
+
+Instruction = tuple[int, int, int, int, float]
+
+
+class CircuitError(RuntimeError):
+    """Raised for misuse of the builder or malformed circuits."""
+
+
+class Circuit:
+    """An immutable instruction stream plus its injected estimates table."""
+
+    __slots__ = ("_instructions", "_estimates", "_counts_cache", "name")
+
+    def __init__(
+        self,
+        instructions: list[Instruction],
+        estimates: tuple[LogicalCounts, ...] = (),
+        name: str = "circuit",
+    ) -> None:
+        self._instructions = instructions
+        self._estimates = estimates
+        self._counts_cache: LogicalCounts | None = None
+        self.name = name
+
+    @property
+    def instructions(self) -> Sequence[Instruction]:
+        return self._instructions
+
+    @property
+    def estimates(self) -> tuple[LogicalCounts, ...]:
+        """Estimates injected via ``account_for_estimates``."""
+        return self._estimates
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def logical_counts(self) -> LogicalCounts:
+        """Pre-layout logical counts of this circuit (cached)."""
+        if self._counts_cache is None:
+            from .tracer import trace
+
+            self._counts_cache = trace(self)
+        return self._counts_cache
+
+    def __repr__(self) -> str:
+        return f"Circuit({self.name!r}, {len(self)} instructions)"
+
+
+class CircuitBuilder:
+    """Authoring API for IR circuits.
+
+    Example
+    -------
+    >>> b = CircuitBuilder("bell-measure")
+    >>> a, c = b.allocate(), b.allocate()
+    >>> b.h(a); b.cx(a, c); b.t(c)
+    >>> b.measure(a); b.measure(c)
+    >>> circuit = b.finish()
+    >>> circuit.logical_counts().t_count
+    1
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._free: list[int] = []
+        self._next_id = 0
+        self._active: set[int] = set()
+        self._estimates: list[LogicalCounts] = []
+        self._finished = False
+        self._recording_starts: list[int] = []
+
+    # -- qubit management --------------------------------------------------
+
+    def allocate(self) -> QubitHandle:
+        """Allocate one qubit in |0>, reusing released ids."""
+        self._check_open()
+        q = -1
+        # Skip free-list entries resurrected by emit_adjoint (still active).
+        while self._free:
+            candidate = self._free.pop()
+            if candidate not in self._active:
+                q = candidate
+                break
+        if q == -1:
+            q = self._next_id
+            self._next_id += 1
+        self._active.add(q)
+        self._instructions.append((Op.ALLOC, q, -1, -1, 0.0))
+        return q
+
+    def allocate_register(self, size: int) -> list[QubitHandle]:
+        """Allocate ``size`` qubits (little-endian registers by convention)."""
+        if size < 1:
+            raise CircuitError(f"register size must be >= 1, got {size}")
+        return [self.allocate() for _ in range(size)]
+
+    def release(self, qubit: QubitHandle) -> None:
+        """Release a qubit (caller guarantees it is back in |0>)."""
+        self._require_active(qubit)
+        self._active.discard(qubit)
+        self._free.append(qubit)
+        self._instructions.append((Op.RELEASE, qubit, -1, -1, 0.0))
+
+    def release_register(self, qubits: Iterable[QubitHandle]) -> None:
+        for q in qubits:
+            self.release(q)
+
+    @property
+    def num_active_qubits(self) -> int:
+        return len(self._active)
+
+    # -- Clifford gates ----------------------------------------------------
+
+    def x(self, q: QubitHandle) -> None:
+        self._one(Op.X, q)
+
+    def y(self, q: QubitHandle) -> None:
+        self._one(Op.Y, q)
+
+    def z(self, q: QubitHandle) -> None:
+        self._one(Op.Z, q)
+
+    def h(self, q: QubitHandle) -> None:
+        self._one(Op.H, q)
+
+    def s(self, q: QubitHandle) -> None:
+        self._one(Op.S, q)
+
+    def s_adj(self, q: QubitHandle) -> None:
+        self._one(Op.S_ADJ, q)
+
+    def cx(self, control: QubitHandle, target: QubitHandle) -> None:
+        self._two(Op.CX, control, target)
+
+    def cz(self, a: QubitHandle, b: QubitHandle) -> None:
+        self._two(Op.CZ, a, b)
+
+    def swap(self, a: QubitHandle, b: QubitHandle) -> None:
+        self._two(Op.SWAP, a, b)
+
+    # -- non-Clifford gates --------------------------------------------------
+
+    def t(self, q: QubitHandle) -> None:
+        self._one(Op.T, q)
+
+    def t_adj(self, q: QubitHandle) -> None:
+        self._one(Op.T_ADJ, q)
+
+    def rx(self, angle: float, q: QubitHandle) -> None:
+        self._rotation(Op.RX, angle, q)
+
+    def ry(self, angle: float, q: QubitHandle) -> None:
+        self._rotation(Op.RY, angle, q)
+
+    def rz(self, angle: float, q: QubitHandle) -> None:
+        self._rotation(Op.RZ, angle, q)
+
+    def ccz(self, a: QubitHandle, b: QubitHandle, c: QubitHandle) -> None:
+        self._three(Op.CCZ, a, b, c)
+
+    def ccx(self, control1: QubitHandle, control2: QubitHandle, target: QubitHandle) -> None:
+        """Toffoli gate (counts as one CCZ plus Cliffords)."""
+        self._three(Op.CCX, control1, control2, target)
+
+    def ccix(self, control1: QubitHandle, control2: QubitHandle, target: QubitHandle) -> None:
+        self._three(Op.CCIX, control1, control2, target)
+
+    def and_compute(self, a: QubitHandle, b: QubitHandle) -> QubitHandle:
+        """Gidney temporary AND: allocate and return a target holding a AND b.
+
+        Costs one CCiX (4 T states). Must be undone with
+        :meth:`and_uncompute`, which costs only a measurement.
+        """
+        target = self.allocate()
+        self._three(Op.AND, a, b, target)
+        return target
+
+    def and_uncompute(self, a: QubitHandle, b: QubitHandle, target: QubitHandle) -> None:
+        """Measurement-based uncompute of :meth:`and_compute`; releases target."""
+        self._three(Op.AND_UNCOMPUTE, a, b, target)
+        self._active.discard(target)
+        self._free.append(target)
+        self._instructions.append((Op.RELEASE, target, -1, -1, 0.0))
+
+    # -- measurement and injection -------------------------------------------
+
+    def measure(self, q: QubitHandle) -> None:
+        self._one(Op.MEASURE, q)
+
+    def reset(self, q: QubitHandle) -> None:
+        self._one(Op.RESET, q)
+
+    def account_for_estimates(self, counts: LogicalCounts) -> None:
+        """Inject known logical estimates of an un-emitted subroutine.
+
+        The subroutine's auxiliary qubits are assumed included in
+        ``counts.num_qubits`` *in addition to* the qubits currently live
+        (matching ``AccountForEstimates``, which receives the qubits it
+        acts on plus an aux count).
+        """
+        self._check_open()
+        index = len(self._estimates)
+        self._estimates.append(counts)
+        self._instructions.append((Op.ACCOUNT, -1, -1, -1, float(index)))
+
+    # -- recording and adjoints ------------------------------------------------
+
+    def start_recording(self) -> None:
+        """Begin capturing emitted instructions (nestable).
+
+        Use with :meth:`stop_recording` and :meth:`emit_adjoint` to undo a
+        reversible subroutine mechanically (Bennett-style cleanup). Only
+        reversible instructions may be recorded.
+        """
+        self._check_open()
+        self._recording_starts.append(len(self._instructions))
+
+    def stop_recording(self) -> list[Instruction]:
+        """End the innermost recording; return the captured tape."""
+        self._check_open()
+        if not self._recording_starts:
+            raise CircuitError("stop_recording without start_recording")
+        start = self._recording_starts.pop()
+        return self._instructions[start:]
+
+    #: Opcode inversion map for adjoint replay. AND flips to its
+    #: measurement-based uncompute (and vice versa), which is what makes
+    #: Bennett cleanup free of T states in this cost model.
+    _ADJOINT = {
+        Op.ALLOC: Op.RELEASE,
+        Op.RELEASE: Op.ALLOC,
+        Op.X: Op.X,
+        Op.Y: Op.Y,
+        Op.Z: Op.Z,
+        Op.H: Op.H,
+        Op.S: Op.S_ADJ,
+        Op.S_ADJ: Op.S,
+        Op.CX: Op.CX,
+        Op.CZ: Op.CZ,
+        Op.SWAP: Op.SWAP,
+        Op.T: Op.T_ADJ,
+        Op.T_ADJ: Op.T,
+        Op.RX: Op.RX,  # angle negated at replay
+        Op.RY: Op.RY,
+        Op.RZ: Op.RZ,
+        Op.CCZ: Op.CCZ,
+        Op.CCX: Op.CCX,
+        Op.CCIX: Op.CCIX,
+        Op.AND: Op.AND_UNCOMPUTE,
+        Op.AND_UNCOMPUTE: Op.AND,
+    }
+
+    def emit_adjoint(self, tape: list[Instruction]) -> None:
+        """Replay a recorded tape in reverse with each instruction inverted.
+
+        Qubits the tape allocated are released and vice versa; ids are
+        re-activated directly (not via the free list) so the adjoint acts
+        on exactly the qubits the forward pass used. Irreversible
+        instructions (measure, reset, account) cannot be undone and raise.
+        """
+        self._check_open()
+        for op, q0, q1, q2, param in reversed(tape):
+            inverse = self._ADJOINT.get(Op(op))
+            if inverse is None:
+                raise CircuitError(
+                    f"cannot take the adjoint of irreversible instruction "
+                    f"{Op(op).name}"
+                )
+            if inverse == Op.ALLOC:
+                # Undoing a RELEASE: bring the same id back into service.
+                # The id stays on the free list; allocate() skips active ids.
+                if q0 in self._active:
+                    raise CircuitError(
+                        f"adjoint re-allocates qubit {q0}, which is still active"
+                    )
+                self._active.add(q0)
+                self._instructions.append((Op.ALLOC, q0, -1, -1, 0.0))
+            elif inverse == Op.RELEASE:
+                self.release(q0)
+            elif inverse in (Op.RX, Op.RY, Op.RZ):
+                self._rotation(inverse, -param, q0)
+            elif q2 != -1:
+                self._three(inverse, q0, q1, q2)
+            elif q1 != -1:
+                self._two(inverse, q0, q1)
+            else:
+                self._one(inverse, q0)
+
+    # -- finishing -----------------------------------------------------------
+
+    def finish(self) -> Circuit:
+        """Freeze into a :class:`Circuit`. The builder becomes unusable."""
+        self._check_open()
+        self._finished = True
+        return Circuit(self._instructions, tuple(self._estimates), self.name)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise CircuitError("builder already finished")
+
+    def _require_active(self, *qubits: int) -> None:
+        for q in qubits:
+            if q not in self._active:
+                raise CircuitError(f"qubit {q} is not allocated")
+
+    def _one(self, op: int, q: int) -> None:
+        self._check_open()
+        self._require_active(q)
+        self._instructions.append((op, q, -1, -1, 0.0))
+
+    def _two(self, op: int, a: int, b: int) -> None:
+        self._check_open()
+        self._require_active(a, b)
+        if a == b:
+            raise CircuitError(f"two-qubit gate needs distinct qubits, got {a} twice")
+        self._instructions.append((op, a, b, -1, 0.0))
+
+    def _three(self, op: int, a: int, b: int, c: int) -> None:
+        self._check_open()
+        self._require_active(a, b, c)
+        if len({a, b, c}) != 3:
+            raise CircuitError(f"three-qubit gate needs distinct qubits, got {(a, b, c)}")
+        self._instructions.append((op, a, b, c, 0.0))
+
+    def _rotation(self, op: int, angle: float, q: int) -> None:
+        self._check_open()
+        self._require_active(q)
+        self._instructions.append((op, q, -1, -1, float(angle)))

@@ -1,0 +1,85 @@
+"""Instruction opcodes.
+
+Instructions are stored as plain tuples ``(opcode, q0, q1, q2, param)``
+(unused slots ``-1``/``0.0``) rather than objects: multiplier circuits
+reach millions of instructions and tuple streams keep building, tracing,
+and simulating fast (see the HPC guide note on avoiding per-element object
+overhead in hot loops).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Op(IntEnum):
+    """Opcodes of the IR. Values are stable (used in serialized streams)."""
+
+    ALLOC = 0  # q0 = qubit id
+    RELEASE = 1  # q0 = qubit id (must be in |0> by convention)
+
+    # Clifford gates: free at the logical level, still validated/simulated.
+    X = 2
+    Y = 3
+    Z = 4
+    H = 5
+    S = 6
+    S_ADJ = 7
+    CX = 8  # q0 = control, q1 = target
+    CZ = 9
+    SWAP = 10
+
+    # Non-Clifford gates.
+    T = 11
+    T_ADJ = 12
+    RX = 13  # param = angle (radians)
+    RY = 14
+    RZ = 15
+    CCZ = 16  # q0, q1, q2 (symmetric)
+    CCX = 17  # Toffoli; q0, q1 = controls, q2 = target; counts as one CCZ
+    CCIX = 18  # doubly-controlled iX; q0, q1 = controls, q2 = target
+
+    # Gidney temporary-AND pair. AND counts as one CCiX; AND_UNCOMPUTE is
+    # measurement-based (one single-qubit measurement, Clifford fix-up).
+    AND = 19  # q0, q1 = controls, q2 = fresh target ancilla
+    AND_UNCOMPUTE = 20  # q0, q1 = controls, q2 = target (released to |0>)
+
+    MEASURE = 21  # q0 = qubit, Z basis
+    RESET = 22  # q0 = qubit, back to |0>
+
+    # Known-logical-estimates injection: param slot holds an index into the
+    # circuit's estimates table (paper Sec. IV-B.3).
+    ACCOUNT = 23
+
+
+OPCODE_NAMES: dict[int, str] = {op.value: op.name for op in Op}
+
+#: Ops acting on one qubit (q0 only).
+ONE_QUBIT_OPS = frozenset(
+    {
+        Op.ALLOC,
+        Op.RELEASE,
+        Op.X,
+        Op.Y,
+        Op.Z,
+        Op.H,
+        Op.S,
+        Op.S_ADJ,
+        Op.T,
+        Op.T_ADJ,
+        Op.RX,
+        Op.RY,
+        Op.RZ,
+        Op.MEASURE,
+        Op.RESET,
+    }
+)
+
+#: Ops acting on two distinct qubits (q0, q1).
+TWO_QUBIT_OPS = frozenset({Op.CX, Op.CZ, Op.SWAP})
+
+#: Ops acting on three distinct qubits (q0, q1, q2).
+THREE_QUBIT_OPS = frozenset({Op.CCZ, Op.CCX, Op.CCIX, Op.AND, Op.AND_UNCOMPUTE})
+
+#: Rotation ops whose angle decides Clifford vs non-Clifford handling.
+ROTATION_OPS = frozenset({Op.RX, Op.RY, Op.RZ})

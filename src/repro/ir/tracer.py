@@ -1,0 +1,142 @@
+"""Pre-layout resource tracer (paper Sec. III-A).
+
+Walks an instruction stream once and produces
+:class:`~repro.counts.LogicalCounts`:
+
+* **width** — high-water mark of simultaneously allocated qubits;
+* **T count** — T/T† gates, plus rotations whose angle reduces to an odd
+  multiple of pi/4 (those synthesize to a single T up to Cliffords);
+* **rotation count/depth** — rotations with arbitrary angles; depth is the
+  number of rotation *layers* under ASAP scheduling of the dependency
+  graph (paper Sec. III-B.2), tracked with per-qubit layer counters;
+* **CCZ / CCiX counts** — CCZ and Toffoli count as CCZ; CCiX and
+  temporary-AND computes count as CCiX;
+* **measurements** — explicit measurements, resets, and the measurement
+  half of temporary-AND uncomputes.
+
+Rotations by multiples of pi/2 are Clifford and cost nothing here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..counts import LogicalCounts
+from .circuit import Circuit, CircuitError
+from .ops import Op
+
+#: Angles closer than this to a pi/4 grid point are snapped onto it.
+ANGLE_TOLERANCE = 1e-12
+
+
+def _classify_angle(angle: float) -> str:
+    """Classify a rotation angle: 'clifford', 't', or 'rotation'."""
+    quarter_turns = angle / (math.pi / 2)
+    nearest = round(quarter_turns)
+    if abs(quarter_turns - nearest) <= ANGLE_TOLERANCE:
+        return "clifford"
+    eighth_turns = angle / (math.pi / 4)
+    nearest = round(eighth_turns)
+    if abs(eighth_turns - nearest) <= ANGLE_TOLERANCE:
+        return "t"
+    return "rotation"
+
+
+def trace(circuit: Circuit) -> LogicalCounts:
+    """Compute pre-layout logical counts of a circuit."""
+    active = 0
+    width = 0
+    t_count = 0
+    rotations = 0
+    ccz = 0
+    ccix = 0
+    measurements = 0
+
+    # Rotation-layer tracking: layer[q] = number of rotation layers qubit q
+    # has passed through; multi-qubit gates synchronize the counters of the
+    # qubits they touch. The overall rotation depth is the max layer index.
+    layer: dict[int, int] = {}
+    rotation_depth = 0
+
+    injected: list[LogicalCounts] = []
+
+    for op, q0, q1, q2, param in circuit.instructions:
+        if op == Op.ALLOC:
+            active += 1
+            if active > width:
+                width = active
+            layer.setdefault(q0, 0)
+        elif op == Op.RELEASE:
+            active -= 1
+            if active < 0:
+                raise CircuitError("RELEASE without matching ALLOC")
+        elif op == Op.T or op == Op.T_ADJ:
+            t_count += 1
+        elif op == Op.RX or op == Op.RY or op == Op.RZ:
+            kind = _classify_angle(param)
+            if kind == "t":
+                t_count += 1
+            elif kind == "rotation":
+                rotations += 1
+                new_layer = layer[q0] + 1
+                layer[q0] = new_layer
+                if new_layer > rotation_depth:
+                    rotation_depth = new_layer
+        elif op == Op.CCZ or op == Op.CCX:
+            ccz += 1
+            _sync3(layer, q0, q1, q2)
+        elif op == Op.CCIX or op == Op.AND:
+            ccix += 1
+            _sync3(layer, q0, q1, q2)
+        elif op == Op.AND_UNCOMPUTE:
+            measurements += 1
+            _sync3(layer, q0, q1, q2)
+        elif op == Op.MEASURE or op == Op.RESET:
+            measurements += 1
+        elif op == Op.CX or op == Op.CZ or op == Op.SWAP:
+            lq0 = layer[q0]
+            lq1 = layer[q1]
+            if lq0 != lq1:
+                m = lq0 if lq0 > lq1 else lq1
+                layer[q0] = m
+                layer[q1] = m
+        elif op == Op.ACCOUNT:
+            injected.append(circuit.estimates[int(param)])
+        # Remaining single-qubit Cliffords need no action.
+
+    counts = LogicalCounts(
+        num_qubits=max(width, 1),
+        t_count=t_count,
+        rotation_count=rotations,
+        rotation_depth=rotation_depth,
+        ccz_count=ccz,
+        ccix_count=ccix,
+        measurement_count=measurements,
+    )
+    for extra in injected:
+        # Injected estimates contribute their counts; their qubits are
+        # auxiliary to the traced program's width (see account_for_estimates).
+        combined_width = counts.num_qubits + extra.num_qubits
+        counts = counts.add(extra)
+        counts = LogicalCounts(
+            num_qubits=combined_width,
+            t_count=counts.t_count,
+            rotation_count=counts.rotation_count,
+            rotation_depth=counts.rotation_depth,
+            ccz_count=counts.ccz_count,
+            ccix_count=counts.ccix_count,
+            measurement_count=counts.measurement_count,
+        )
+    return counts
+
+
+def _sync3(layer: dict[int, int], q0: int, q1: int, q2: int) -> None:
+    """Synchronize rotation-layer counters across a three-qubit gate."""
+    m = layer[q0]
+    if layer[q1] > m:
+        m = layer[q1]
+    if layer[q2] > m:
+        m = layer[q2]
+    layer[q0] = m
+    layer[q1] = m
+    layer[q2] = m

@@ -1,0 +1,81 @@
+"""Structural validation of IR circuits.
+
+The builder already enforces most invariants during construction; this
+pass re-checks a finished (or externally produced) instruction stream so
+that serialized/generated circuits get the same guarantees:
+
+* every gate acts on currently-allocated, pairwise-distinct qubits;
+* ALLOC/RELEASE are balanced and never double-allocate/release;
+* AND targets are fresh ancillas that are uncomputed before release
+  (the measurement-based uncompute contract);
+* ACCOUNT indices point into the estimates table.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit, CircuitError
+from .ops import (
+    ONE_QUBIT_OPS,
+    THREE_QUBIT_OPS,
+    TWO_QUBIT_OPS,
+    Op,
+)
+
+
+def validate(circuit: Circuit) -> None:
+    """Raise :class:`CircuitError` on the first malformed instruction."""
+    active: set[int] = set()
+    pending_and: set[int] = set()  # AND targets awaiting uncompute
+
+    for index, (op, q0, q1, q2, param) in enumerate(circuit.instructions):
+        where = f"instruction {index} ({Op(op).name})"
+        if op == Op.ALLOC:
+            if q0 in active:
+                raise CircuitError(f"{where}: qubit {q0} already allocated")
+            active.add(q0)
+            continue
+        if op == Op.RELEASE:
+            if q0 not in active:
+                raise CircuitError(f"{where}: qubit {q0} not allocated")
+            if q0 in pending_and:
+                raise CircuitError(
+                    f"{where}: AND target {q0} released without uncompute"
+                )
+            active.discard(q0)
+            continue
+        if op == Op.ACCOUNT:
+            idx = int(param)
+            if not 0 <= idx < len(circuit.estimates):
+                raise CircuitError(f"{where}: estimates index {idx} out of range")
+            continue
+
+        if op in ONE_QUBIT_OPS:
+            qubits = (q0,)
+        elif op in TWO_QUBIT_OPS:
+            qubits = (q0, q1)
+        elif op in THREE_QUBIT_OPS:
+            qubits = (q0, q1, q2)
+        else:
+            raise CircuitError(f"{where}: unknown opcode {op}")
+
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"{where}: repeated qubit in {qubits}")
+        for q in qubits:
+            if q not in active:
+                raise CircuitError(f"{where}: qubit {q} not allocated")
+
+        if op == Op.AND:
+            if q2 in pending_and:
+                raise CircuitError(f"{where}: AND target {q2} already pending")
+            pending_and.add(q2)
+        elif op == Op.AND_UNCOMPUTE:
+            if q2 not in pending_and:
+                raise CircuitError(
+                    f"{where}: AND_UNCOMPUTE on {q2} without matching AND"
+                )
+            pending_and.discard(q2)
+
+    if pending_and:
+        raise CircuitError(
+            f"circuit ends with un-uncomputed AND targets: {sorted(pending_and)}"
+        )

@@ -1,0 +1,37 @@
+"""Quantum error correction schemes and the code-distance solver.
+
+A scheme (paper Sec. IV-C.2) is two numbers — *crossing prefactor* ``a``
+and *error-correction threshold* ``p*`` — plus two formulas — *logical
+cycle time* and *physical qubits per logical qubit* — over the physical
+qubit parameters and the code distance. The logical error rate per logical
+qubit per logical cycle at distance ``d`` is modeled as
+
+    P(d) = a * (p / p*) ^ ((d + 1) / 2)
+
+and the solver picks the smallest odd ``d`` with ``P(d)`` at or below the
+required rate.
+"""
+
+from .scheme import QECScheme, QECSchemeError
+from .predefined import (
+    FLOQUET_CODE,
+    PREDEFINED_SCHEMES,
+    SURFACE_CODE_GATE_BASED,
+    SURFACE_CODE_MAJORANA,
+    default_scheme_for,
+    qec_scheme,
+)
+from .logical_qubit import LogicalQubit, MAX_CODE_DISTANCE
+
+__all__ = [
+    "FLOQUET_CODE",
+    "LogicalQubit",
+    "MAX_CODE_DISTANCE",
+    "PREDEFINED_SCHEMES",
+    "QECScheme",
+    "QECSchemeError",
+    "SURFACE_CODE_GATE_BASED",
+    "SURFACE_CODE_MAJORANA",
+    "default_scheme_for",
+    "qec_scheme",
+]

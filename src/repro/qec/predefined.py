@@ -1,0 +1,86 @@
+"""Predefined QEC schemes (paper Sec. IV-C.2; Beverland et al. Sec. IV).
+
+* ``surface_code`` (gate-based): lattice-surgery surface code; one logical
+  cycle is ``d`` rounds of syndrome extraction, each round 4 two-qubit
+  gates + 2 measurement steps; ``2 d^2`` physical qubits per logical qubit
+  (data + ancilla patches).
+* ``surface_code`` (Majorana): measurement-based surface code; syndrome
+  extraction via ~20 one-qubit-measurement steps per round.
+* ``floquet_code`` (Majorana): Hastings–Haah honeycomb code; 3 measurement
+  steps per round and ``4 d^2 + 8 (d - 1)`` physical qubits per logical
+  qubit.
+
+Crossing prefactors/thresholds follow Beverland et al.: surface code
+(gate-based) a=0.03, p*=0.01; surface code (Majorana) a=0.08, p*=0.0015;
+floquet code a=0.07, p*=0.01.
+"""
+
+from __future__ import annotations
+
+from ..qubits import InstructionSet, PhysicalQubitParams
+from .scheme import QECScheme
+
+SURFACE_CODE_GATE_BASED = QECScheme(
+    name="surface_code",
+    crossing_prefactor=0.03,
+    error_correction_threshold=0.01,
+    logical_cycle_time="(4 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance",
+    physical_qubits_per_logical_qubit="2 * codeDistance^2",
+    instruction_set=InstructionSet.GATE_BASED,
+)
+
+SURFACE_CODE_MAJORANA = QECScheme(
+    name="surface_code",
+    crossing_prefactor=0.08,
+    error_correction_threshold=0.0015,
+    logical_cycle_time="20 * oneQubitMeasurementTime * codeDistance",
+    physical_qubits_per_logical_qubit="2 * codeDistance^2",
+    instruction_set=InstructionSet.MAJORANA,
+)
+
+FLOQUET_CODE = QECScheme(
+    name="floquet_code",
+    crossing_prefactor=0.07,
+    error_correction_threshold=0.01,
+    logical_cycle_time="3 * oneQubitMeasurementTime * codeDistance",
+    physical_qubits_per_logical_qubit="4 * codeDistance^2 + 8 * (codeDistance - 1)",
+    instruction_set=InstructionSet.MAJORANA,
+)
+
+#: Scheme lookup by (name, instruction set).
+PREDEFINED_SCHEMES: dict[tuple[str, InstructionSet], QECScheme] = {
+    ("surface_code", InstructionSet.GATE_BASED): SURFACE_CODE_GATE_BASED,
+    ("surface_code", InstructionSet.MAJORANA): SURFACE_CODE_MAJORANA,
+    ("floquet_code", InstructionSet.MAJORANA): FLOQUET_CODE,
+}
+
+
+def qec_scheme(name: str, qubit: PhysicalQubitParams, **overrides: object) -> QECScheme:
+    """Look up a predefined scheme for a qubit technology, with overrides.
+
+    >>> qec_scheme("surface_code", QUBIT_GATE_NS_E3)
+    >>> qec_scheme("floquet_code", QUBIT_MAJ_NS_E4, max_code_distance=31)
+    """
+    key = (name, qubit.instruction_set)
+    try:
+        base = PREDEFINED_SCHEMES[key]
+    except KeyError:
+        available = sorted({n for n, _ in PREDEFINED_SCHEMES})
+        raise KeyError(
+            f"no predefined QEC scheme {name!r} for "
+            f"{qubit.instruction_set.value} qubits; known schemes: {available}"
+        ) from None
+    if overrides:
+        return base.customized(**overrides)
+    return base
+
+
+def default_scheme_for(qubit: PhysicalQubitParams) -> QECScheme:
+    """The tool's default scheme choice per technology.
+
+    Matches the paper's Fig. 4 setup: surface code for gate-based
+    hardware, floquet code for Majorana hardware.
+    """
+    if qubit.instruction_set is InstructionSet.GATE_BASED:
+        return SURFACE_CODE_GATE_BASED
+    return FLOQUET_CODE

@@ -1,0 +1,32 @@
+"""QIR front end (paper Sec. IV-B.2).
+
+The tool "is built on top of Quantum Intermediate Representation and can
+use it as an input algorithm specification, either in raw form or emitted
+using PyQIR or another QIR-generation tool". This package implements that
+input path for the textual form of QIR: a parser for the LLVM-IR subset
+that QIR programs use (``%Qubit*`` SSA values, ``__quantum__qis__*``
+intrinsic calls, ``__quantum__rt__qubit_allocate``/``release``) and an
+emitter producing the same dialect from an IR circuit, so programs can
+round-trip.
+
+Example
+-------
+>>> from repro.qir import parse_qir
+>>> circuit = parse_qir('''
+... define void @main() {
+... entry:
+...   %q0 = call %Qubit* @__quantum__rt__qubit_allocate()
+...   call void @__quantum__qis__t__body(%Qubit* %q0)
+...   %r0 = call %Result* @__quantum__qis__m__body(%Qubit* %q0)
+...   call void @__quantum__rt__qubit_release(%Qubit* %q0)
+...   ret void
+... }
+... ''')
+>>> circuit.logical_counts().t_count
+1
+"""
+
+from .parser import QIRParseError, parse_qir
+from .emitter import emit_qir
+
+__all__ = ["QIRParseError", "emit_qir", "parse_qir"]

@@ -1,0 +1,100 @@
+"""Emitter: IR circuits back to textual QIR.
+
+Produces the dynamic-allocation dialect (`__quantum__rt__qubit_allocate`
+per qubit) that :func:`repro.qir.parse_qir` accepts, so circuits
+round-trip. Temporary-AND pairs have no QIR intrinsic; they lower to their
+standard realization (CCiX for the compute, measurement + reset for the
+uncompute) with the same logical counts.
+"""
+
+from __future__ import annotations
+
+from ..ir import Circuit
+from ..ir.ops import Op
+
+_SIMPLE = {
+    Op.X: "x",
+    Op.Y: "y",
+    Op.Z: "z",
+    Op.H: "h",
+    Op.CX: "cnot",
+    Op.CZ: "cz",
+    Op.SWAP: "swap",
+    Op.CCX: "ccx",
+    Op.CCZ: "ccz",
+    Op.CCIX: "ccix",
+}
+_ADJ = {Op.S: ("s", "body"), Op.S_ADJ: ("s", "adj"), Op.T: ("t", "body"), Op.T_ADJ: ("t", "adj")}
+_ROTATIONS = {Op.RX: "rx", Op.RY: "ry", Op.RZ: "rz"}
+
+
+def emit_qir(circuit: Circuit, entry_point: str = "main") -> str:
+    """Serialize a circuit to QIR text.
+
+    Raises ``ValueError`` for circuits containing injected estimates
+    (``ACCOUNT`` has no QIR representation).
+    """
+    lines = [f"define void @{entry_point}() {{", "entry:"]
+    names: dict[int, str] = {}
+    next_qubit = 0
+    next_result = 0
+
+    def q(qubit: int) -> str:
+        return f"%Qubit* {names[qubit]}"
+
+    for op, q0, q1, q2, param in circuit.instructions:
+        if op == Op.ALLOC:
+            names[q0] = f"%q{next_qubit}"
+            next_qubit += 1
+            lines.append(
+                f"  {names[q0]} = call %Qubit* @__quantum__rt__qubit_allocate()"
+            )
+        elif op == Op.RELEASE:
+            lines.append(
+                f"  call void @__quantum__rt__qubit_release({q(q0)})"
+            )
+            del names[q0]
+        elif op in _SIMPLE:
+            gate = _SIMPLE[op]
+            args = ", ".join(q(x) for x in (q0, q1, q2) if x != -1)
+            lines.append(f"  call void @__quantum__qis__{gate}__body({args})")
+        elif op in _ADJ:
+            gate, variant = _ADJ[op]
+            lines.append(f"  call void @__quantum__qis__{gate}__{variant}({q(q0)})")
+        elif op in _ROTATIONS:
+            gate = _ROTATIONS[op]
+            lines.append(
+                f"  call void @__quantum__qis__{gate}__body(double {param!r}, {q(q0)})"
+            )
+        elif op == Op.AND:
+            # Lower to the CCiX realization: identical logical counts.
+            lines.append(
+                "  call void @__quantum__qis__ccix__body("
+                f"{q(q0)}, {q(q1)}, {q(q2)})"
+            )
+        elif op == Op.AND_UNCOMPUTE:
+            # Measurement-based uncompute: one measurement (+ classically
+            # controlled Clifford fix-up, free); the following RELEASE in
+            # the stream emits the qubit_release call.
+            lines.append(
+                f"  %r{next_result} = call %Result* @__quantum__qis__m__body({q(q2)})"
+            )
+            next_result += 1
+        elif op == Op.MEASURE:
+            lines.append(
+                f"  %r{next_result} = call %Result* @__quantum__qis__m__body({q(q0)})"
+            )
+            next_result += 1
+        elif op == Op.RESET:
+            lines.append(f"  call void @__quantum__qis__reset__body({q(q0)})")
+        elif op == Op.ACCOUNT:
+            raise ValueError(
+                "circuits containing account_for_estimates cannot be emitted "
+                "to QIR; estimates have no gate-level representation"
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unhandled opcode {Op(op).name}")
+
+    lines.append("  ret void")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

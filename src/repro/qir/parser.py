@@ -1,0 +1,198 @@
+"""Parser for the textual QIR dialect.
+
+Handles the base-profile shape of QIR programs: a module of LLVM IR where
+quantum operations appear as calls to ``__quantum__qis__<gate>__body`` /
+``__quantum__qis__<gate>__adj`` intrinsics on ``%Qubit*`` SSA values, and
+qubit lifetimes as ``__quantum__rt__qubit_allocate`` / ``release`` calls.
+Only the instructions the resource estimator counts are interpreted;
+classical LLVM instructions other than ``ret``/``br``/labels are rejected
+so silent under-counting cannot happen.
+
+Both dynamically allocated qubits (SSA names from ``qubit_allocate``) and
+the static base-profile style (``inttoptr``-style literals such as
+``%Qubit* null`` / ``%Qubit* inttoptr (i64 3 to %Qubit*)``) are accepted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..ir import Circuit, CircuitBuilder
+
+_ALLOC_RE = re.compile(
+    r"^(?P<name>%[\w.]+)\s*=\s*call\s+%Qubit\*\s+@__quantum__rt__qubit_allocate\(\)\s*$"
+)
+_RELEASE_RE = re.compile(
+    r"^call\s+void\s+@__quantum__rt__qubit_release\(%Qubit\*\s+(?P<arg>.+?)\)\s*$"
+)
+_GATE_RE = re.compile(
+    r"^(?:(?P<result>%[\w.]+)\s*=\s*)?call\s+(?:void|%Result\*)\s+"
+    r"@__quantum__qis__(?P<gate>\w+?)__(?P<variant>body|adj)\((?P<args>.*)\)\s*$"
+)
+_QUBIT_ARG_RE = re.compile(
+    r"%Qubit\*\s+(?:(?P<ssa>%[\w.]+)|(?P<null>null)|"
+    r"inttoptr\s*\(\s*i64\s+(?P<lit>\d+)\s+to\s+%Qubit\*\s*\))"
+)
+_DOUBLE_ARG_RE = re.compile(r"double\s+(?P<value>[-+0-9.eE]+)")
+
+#: Lines safely ignored: module/function scaffolding and classical noise
+#: explicitly allowed by the base profile.
+_IGNORABLE_RE = re.compile(
+    r"^($|;|declare\b|define\b|}|entry:|\w+:|ret\s|br\s|attributes\b|source_filename\b|"
+    r"target\s|!|%Result\b)"
+)
+_RESULT_RE = re.compile(
+    r"^(?:%[\w.]+\s*=\s*)?call\s+[^@]*@__quantum__rt__(?:result|array|tuple|string|message|read_result)\w*\("
+)
+
+
+class QIRParseError(ValueError):
+    """Raised for QIR text the estimator front end cannot interpret."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+#: gate name -> (builder method, qubit arity, double arity)
+_GATE_TABLE: dict[str, tuple[str, int, int]] = {
+    "x": ("x", 1, 0),
+    "y": ("y", 1, 0),
+    "z": ("z", 1, 0),
+    "h": ("h", 1, 0),
+    "s": ("s", 1, 0),
+    "t": ("t", 1, 0),
+    "rx": ("rx", 1, 1),
+    "ry": ("ry", 1, 1),
+    "rz": ("rz", 1, 1),
+    "cnot": ("cx", 2, 0),
+    "cx": ("cx", 2, 0),
+    "cz": ("cz", 2, 0),
+    "swap": ("swap", 2, 0),
+    "ccx": ("ccx", 3, 0),
+    "toffoli": ("ccx", 3, 0),
+    "ccz": ("ccz", 3, 0),
+    "ccix": ("ccix", 3, 0),
+    "m": ("measure", 1, 0),
+    "mz": ("measure", 1, 0),
+    "measure": ("measure", 1, 0),
+    "reset": ("reset", 1, 0),
+}
+
+#: Gates whose __adj variant differs from __body.
+_ADJOINTABLE = {"s": "s_adj", "t": "t_adj"}
+
+
+class _QubitTable:
+    """Maps QIR qubit operands (SSA names or static literals) to builder ids."""
+
+    def __init__(self, builder: CircuitBuilder) -> None:
+        self._builder = builder
+        self._by_name: dict[str, int] = {}
+        self._by_literal: dict[int, int] = {}
+
+    def allocate(self, name: str, line: int) -> None:
+        if name in self._by_name:
+            raise QIRParseError(f"SSA name {name} assigned twice", line)
+        self._by_name[name] = self._builder.allocate()
+
+    def release(self, operand_match: re.Match[str], line: int) -> None:
+        qubit = self.resolve(operand_match, line)
+        name = operand_match.group("ssa")
+        self._builder.release(qubit)
+        if name is not None:
+            del self._by_name[name]
+
+    def resolve(self, match: re.Match[str], line: int) -> int:
+        ssa = match.group("ssa")
+        if ssa is not None:
+            try:
+                return self._by_name[ssa]
+            except KeyError:
+                raise QIRParseError(f"use of unallocated qubit {ssa}", line) from None
+        literal = 0 if match.group("null") is not None else int(match.group("lit"))
+        # Static qubits (base profile) are live for the whole program.
+        if literal not in self._by_literal:
+            self._by_literal[literal] = self._builder.allocate()
+        return self._by_literal[literal]
+
+
+def parse_qir(text: str, name: str = "qir-program") -> Circuit:
+    """Parse QIR text into an IR :class:`~repro.ir.Circuit`.
+
+    Raises :class:`QIRParseError` on any instruction the estimator cannot
+    account for (silent skipping would corrupt the counts).
+    """
+    builder = CircuitBuilder(name)
+    qubits = _QubitTable(builder)
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if _IGNORABLE_RE.match(line) or _RESULT_RE.match(line):
+            continue
+
+        if m := _ALLOC_RE.match(line):
+            qubits.allocate(m.group("name"), line_number)
+            continue
+
+        if m := _RELEASE_RE.match(line):
+            arg = _QUBIT_ARG_RE.match("%Qubit* " + m.group("arg"))
+            if arg is None:
+                raise QIRParseError(f"cannot parse release operand {m.group('arg')!r}", line_number)
+            qubits.release(arg, line_number)
+            continue
+
+        if m := _GATE_RE.match(line):
+            _apply_gate(builder, qubits, m, line_number)
+            continue
+
+        raise QIRParseError(f"unsupported instruction {line!r}", line_number)
+
+    return builder.finish()
+
+
+def _apply_gate(
+    builder: CircuitBuilder,
+    qubits: _QubitTable,
+    match: re.Match[str],
+    line: int,
+) -> None:
+    gate = match.group("gate").lower()
+    variant = match.group("variant")
+    entry = _GATE_TABLE.get(gate)
+    if entry is None:
+        raise QIRParseError(
+            f"unknown quantum intrinsic __quantum__qis__{gate}__{variant}", line
+        )
+    method_name, qubit_arity, double_arity = entry
+    if variant == "adj":
+        if gate in _ADJOINTABLE:
+            method_name = _ADJOINTABLE[gate]
+        elif double_arity == 1:
+            pass  # rotations: adjoint negates the angle below
+        elif gate not in ("x", "y", "z", "h", "cnot", "cx", "cz", "swap", "ccx", "ccz", "toffoli"):
+            raise QIRParseError(f"no adjoint defined for {gate}", line)
+
+    args = match.group("args")
+    qubit_args = [qubits.resolve(m, line) for m in _QUBIT_ARG_RE.finditer(args)]
+    double_args = [float(m.group("value")) for m in _DOUBLE_ARG_RE.finditer(args)]
+    if len(qubit_args) != qubit_arity:
+        raise QIRParseError(
+            f"{gate} expects {qubit_arity} qubit argument(s), got {len(qubit_args)}",
+            line,
+        )
+    if len(double_args) != double_arity:
+        raise QIRParseError(
+            f"{gate} expects {double_arity} double argument(s), got {len(double_args)}",
+            line,
+        )
+
+    method = getattr(builder, method_name)
+    if double_arity == 1:
+        angle = double_args[0]
+        if variant == "adj":
+            angle = -angle
+        method(angle, *qubit_args)
+    else:
+        method(*qubit_args)

@@ -1,0 +1,39 @@
+"""Physical qubit parameter models (paper Sec. IV-C.1).
+
+Two instruction sets are supported, mirroring the tool:
+
+* **gate-based** — characterized by one-/two-qubit gate, T-gate, and
+  single-qubit measurement times and error rates;
+* **Majorana** — characterized by one-/two-qubit *measurement* times and
+  error rates plus the T-gate (non-Clifford measurement) error rate.
+
+Six predefined profiles are provided (three platforms x two regimes),
+matching the names used by the tool and the paper's figures. Profiles can
+be partially customized with :func:`qubit_params` /
+``PhysicalQubitParams.customized``.
+"""
+
+from .params import InstructionSet, PhysicalQubitParams
+from .profiles import (
+    PREDEFINED_PROFILES,
+    QUBIT_GATE_NS_E3,
+    QUBIT_GATE_NS_E4,
+    QUBIT_GATE_US_E3,
+    QUBIT_GATE_US_E4,
+    QUBIT_MAJ_NS_E4,
+    QUBIT_MAJ_NS_E6,
+    qubit_params,
+)
+
+__all__ = [
+    "InstructionSet",
+    "PhysicalQubitParams",
+    "PREDEFINED_PROFILES",
+    "QUBIT_GATE_NS_E3",
+    "QUBIT_GATE_NS_E4",
+    "QUBIT_GATE_US_E3",
+    "QUBIT_GATE_US_E4",
+    "QUBIT_MAJ_NS_E4",
+    "QUBIT_MAJ_NS_E6",
+    "qubit_params",
+]

@@ -1,0 +1,122 @@
+"""The six predefined hardware profiles (paper Sec. IV-C.1, Fig. 4).
+
+Values follow Beverland et al. (arXiv:2211.07629, Table V) and the paper's
+own listing for ``qubit_maj_ns_e4`` (Sec. V: 100 ns operations, Clifford
+error 1e-4, non-Clifford error 0.05):
+
+* ``qubit_gate_ns_e3`` / ``..._e4`` — nanosecond-regime gate-based qubits
+  (superconducting-transmon-like): 50 ns gates, 100 ns measurement, error
+  rates 1e-3 (realistic) / 1e-4 (optimistic).
+* ``qubit_gate_us_e3`` / ``..._e4`` — microsecond-regime gate-based qubits
+  (trapped-ion-like): 100 us operations, Clifford errors 1e-3 / 1e-4 and
+  high-fidelity T gates (1e-6).
+* ``qubit_maj_ns_e4`` / ``..._e6`` — measurement-based Majorana qubits:
+  100 ns measurements, Clifford error 1e-4 / 1e-6, physical T error
+  5e-2 / 1e-2.
+"""
+
+from __future__ import annotations
+
+from .params import InstructionSet, PhysicalQubitParams
+
+QUBIT_GATE_NS_E3 = PhysicalQubitParams(
+    name="qubit_gate_ns_e3",
+    instruction_set=InstructionSet.GATE_BASED,
+    one_qubit_measurement_time_ns=100.0,
+    one_qubit_measurement_error_rate=1e-3,
+    one_qubit_gate_time_ns=50.0,
+    one_qubit_gate_error_rate=1e-3,
+    two_qubit_gate_time_ns=50.0,
+    two_qubit_gate_error_rate=1e-3,
+    t_gate_time_ns=50.0,
+    t_gate_error_rate=1e-3,
+)
+
+QUBIT_GATE_NS_E4 = PhysicalQubitParams(
+    name="qubit_gate_ns_e4",
+    instruction_set=InstructionSet.GATE_BASED,
+    one_qubit_measurement_time_ns=100.0,
+    one_qubit_measurement_error_rate=1e-4,
+    one_qubit_gate_time_ns=50.0,
+    one_qubit_gate_error_rate=1e-4,
+    two_qubit_gate_time_ns=50.0,
+    two_qubit_gate_error_rate=1e-4,
+    t_gate_time_ns=50.0,
+    t_gate_error_rate=1e-4,
+)
+
+QUBIT_GATE_US_E3 = PhysicalQubitParams(
+    name="qubit_gate_us_e3",
+    instruction_set=InstructionSet.GATE_BASED,
+    one_qubit_measurement_time_ns=100_000.0,
+    one_qubit_measurement_error_rate=1e-3,
+    one_qubit_gate_time_ns=100_000.0,
+    one_qubit_gate_error_rate=1e-3,
+    two_qubit_gate_time_ns=100_000.0,
+    two_qubit_gate_error_rate=1e-3,
+    t_gate_time_ns=100_000.0,
+    t_gate_error_rate=1e-6,
+)
+
+QUBIT_GATE_US_E4 = PhysicalQubitParams(
+    name="qubit_gate_us_e4",
+    instruction_set=InstructionSet.GATE_BASED,
+    one_qubit_measurement_time_ns=100_000.0,
+    one_qubit_measurement_error_rate=1e-4,
+    one_qubit_gate_time_ns=100_000.0,
+    one_qubit_gate_error_rate=1e-4,
+    two_qubit_gate_time_ns=100_000.0,
+    two_qubit_gate_error_rate=1e-4,
+    t_gate_time_ns=100_000.0,
+    t_gate_error_rate=1e-6,
+)
+
+QUBIT_MAJ_NS_E4 = PhysicalQubitParams(
+    name="qubit_maj_ns_e4",
+    instruction_set=InstructionSet.MAJORANA,
+    one_qubit_measurement_time_ns=100.0,
+    one_qubit_measurement_error_rate=1e-4,
+    two_qubit_joint_measurement_time_ns=100.0,
+    two_qubit_joint_measurement_error_rate=1e-4,
+    t_gate_error_rate=5e-2,
+)
+
+QUBIT_MAJ_NS_E6 = PhysicalQubitParams(
+    name="qubit_maj_ns_e6",
+    instruction_set=InstructionSet.MAJORANA,
+    one_qubit_measurement_time_ns=100.0,
+    one_qubit_measurement_error_rate=1e-6,
+    two_qubit_joint_measurement_time_ns=100.0,
+    two_qubit_joint_measurement_error_rate=1e-6,
+    t_gate_error_rate=1e-2,
+)
+
+#: All predefined profiles by their tool-facing name.
+PREDEFINED_PROFILES: dict[str, PhysicalQubitParams] = {
+    p.name: p
+    for p in (
+        QUBIT_GATE_NS_E3,
+        QUBIT_GATE_NS_E4,
+        QUBIT_GATE_US_E3,
+        QUBIT_GATE_US_E4,
+        QUBIT_MAJ_NS_E4,
+        QUBIT_MAJ_NS_E6,
+    )
+}
+
+
+def qubit_params(name: str, **overrides: object) -> PhysicalQubitParams:
+    """Look up a predefined profile, optionally customizing parameters.
+
+    >>> qubit_params("qubit_gate_ns_e3")
+    >>> qubit_params("qubit_maj_ns_e4", t_gate_error_rate=0.01)
+    """
+    try:
+        base = PREDEFINED_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown qubit profile {name!r}; available: {sorted(PREDEFINED_PROFILES)}"
+        ) from None
+    if overrides:
+        return base.customized(**overrides)
+    return base

@@ -1,0 +1,144 @@
+"""Full-width human-readable reports (the tool's results view, Sec. IV-D).
+
+:func:`render_report` expands a :class:`PhysicalResourceEstimates` into
+all eight output groups as formatted text (or Markdown), the way the
+Azure portal renders an estimation job's results. ``summary()`` on the
+result object stays the short form; this is the long one.
+"""
+
+from __future__ import annotations
+
+from .estimator import PhysicalResourceEstimates
+
+
+def _si(value: float, unit: str = "") -> str:
+    """Engineering-notation formatting (1.23 M, 4.5 G, ...)."""
+    magnitude = abs(value)
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.3g} {suffix}{unit}".rstrip()
+    return f"{value:.4g} {unit}".rstrip()
+
+
+def _duration(ns: float) -> str:
+    seconds = ns * 1e-9
+    if seconds < 1e-3:
+        return f"{ns / 1e3:.3g} µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds < 120:
+        return f"{seconds:.3g} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.3g} min"
+    if seconds < 172800:
+        return f"{seconds / 3600:.3g} h"
+    return f"{seconds / 86400:.3g} days"
+
+
+def render_report(result: PhysicalResourceEstimates, *, markdown: bool = False) -> str:
+    """Render the eight output groups of an estimation result."""
+    bd = result.breakdown
+    lq = result.logical_qubit
+    qp = result.qubit_params
+
+    def section(title: str) -> str:
+        return f"## {title}" if markdown else title
+
+    def row(label: str, value: str) -> str:
+        if markdown:
+            return f"| {label} | {value} |"
+        return f"  {label:<38} {value}"
+
+    lines: list[str] = []
+
+    def table_header() -> None:
+        if markdown:
+            lines.append("| quantity | value |")
+            lines.append("|---|---|")
+
+    lines.append(section("Physical resource estimates"))
+    table_header()
+    lines.append(row("Runtime", _duration(result.physical_counts.runtime_ns)))
+    lines.append(row("rQOPS", _si(result.rqops)))
+    lines.append(row("Physical qubits", f"{result.physical_qubits:,}"))
+    lines.append("")
+
+    lines.append(section("Resource estimates breakdown"))
+    table_header()
+    lines.append(row("Logical algorithmic qubits", f"{bd.algorithmic_logical_qubits:,}"))
+    lines.append(row("Algorithmic depth", f"{bd.algorithmic_logical_depth:,}"))
+    lines.append(row("Logical depth (after constraints)", f"{bd.logical_depth:,}"))
+    lines.append(row("Logical operations", _si(float(bd.logical_operations))))
+    lines.append(row("Clock frequency", _si(bd.clock_frequency_hz, "Hz")))
+    lines.append(row("T states required", f"{bd.num_t_states:,}"))
+    lines.append(row("Physical qubits (algorithm)", f"{bd.physical_qubits_for_algorithm:,}"))
+    lines.append(row("Physical qubits (T factories)", f"{bd.physical_qubits_for_t_factories:,}"))
+    lines.append("")
+
+    lines.append(section("Logical qubit parameters"))
+    table_header()
+    lines.append(row("QEC scheme", lq.scheme.name))
+    lines.append(row("Code distance", str(lq.code_distance)))
+    lines.append(row("Physical qubits per logical qubit", f"{lq.physical_qubits:,}"))
+    lines.append(row("Logical cycle time", _duration(lq.cycle_time_ns)))
+    lines.append(row("Logical error rate", f"{lq.logical_error_rate:.3e}"))
+    lines.append("")
+
+    lines.append(section("T factory parameters"))
+    table_header()
+    if result.t_factory is None:
+        lines.append(row("T factory", "not needed (Clifford-only program)"))
+    else:
+        tf = result.t_factory
+        lines.append(row("Copies", str(tf.copies)))
+        lines.append(row("Runs per copy", f"{tf.runs_per_copy:,}"))
+        lines.append(row("Physical qubits per factory", f"{tf.factory.physical_qubits:,}"))
+        lines.append(row("Factory duration", _duration(tf.factory.duration_ns)))
+        lines.append(row("Distillation rounds", str(tf.factory.num_rounds)))
+        lines.append(
+            row(
+                "Units per round",
+                " -> ".join(
+                    f"{r.num_units}x {r.round.unit.name}" for r in tf.factory.rounds
+                ),
+            )
+        )
+        lines.append(row("Output T-state error rate", f"{tf.factory.output_error_rate:.3e}"))
+        lines.append(row("Required T-state error rate", f"{tf.required_output_error_rate:.3e}"))
+    lines.append("")
+
+    lines.append(section("Pre-layout logical resources"))
+    table_header()
+    pre = result.pre_layout
+    lines.append(row("Logical qubits (pre-layout)", f"{pre.num_qubits:,}"))
+    lines.append(row("T gates", f"{pre.t_count:,}"))
+    lines.append(row("CCZ gates", f"{pre.ccz_count:,}"))
+    lines.append(row("CCiX gates", f"{pre.ccix_count:,}"))
+    lines.append(row("Rotation gates", f"{pre.rotation_count:,}"))
+    lines.append(row("Rotation depth", f"{pre.rotation_depth:,}"))
+    lines.append(row("Measurements", f"{pre.measurement_count:,}"))
+    lines.append("")
+
+    lines.append(section("Assumed error budget"))
+    table_header()
+    eb = result.error_budget
+    lines.append(row("Total error budget", f"{eb.total:.3e}"))
+    lines.append(row("Logical errors", f"{eb.logical:.3e}"))
+    lines.append(row("T-state distillation", f"{eb.t_states:.3e}"))
+    lines.append(row("Rotation synthesis", f"{eb.rotations:.3e}"))
+    lines.append("")
+
+    lines.append(section("Physical qubit parameters"))
+    table_header()
+    lines.append(row("Qubit model", qp.name))
+    lines.append(row("Instruction set", qp.instruction_set.value))
+    lines.append(row("Measurement time", _duration(qp.one_qubit_measurement_time_ns)))
+    lines.append(row("Clifford error rate", f"{qp.clifford_error_rate:.1e}"))
+    lines.append(row("T gate error rate", f"{qp.t_gate_error_rate:.1e}"))
+    lines.append("")
+
+    lines.append(section("Assumptions"))
+    for assumption in result.assumptions:
+        lines.append(f"- {assumption}" if markdown else f"  * {assumption}")
+
+    return "\n".join(lines)

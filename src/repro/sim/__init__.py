@@ -1,0 +1,19 @@
+"""Classical reversible-logic simulator for IR circuits.
+
+The multiplier case study (paper Sec. V) is built entirely from classical
+reversible gates (X, CNOT, Toffoli, temporary AND) plus diagonal phases.
+On computational basis states such circuits act as permutations, so they
+can be simulated bit-exactly with integer bit masks at any size we care
+to test. This simulator is the substrate we use to *prove* the arithmetic
+circuits compute the right function before trusting their resource counts
+— the role the sparse simulator plays in the AQDK workflow.
+
+Gates that create superposition (H, T on a path that matters, arbitrary
+rotations) are rejected: this is a verification tool for reversible
+arithmetic, not a general quantum simulator. Diagonal gates (Z, S, CZ,
+CCZ, T on basis states) act trivially on basis states and are allowed.
+"""
+
+from .reversible import ReversibleSimulator, SimulationError, run_reversible
+
+__all__ = ["ReversibleSimulator", "SimulationError", "run_reversible"]

@@ -1,0 +1,62 @@
+"""Rotation-synthesis cost model (paper Sec. III-B.3/4).
+
+Arbitrary single-qubit rotations are not transversal in the QEC codes the
+tool targets; each must be synthesized into a Clifford+T sequence. The
+number of T gates needed per rotation depends on the per-rotation accuracy,
+which in turn depends on how many rotations share the synthesis error
+budget. The tool uses the repeat-until-success synthesis bound
+
+    t_per_rotation = ceil(A * log2(R / eps_syn) + B),   A = 0.53, B = 5.3
+
+(Beverland et al., arXiv:2211.07629, citing Kliuchnikov et al.,
+arXiv:2203.10064), where ``R`` is the total number of rotations and
+``eps_syn`` the rotation-synthesis error budget, so each rotation is
+synthesized to accuracy ``eps_syn / R``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Default coefficients of the synthesis cost formula.
+SYNTHESIS_A: float = 0.53
+SYNTHESIS_B: float = 5.3
+
+
+@dataclass(frozen=True)
+class RotationSynthesis:
+    """Clifford+T synthesis cost model ``ceil(a*log2(R/eps) + b)``.
+
+    Custom values of ``a``/``b`` model alternative synthesis protocols
+    (e.g. fallback or mixed-diagonal synthesis with different constants).
+    """
+
+    a: float = SYNTHESIS_A
+    b: float = SYNTHESIS_B
+
+    def __post_init__(self) -> None:
+        if self.a < 0 or self.b < 0:
+            raise ValueError("synthesis coefficients must be non-negative")
+
+    def t_states_per_rotation(self, num_rotations: int, synthesis_budget: float) -> int:
+        """T states required for each of ``num_rotations`` rotations.
+
+        Returns 0 when the program has no rotations. Raises if rotations
+        exist but no synthesis budget was allocated, since the rotations
+        would then be impossible to implement within budget.
+        """
+        if num_rotations < 0:
+            raise ValueError(f"num_rotations must be >= 0, got {num_rotations}")
+        if num_rotations == 0:
+            return 0
+        if synthesis_budget <= 0.0:
+            raise ValueError(
+                "program contains arbitrary rotations but the rotation-synthesis "
+                "error budget is zero; allocate a rotations budget"
+            )
+        per_rotation_accuracy = num_rotations / synthesis_budget
+        count = math.ceil(self.a * math.log2(per_rotation_accuracy) + self.b)
+        # The bound can dip below 1 for absurdly loose budgets; at least one
+        # T gate is always needed to implement a non-Clifford rotation.
+        return max(count, 1)

@@ -1,0 +1,95 @@
+"""Tests for the implementation-level / practical-advantage assessment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LogicalCounts, estimate, qubit_params
+from repro.advantage import (
+    AdvantageAssessment,
+    ImplementationLevel,
+    PRACTICAL_LOGICAL_OPERATIONS,
+    assess,
+)
+
+MAJ = qubit_params("qubit_maj_ns_e4")
+
+
+def _estimate(counts: LogicalCounts, profile="qubit_maj_ns_e4", budget=1e-3):
+    return estimate(counts, qubit_params(profile), budget=budget)
+
+
+class TestLevels:
+    def test_small_workload_is_resilient_not_scale(self):
+        r = _estimate(LogicalCounts(num_qubits=50, t_count=10**5))
+        a = assess(r)
+        assert a.level is ImplementationLevel.RESILIENT
+        assert not a.practical_advantage
+        assert any("below the practical-advantage scale" in n for n in a.notes)
+
+    def test_large_fast_workload_reaches_scale(self):
+        # 2048-bit windowed multiplication-scale workload: ~1e11 ops; push it
+        # over 1e12 with a bigger one.
+        counts = LogicalCounts(
+            num_qubits=6000, ccz_count=3 * 10**7, measurement_count=10**7
+        )
+        r = _estimate(counts)
+        a = assess(r)
+        assert a.logical_operations >= PRACTICAL_LOGICAL_OPERATIONS
+        assert a.runs_within_practical_time
+        assert a.level is ImplementationLevel.SCALE
+        assert a.practical_advantage
+
+    def test_slow_workload_is_not_practical(self):
+        counts = LogicalCounts(
+            num_qubits=6000, ccz_count=3 * 10**7, measurement_count=10**7
+        )
+        r = _estimate(counts, profile="qubit_gate_us_e3")  # 100 us operations
+        a = assess(r)
+        assert not a.runs_within_practical_time
+        assert a.level is ImplementationLevel.RESILIENT
+        assert any("exceeds the practical bound" in n for n in a.notes)
+
+    def test_resilience_threshold(self):
+        """Level 2 requires the logical error rate to beat the physical one."""
+        r = _estimate(LogicalCounts(num_qubits=10, t_count=1000))
+        a = assess(r)
+        assert a.logical_error_rate < a.physical_error_rate
+        assert a.level >= ImplementationLevel.RESILIENT
+
+
+class TestThresholdOverrides:
+    def test_custom_operation_threshold(self):
+        r = _estimate(LogicalCounts(num_qubits=50, t_count=10**5))
+        lenient = assess(r, required_logical_operations=1e6)
+        assert lenient.reaches_practical_scale
+        assert lenient.level is ImplementationLevel.SCALE
+
+    def test_custom_time_bound(self):
+        r = _estimate(LogicalCounts(num_qubits=50, t_count=10**5))
+        harsh = assess(r, practical_runtime_seconds=1e-9)
+        assert not harsh.runs_within_practical_time
+        assert harsh.level is ImplementationLevel.RESILIENT
+
+
+class TestReporting:
+    def test_rqops_range_notes(self):
+        r = _estimate(LogicalCounts(num_qubits=50, t_count=10**5), profile="qubit_maj_ns_e6")
+        a = assess(r)
+        # Majorana e6 runs in the GHz-logical regime: above 1e9 rQOPS is noted.
+        if a.rqops > 1e9:
+            assert any("above the typical practical range" in n for n in a.notes)
+
+    def test_to_dict(self):
+        r = _estimate(LogicalCounts(num_qubits=50, t_count=10**5))
+        d = assess(r).to_dict()
+        assert d["levelName"] in ("foundational", "resilient", "scale")
+        assert d["logicalOperations"] == r.breakdown.logical_operations
+        assert isinstance(d["notes"], list)
+
+    def test_assessment_consistent_with_estimates(self):
+        r = _estimate(LogicalCounts(num_qubits=100, ccz_count=10**6))
+        a = assess(r)
+        assert a.rqops == r.rqops
+        assert a.runtime_seconds == r.runtime_seconds
+        assert a.logical_operations == r.breakdown.logical_operations

@@ -1,0 +1,164 @@
+"""Small-surface API tests: reprs, dict forms, algebra, and odds and ends.
+
+These pin down behaviours the bigger suites exercise only incidentally,
+so refactors that change a public surface fail loudly and specifically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro import Formula, LogicalCounts
+from repro.arithmetic import GateTally
+from repro.formulas.ast import FUNCTIONS
+from repro.ir import Circuit, CircuitBuilder, Op
+from repro.ir.ops import OPCODE_NAMES, ONE_QUBIT_OPS, THREE_QUBIT_OPS, TWO_QUBIT_OPS
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "0.1.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_arithmetic_exports_resolve(self):
+        import repro.arithmetic as arith
+
+        for name in arith.__all__:
+            assert hasattr(arith, name), name
+
+
+class TestOpcodes:
+    def test_names_cover_all_ops(self):
+        assert set(OPCODE_NAMES) == {op.value for op in Op}
+
+    def test_arity_sets_partition_gates(self):
+        gate_ops = ONE_QUBIT_OPS | TWO_QUBIT_OPS | THREE_QUBIT_OPS
+        assert ONE_QUBIT_OPS.isdisjoint(TWO_QUBIT_OPS)
+        assert ONE_QUBIT_OPS.isdisjoint(THREE_QUBIT_OPS)
+        assert TWO_QUBIT_OPS.isdisjoint(THREE_QUBIT_OPS)
+        assert Op.ACCOUNT not in gate_ops
+
+    def test_opcode_values_stable(self):
+        # Serialized instruction streams rely on these exact values.
+        assert Op.ALLOC == 0
+        assert Op.RELEASE == 1
+        assert Op.MEASURE == 21
+        assert Op.ACCOUNT == 23
+
+
+class TestGateTallyAlgebra:
+    def test_addition(self):
+        a = GateTally(ccix=1, ccz=2, t=3, measurements=4)
+        b = GateTally(ccix=10, ccz=20, t=30, measurements=40)
+        c = a + b
+        assert (c.ccix, c.ccz, c.t, c.measurements) == (11, 22, 33, 44)
+
+    def test_scalar_multiplication_commutes(self):
+        a = GateTally(ccix=2, measurements=5)
+        assert 3 * a == a * 3 == GateTally(ccix=6, measurements=15)
+
+    def test_roundtrip_through_logical_counts(self):
+        a = GateTally(ccix=7, ccz=3, t=11, measurements=9)
+        counts = a.to_logical_counts(42)
+        assert counts.num_qubits == 42
+        assert GateTally.from_logical_counts(counts) == a
+
+    def test_rotations_not_representable(self):
+        counts = LogicalCounts(num_qubits=1, rotation_count=1, rotation_depth=1)
+        with pytest.raises(ValueError, match="rotations"):
+            GateTally.from_logical_counts(counts)
+
+
+class TestFormulaFunctions:
+    @pytest.mark.parametrize(
+        "expr,env,expected",
+        [
+            ("exp(0)", {}, 1.0),
+            ("ln(x)", {"x": math.e}, 1.0),
+            ("log10(1000)", {}, 3.0),
+            ("abs(-4)", {}, 4),
+            ("pow(2, 10)", {}, 1024.0),
+        ],
+    )
+    def test_every_registered_function_evaluates(self, expr, env, expected):
+        assert Formula(expr)(env) == pytest.approx(expected)
+
+    def test_function_registry_names(self):
+        assert {"log2", "sqrt", "ceil", "floor", "max", "min"} <= set(FUNCTIONS)
+
+
+class TestCircuitSurface:
+    def test_repr_and_len(self):
+        b = CircuitBuilder("named")
+        q = b.allocate()
+        b.t(q)
+        circuit = b.finish()
+        assert "named" in repr(circuit)
+        assert len(circuit) == 2  # alloc + t
+
+    def test_iteration_yields_instruction_tuples(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.x(q)
+        ops = [ins[0] for ins in b.finish()]
+        assert ops == [Op.ALLOC, Op.X]
+
+    def test_counts_cache_is_per_circuit(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.t(q)
+        circuit = b.finish()
+        assert circuit.logical_counts() is circuit.logical_counts()
+
+    def test_empty_circuit_counts(self):
+        circuit = Circuit([])
+        assert circuit.logical_counts().num_qubits == 1  # floor
+
+
+class TestResultConvenience:
+    def test_result_shortcut_properties(self):
+        from repro import estimate, qubit_params
+
+        counts = LogicalCounts(num_qubits=10, t_count=100)
+        r = estimate(counts, qubit_params("qubit_maj_ns_e6"), budget=1e-3)
+        assert r.physical_qubits == r.physical_counts.physical_qubits
+        assert r.runtime_seconds == pytest.approx(
+            r.physical_counts.runtime_ns * 1e-9
+        )
+        assert r.code_distance == r.logical_qubit.code_distance
+        assert r.logical_qubits == r.breakdown.algorithmic_logical_qubits
+        assert r.pre_layout is counts
+
+    def test_estimate_row_dict_keys_are_camel_case(self):
+        from repro.experiments import run_estimate_row
+
+        row = run_estimate_row("windowed", 32, "qubit_maj_ns_e6")
+        d = row.to_dict()
+        assert {"physicalQubits", "codeDistance", "tFactoryCopies"} <= set(d)
+
+
+class TestQubitIdleField:
+    def test_idle_error_rate_accepted_and_exposed(self):
+        from repro.qubits import QUBIT_MAJ_NS_E4
+
+        with_idle = QUBIT_MAJ_NS_E4.customized(idle_error_rate=2e-5)
+        assert with_idle.idle_error_rate == 2e-5
+        env = with_idle.formula_environment(9)
+        assert env["idleErrorRate"] == 2e-5
+        # A custom scheme can now consume it.
+        from repro.qec import QECScheme
+
+        scheme = QECScheme(
+            name="idle_aware",
+            crossing_prefactor=0.07,
+            error_correction_threshold=0.01,
+            logical_cycle_time="3 * oneQubitMeasurementTime * codeDistance",
+            physical_qubits_per_logical_qubit="4*codeDistance^2 + 1000000 * idleErrorRate",
+        )
+        assert scheme.physical_qubits(with_idle, 5) == 100 + 20

@@ -1,0 +1,280 @@
+"""Correctness tests for adders, lookups, and register helpers.
+
+Every circuit is verified bit-exactly on the reversible simulator, and
+every closed-form count function is checked against the tracer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arithmetic import (
+    add_constant_controlled,
+    add_constant_controlled_counts,
+    add_into,
+    add_into_counts,
+    copy_register,
+    lookup,
+    lookup_counts,
+    subtract_into,
+    subtract_into_counts,
+    write_constant,
+)
+from repro.arithmetic.lookup import lookup_recorded, unlookup_adjoint
+from repro.ir import CircuitBuilder, validate
+from repro.sim import run_reversible
+
+
+def _init(reg, value):
+    return {q: (value >> i) & 1 for i, q in enumerate(reg)}
+
+
+class TestAddInto:
+    @pytest.mark.parametrize("n,m", [(1, 1), (1, 2), (2, 2), (3, 5), (4, 4), (5, 8)])
+    def test_exhaustive_small(self, n, m):
+        for av in range(1 << n):
+            for bv in range(1 << m):
+                b = CircuitBuilder()
+                ar, br = b.allocate_register(n), b.allocate_register(m)
+                add_into(b, ar, br)
+                c = b.finish()
+                validate(c)
+                sim = run_reversible(c, {**_init(ar, av), **_init(br, bv)})
+                assert sim.read_register(br) == (av + bv) % (1 << m)
+                assert sim.read_register(ar) == av  # addend preserved
+
+    @given(
+        n=st.integers(1, 24),
+        extra=st.integers(0, 8),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_sizes(self, n, extra, data):
+        m = n + extra
+        av = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << m) - 1))
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(n), b.allocate_register(m)
+        add_into(b, ar, br)
+        c = b.finish()
+        sim = run_reversible(c, {**_init(ar, av), **_init(br, bv)})
+        assert sim.read_register(br) == (av + bv) % (1 << m)
+
+    def test_carry_out_via_extended_register(self):
+        b = CircuitBuilder()
+        ar = b.allocate_register(3)
+        br = b.allocate_register(3)
+        carry = b.allocate()
+        add_into(b, ar, list(br) + [carry])
+        c = b.finish()
+        sim = run_reversible(c, {**_init(ar, 7), **_init(br, 5)})
+        assert sim.read_register(list(br) + [carry]) == 12  # carry bit set
+
+    def test_rejects_addend_longer_than_target(self):
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(4), b.allocate_register(3)
+        with pytest.raises(ValueError, match="longer than"):
+            add_into(b, ar, br)
+
+    @pytest.mark.parametrize("n,m", [(1, 1), (1, 2), (3, 3), (3, 7), (8, 8), (8, 16)])
+    def test_counts_match_trace(self, n, m):
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(n), b.allocate_register(m)
+        add_into(b, ar, br)
+        traced = b.finish().logical_counts()
+        counted = add_into_counts(n, m)
+        assert traced.ccix_count == counted.ccix
+        assert traced.measurement_count == counted.measurements
+        assert traced.ccz_count == counted.ccz == 0
+        assert traced.t_count == counted.t == 0
+
+    def test_cost_is_target_length_minus_one(self):
+        assert add_into_counts(8, 8).ccix == 7
+        assert add_into_counts(3, 10).ccix == 9  # carry ripple costs too
+        assert add_into_counts(1, 1).ccix == 0
+
+
+class TestSubtract:
+    @given(
+        n=st.integers(1, 16),
+        extra=st.integers(0, 6),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_subtraction(self, n, extra, data):
+        m = n + extra
+        av = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << m) - 1))
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(n), b.allocate_register(m)
+        subtract_into(b, ar, br)
+        sim = run_reversible(b.finish(), {**_init(ar, av), **_init(br, bv)})
+        assert sim.read_register(br) == (bv - av) % (1 << m)
+
+    def test_add_then_subtract_roundtrip(self):
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(6), b.allocate_register(8)
+        add_into(b, ar, br)
+        subtract_into(b, ar, br)
+        sim = run_reversible(b.finish(), {**_init(ar, 45), **_init(br, 200)})
+        assert sim.read_register(br) == 200
+
+    def test_counts(self):
+        assert subtract_into_counts(4, 6) == add_into_counts(4, 6)
+
+
+class TestControlledConstantAdd:
+    @given(
+        n=st.integers(1, 12),
+        ctrl=st.integers(0, 1),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_controlled_add(self, n, ctrl, data):
+        k = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << (n + 1)) - 1))
+        b = CircuitBuilder()
+        control = b.allocate()
+        br = b.allocate_register(n + 1)
+        scratch = b.allocate_register(n)
+        add_constant_controlled(b, control, k, br, scratch)
+        for q in scratch:
+            b.release(q)  # must be back to zero -> release check in sim
+        c = b.finish()
+        validate(c)
+        sim = run_reversible(c, {control: ctrl, **_init(br, bv)})
+        expected = (bv + ctrl * k) % (1 << (n + 1))
+        assert sim.read_register(br) == expected
+        assert sim.bit(control) == ctrl
+
+    def test_zero_constant_emits_nothing(self):
+        b = CircuitBuilder()
+        control = b.allocate()
+        br = b.allocate_register(4)
+        scratch = b.allocate_register(4)
+        before = len(b._instructions)
+        add_constant_controlled(b, control, 0, br, scratch)
+        assert len(b._instructions) == before
+        assert add_constant_controlled_counts(0, 4).ccix == 0
+
+    def test_constant_reduced_modulo_register(self):
+        # constant with bits above the register width is reduced mod 2^m
+        b = CircuitBuilder()
+        control = b.allocate()
+        br = b.allocate_register(3)
+        scratch = b.allocate_register(3)
+        add_constant_controlled(b, control, 0b1101, br, scratch)  # 13 -> 5 mod 8
+        sim = run_reversible(b.finish(), {control: 1})
+        assert sim.read_register(br) == 5
+
+    def test_scratch_too_small_rejected(self):
+        b = CircuitBuilder()
+        control = b.allocate()
+        br = b.allocate_register(5)
+        scratch = b.allocate_register(2)
+        with pytest.raises(ValueError, match="scratch"):
+            add_constant_controlled(b, control, 0b11111, br, scratch)
+
+
+class TestLookup:
+    @pytest.mark.parametrize("w", [1, 2, 3, 4])
+    def test_exhaustive_full_tables(self, w):
+        table = [(v * 37 + 11) % 64 for v in range(1 << w)]
+        for addr in range(1 << w):
+            b = CircuitBuilder()
+            ar, tr = b.allocate_register(w), b.allocate_register(6)
+            lookup(b, ar, table, tr)
+            sim = run_reversible(b.finish(), _init(ar, addr))
+            assert sim.read_register(tr) == table[addr]
+            assert sim.read_register(ar) == addr  # address preserved
+
+    @pytest.mark.parametrize("w,entries", [(3, 1), (3, 5), (4, 9), (4, 16), (5, 17)])
+    def test_partial_tables_missing_entries_read_zero(self, w, entries):
+        table = list(range(1, entries + 1))
+        for addr in (0, entries - 1, min(entries, (1 << w) - 1), (1 << w) - 1):
+            b = CircuitBuilder()
+            ar, tr = b.allocate_register(w), b.allocate_register(6)
+            lookup(b, ar, table, tr)
+            sim = run_reversible(b.finish(), _init(ar, addr))
+            expected = table[addr] if addr < entries else 0
+            assert sim.read_register(tr) == expected
+
+    def test_xor_semantics_on_nonzero_target(self):
+        b = CircuitBuilder()
+        ar, tr = b.allocate_register(2), b.allocate_register(4)
+        write_constant(b, tr, 0b1100)
+        lookup(b, ar, [0b1010, 0, 0, 0], tr)
+        sim = run_reversible(b.finish(), _init(ar, 0))
+        assert sim.read_register(tr) == 0b0110
+
+    def test_unlookup_restores_target(self):
+        table = [v * 3 for v in range(8)]
+        for addr in range(8):
+            b = CircuitBuilder()
+            ar, tr = b.allocate_register(3), b.allocate_register(5)
+            tape = lookup_recorded(b, ar, table, tr)
+            unlookup_adjoint(b, tape)
+            for q in tr:
+                b.release(q)  # sim errors if not restored to zero
+            sim = run_reversible(b.finish(), _init(ar, addr))
+            assert sim.read_register(ar) == addr
+
+    @pytest.mark.parametrize("w,entries", [(1, 2), (2, 4), (3, 8), (4, 16), (5, 32), (3, 5), (5, 19)])
+    def test_counts_match_trace(self, w, entries):
+        table = [v + 1 for v in range(entries)]
+        b = CircuitBuilder()
+        ar, tr = b.allocate_register(w), b.allocate_register(8)
+        lookup(b, ar, table, tr)
+        traced = b.finish().logical_counts()
+        counted = lookup_counts(w, entries)
+        assert traced.ccix_count == counted.ccix
+        assert traced.measurement_count == counted.measurements
+
+    def test_full_table_cost_formula(self):
+        # Full tables cost 2^(w+1) - 4 ANDs for w >= 2.
+        for w in range(2, 8):
+            assert lookup_counts(w, 1 << w).ccix == 2 ** (w + 1) - 4
+
+    def test_oversized_table_rejected(self):
+        b = CircuitBuilder()
+        ar, tr = b.allocate_register(2), b.allocate_register(4)
+        with pytest.raises(ValueError, match="address bits"):
+            lookup(b, ar, [0] * 5, tr)
+
+    def test_entry_too_wide_rejected(self):
+        b = CircuitBuilder()
+        ar, tr = b.allocate_register(1), b.allocate_register(2)
+        with pytest.raises(ValueError, match="fit"):
+            lookup(b, ar, [7], tr)
+
+
+class TestRegisters:
+    def test_write_constant(self):
+        b = CircuitBuilder()
+        r = b.allocate_register(6)
+        write_constant(b, r, 0b101101)
+        assert run_reversible(b.finish()).read_register(r) == 0b101101
+
+    def test_write_constant_bounds(self):
+        b = CircuitBuilder()
+        r = b.allocate_register(2)
+        with pytest.raises(ValueError, match="fit"):
+            write_constant(b, r, 4)
+        with pytest.raises(ValueError, match="non-negative"):
+            write_constant(b, r, -1)
+
+    def test_copy_register(self):
+        b = CircuitBuilder()
+        src = b.allocate_register(4)
+        dst = b.allocate_register(5)
+        write_constant(b, src, 0b1011)
+        copy_register(b, src, dst)
+        sim = run_reversible(b.finish())
+        assert sim.read_register(dst) == 0b1011
+
+    def test_copy_register_target_too_short(self):
+        b = CircuitBuilder()
+        src, dst = b.allocate_register(3), b.allocate_register(2)
+        with pytest.raises(ValueError, match="shorter"):
+            copy_register(b, src, dst)

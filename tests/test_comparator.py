@@ -1,0 +1,162 @@
+"""Tests for comparators, constant addition, and the incrementer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arithmetic.comparator import (
+    add_constant,
+    add_constant_counts,
+    compare_greater_equal_constant,
+    compare_less_than,
+    compare_less_than_constant,
+    compare_less_than_constant_counts,
+    compare_less_than_counts,
+    increment,
+    subtract_constant,
+)
+from repro.ir import CircuitBuilder, validate
+from repro.sim import run_reversible
+
+
+def _init(reg, value):
+    return {q: (value >> i) & 1 for i, q in enumerate(reg)}
+
+
+class TestAddConstant:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_exhaustive(self, n):
+        for k in range(1 << n):
+            for bv in range(1 << n):
+                b = CircuitBuilder()
+                br = b.allocate_register(n)
+                scratch = b.allocate_register(n)
+                add_constant(b, k, br, scratch)
+                b.release_register(scratch)  # sim checks it's clean
+                c = b.finish()
+                validate(c)
+                sim = run_reversible(c, _init(br, bv))
+                assert sim.read_register(br) == (bv + k) % (1 << n)
+
+    def test_counts_match_trace(self):
+        for n, k in [(4, 5), (8, 255), (8, 1), (10, 512)]:
+            b = CircuitBuilder()
+            br = b.allocate_register(n)
+            scratch = b.allocate_register(max(k.bit_length(), 1))
+            add_constant(b, k, br, scratch)
+            traced = b.finish().logical_counts()
+            counted = add_constant_counts(k, n)
+            assert traced.ccix_count == counted.ccix
+            assert traced.measurement_count == counted.measurements
+
+    @given(
+        n=st.integers(1, 16),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_subtract_inverts_add(self, n, data):
+        k = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << n) - 1))
+        b = CircuitBuilder()
+        br = b.allocate_register(n)
+        scratch = b.allocate_register(n)
+        add_constant(b, k, br, scratch)
+        subtract_constant(b, k, br, scratch)
+        sim = run_reversible(b.finish(), _init(br, bv))
+        assert sim.read_register(br) == bv
+
+    def test_increment_wraps(self):
+        b = CircuitBuilder()
+        r = b.allocate_register(3)
+        scratch = b.allocate_register(1)
+        increment(b, r, scratch)
+        sim = run_reversible(b.finish(), _init(r, 7))
+        assert sim.read_register(r) == 0
+
+
+class TestCompareQuantum:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exhaustive(self, n):
+        for xv in range(1 << n):
+            for yv in range(1 << n):
+                b = CircuitBuilder()
+                xr, yr = b.allocate_register(n), b.allocate_register(n)
+                out = b.allocate()
+                compare_less_than(b, xr, yr, out)
+                c = b.finish()
+                validate(c)
+                sim = run_reversible(c, {**_init(xr, xv), **_init(yr, yv)})
+                assert sim.bit(out) == int(xv < yv), (n, xv, yv)
+                assert sim.read_register(xr) == xv
+                assert sim.read_register(yr) == yv
+
+    def test_xor_semantics(self):
+        b = CircuitBuilder()
+        xr, yr = b.allocate_register(3), b.allocate_register(3)
+        out = b.allocate()
+        b.x(out)  # pre-set
+        compare_less_than(b, xr, yr, out)  # 0 < 0 is false: out unchanged
+        sim = run_reversible(b.finish())
+        assert sim.bit(out) == 1
+
+    def test_length_mismatch_rejected(self):
+        b = CircuitBuilder()
+        xr, yr = b.allocate_register(3), b.allocate_register(4)
+        out = b.allocate()
+        with pytest.raises(ValueError, match="equal lengths"):
+            compare_less_than(b, xr, yr, out)
+
+    def test_counts_match_trace(self):
+        for n in (2, 5, 9):
+            b = CircuitBuilder()
+            xr, yr = b.allocate_register(n), b.allocate_register(n)
+            out = b.allocate()
+            compare_less_than(b, xr, yr, out)
+            traced = b.finish().logical_counts()
+            counted = compare_less_than_counts(n)
+            assert traced.ccix_count == counted.ccix
+            assert traced.measurement_count == counted.measurements
+
+
+class TestCompareConstant:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exhaustive_less_than(self, n):
+        for k in range(1 << (n + 1)):  # include out-of-range constants
+            for xv in range(1 << n):
+                b = CircuitBuilder()
+                xr = b.allocate_register(n)
+                out = b.allocate()
+                compare_less_than_constant(b, xr, k, out)
+                c = b.finish()
+                validate(c)
+                sim = run_reversible(c, _init(xr, xv))
+                assert sim.bit(out) == int(xv < k), (n, k, xv)
+                assert sim.read_register(xr) == xv
+
+    @given(n=st.integers(1, 12), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_geq_is_negation(self, n, data):
+        k = data.draw(st.integers(0, (1 << n) - 1))
+        xv = data.draw(st.integers(0, (1 << n) - 1))
+        b = CircuitBuilder()
+        xr = b.allocate_register(n)
+        out = b.allocate()
+        compare_greater_equal_constant(b, xr, k, out)
+        sim = run_reversible(b.finish(), _init(xr, xv))
+        assert sim.bit(out) == int(xv >= k)
+
+    def test_counts_match_trace(self):
+        for n, k in [(4, 7), (6, 1), (8, 200)]:
+            b = CircuitBuilder()
+            xr = b.allocate_register(n)
+            out = b.allocate()
+            compare_less_than_constant(b, xr, k, out)
+            traced = b.finish().logical_counts()
+            counted = compare_less_than_constant_counts(n, k)
+            assert traced.ccix_count == counted.ccix
+            assert traced.measurement_count == counted.measurements
+
+    def test_degenerate_constants_cost_nothing(self):
+        assert compare_less_than_constant_counts(4, 0).ccix == 0
+        assert compare_less_than_constant_counts(4, 16).ccix == 0

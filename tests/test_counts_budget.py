@@ -1,0 +1,128 @@
+"""Tests for LogicalCounts and the error-budget partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import ErrorBudget, LogicalCounts
+from repro.budget import ErrorBudgetPartition
+
+
+class TestLogicalCounts:
+    def test_basic_construction(self):
+        c = LogicalCounts(num_qubits=10, t_count=5, ccz_count=3)
+        assert c.num_qubits == 10
+        assert c.non_clifford_count == 8
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError, match="at least one"):
+            LogicalCounts(num_qubits=0)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LogicalCounts(num_qubits=1, t_count=-1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            LogicalCounts(num_qubits=1, t_count=1.5)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            LogicalCounts(num_qubits=True)  # type: ignore[arg-type]
+
+    def test_rotation_depth_consistency(self):
+        with pytest.raises(ValueError, match="rotation_depth"):
+            LogicalCounts(num_qubits=1, rotation_count=1, rotation_depth=2)
+        with pytest.raises(ValueError, match="rotation_depth >= 1"):
+            LogicalCounts(num_qubits=1, rotation_count=1, rotation_depth=0)
+
+    def test_add_sequential_composition(self):
+        a = LogicalCounts(num_qubits=5, t_count=1, rotation_count=2, rotation_depth=2)
+        b = LogicalCounts(num_qubits=9, ccz_count=4, measurement_count=1)
+        c = a.add(b)
+        assert c.num_qubits == 9  # width is max, not sum
+        assert c.t_count == 1
+        assert c.ccz_count == 4
+        assert c.rotation_depth == 2
+
+    def test_scaled_repetitions(self):
+        a = LogicalCounts(num_qubits=3, t_count=2, measurement_count=1)
+        b = a.scaled(10)
+        assert b.t_count == 20
+        assert b.measurement_count == 10
+        assert b.num_qubits == 3
+        with pytest.raises(ValueError):
+            a.scaled(0)
+
+    def test_dict_roundtrip(self):
+        a = LogicalCounts(num_qubits=7, ccix_count=11, measurement_count=2)
+        assert LogicalCounts.from_dict(a.to_dict()) == a
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            LogicalCounts.from_dict({"num_qubits": 1, "bogus": 2})
+
+
+@given(
+    q1=st.integers(1, 100),
+    q2=st.integers(1, 100),
+    t1=st.integers(0, 1000),
+    t2=st.integers(0, 1000),
+    reps=st.integers(1, 20),
+)
+def test_property_add_and_scale_consistency(q1, q2, t1, t2, reps):
+    a = LogicalCounts(num_qubits=q1, t_count=t1)
+    b = LogicalCounts(num_qubits=q2, t_count=t2)
+    assert a.add(b).t_count == t1 + t2
+    assert a.add(b).num_qubits == max(q1, q2)
+    # scaling = repeated addition
+    repeated = a
+    for _ in range(reps - 1):
+        repeated = repeated.add(a)
+    assert repeated == a.scaled(reps)
+
+
+class TestErrorBudget:
+    def test_default_split_is_thirds(self):
+        p = ErrorBudget(total=3e-3).partition(has_rotations=True, has_t_states=True)
+        assert p.logical == pytest.approx(1e-3)
+        assert p.t_states == pytest.approx(1e-3)
+        assert p.rotations == pytest.approx(1e-3)
+
+    def test_no_rotations_redistributes(self):
+        p = ErrorBudget(total=1e-3).partition(has_rotations=False, has_t_states=True)
+        assert p.rotations == 0.0
+        assert p.logical == pytest.approx(5e-4)
+        assert p.t_states == pytest.approx(5e-4)
+
+    def test_clifford_only_program_gets_all_logical(self):
+        p = ErrorBudget(total=1e-3).partition(has_rotations=False, has_t_states=False)
+        assert p.logical == pytest.approx(1e-3)
+        assert p.t_states == 0.0
+
+    def test_explicit_partition_pins_values(self):
+        b = ErrorBudget.explicit(logical=1e-4, t_states=2e-4, rotations=3e-4)
+        p = b.partition(has_rotations=True, has_t_states=True)
+        assert (p.logical, p.t_states, p.rotations) == (1e-4, 2e-4, 3e-4)
+        assert b.total == pytest.approx(6e-4)
+        # explicit partition is used even for feature-less programs
+        p2 = b.partition(has_rotations=False, has_t_states=False)
+        assert p2 == p
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_out_of_range_total(self, bad):
+        with pytest.raises(ValueError):
+            ErrorBudget(total=bad)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError, match="logical"):
+            ErrorBudgetPartition(logical=0.0, t_states=0.1, rotations=0.1)
+        with pytest.raises(ValueError, match="total"):
+            ErrorBudgetPartition(logical=0.5, t_states=0.4, rotations=0.2)
+
+    @given(st.floats(min_value=1e-10, max_value=0.5, allow_nan=False))
+    def test_property_partition_sums_to_total(self, total):
+        for has_rot, has_t in [(True, True), (False, True), (False, False)]:
+            p = ErrorBudget(total=total).partition(
+                has_rotations=has_rot, has_t_states=has_t
+            )
+            assert p.total == pytest.approx(total)

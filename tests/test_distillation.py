@@ -1,0 +1,209 @@
+"""Tests for distillation units, pipeline evaluation, and factory search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distillation import (
+    DistillationRound,
+    DistillationUnit,
+    DistillationUnitError,
+    LogicalUnitSpec,
+    PhysicalUnitSpec,
+    T15_RM_PREP,
+    T15_SPACE_EFFICIENT,
+    TFactoryDesigner,
+    TFactoryError,
+    design_t_factory,
+    evaluate_pipeline,
+)
+from repro.formulas import Formula
+from repro.qec import FLOQUET_CODE, SURFACE_CODE_GATE_BASED
+from repro.qubits import QUBIT_GATE_NS_E3, QUBIT_GATE_NS_E4, QUBIT_MAJ_NS_E4
+
+
+class TestUnits:
+    def test_15_to_1_error_model(self):
+        fail, out = T15_RM_PREP.evaluate(0.05, 1e-4)
+        assert fail == pytest.approx(15 * 0.05 + 356 * 1e-4)
+        assert out == pytest.approx(35 * 0.05**3 + 7.1 * 1e-4)
+
+    def test_failure_probability_clamped(self):
+        fail, _ = T15_RM_PREP.evaluate(0.5, 0.1)
+        assert fail == 1.0
+
+    def test_unit_must_distill(self):
+        with pytest.raises(DistillationUnitError, match="consume more"):
+            DistillationUnit(
+                name="bad",
+                num_input_ts=5,
+                num_output_ts=5,
+                failure_probability=Formula("inputErrorRate"),
+                output_error_rate=Formula("inputErrorRate"),
+                logical_spec=LogicalUnitSpec(num_logical_qubits=1, duration_in_cycles=1),
+            )
+
+    def test_unit_needs_some_spec(self):
+        with pytest.raises(DistillationUnitError, match="spec"):
+            DistillationUnit(
+                name="nospec",
+                num_input_ts=15,
+                num_output_ts=1,
+                failure_probability=Formula("inputErrorRate"),
+                output_error_rate=Formula("inputErrorRate"),
+            )
+
+    def test_formulas_restricted_to_error_variables(self):
+        with pytest.raises(DistillationUnitError, match="may only use"):
+            DistillationUnit(
+                name="leaky",
+                num_input_ts=15,
+                num_output_ts=1,
+                failure_probability=Formula("codeDistance"),
+                output_error_rate=Formula("inputErrorRate"),
+                logical_spec=LogicalUnitSpec(num_logical_qubits=1, duration_in_cycles=1),
+            )
+
+    def test_customized(self):
+        fatter = T15_SPACE_EFFICIENT.customized(
+            logical_spec=LogicalUnitSpec(num_logical_qubits=31, duration_in_cycles=11)
+        )
+        assert fatter.logical_spec.num_logical_qubits == 31
+        assert "customized" in fatter.name
+
+
+class TestPipelineEvaluation:
+    def test_single_physical_round(self):
+        factory = evaluate_pipeline(
+            [DistillationRound(T15_RM_PREP, None)], QUBIT_MAJ_NS_E4, FLOQUET_CODE
+        )
+        assert factory is not None
+        assert factory.num_rounds == 1
+        assert factory.physical_qubits == 31  # one unit, physical footprint
+        assert factory.duration_ns == 23 * 100
+        assert factory.output_t_states == 1
+        assert factory.input_t_states == 15
+        fail, out = T15_RM_PREP.evaluate(5e-2, 1e-4)
+        assert factory.output_error_rate == pytest.approx(out)
+
+    def test_two_round_pipeline_improves_error(self):
+        one = evaluate_pipeline(
+            [DistillationRound(T15_RM_PREP, None)], QUBIT_MAJ_NS_E4, FLOQUET_CODE
+        )
+        two = evaluate_pipeline(
+            [
+                DistillationRound(T15_RM_PREP, None),
+                DistillationRound(T15_RM_PREP, 9),
+            ],
+            QUBIT_MAJ_NS_E4,
+            FLOQUET_CODE,
+        )
+        assert two is not None and one is not None
+        assert two.output_error_rate < one.output_error_rate
+        assert two.duration_ns > one.duration_ns
+        # Round 1 over-provisions for failures: >15 inputs needed for 15 good states.
+        assert two.rounds[0].num_units > 15 // T15_RM_PREP.num_output_ts
+
+    def test_physical_round_only_first(self):
+        with pytest.raises(TFactoryError, match="round 1"):
+            evaluate_pipeline(
+                [
+                    DistillationRound(T15_RM_PREP, 9),
+                    DistillationRound(T15_RM_PREP, None),
+                ],
+                QUBIT_MAJ_NS_E4,
+                FLOQUET_CODE,
+            )
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(TFactoryError, match="at least one"):
+            evaluate_pipeline([], QUBIT_MAJ_NS_E4, FLOQUET_CODE)
+
+    def test_infeasible_error_rates_return_none(self):
+        # With a 30% T error the 15-to-1 failure probability exceeds 1.
+        noisy = QUBIT_MAJ_NS_E4.customized(t_gate_error_rate=0.3)
+        got = evaluate_pipeline(
+            [DistillationRound(T15_RM_PREP, None)], noisy, FLOQUET_CODE
+        )
+        assert got is None
+
+    def test_logical_only_unit_needs_distance(self):
+        with pytest.raises(TFactoryError, match="physical"):
+            DistillationRound(T15_SPACE_EFFICIENT, None)
+
+    def test_round_distance_must_be_odd(self):
+        with pytest.raises(TFactoryError, match="odd"):
+            DistillationRound(T15_RM_PREP, 4)
+
+    def test_qubits_are_max_over_rounds_duration_is_sum(self):
+        rounds = [
+            DistillationRound(T15_RM_PREP, None),
+            DistillationRound(T15_SPACE_EFFICIENT, 5),
+        ]
+        factory = evaluate_pipeline(rounds, QUBIT_MAJ_NS_E4, FLOQUET_CODE)
+        assert factory is not None
+        per_round_qubits = [r.physical_qubits for r in factory.rounds]
+        per_round_durations = [r.duration_ns for r in factory.rounds]
+        assert factory.physical_qubits == max(per_round_qubits)
+        assert factory.duration_ns == sum(per_round_durations)
+
+    def test_runs_required(self):
+        factory = evaluate_pipeline(
+            [DistillationRound(T15_RM_PREP, None)], QUBIT_MAJ_NS_E4, FLOQUET_CODE
+        )
+        assert factory is not None
+        assert factory.runs_required(1) == 1
+        assert factory.runs_required(10) == 10  # one output per run
+        assert factory.runs_required(0) == 0
+
+
+class TestDesigner:
+    def test_design_meets_requirement(self):
+        factory = design_t_factory(QUBIT_MAJ_NS_E4, FLOQUET_CODE, 1e-10)
+        assert factory.output_error_rate <= 1e-10
+
+    def test_design_minimizes_qubits(self):
+        designer = TFactoryDesigner()
+        best = designer.design(QUBIT_MAJ_NS_E4, FLOQUET_CODE, 1e-10)
+        for f in designer.frontier(QUBIT_MAJ_NS_E4, FLOQUET_CODE, 1e-10):
+            assert best.physical_qubits <= f.physical_qubits
+
+    def test_impossible_requirement_raises(self):
+        with pytest.raises(TFactoryError, match="no T factory"):
+            design_t_factory(
+                QUBIT_MAJ_NS_E4, FLOQUET_CODE, 1e-60, max_rounds=2
+            )
+
+    def test_nonpositive_requirement_rejected(self):
+        with pytest.raises(TFactoryError):
+            design_t_factory(QUBIT_MAJ_NS_E4, FLOQUET_CODE, 0.0)
+
+    def test_gate_based_design(self):
+        factory = design_t_factory(QUBIT_GATE_NS_E3, SURFACE_CODE_GATE_BASED, 1e-12)
+        assert factory.output_error_rate <= 1e-12
+        assert factory.physical_qubits > 0
+
+    def test_frontier_is_pareto(self):
+        designer = TFactoryDesigner()
+        frontier = designer.frontier(QUBIT_GATE_NS_E4, SURFACE_CODE_GATE_BASED, 1e-12)
+        assert frontier
+        for i, f in enumerate(frontier):
+            for g in frontier[i + 1 :]:
+                # sorted by qubits ascending, durations strictly descending
+                assert f.physical_qubits <= g.physical_qubits
+                assert f.duration_ns > g.duration_ns
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.floats(min_value=1e-14, max_value=1e-6, allow_nan=False))
+    def test_property_tighter_requirement_never_cheaper(self, req):
+        designer = TFactoryDesigner()
+        loose = designer.design(QUBIT_MAJ_NS_E4, FLOQUET_CODE, req * 100)
+        tight = designer.design(QUBIT_MAJ_NS_E4, FLOQUET_CODE, req)
+        assert tight.physical_qubits >= loose.physical_qubits
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.floats(min_value=1e-14, max_value=1e-6, allow_nan=False))
+    def test_property_design_always_meets_requirement(self, req):
+        factory = design_t_factory(QUBIT_MAJ_NS_E4, FLOQUET_CODE, req)
+        assert factory.output_error_rate <= req

@@ -1,0 +1,245 @@
+"""Tests for the end-to-end estimation pipeline, constraints, and frontier."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Constraints,
+    ErrorBudget,
+    EstimationError,
+    LogicalCounts,
+    estimate,
+    estimate_frontier,
+    qubit_params,
+)
+from repro.ir import CircuitBuilder
+from repro.qec import FLOQUET_CODE, SURFACE_CODE_GATE_BASED
+
+MAJ = qubit_params("qubit_maj_ns_e4")
+GATE = qubit_params("qubit_gate_ns_e3")
+
+WORKLOAD = LogicalCounts(
+    num_qubits=100, t_count=10**5, ccz_count=10**5, measurement_count=10**4
+)
+
+
+class TestPipelineBasics:
+    def test_estimate_from_counts(self):
+        r = estimate(WORKLOAD, MAJ, budget=1e-3)
+        assert r.physical_qubits > 0
+        assert r.runtime_seconds > 0
+        assert r.code_distance % 2 == 1
+        assert r.rqops > 0
+
+    def test_estimate_from_circuit(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(4)
+        b.ccx(q[0], q[1], q[2])
+        b.t(q[3])
+        b.measure(q[3])
+        circuit = b.finish()
+        r = estimate(circuit, MAJ, budget=1e-3)
+        assert r.pre_layout.ccz_count == 1
+        assert r.pre_layout.t_count == 1
+
+    def test_rejects_wrong_program_type(self):
+        with pytest.raises(TypeError, match="logical_counts"):
+            estimate("not a program", MAJ)
+
+    def test_incompatible_scheme_rejected(self):
+        with pytest.raises(EstimationError, match="majorana"):
+            estimate(WORKLOAD, GATE, scheme=FLOQUET_CODE)
+
+    def test_default_scheme_follows_technology(self):
+        r_gate = estimate(WORKLOAD, GATE, budget=1e-3)
+        assert r_gate.logical_qubit.scheme.name == "surface_code"
+        r_maj = estimate(WORKLOAD, MAJ, budget=1e-3)
+        assert r_maj.logical_qubit.scheme.name == "floquet_code"
+
+    def test_breakdown_consistency(self):
+        r = estimate(WORKLOAD, MAJ, budget=1e-3)
+        bd = r.breakdown
+        lq = r.logical_qubit
+        assert r.physical_qubits == (
+            bd.physical_qubits_for_algorithm + bd.physical_qubits_for_t_factories
+        )
+        assert bd.physical_qubits_for_algorithm == (
+            bd.algorithmic_logical_qubits * lq.physical_qubits
+        )
+        assert r.physical_counts.runtime_ns == pytest.approx(
+            bd.logical_depth * lq.cycle_time_ns
+        )
+        assert r.rqops == pytest.approx(
+            bd.algorithmic_logical_qubits * lq.logical_cycles_per_second
+        )
+
+    def test_achieved_error_within_budget(self):
+        budget = 1e-3
+        r = estimate(WORKLOAD, MAJ, budget=budget)
+        lq = r.logical_qubit
+        bd = r.breakdown
+        logical_error = lq.logical_error_rate * bd.algorithmic_logical_qubits * bd.logical_depth
+        assert logical_error <= r.error_budget.logical * (1 + 1e-9)
+        t = r.t_factory
+        assert t is not None
+        t_error = t.factory.output_error_rate * bd.num_t_states
+        assert t_error <= r.error_budget.t_states * (1 + 1e-9)
+
+    def test_clifford_only_program_has_no_factory(self):
+        counts = LogicalCounts(num_qubits=10, measurement_count=100)
+        r = estimate(counts, MAJ, budget=1e-3)
+        assert r.t_factory is None
+        assert r.breakdown.num_t_states == 0
+        assert r.breakdown.physical_qubits_for_t_factories == 0
+
+    def test_rotations_enter_t_count(self):
+        counts = LogicalCounts(
+            num_qubits=10, rotation_count=100, rotation_depth=50
+        )
+        r = estimate(counts, MAJ, budget=1e-3)
+        t_rot = r.algorithmic_resources.t_states_per_rotation
+        assert t_rot > 0
+        assert r.breakdown.num_t_states == 100 * t_rot
+
+    def test_budget_object_and_float_equivalent(self):
+        r1 = estimate(WORKLOAD, MAJ, budget=1e-3)
+        r2 = estimate(WORKLOAD, MAJ, budget=ErrorBudget(total=1e-3))
+        assert r1.physical_qubits == r2.physical_qubits
+        assert r1.runtime_seconds == r2.runtime_seconds
+
+    @given(st.sampled_from([1e-2, 1e-3, 1e-4, 1e-5]))
+    @settings(deadline=None, max_examples=4)
+    def test_property_tighter_budget_more_resources(self, budget):
+        loose = estimate(WORKLOAD, MAJ, budget=budget * 10)
+        tight = estimate(WORKLOAD, MAJ, budget=budget)
+        assert tight.code_distance >= loose.code_distance
+        assert tight.physical_qubits >= loose.physical_qubits
+
+
+class TestConstraints:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Constraints(max_t_factories=0)
+        with pytest.raises(ValueError):
+            Constraints(logical_depth_factor=0.5)
+        with pytest.raises(ValueError):
+            Constraints(max_duration_ns=0)
+        with pytest.raises(ValueError):
+            Constraints(max_physical_qubits=0)
+
+    def test_depth_factor_stretches_runtime(self):
+        base = estimate(WORKLOAD, MAJ, budget=1e-3)
+        slow = estimate(
+            WORKLOAD, MAJ, budget=1e-3,
+            constraints=Constraints(logical_depth_factor=4.0),
+        )
+        assert slow.breakdown.logical_depth >= 4 * base.breakdown.algorithmic_logical_depth
+        assert slow.runtime_seconds > base.runtime_seconds
+
+    def test_max_t_factories_reduces_factory_qubits(self):
+        base = estimate(WORKLOAD, MAJ, budget=1e-3)
+        assert base.t_factory is not None and base.t_factory.copies > 2
+        capped = estimate(
+            WORKLOAD, MAJ, budget=1e-3,
+            constraints=Constraints(max_t_factories=2),
+        )
+        assert capped.t_factory is not None
+        assert capped.t_factory.copies <= 2
+        assert (
+            capped.breakdown.physical_qubits_for_t_factories
+            < base.breakdown.physical_qubits_for_t_factories
+        )
+        # Fewer factories must still deliver all T states: runtime grows.
+        assert capped.runtime_seconds >= base.runtime_seconds
+
+    def test_capped_factories_still_deliver_all_t_states(self):
+        r = estimate(
+            WORKLOAD, MAJ, budget=1e-3,
+            constraints=Constraints(max_t_factories=1),
+        )
+        t = r.t_factory
+        assert t is not None
+        assert t.copies == 1
+        produced = t.copies * t.runs_per_copy * t.factory.output_t_states
+        assert produced >= r.breakdown.num_t_states
+
+    def test_max_duration_violation_raises(self):
+        with pytest.raises(EstimationError, match="runtime"):
+            estimate(
+                WORKLOAD, MAJ, budget=1e-3,
+                constraints=Constraints(max_duration_ns=1.0),
+            )
+
+    def test_max_physical_qubits_violation_raises(self):
+        with pytest.raises(EstimationError, match="physical qubits"):
+            estimate(
+                WORKLOAD, MAJ, budget=1e-3,
+                constraints=Constraints(max_physical_qubits=100),
+            )
+
+    def test_tiny_program_stretched_to_fit_one_factory_run(self):
+        # A program so short the factory cannot finish during it must be
+        # slowed down rather than rejected.
+        counts = LogicalCounts(num_qubits=2, t_count=1, measurement_count=1)
+        r = estimate(counts, MAJ, budget=1e-3)
+        t = r.t_factory
+        assert t is not None
+        assert t.runs_per_copy >= 1
+        assert r.physical_counts.runtime_ns >= t.factory.duration_ns
+
+
+class TestFrontier:
+    def test_frontier_is_pareto_and_sorted(self):
+        points = estimate_frontier(WORKLOAD, MAJ, budget=1e-3)
+        assert points
+        for a, b in zip(points, points[1:]):
+            assert a.runtime_seconds <= b.runtime_seconds
+            assert a.physical_qubits > b.physical_qubits
+
+    def test_frontier_trades_qubits_for_time(self):
+        points = estimate_frontier(WORKLOAD, MAJ, budget=1e-3)
+        if len(points) > 1:
+            assert points[-1].physical_qubits < points[0].physical_qubits
+            assert points[-1].runtime_seconds > points[0].runtime_seconds
+
+    def test_empty_depth_factors_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_frontier(WORKLOAD, MAJ, depth_factors=[])
+
+
+class TestOutputGroups:
+    def test_to_dict_has_all_eight_groups(self):
+        r = estimate(WORKLOAD, MAJ, budget=1e-3)
+        d = r.to_dict()
+        for key in (
+            "physicalCounts",
+            "breakdown",
+            "logicalQubit",
+            "tFactory",
+            "preLayoutLogicalResources",
+            "errorBudget",
+            "physicalQubitParameters",
+            "assumptions",
+        ):
+            assert key in d, key
+
+    def test_json_roundtrip(self):
+        r = estimate(WORKLOAD, MAJ, budget=1e-3)
+        parsed = json.loads(r.to_json())
+        assert parsed["physicalCounts"]["physicalQubits"] == r.physical_qubits
+        assert parsed["breakdown"]["numTStates"] == r.breakdown.num_t_states
+
+    def test_summary_renders(self):
+        r = estimate(WORKLOAD, MAJ, budget=1e-3)
+        text = r.summary()
+        assert "Physical resource estimates" in text
+        assert "Code distance" in text
+        assert f"{r.code_distance}" in text
+
+    def test_assumptions_listed(self):
+        r = estimate(WORKLOAD, MAJ, budget=1e-3)
+        assert any("2D nearest-neighbor" in a for a in r.assumptions)

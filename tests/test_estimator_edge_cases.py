@@ -1,0 +1,148 @@
+"""Robustness and invariant tests for the estimation pipeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Constraints,
+    ErrorBudget,
+    EstimationError,
+    LogicalCounts,
+    estimate,
+    qubit_params,
+)
+from repro.distillation import TFactoryDesigner
+from repro.qec import FLOQUET_CODE
+
+MAJ = qubit_params("qubit_maj_ns_e4")
+MAJ6 = qubit_params("qubit_maj_ns_e6")
+
+
+class TestExtremes:
+    def test_single_qubit_single_t(self):
+        counts = LogicalCounts(num_qubits=1, t_count=1)
+        r = estimate(counts, MAJ, budget=1e-3)
+        assert r.logical_qubits == 2 + 3 + 1  # layout of Q=1
+        assert r.breakdown.num_t_states == 1
+        assert r.t_factory is not None and r.t_factory.copies == 1
+
+    def test_huge_t_count(self):
+        counts = LogicalCounts(num_qubits=100, t_count=10**10)
+        r = estimate(counts, MAJ, budget=1e-3)
+        assert r.breakdown.num_t_states == 10**10
+        # factories must actually supply them
+        tf = r.t_factory
+        produced = tf.copies * tf.runs_per_copy * tf.factory.output_t_states
+        assert produced >= 10**10
+
+    def test_t_demand_beyond_three_round_floor_needs_more_rounds(self):
+        """maj_ns_e4's 5% T error floors 3-round 15-to-1 near 3e-15 output
+        error; demands below that floor fail with the default designer and
+        succeed with a 4-round search — the boundary is explicit, not a
+        silent misestimate."""
+        counts = LogicalCounts(num_qubits=100, t_count=10**12)
+        with pytest.raises(EstimationError, match="no T factory"):
+            estimate(counts, MAJ, budget=1e-3)
+        four_rounds = TFactoryDesigner(max_rounds=4)
+        r = estimate(counts, MAJ, budget=1e-3, factory_designer=four_rounds)
+        assert r.t_factory is not None
+        assert r.t_factory.factory.num_rounds == 4
+
+    def test_very_tight_budget_raises_when_distance_capped(self):
+        # Clifford+measurement-only workload: no factory in the way, so the
+        # capped code distance is what fails.
+        counts = LogicalCounts(num_qubits=10**4, measurement_count=10**10)
+        tight_scheme = FLOQUET_CODE.customized(max_code_distance=9)
+        with pytest.raises(EstimationError, match="maximum"):
+            estimate(counts, MAJ, scheme=tight_scheme, budget=1e-9)
+
+    def test_budget_extremes_still_estimate(self):
+        counts = LogicalCounts(num_qubits=10, ccz_count=1000)
+        loose = estimate(counts, MAJ6, budget=0.5)
+        tight = estimate(counts, MAJ6, budget=1e-8)
+        assert tight.code_distance > loose.code_distance
+
+    def test_factory_search_space_exhausted_is_reported(self):
+        counts = LogicalCounts(num_qubits=10, t_count=10**15)
+        small_designer = TFactoryDesigner(max_rounds=1)
+        with pytest.raises(EstimationError, match="no T factory"):
+            estimate(
+                counts, MAJ, budget=1e-6, factory_designer=small_designer
+            )
+
+    def test_rotations_only_program(self):
+        counts = LogicalCounts(num_qubits=3, rotation_count=10, rotation_depth=10)
+        r = estimate(counts, MAJ, budget=1e-3)
+        t_rot = r.algorithmic_resources.t_states_per_rotation
+        assert r.breakdown.num_t_states == 10 * t_rot
+        assert r.error_budget.rotations > 0
+
+
+class TestInvariants:
+    @given(
+        q=st.integers(1, 10**4),
+        t=st.integers(0, 10**9),
+        ccz=st.integers(0, 10**9),
+        m=st.integers(0, 10**9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_budget_always_respected(self, q, t, ccz, m):
+        counts = LogicalCounts(
+            num_qubits=q, t_count=t, ccz_count=ccz, measurement_count=m
+        )
+        budget = 1e-3
+        r = estimate(counts, MAJ6, budget=budget)
+        bd = r.breakdown
+        total_error = (
+            r.logical_qubit.logical_error_rate * bd.algorithmic_logical_qubits * bd.logical_depth
+        )
+        if r.t_factory is not None:
+            total_error += r.t_factory.factory.output_error_rate * bd.num_t_states
+        assert total_error <= budget * (1 + 1e-9)
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_property_depth_factor_monotone_runtime(self, k):
+        counts = LogicalCounts(num_qubits=50, ccz_count=10**5)
+        factor = float(2**k)
+        base = estimate(counts, MAJ, budget=1e-3)
+        slowed = estimate(
+            counts, MAJ, budget=1e-3,
+            constraints=Constraints(logical_depth_factor=factor),
+        )
+        assert slowed.runtime_seconds >= base.runtime_seconds
+
+    def test_estimates_deterministic(self):
+        counts = LogicalCounts(num_qubits=77, t_count=12345, ccz_count=678)
+        a = estimate(counts, MAJ, budget=1e-4)
+        b = estimate(counts, MAJ, budget=1e-4)
+        assert a.to_dict() == b.to_dict()
+
+    def test_explicit_budget_parts_drive_distinct_knobs(self):
+        counts = LogicalCounts(
+            num_qubits=50, t_count=10**6, rotation_count=100, rotation_depth=50
+        )
+        generous_logical = ErrorBudget.explicit(
+            logical=9e-4, t_states=5e-5, rotations=5e-5
+        )
+        generous_t = ErrorBudget.explicit(
+            logical=5e-5, t_states=9e-4, rotations=5e-5
+        )
+        r_logical = estimate(counts, MAJ, budget=generous_logical)
+        r_t = estimate(counts, MAJ, budget=generous_t)
+        # More logical budget -> smaller distance than the T-heavy split.
+        assert r_logical.code_distance <= r_t.code_distance
+        # More T budget -> no-worse factory output requirement.
+        assert (
+            r_t.t_factory.required_output_error_rate
+            >= r_logical.t_factory.required_output_error_rate
+        )
+
+    def test_scheme_max_distance_boundary_exact(self):
+        counts = LogicalCounts(num_qubits=10, ccz_count=10**6)
+        r = estimate(counts, MAJ, budget=1e-4)
+        exact_cap = FLOQUET_CODE.customized(max_code_distance=r.code_distance)
+        r2 = estimate(counts, MAJ, scheme=exact_cap, budget=1e-4)
+        assert r2.code_distance == r.code_distance

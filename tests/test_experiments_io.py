@@ -1,0 +1,110 @@
+"""Tests for experiment result persistence (CSV/JSON round-trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.io import (
+    CSV_FIELDS,
+    read_rows_csv,
+    write_rows_csv,
+    write_rows_json,
+)
+from repro.experiments.runner import EstimateRow
+
+
+@pytest.fixture
+def sample_rows():
+    return [
+        EstimateRow(
+            algorithm="windowed",
+            bits=2048,
+            profile="qubit_maj_ns_e4",
+            physical_qubits=16_604_774,
+            runtime_seconds=12.3,
+            code_distance=13,
+            logical_qubits=20_792,
+            logical_depth=3_155_111,
+            num_t_states=2_961_444,
+            t_factory_copies=17,
+            rqops=5.33e9,
+        ),
+        EstimateRow(
+            algorithm="schoolbook",
+            bits=32,
+            profile="qubit_maj_ns_e6",
+            physical_qubits=700_000,
+            runtime_seconds=0.011,
+            code_distance=9,
+            logical_qubits=357,
+            logical_depth=5_000,
+            num_t_states=4_096,
+            t_factory_copies=3,
+            rqops=1.3e8,
+        ),
+    ]
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, sample_rows):
+        path = write_rows_csv(sample_rows, tmp_path / "rows.csv")
+        assert read_rows_csv(path) == sample_rows
+
+    def test_header_matches_fields(self, tmp_path, sample_rows):
+        path = write_rows_csv(sample_rows, tmp_path / "rows.csv")
+        header = path.read_text().splitlines()[0]
+        assert header.split(",") == list(CSV_FIELDS)
+
+    def test_creates_parent_directories(self, tmp_path, sample_rows):
+        path = write_rows_csv(sample_rows, tmp_path / "deep" / "dir" / "rows.csv")
+        assert path.exists()
+
+    def test_missing_column_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("algorithm,bits\nwindowed,64\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            read_rows_csv(bad)
+
+    def test_types_restored(self, tmp_path, sample_rows):
+        path = write_rows_csv(sample_rows, tmp_path / "rows.csv")
+        row = read_rows_csv(path)[0]
+        assert isinstance(row.bits, int)
+        assert isinstance(row.runtime_seconds, float)
+        assert isinstance(row.physical_qubits, int)
+
+
+class TestJSON:
+    def test_json_structure(self, tmp_path, sample_rows):
+        path = write_rows_json(sample_rows, tmp_path / "rows.json")
+        data = json.loads(path.read_text())
+        assert len(data) == 2
+        assert data[0]["algorithm"] == "windowed"
+        assert data[0]["physicalQubits"] == 16_604_774
+        assert data[1]["codeDistance"] == 9
+
+
+class TestRegenerateAll:
+    def test_regenerates_reduced_artifacts(self, tmp_path, monkeypatch):
+        """Patch the sweeps down to one point each; check all files land."""
+        import repro.experiments.io as io_mod
+        from repro.experiments import fig3, fig4
+
+        monkeypatch.setattr(
+            fig3, "FIG3_BIT_SIZES", (64,), raising=True
+        )
+        # claims.evaluate_claims needs the qubit_maj_ns_e4 rows present.
+        monkeypatch.setattr(
+            fig4, "FIG4_PROFILES", ("qubit_maj_ns_e4",), raising=True
+        )
+        written = io_mod.regenerate_all(tmp_path / "results")
+        assert set(written) == {
+            "fig3.csv", "fig3.json", "fig4.csv", "fig4.json", "claims.json"
+        }
+        for path in written.values():
+            assert path.exists() and path.stat().st_size > 0
+        fig3_rows = read_rows_csv(written["fig3.csv"])
+        assert {r.bits for r in fig3_rows} == {64}
+        claims = json.loads(written["claims.json"].read_text())
+        assert any(c["id"] == "karatsuba-most-qubits" for c in claims)

@@ -1,0 +1,105 @@
+"""Fuzz tests: random circuits through every IR-layer tool at once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import CircuitBuilder, trace, validate
+from repro.ir.random_circuits import (
+    DEFAULT_WEIGHTS,
+    RandomCircuitGenerator,
+    random_circuit,
+)
+from repro.layout import layout_resources
+from repro.isa import lower
+from repro.qir import emit_qir, parse_qir
+from repro.sim import run_reversible
+
+SEEDS = list(range(20))
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = random_circuit(200, seed=7)
+        b = random_circuit(200, seed=7)
+        assert list(a.instructions) == list(b.instructions)
+        c = random_circuit(200, seed=8)
+        assert list(a.instructions) != list(c.instructions)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_circuits_are_valid(self, seed):
+        validate(random_circuit(300, seed=seed))
+
+    def test_custom_mix(self):
+        generator = RandomCircuitGenerator(seed=1, weights={"t": 1.0})
+        counts = generator.generate(50).logical_counts()
+        assert counts.t_count == 50
+        assert counts.ccz_count == 0
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reversible_circuits_simulate(self, seed):
+        """The reversible mix always runs clean on the simulator."""
+        circuit = random_circuit(300, seed=seed, reversible_only=True)
+        validate(circuit)
+        run_reversible(circuit)  # raises on any contract violation
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qir_round_trip_preserves_counts(self, seed):
+        circuit = random_circuit(200, seed=seed)
+        reparsed = parse_qir(emit_qir(circuit))
+        assert reparsed.logical_counts() == circuit.logical_counts()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_isa_lowering_agrees_with_layout(self, seed):
+        circuit = random_circuit(250, seed=seed)
+        counts = circuit.logical_counts()
+        budget = 1e-3 if counts.rotation_count else 0.0
+        program = lower(circuit, budget)
+        layout = layout_resources(counts, budget)
+        assert program.total_t_states == layout.t_states
+        assert program.depth == layout.logical_depth
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_adjoint_of_fuzzed_permutation_restores_zero(self, seed):
+        """Recording a random permutation circuit and replaying its adjoint
+        returns the simulator to all-zeros."""
+        mix = {
+            k: v
+            for k, v in DEFAULT_WEIGHTS.items()
+            if k in ("x", "cx", "swap", "ccx")
+        }
+        generator = RandomCircuitGenerator(seed=seed, weights=mix)
+        source = generator.generate(150)
+
+        from repro.ir.ops import Op
+
+        builder = CircuitBuilder()
+        mapping: dict[int, int] = {}
+        # Allocate the operand qubits outside the recording so the adjoint
+        # undoes only the gates, leaving the registers inspectable.
+        for op, q0, *_ in source.instructions:
+            if op == Op.ALLOC:
+                mapping[q0] = builder.allocate()
+        builder.start_recording()
+        for op, q0, q1, q2, _param in source.instructions:
+            if op == Op.ALLOC:
+                continue
+            if op == Op.X:
+                builder.x(mapping[q0])
+            elif op == Op.CX:
+                builder.cx(mapping[q0], mapping[q1])
+            elif op == Op.SWAP:
+                builder.swap(mapping[q0], mapping[q1])
+            elif op == Op.CCX:
+                builder.ccx(mapping[q0], mapping[q1], mapping[q2])
+            else:  # pragma: no cover - the mix excludes everything else
+                raise AssertionError(f"unexpected op {op}")
+        tape = builder.stop_recording()
+        builder.emit_adjoint(tape)
+        circuit = builder.finish()
+        validate(circuit)
+        sim = run_reversible(circuit)
+        for q in mapping.values():
+            assert sim.bit(q) == 0

@@ -1,0 +1,173 @@
+"""End-to-end integration tests crossing every layer of the stack."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    Constraints,
+    ErrorBudget,
+    LogicalCounts,
+    assess,
+    emit_qir,
+    estimate,
+    estimate_frontier,
+    parse_qir,
+    qubit_params,
+)
+from repro.arithmetic import ModularMultiplier, WindowedMultiplier, multiplier_by_name
+from repro.ir import CircuitBuilder, validate
+from repro.isa import lower
+from repro.sim import run_reversible
+
+
+class TestCircuitToEstimatePaths:
+    """The same program through every input path must estimate identically."""
+
+    def test_closed_form_and_traced_counts_estimate_identically(self):
+        mult = WindowedMultiplier(64)
+        qubit = qubit_params("qubit_maj_ns_e4")
+        via_closed_form = estimate(mult.logical_counts(), qubit, budget=1e-4)
+        via_trace = estimate(mult.circuit(), qubit, budget=1e-4)
+        assert via_closed_form.to_dict() == via_trace.to_dict()
+
+    def test_qir_round_trip_estimates_identically(self):
+        mult = WindowedMultiplier(16)
+        qubit = qubit_params("qubit_gate_ns_e4")
+        direct = estimate(mult.circuit(), qubit, budget=1e-3)
+        through_qir = estimate(parse_qir(emit_qir(mult.circuit())), qubit, budget=1e-3)
+        assert direct.to_dict() == through_qir.to_dict()
+
+    def test_account_for_estimates_matches_direct_composition(self):
+        """Injecting a subroutine's counts == adding them by hand."""
+        sub = LogicalCounts(num_qubits=20, t_count=500, ccz_count=100)
+        b = CircuitBuilder()
+        q = b.allocate_register(4)
+        b.t(q[0])
+        b.ccz(q[0], q[1], q[2])
+        b.measure(q[3])
+        b.account_for_estimates(sub)
+        traced = b.finish().logical_counts()
+
+        manual = LogicalCounts(
+            num_qubits=4, t_count=1, ccz_count=1, measurement_count=1
+        ).add(sub)
+        manual = LogicalCounts(
+            num_qubits=4 + 20,  # aux qubits add to width (tool semantics)
+            t_count=manual.t_count,
+            ccz_count=manual.ccz_count,
+            measurement_count=manual.measurement_count,
+        )
+        assert traced == manual
+
+
+class TestSimulateThenEstimate:
+    """The workflow the library is built around: prove, then cost."""
+
+    @pytest.mark.parametrize("algorithm", ["schoolbook", "karatsuba", "windowed"])
+    def test_verified_multiplier_then_estimated(self, algorithm):
+        n = 24
+        mult = multiplier_by_name(algorithm, n)
+        b = CircuitBuilder()
+        x = b.allocate_register(n)
+        acc = b.allocate_register(2 * n)
+        mult.emit(b, x, acc)
+        circuit = b.finish()
+        validate(circuit)
+
+        xv = 0xBEEF42
+        sim = run_reversible(circuit, {q: (xv >> i) & 1 for i, q in enumerate(x)})
+        assert sim.read_register(acc) == xv * mult.constant
+
+        result = estimate(mult.logical_counts(), qubit_params("qubit_maj_ns_e6"))
+        assert result.physical_qubits > 0
+        verdict = assess(result)
+        assert verdict.level.name in ("RESILIENT", "SCALE")
+
+    def test_modular_multiplier_full_stack(self):
+        n, modulus = 8, 251
+        mult = ModularMultiplier(n, modulus, constant=123)
+        b = CircuitBuilder()
+        x = b.allocate_register(n)
+        acc = b.allocate_register(n)
+        mult.emit(b, x, acc)
+        circuit = b.finish()
+        sim = run_reversible(circuit, {q: (77 >> i) & 1 for i, q in enumerate(x)})
+        assert sim.read_register(acc) == (77 * 123) % modulus
+
+        counts = mult.tally().to_logical_counts(circuit.logical_counts().num_qubits)
+        result = estimate(counts, qubit_params("qubit_gate_ns_e3"), budget=1e-3)
+        assert result.breakdown.num_t_states == 4 * counts.ccix_count
+
+
+class TestComposedWorkloads:
+    def test_sequential_scaling_scales_t_states_linearly(self):
+        base = WindowedMultiplier(32).logical_counts()
+        qubit = qubit_params("qubit_maj_ns_e4")
+        one = estimate(base, qubit, budget=1e-4)
+        ten = estimate(base.scaled(10), qubit, budget=1e-4)
+        assert ten.breakdown.num_t_states == 10 * one.breakdown.num_t_states
+        assert ten.breakdown.algorithmic_logical_qubits == one.breakdown.algorithmic_logical_qubits
+        # runtime grows at least 10x (more cycles, maybe larger distance)
+        assert ten.runtime_seconds >= 10 * one.runtime_seconds * 0.99
+
+    def test_parallel_composition_widens_machine(self):
+        base = WindowedMultiplier(32).logical_counts()
+        qubit = qubit_params("qubit_maj_ns_e4")
+        one = estimate(base, qubit, budget=1e-4)
+        two = estimate(base.parallel(base), qubit, budget=1e-4)
+        assert two.logical_qubits > one.logical_qubits
+        assert (
+            two.breakdown.physical_qubits_for_algorithm
+            > one.breakdown.physical_qubits_for_algorithm
+        )
+
+    def test_isa_lowering_consistent_with_estimate(self):
+        mult = WindowedMultiplier(32)
+        circuit = mult.circuit()
+        result = estimate(circuit, qubit_params("qubit_maj_ns_e4"), budget=1e-4)
+        program = lower(circuit, result.error_budget.rotations)
+        assert program.total_t_states == result.breakdown.num_t_states
+        assert program.depth == result.breakdown.algorithmic_logical_depth
+
+
+class TestReportFidelity:
+    def test_full_json_report_is_self_consistent(self):
+        mult = WindowedMultiplier(48)
+        result = estimate(
+            mult.logical_counts(),
+            qubit_params("qubit_gate_us_e4"),
+            budget=ErrorBudget(total=1e-4),
+            constraints=Constraints(max_t_factories=10),
+        )
+        report = json.loads(result.to_json())
+        bd = report["breakdown"]
+        assert (
+            report["physicalCounts"]["physicalQubits"]
+            == bd["physicalQubitsForAlgorithm"] + bd["physicalQubitsForTFactories"]
+        )
+        assert report["tFactory"]["copies"] <= 10
+        lq = report["logicalQubit"]
+        assert bd["physicalQubitsForAlgorithm"] == (
+            bd["algorithmicLogicalQubits"] * lq["physicalQubits"]
+        )
+        runtime = report["physicalCounts"]["runtime_ns"]
+        assert runtime == pytest.approx(bd["logicalDepth"] * lq["logicalCycleTime_ns"])
+
+    def test_frontier_and_constraints_agree(self):
+        counts = WindowedMultiplier(32).logical_counts()
+        qubit = qubit_params("qubit_maj_ns_e4")
+        frontier = estimate_frontier(counts, qubit, budget=1e-4)
+        for point in frontier:
+            redo = estimate(
+                counts,
+                qubit,
+                budget=1e-4,
+                constraints=Constraints(
+                    logical_depth_factor=point.logical_depth_factor
+                ),
+            )
+            assert redo.physical_qubits == point.physical_qubits
+            assert redo.runtime_seconds == point.runtime_seconds

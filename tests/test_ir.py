@@ -1,0 +1,292 @@
+"""Tests for the circuit IR: builder, tracer, validation, adjoints."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import LogicalCounts
+from repro.ir import CircuitBuilder, CircuitError, Op, trace, validate
+
+
+class TestBuilder:
+    def test_allocate_release_reuses_ids(self):
+        b = CircuitBuilder()
+        q0 = b.allocate()
+        b.release(q0)
+        q1 = b.allocate()
+        assert q1 == q0
+        assert b.num_active_qubits == 1
+
+    def test_register_allocation(self):
+        b = CircuitBuilder()
+        reg = b.allocate_register(5)
+        assert len(set(reg)) == 5
+        with pytest.raises(CircuitError):
+            b.allocate_register(0)
+
+    def test_gate_on_unallocated_qubit_rejected(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.release(q)
+        with pytest.raises(CircuitError, match="not allocated"):
+            b.x(q)
+
+    def test_duplicate_qubits_rejected(self):
+        b = CircuitBuilder()
+        q0, q1 = b.allocate(), b.allocate()
+        with pytest.raises(CircuitError, match="distinct"):
+            b.cx(q0, q0)
+        with pytest.raises(CircuitError, match="distinct"):
+            b.ccx(q0, q1, q0)
+
+    def test_finish_freezes_builder(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.x(q)
+        c = b.finish()
+        assert len(c) == 2
+        with pytest.raises(CircuitError, match="finished"):
+            b.x(q)
+
+    def test_and_compute_allocates_target(self):
+        b = CircuitBuilder()
+        q0, q1 = b.allocate(), b.allocate()
+        t = b.and_compute(q0, q1)
+        assert b.num_active_qubits == 3
+        b.and_uncompute(q0, q1, t)
+        assert b.num_active_qubits == 2
+
+
+class TestTracer:
+    def test_counts_all_gate_kinds(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        b.t(q[0])
+        b.t_adj(q[1])
+        b.ccz(*q)
+        b.ccx(*q)
+        b.ccix(*q)
+        t = b.and_compute(q[0], q[1])
+        b.and_uncompute(q[0], q[1], t)
+        b.measure(q[2])
+        b.reset(q[2])
+        counts = b.finish().logical_counts()
+        assert counts.t_count == 2
+        assert counts.ccz_count == 2  # CCZ + Toffoli
+        assert counts.ccix_count == 2  # CCiX + AND
+        assert counts.measurement_count == 3  # AND uncompute + measure + reset
+
+    def test_width_is_high_water_mark(self):
+        b = CircuitBuilder()
+        q0 = b.allocate()
+        q1 = b.allocate()
+        b.release(q1)
+        q2 = b.allocate()  # reuses q1's id
+        q3 = b.allocate()
+        counts = b.finish().logical_counts()
+        assert counts.num_qubits == 3  # never more than 3 live at once
+
+    def test_clifford_gates_free(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.h(q[0]); b.s(q[0]); b.s_adj(q[0]); b.x(q[0]); b.y(q[0]); b.z(q[0])
+        b.cx(q[0], q[1]); b.cz(q[0], q[1]); b.swap(q[0], q[1])
+        counts = b.finish().logical_counts()
+        assert counts.non_clifford_count == 0
+        assert counts.measurement_count == 0
+
+    def test_rotation_angle_classification(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.rz(math.pi, q)  # Clifford (Z)
+        b.rz(math.pi / 2, q)  # Clifford (S)
+        b.rz(math.pi / 4, q)  # T
+        b.rz(0.3, q)  # arbitrary
+        b.rx(-1.1, q)  # arbitrary
+        counts = b.finish().logical_counts()
+        assert counts.t_count == 1
+        assert counts.rotation_count == 2
+        assert counts.rotation_depth == 2
+
+    def test_rotation_depth_parallel_layers(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        # Three rotations on distinct qubits: one layer.
+        for qubit in q:
+            b.rz(0.1, qubit)
+        assert b.finish().logical_counts().rotation_depth == 1
+
+    def test_rotation_depth_sequential_same_qubit(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        for _ in range(4):
+            b.rz(0.1, q)
+        assert b.finish().logical_counts().rotation_depth == 4
+
+    def test_rotation_depth_propagates_through_entanglers(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.rz(0.1, q[0])  # layer 1 on q0
+        b.cx(q[0], q[1])  # sync
+        b.rz(0.1, q[1])  # layer 2 (depends on q0's rotation)
+        counts = b.finish().logical_counts()
+        assert counts.rotation_depth == 2
+
+    def test_account_for_estimates(self):
+        injected = LogicalCounts(num_qubits=50, t_count=1000, ccz_count=7)
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.t(q)
+        b.account_for_estimates(injected)
+        counts = b.finish().logical_counts()
+        assert counts.t_count == 1001
+        assert counts.ccz_count == 7
+        assert counts.num_qubits == 51  # aux qubits add to the traced width
+
+
+class TestAdjoint:
+    def test_adjoint_of_clifford_t_sequence(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.start_recording()
+        b.h(q[0]); b.t(q[0]); b.s(q[1]); b.cx(q[0], q[1])
+        tape = b.stop_recording()
+        b.emit_adjoint(tape)
+        ops = [ins[0] for ins in b.finish().instructions]
+        # forward: H T S CX | adjoint: CX S_ADJ T_ADJ H
+        assert ops[2:] == [Op.H, Op.T, Op.S, Op.CX, Op.CX, Op.S_ADJ, Op.T_ADJ, Op.H]
+
+    def test_adjoint_flips_and_to_uncompute(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.start_recording()
+        t = b.and_compute(q[0], q[1])
+        tape = b.stop_recording()
+        b.emit_adjoint(tape)
+        counts = b.finish().logical_counts()
+        assert counts.ccix_count == 1
+        assert counts.measurement_count == 1
+
+    def test_adjoint_restores_allocation_state(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.start_recording()
+        anc = b.allocate()
+        b.cx(q[0], anc)
+        tape = b.stop_recording()
+        before = b.num_active_qubits
+        b.emit_adjoint(tape)
+        assert b.num_active_qubits == before - 1  # anc released by adjoint
+
+    def test_adjoint_of_measurement_rejected(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.start_recording()
+        b.measure(q)
+        tape = b.stop_recording()
+        with pytest.raises(CircuitError, match="irreversible"):
+            b.emit_adjoint(tape)
+
+    def test_nested_recording(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.start_recording()
+        b.x(q)
+        b.start_recording()
+        b.t(q)
+        inner = b.stop_recording()
+        outer = b.stop_recording()
+        assert len(inner) == 1
+        assert len(outer) == 2
+
+    def test_unmatched_stop_recording(self):
+        b = CircuitBuilder()
+        with pytest.raises(CircuitError, match="without"):
+            b.stop_recording()
+
+    def test_rotation_adjoint_negates_angle(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.start_recording()
+        b.rz(0.7, q)
+        tape = b.stop_recording()
+        b.emit_adjoint(tape)
+        instructions = list(b.finish().instructions)
+        assert instructions[-1][4] == pytest.approx(-0.7)
+
+
+class TestValidate:
+    def test_valid_circuit_passes(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        b.ccx(*q)
+        t = b.and_compute(q[0], q[1])
+        b.and_uncompute(q[0], q[1], t)
+        b.measure(q[2])
+        validate(b.finish())
+
+    def test_detects_dangling_and(self):
+        from repro.ir.circuit import Circuit
+
+        # Hand-build a stream that releases an AND target without uncompute.
+        instructions = [
+            (Op.ALLOC, 0, -1, -1, 0.0),
+            (Op.ALLOC, 1, -1, -1, 0.0),
+            (Op.ALLOC, 2, -1, -1, 0.0),
+            (Op.AND, 0, 1, 2, 0.0),
+            (Op.RELEASE, 2, -1, -1, 0.0),
+        ]
+        with pytest.raises(CircuitError, match="without uncompute"):
+            validate(Circuit(instructions))
+
+    def test_detects_use_of_released_qubit(self):
+        from repro.ir.circuit import Circuit
+
+        instructions = [
+            (Op.ALLOC, 0, -1, -1, 0.0),
+            (Op.RELEASE, 0, -1, -1, 0.0),
+            (Op.X, 0, -1, -1, 0.0),
+        ]
+        with pytest.raises(CircuitError, match="not allocated"):
+            validate(Circuit(instructions))
+
+    def test_detects_double_alloc(self):
+        from repro.ir.circuit import Circuit
+
+        instructions = [
+            (Op.ALLOC, 0, -1, -1, 0.0),
+            (Op.ALLOC, 0, -1, -1, 0.0),
+        ]
+        with pytest.raises(CircuitError, match="already allocated"):
+            validate(Circuit(instructions))
+
+
+@given(st.lists(st.sampled_from(["t", "ccz", "and", "measure", "rz"]), max_size=60))
+def test_property_tracer_tallies_match_manual_count(ops):
+    """Tracer tallies equal a straightforward manual count of emitted ops."""
+    b = CircuitBuilder()
+    q = b.allocate_register(3)
+    expect = {"t": 0, "ccz": 0, "ccix": 0, "meas": 0, "rot": 0}
+    for op in ops:
+        if op == "t":
+            b.t(q[0]); expect["t"] += 1
+        elif op == "ccz":
+            b.ccz(*q); expect["ccz"] += 1
+        elif op == "and":
+            t = b.and_compute(q[0], q[1])
+            b.and_uncompute(q[0], q[1], t)
+            expect["ccix"] += 1; expect["meas"] += 1
+        elif op == "measure":
+            b.measure(q[2]); expect["meas"] += 1
+        elif op == "rz":
+            b.rz(0.37, q[1]); expect["rot"] += 1
+    counts = b.finish().logical_counts()
+    assert counts.t_count == expect["t"]
+    assert counts.ccz_count == expect["ccz"]
+    assert counts.ccix_count == expect["ccix"]
+    assert counts.measurement_count == expect["meas"]
+    assert counts.rotation_count == expect["rot"]
+    assert counts.rotation_depth == expect["rot"]  # all on one qubit

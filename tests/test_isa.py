@@ -1,0 +1,188 @@
+"""Tests for the planar-ISA lowering layer.
+
+The key property: the operation-by-operation lowering and the closed-form
+layout step (Sec. III-B formulas) must agree exactly on logical depth and
+T-state demand for any circuit — the consistency of the paper's Fig. 1
+pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LogicalCounts
+from repro.arithmetic import SchoolbookMultiplier, WindowedMultiplier
+from repro.ir import CircuitBuilder
+from repro.isa import ISAProgram, LogicalOperation, OperationKind, lower
+from repro.isa.lowering import lowered_matches_layout
+
+
+class TestUnitCosts:
+    def test_t_gate(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.t(q)
+        program = lower(b.finish(), synthesis_budget=0.0)
+        assert len(program) == 1
+        op = program.operations[0]
+        assert op.kind is OperationKind.T_STATE_INJECTION
+        assert (op.cycles, op.t_states) == (1, 1)
+
+    def test_ccz_gadget(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        b.ccz(*q)
+        b.ccx(*q)
+        t = b.and_compute(q[0], q[1])
+        b.and_uncompute(q[0], q[1], t)
+        program = lower(b.finish(), synthesis_budget=0.0)
+        gadgets = [op for op in program if op.kind is OperationKind.CCZ_GADGET]
+        measurements = [op for op in program if op.kind is OperationKind.MEASUREMENT]
+        assert len(gadgets) == 3  # CCZ + Toffoli + AND
+        assert all((g.cycles, g.t_states) == (3, 4) for g in gadgets)
+        assert len(measurements) == 1  # the AND uncompute
+
+    def test_clifford_gates_vanish(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.h(q[0]); b.s(q[0]); b.cx(q[0], q[1]); b.swap(q[0], q[1]); b.z(q[1])
+        program = lower(b.finish(), synthesis_budget=0.0)
+        assert len(program) == 0
+        assert program.depth == 1  # floor
+
+    def test_rotation_costs_synthesis_length(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.rz(0.3, q)
+        program = lower(b.finish(), synthesis_budget=1e-3)
+        op = program.operations[0]
+        assert op.kind is OperationKind.ROTATION_SYNTHESIS
+        assert op.cycles == op.t_states == program.t_states_per_rotation
+        expected = math.ceil(0.53 * math.log2(1 / 1e-3) + 5.3)
+        assert program.t_states_per_rotation == expected
+
+    def test_pi_over_4_rotation_lowers_to_t(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.rz(math.pi / 4, q)
+        program = lower(b.finish(), synthesis_budget=0.0)
+        assert program.operations[0].kind is OperationKind.T_STATE_INJECTION
+
+    def test_operation_validation(self):
+        with pytest.raises(ValueError, match="cycle"):
+            LogicalOperation(OperationKind.MEASUREMENT, (0,), 0, 0)
+        with pytest.raises(ValueError, match="layer"):
+            LogicalOperation(OperationKind.MEASUREMENT, (0,), 1, 0, layer=3)
+        with pytest.raises(ValueError, match="layer"):
+            LogicalOperation(OperationKind.ROTATION_SYNTHESIS, (0,), 4, 4)
+
+
+class TestRotationLayers:
+    def test_parallel_rotations_share_a_layer(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(4)
+        for qubit in q:
+            b.rz(0.1, qubit)
+        program = lower(b.finish(), synthesis_budget=1e-3)
+        layers = {op.layer for op in program}
+        assert len(layers) == 1
+        # depth = 4 (one injection cycle each) + t_rot (one shared layer)
+        assert program.depth == 4 + program.t_states_per_rotation
+
+    def test_entangler_forces_new_layer(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.rz(0.1, q[0])
+        b.cx(q[0], q[1])  # Clifford, but carries the dependency
+        b.rz(0.1, q[1])
+        program = lower(b.finish(), synthesis_budget=1e-3)
+        layers = {op.layer for op in program if op.layer is not None}
+        assert len(layers) == 2
+
+    def test_injected_estimates_layers_are_separate(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.rz(0.1, q)
+        b.account_for_estimates(
+            LogicalCounts(num_qubits=2, rotation_count=4, rotation_depth=2)
+        )
+        program = lower(b.finish(), synthesis_budget=1e-3)
+        layers = {op.layer for op in program if op.layer is not None}
+        assert len(layers) == 3  # 1 traced + 2 injected
+
+
+class TestAgreementWithLayout:
+    """Lowered depth/T-counts must equal the closed-form formulas exactly."""
+
+    def _assert_agree(self, circuit, budget):
+        program, layout = lowered_matches_layout(circuit, budget)
+        assert program.total_t_states == layout.t_states
+        assert program.depth == layout.logical_depth
+        assert program.logical_qubits == layout.pre_layout.num_qubits
+
+    def test_multiplier_circuits(self):
+        for mult in (SchoolbookMultiplier(16), WindowedMultiplier(24)):
+            self._assert_agree(mult.circuit(), 0.0)
+
+    def test_rotation_circuit(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        for i, qubit in enumerate(q):
+            b.rz(0.1 * (i + 1), qubit)
+        b.cx(q[0], q[1])
+        b.rz(0.7, q[1])
+        b.t(q[2])
+        b.ccz(*q)
+        b.measure(q[0])
+        self._assert_agree(b.finish(), 1e-3)
+
+    def test_injected_estimates(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.t(q)
+        b.account_for_estimates(
+            LogicalCounts(
+                num_qubits=7,
+                t_count=11,
+                ccz_count=3,
+                rotation_count=5,
+                rotation_depth=2,
+                measurement_count=4,
+            )
+        )
+        self._assert_agree(b.finish(), 1e-3)
+
+    @given(
+        ops=st.lists(
+            st.sampled_from(["t", "ccz", "and", "rz0", "rz1", "cx", "m", "h"]),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_any_circuit_agrees(self, ops):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        for op in ops:
+            if op == "t":
+                b.t(q[0])
+            elif op == "ccz":
+                b.ccz(*q)
+            elif op == "and":
+                t = b.and_compute(q[0], q[1])
+                b.and_uncompute(q[0], q[1], t)
+            elif op == "rz0":
+                b.rz(0.21, q[0])
+            elif op == "rz1":
+                b.rz(0.43, q[1])
+            elif op == "cx":
+                b.cx(q[0], q[1])
+            elif op == "m":
+                b.measure(q[2])
+            elif op == "h":
+                b.h(q[1])
+        circuit = b.finish()
+        budget = 1e-3 if circuit.logical_counts().rotation_count else 0.0
+        self._assert_agree(circuit, budget)

@@ -1,0 +1,128 @@
+"""Tests for the planar-ISA layout step and rotation synthesis model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import LogicalCounts, RotationSynthesis, layout_resources
+from repro.layout import logical_qubits_after_layout
+
+
+class TestLayoutQubits:
+    @pytest.mark.parametrize(
+        "q,expected",
+        [
+            (1, 2 + 3 + 1),  # ceil(sqrt(8)) = 3
+            (2, 4 + 4 + 1),
+            (100, 200 + math.ceil(math.sqrt(800)) + 1),
+        ],
+    )
+    def test_formula(self, q, expected):
+        assert logical_qubits_after_layout(q) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            logical_qubits_after_layout(0)
+
+    @given(st.integers(1, 10**6))
+    def test_property_overhead_slightly_above_double(self, q):
+        q_alg = logical_qubits_after_layout(q)
+        assert q_alg > 2 * q
+        assert q_alg <= 2 * q + math.isqrt(8 * q) + 2
+
+    @given(st.integers(1, 10**6))
+    def test_property_monotone(self, q):
+        assert logical_qubits_after_layout(q + 1) >= logical_qubits_after_layout(q)
+
+
+class TestRotationSynthesis:
+    def test_paper_formula_values(self):
+        syn = RotationSynthesis()
+        # ceil(0.53*log2(R/eps) + 5.3) with R=100, eps=1e-3 -> log2(1e5)=16.6
+        expected = math.ceil(0.53 * math.log2(100 / 1e-3) + 5.3)
+        assert syn.t_states_per_rotation(100, 1e-3) == expected
+
+    def test_zero_rotations_cost_nothing(self):
+        assert RotationSynthesis().t_states_per_rotation(0, 1e-3) == 0
+        assert RotationSynthesis().t_states_per_rotation(0, 0.0) == 0
+
+    def test_rotations_without_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            RotationSynthesis().t_states_per_rotation(5, 0.0)
+
+    def test_negative_rotations_rejected(self):
+        with pytest.raises(ValueError):
+            RotationSynthesis().t_states_per_rotation(-1, 1e-3)
+
+    def test_at_least_one_t_state(self):
+        # Absurdly loose budget would push the bound below 1.
+        assert RotationSynthesis().t_states_per_rotation(1, 0.999) >= 1
+
+    def test_custom_coefficients(self):
+        syn = RotationSynthesis(a=1.0, b=0.0)
+        assert syn.t_states_per_rotation(8, 1.0 / 4) == math.ceil(math.log2(32))
+
+    @given(
+        r=st.integers(1, 10**9),
+        eps=st.floats(min_value=1e-12, max_value=0.5, allow_nan=False),
+    )
+    def test_property_monotone_in_rotations_and_budget(self, r, eps):
+        syn = RotationSynthesis()
+        base = syn.t_states_per_rotation(r, eps)
+        assert syn.t_states_per_rotation(2 * r, eps) >= base  # more rotations, more T
+        assert syn.t_states_per_rotation(r, eps / 2) >= base  # tighter budget, more T
+
+
+class TestLayoutResources:
+    def test_depth_and_t_states_formulas(self):
+        counts = LogicalCounts(
+            num_qubits=10,
+            t_count=100,
+            rotation_count=20,
+            rotation_depth=12,
+            ccz_count=30,
+            ccix_count=5,
+            measurement_count=7,
+        )
+        alg = layout_resources(counts, synthesis_budget=1e-3)
+        t_rot = alg.t_states_per_rotation
+        assert t_rot == RotationSynthesis().t_states_per_rotation(20, 1e-3)
+        assert alg.logical_depth == 7 + 20 + 100 + 3 * (30 + 5) + t_rot * 12
+        assert alg.t_states == 100 + 4 * (30 + 5) + t_rot * 20
+        assert alg.logical_qubits == logical_qubits_after_layout(10)
+        assert alg.pre_layout is counts
+
+    def test_no_rotations_zero_t_per_rotation(self):
+        counts = LogicalCounts(num_qubits=4, ccz_count=10, measurement_count=2)
+        alg = layout_resources(counts, synthesis_budget=0.0)
+        assert alg.t_states_per_rotation == 0
+        assert alg.logical_depth == 2 + 3 * 10
+        assert alg.t_states == 40
+
+    def test_empty_program_gets_depth_one(self):
+        counts = LogicalCounts(num_qubits=3)
+        alg = layout_resources(counts, synthesis_budget=0.0)
+        assert alg.logical_depth == 1
+        assert alg.t_states == 0
+
+    def test_logical_operations_product(self):
+        counts = LogicalCounts(num_qubits=8, t_count=1000)
+        alg = layout_resources(counts, synthesis_budget=0.0)
+        assert alg.logical_operations == alg.logical_qubits * alg.logical_depth
+
+    @given(
+        q=st.integers(1, 1000),
+        t=st.integers(0, 10**6),
+        ccz=st.integers(0, 10**6),
+        m=st.integers(0, 10**6),
+    )
+    def test_property_ccz_dominates_depth_three_to_one(self, q, t, ccz, m):
+        counts = LogicalCounts(
+            num_qubits=q, t_count=t, ccz_count=ccz, measurement_count=m
+        )
+        alg = layout_resources(counts, synthesis_budget=0.0)
+        assert alg.logical_depth == max(m + t + 3 * ccz, 1)
+        assert alg.t_states == t + 4 * ccz

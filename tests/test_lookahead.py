@@ -1,0 +1,99 @@
+"""Tests for the out-of-place carry-lookahead-style adder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arithmetic.lookahead import (
+    add_lookahead,
+    add_lookahead_ancillas,
+    add_lookahead_counts,
+)
+from repro.arithmetic import add_into_counts
+from repro.ir import CircuitBuilder, validate
+from repro.sim import run_reversible
+
+
+def _init(reg, value):
+    return {q: (value >> i) & 1 for i, q in enumerate(reg)}
+
+
+def _run(n, av, bv):
+    b = CircuitBuilder()
+    ar, br = b.allocate_register(n), b.allocate_register(n)
+    tr = b.allocate_register(n + 1)
+    add_lookahead(b, ar, br, tr)
+    c = b.finish()
+    validate(c)
+    sim = run_reversible(c, {**_init(ar, av), **_init(br, bv)})
+    return sim, ar, br, tr, c
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exhaustive(self, n):
+        for av in range(1 << n):
+            for bv in range(1 << n):
+                sim, ar, br, tr, _ = _run(n, av, bv)
+                assert sim.read_register(tr) == av + bv
+
+    @given(n=st.integers(1, 32), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_random(self, n, data):
+        av = data.draw(st.integers(0, (1 << n) - 1))
+        bv = data.draw(st.integers(0, (1 << n) - 1))
+        sim, ar, br, tr, _ = _run(n, av, bv)
+        assert sim.read_register(tr) == av + bv
+        assert sim.read_register(ar) == av, "inputs must be preserved"
+        assert sim.read_register(br) == bv
+
+    def test_xor_semantics_into_nonzero_target(self):
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(3), b.allocate_register(3)
+        tr = b.allocate_register(4)
+        from repro.arithmetic import write_constant
+
+        write_constant(b, tr, 0b1111)
+        add_lookahead(b, ar, br, tr)
+        sim = run_reversible(b.finish(), {**_init(ar, 5), **_init(br, 6)})
+        assert sim.read_register(tr) == 0b1111 ^ 11
+
+    def test_all_ancillas_returned(self):
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(8), b.allocate_register(8)
+        tr = b.allocate_register(9)
+        before = b.num_active_qubits
+        add_lookahead(b, ar, br, tr)
+        assert b.num_active_qubits == before
+
+    def test_shape_validation(self):
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(3), b.allocate_register(4)
+        tr = b.allocate_register(4)
+        with pytest.raises(ValueError, match="lengths differ"):
+            add_lookahead(b, ar, br, tr)
+        with pytest.raises(ValueError, match="carry-out"):
+            add_lookahead(b, ar, ar[:3], tr[:3])
+
+
+class TestCosts:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9, 16])
+    def test_counts_match_trace(self, n):
+        _, _, _, _, c = _run(n, 0, 0)
+        traced = c.logical_counts()
+        counted = add_lookahead_counts(n)
+        assert traced.ccix_count == counted.ccix
+        assert traced.measurement_count == counted.measurements
+        assert traced.ccz_count == 0 and traced.t_count == 0
+
+    def test_costs_roughly_triple_the_ripple_adder(self):
+        n = 64
+        ripple = add_into_counts(n, n).ccix
+        lookahead = add_lookahead_counts(n).ccix
+        assert 2.5 < lookahead / ripple < 3.3
+
+    def test_ancilla_formula(self):
+        assert add_lookahead_ancillas(0) == 0
+        assert add_lookahead_ancillas(1) == 2
+        assert add_lookahead_ancillas(8) == 16 + 14

@@ -1,0 +1,138 @@
+"""Tests for in-place modular multiplication and modular exponentiation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arithmetic import mod_mul_inplace, modexp_circuit, modexp_logical_counts
+from repro.arithmetic.modexp import _modular_inverse
+from repro.ir import CircuitBuilder, validate
+from repro.sim import run_reversible
+
+
+def _init(reg, value):
+    return {q: (value >> i) & 1 for i, q in enumerate(reg)}
+
+
+class TestModularInverse:
+    @given(data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_property_inverse(self, data):
+        modulus = data.draw(st.integers(2, 10_000))
+        coprime = data.draw(
+            st.integers(1, modulus - 1).filter(lambda v: math.gcd(v, modulus) == 1)
+        )
+        inverse = _modular_inverse(coprime, modulus)
+        assert (coprime * inverse) % modulus == 1
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError, match="not invertible"):
+            _modular_inverse(6, 9)
+
+
+class TestInPlaceModMul:
+    @pytest.mark.parametrize("window", [0, None])
+    def test_exhaustive_small(self, window):
+        n, modulus = 3, 7
+        for k in (1, 2, 3, 4, 5, 6):
+            for xv in range(modulus):
+                b = CircuitBuilder()
+                x = b.allocate_register(n)
+                mod_mul_inplace(b, x, k, modulus, window=window)
+                c = b.finish()
+                validate(c)
+                sim = run_reversible(c, _init(x, xv))
+                assert sim.read_register(x) == (xv * k) % modulus
+
+    @pytest.mark.parametrize("ctrl", [0, 1])
+    def test_controlled(self, ctrl):
+        n, modulus, k = 4, 13, 5
+        for xv in range(modulus):
+            b = CircuitBuilder()
+            control = b.allocate()
+            x = b.allocate_register(n)
+            mod_mul_inplace(b, x, k, modulus, control=control)
+            sim = run_reversible(b.finish(), {control: ctrl, **_init(x, xv)})
+            expected = (xv * k) % modulus if ctrl else xv
+            assert sim.read_register(x) == expected
+            assert sim.bit(control) == ctrl
+
+    def test_ancillas_all_returned(self):
+        """In-place multiplication leaves only the x register allocated."""
+        b = CircuitBuilder()
+        x = b.allocate_register(4)
+        before = b.num_active_qubits
+        mod_mul_inplace(b, x, 3, 13)
+        assert b.num_active_qubits == before
+
+    def test_non_coprime_factor_rejected(self):
+        b = CircuitBuilder()
+        x = b.allocate_register(4)
+        with pytest.raises(ValueError, match="not invertible"):
+            mod_mul_inplace(b, x, 4, 12)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_random(self, data):
+        n = data.draw(st.integers(2, 8))
+        modulus = data.draw(st.integers(3, (1 << n)))
+        k = data.draw(
+            st.integers(1, modulus - 1).filter(lambda v: math.gcd(v, modulus) == 1)
+        )
+        xv = data.draw(st.integers(0, modulus - 1))
+        b = CircuitBuilder()
+        x = b.allocate_register(n)
+        mod_mul_inplace(b, x, k, modulus)
+        sim = run_reversible(b.finish(), _init(x, xv))
+        assert sim.read_register(x) == (xv * k) % modulus
+
+
+class TestModExp:
+    @pytest.mark.parametrize("base,modulus", [(2, 7), (3, 7), (5, 13), (7, 15)])
+    def test_exhaustive_exponents(self, base, modulus):
+        n = (modulus - 1).bit_length()
+        exponent_bits = 3
+        for e in range(1 << exponent_bits):
+            # Rebuild without the superposition preamble for classical sim.
+            b = CircuitBuilder()
+            exp = b.allocate_register(exponent_bits)
+            res = b.allocate_register(n)
+            b.x(res[0])
+            factor = base % modulus
+            for bit in range(exponent_bits):
+                mod_mul_inplace(b, res, factor, modulus, control=exp[bit])
+                factor = (factor * factor) % modulus
+            sim = run_reversible(b.finish(), _init(exp, e))
+            assert sim.read_register(res) == pow(base, e, modulus), (base, modulus, e)
+
+    def test_circuit_structure(self):
+        circuit = modexp_circuit(3, 7, exponent_bits=4)
+        counts = circuit.logical_counts()
+        assert counts.ccz_count == 4 * 3  # one 3-qubit Fredkin ladder per bit
+        assert counts.measurement_count >= 3  # result readout
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            modexp_circuit(7, 7, exponent_bits=2)
+
+    @pytest.mark.parametrize(
+        "n,window", [(3, 0), (3, None), (4, 2), (5, None), (6, 3)]
+    )
+    def test_closed_form_matches_trace(self, n, window):
+        """The scaling mirror equals traced counts, width included."""
+        modulus = (1 << n) - 1
+        circuit = modexp_circuit(2, modulus, exponent_bits=2, window=window)
+        assert circuit.logical_counts() == modexp_logical_counts(n, 2, window=window)
+
+    def test_closed_form_scales_to_rsa_sizes(self):
+        counts = modexp_logical_counts(2048)
+        # ~4n modular multiplier calls, each ~4n^2/w ANDs: order 1e10.
+        assert counts.ccix_count > 10**9
+        assert counts.num_qubits == pytest.approx(2 * 2048 + 6 * 2048 + 4, abs=2)
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 bits"):
+            modexp_logical_counts(1)

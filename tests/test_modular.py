@@ -1,0 +1,161 @@
+"""Tests for modular arithmetic: mod-add and modular multiplication."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arithmetic.modular import (
+    ModularMultiplier,
+    mod_add,
+    mod_add_constant_controlled,
+    mod_add_counts,
+)
+from repro.ir import CircuitBuilder, validate
+from repro.sim import run_reversible
+
+
+def _init(reg, value):
+    return {q: (value >> i) & 1 for i, q in enumerate(reg)}
+
+
+class TestModAdd:
+    @pytest.mark.parametrize("n,modulus", [(2, 3), (3, 5), (3, 7), (3, 8), (4, 13)])
+    def test_exhaustive(self, n, modulus):
+        for av in range(modulus):
+            for bv in range(modulus):
+                b = CircuitBuilder()
+                ar, br = b.allocate_register(n), b.allocate_register(n)
+                mod_add(b, ar, br, modulus)
+                c = b.finish()
+                validate(c)
+                sim = run_reversible(c, {**_init(ar, av), **_init(br, bv)})
+                assert sim.read_register(br) == (av + bv) % modulus, (n, modulus, av, bv)
+                assert sim.read_register(ar) == av
+
+    def test_zero_addend_is_identity(self):
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(4), b.allocate_register(4)
+        mod_add(b, ar, br, 11)
+        sim = run_reversible(b.finish(), _init(br, 7))
+        assert sim.read_register(br) == 7
+
+    def test_modulus_must_fit(self):
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(3), b.allocate_register(3)
+        with pytest.raises(ValueError, match="fit"):
+            mod_add(b, ar, br, 9)
+        with pytest.raises(ValueError, match=">= 2"):
+            mod_add(b, ar, br, 1)
+
+    def test_counts_match_trace(self):
+        for n, modulus in [(3, 5), (5, 29), (8, 251)]:
+            b = CircuitBuilder()
+            ar, br = b.allocate_register(n), b.allocate_register(n)
+            mod_add(b, ar, br, modulus)
+            traced = b.finish().logical_counts()
+            counted = mod_add_counts(n, modulus)
+            assert traced.ccix_count == counted.ccix
+            assert traced.measurement_count == counted.measurements
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_property_random_moduli(self, data):
+        n = data.draw(st.integers(2, 12))
+        modulus = data.draw(st.integers(2, (1 << n)))
+        av = data.draw(st.integers(0, modulus - 1))
+        bv = data.draw(st.integers(0, modulus - 1))
+        b = CircuitBuilder()
+        ar, br = b.allocate_register(n), b.allocate_register(n)
+        mod_add(b, ar, br, modulus)
+        sim = run_reversible(b.finish(), {**_init(ar, av), **_init(br, bv)})
+        assert sim.read_register(br) == (av + bv) % modulus
+
+
+class TestControlledConstantModAdd:
+    @pytest.mark.parametrize("ctrl", [0, 1])
+    def test_exhaustive_small(self, ctrl):
+        n, modulus = 3, 7
+        for k in range(12):
+            for bv in range(modulus):
+                b = CircuitBuilder()
+                control = b.allocate()
+                br = b.allocate_register(n)
+                scratch = b.allocate_register(n)
+                mod_add_constant_controlled(b, control, k, br, modulus, scratch)
+                b.release_register(scratch)
+                c = b.finish()
+                sim = run_reversible(c, {control: ctrl, **_init(br, bv)})
+                expected = (bv + ctrl * k) % modulus
+                assert sim.read_register(br) == expected, (ctrl, k, bv)
+                assert sim.bit(control) == ctrl
+
+    def test_scratch_too_small(self):
+        b = CircuitBuilder()
+        control = b.allocate()
+        br = b.allocate_register(4)
+        scratch = b.allocate_register(3)
+        with pytest.raises(ValueError, match="scratch"):
+            mod_add_constant_controlled(b, control, 3, br, 13, scratch)
+
+
+class TestModularMultiplier:
+    @pytest.mark.parametrize("window", [0, 1, 2, 3])
+    def test_exhaustive_small(self, window):
+        n, modulus = 3, 7
+        for k in range(modulus):
+            mult = ModularMultiplier(n, modulus, k, window=window)
+            for xv in range(1 << n):
+                for accv in range(modulus):
+                    b = CircuitBuilder()
+                    x = b.allocate_register(n)
+                    acc = b.allocate_register(n)
+                    mult.emit(b, x, acc)
+                    c = b.finish()
+                    validate(c)
+                    sim = run_reversible(c, {**_init(x, xv), **_init(acc, accv)})
+                    assert sim.read_register(acc) == (accv + xv * k) % modulus
+                    assert sim.read_register(x) == xv
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_random(self, data):
+        n = data.draw(st.integers(2, 10))
+        modulus = data.draw(st.integers(3, (1 << n)))
+        k = data.draw(st.integers(0, modulus - 1))
+        xv = data.draw(st.integers(0, (1 << n) - 1))
+        window = data.draw(st.sampled_from([0, None]))
+        mult = ModularMultiplier(n, modulus, k, window=window)
+        b = CircuitBuilder()
+        x = b.allocate_register(n)
+        acc = b.allocate_register(n)
+        mult.emit(b, x, acc)
+        sim = run_reversible(b.finish(), _init(x, xv))
+        assert sim.read_register(acc) == (xv * k) % modulus
+
+    @pytest.mark.parametrize("window", [0, 2, None])
+    def test_tally_matches_trace(self, window):
+        mult = ModularMultiplier(6, 53, window=window)
+        traced = mult.circuit().logical_counts()
+        counted = mult.tally()
+        assert traced.ccix_count == counted.ccix
+        # circuit() adds n readout measurements on top of the body tally
+        assert traced.measurement_count == counted.measurements + 6
+
+    def test_windowed_cheaper_than_schoolbook(self):
+        n, modulus = 64, (1 << 63) + 9
+        school = ModularMultiplier(n, modulus, window=0).tally().ccix
+        windowed = ModularMultiplier(n, modulus).tally().ccix
+        assert windowed < school
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fit"):
+            ModularMultiplier(3, 9)
+        with pytest.raises(ValueError, match="window"):
+            ModularMultiplier(4, 13, window=5)
+        mult = ModularMultiplier(4, 13)
+        b = CircuitBuilder()
+        x = b.allocate_register(3)
+        acc = b.allocate_register(4)
+        with pytest.raises(ValueError, match="4 qubits"):
+            mult.emit(b, x, acc)

@@ -1,0 +1,111 @@
+"""Tests for the ASCII figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.plots import (
+    GLYPHS,
+    render_fig3_charts,
+    render_fig4_chart,
+    render_scaling_chart,
+)
+from repro.experiments.runner import EstimateRow
+
+
+def _row(algorithm, bits, profile="qubit_maj_ns_e4", qubits=10**6, runtime=1.0):
+    return EstimateRow(
+        algorithm=algorithm,
+        bits=bits,
+        profile=profile,
+        physical_qubits=qubits,
+        runtime_seconds=runtime,
+        code_distance=9,
+        logical_qubits=100,
+        logical_depth=1000,
+        num_t_states=500,
+        t_factory_copies=3,
+        rqops=1e8,
+    )
+
+
+@pytest.fixture
+def sweep_rows():
+    rows = []
+    for i, bits in enumerate((32, 64, 128, 256)):
+        rows.append(_row("schoolbook", bits, qubits=10**6 * 4**i, runtime=0.01 * 4**i))
+        rows.append(_row("karatsuba", bits, qubits=2 * 10**6 * 3**i, runtime=0.02 * 3**i))
+        rows.append(_row("windowed", bits, qubits=10**6 * 4**i, runtime=0.005 * 4**i))
+    return rows
+
+
+class TestScalingChart:
+    def test_contains_axes_and_glyphs(self, sweep_rows):
+        chart = render_scaling_chart(
+            sweep_rows, lambda r: float(r.physical_qubits), title="qubits"
+        )
+        assert chart.startswith("qubits")
+        for glyph in GLYPHS.values():
+            assert glyph in chart
+        assert "bits" in chart
+        assert "32" in chart and "256" in chart
+
+    def test_extremes_labelled(self, sweep_rows):
+        chart = render_scaling_chart(
+            sweep_rows, lambda r: r.runtime_seconds, title="t"
+        )
+        assert "6.40e-01" in chart  # max runtime label
+        assert "5.00e-03" in chart  # min runtime label
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError, match="no rows"):
+            render_scaling_chart([], lambda r: 1.0, title="x")
+
+    def test_nonpositive_metric_rejected(self, sweep_rows):
+        with pytest.raises(ValueError, match="positive"):
+            render_scaling_chart(sweep_rows, lambda r: 0.0, title="x")
+
+    def test_overlap_marker(self):
+        rows = [
+            _row("schoolbook", 32, qubits=100, runtime=1.0),
+            _row("karatsuba", 32, qubits=100, runtime=1.0),
+            _row("schoolbook", 64, qubits=10_000, runtime=2.0),
+        ]
+        chart = render_scaling_chart(
+            rows, lambda r: float(r.physical_qubits), title="overlap"
+        )
+        assert "*" in chart
+
+    def test_fig3_composite(self, sweep_rows):
+        combined = render_fig3_charts(sweep_rows)
+        assert "Figure 3a" in combined
+        assert "Figure 3b" in combined
+
+
+class TestFig4Chart:
+    def test_bars_grouped_by_profile(self):
+        rows = [
+            _row("schoolbook", 2048, profile="qubit_gate_ns_e3", runtime=195),
+            _row("windowed", 2048, profile="qubit_gate_ns_e3", runtime=34),
+            _row("schoolbook", 2048, profile="qubit_maj_ns_e4", runtime=75),
+            _row("windowed", 2048, profile="qubit_maj_ns_e4", runtime=12),
+        ]
+        chart = render_fig4_chart(rows)
+        assert "qubit_gate_ns_e3:" in chart
+        assert "qubit_maj_ns_e4:" in chart
+        assert chart.index("qubit_gate_ns_e3:") < chart.index("qubit_maj_ns_e4:")
+        assert "#" in chart
+
+    def test_longer_runtime_longer_bar(self):
+        rows = [
+            _row("schoolbook", 2048, runtime=1000.0),
+            _row("windowed", 2048, runtime=1.0),
+        ]
+        chart = render_fig4_chart(rows)
+        slow_bar = next(l for l in chart.splitlines() if "schoolbook" in l)
+        fast_bar = next(l for l in chart.splitlines() if "windowed" in l)
+        assert slow_bar.count("#") > fast_bar.count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no rows"):
+            render_fig4_chart([])

@@ -1,0 +1,170 @@
+"""Tests for QEC schemes, the code-distance solver, and logical qubits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qec import (
+    FLOQUET_CODE,
+    LogicalQubit,
+    QECScheme,
+    QECSchemeError,
+    SURFACE_CODE_GATE_BASED,
+    SURFACE_CODE_MAJORANA,
+    default_scheme_for,
+    qec_scheme,
+)
+from repro.qubits import (
+    InstructionSet,
+    QUBIT_GATE_NS_E3,
+    QUBIT_GATE_NS_E4,
+    QUBIT_MAJ_NS_E4,
+    QUBIT_MAJ_NS_E6,
+)
+
+
+class TestPredefinedSchemes:
+    def test_surface_code_gate_based_formulas(self):
+        s = SURFACE_CODE_GATE_BASED
+        # (4*50 + 2*100) * d and 2*d^2 for the ns gate-based profile
+        assert s.cycle_time_ns(QUBIT_GATE_NS_E3, 9) == (4 * 50 + 2 * 100) * 9
+        assert s.physical_qubits(QUBIT_GATE_NS_E3, 9) == 2 * 81
+
+    def test_floquet_code_formulas(self):
+        assert FLOQUET_CODE.cycle_time_ns(QUBIT_MAJ_NS_E4, 9) == 3 * 100 * 9
+        assert FLOQUET_CODE.physical_qubits(QUBIT_MAJ_NS_E4, 9) == 4 * 81 + 8 * 8
+
+    def test_lookup_respects_instruction_set(self):
+        assert qec_scheme("surface_code", QUBIT_GATE_NS_E3) is SURFACE_CODE_GATE_BASED
+        assert qec_scheme("surface_code", QUBIT_MAJ_NS_E4) is SURFACE_CODE_MAJORANA
+        with pytest.raises(KeyError, match="floquet_code"):
+            qec_scheme("floquet_code", QUBIT_GATE_NS_E3)
+
+    def test_defaults_match_paper_figure_4_setup(self):
+        assert default_scheme_for(QUBIT_GATE_NS_E3).name == "surface_code"
+        assert default_scheme_for(QUBIT_MAJ_NS_E4).name == "floquet_code"
+
+    def test_compatibility_check(self):
+        with pytest.raises(QECSchemeError, match="majorana"):
+            FLOQUET_CODE.check_compatible(QUBIT_GATE_NS_E3)
+
+
+class TestLogicalErrorModel:
+    def test_error_model_formula(self):
+        # a * (p/p*)^((d+1)/2) with a=0.03, p=1e-3, p*=0.01 at d=5
+        got = SURFACE_CODE_GATE_BASED.logical_error_rate(QUBIT_GATE_NS_E3, 5)
+        assert got == pytest.approx(0.03 * (1e-3 / 0.01) ** 3)
+
+    def test_rejects_even_distance(self):
+        with pytest.raises(QECSchemeError, match="odd"):
+            SURFACE_CODE_GATE_BASED.logical_error_rate(QUBIT_GATE_NS_E3, 4)
+
+    @given(st.integers(0, 20))
+    def test_property_error_rate_decreases_with_distance(self, k):
+        d = 2 * k + 1
+        better = SURFACE_CODE_GATE_BASED.logical_error_rate(QUBIT_GATE_NS_E3, d + 2)
+        worse = SURFACE_CODE_GATE_BASED.logical_error_rate(QUBIT_GATE_NS_E3, d)
+        assert better < worse
+
+
+class TestDistanceSolver:
+    def test_solver_returns_minimal_odd_distance(self):
+        target = 1e-10
+        d = SURFACE_CODE_GATE_BASED.required_code_distance(QUBIT_GATE_NS_E3, target)
+        assert d % 2 == 1
+        assert SURFACE_CODE_GATE_BASED.logical_error_rate(QUBIT_GATE_NS_E3, d) <= target
+        if d > 1:
+            assert (
+                SURFACE_CODE_GATE_BASED.logical_error_rate(QUBIT_GATE_NS_E3, d - 2)
+                > target
+            )
+
+    def test_above_threshold_rejected(self):
+        hot = QUBIT_GATE_NS_E3.customized(
+            one_qubit_gate_error_rate=0.02,
+            two_qubit_gate_error_rate=0.02,
+            one_qubit_measurement_error_rate=0.02,
+        )
+        with pytest.raises(QECSchemeError, match="threshold"):
+            SURFACE_CODE_GATE_BASED.required_code_distance(hot, 1e-6)
+
+    def test_unachievable_distance_rejected(self):
+        tiny = SURFACE_CODE_GATE_BASED.customized(max_code_distance=5)
+        with pytest.raises(QECSchemeError, match="maximum"):
+            tiny.required_code_distance(QUBIT_GATE_NS_E3, 1e-30)
+
+    def test_nonpositive_target_rejected(self):
+        with pytest.raises(QECSchemeError, match="positive"):
+            SURFACE_CODE_GATE_BASED.required_code_distance(QUBIT_GATE_NS_E3, 0.0)
+
+    @given(st.floats(min_value=1e-25, max_value=1e-3, allow_nan=False))
+    def test_property_solver_minimal_and_sufficient(self, target):
+        d = FLOQUET_CODE.required_code_distance(QUBIT_MAJ_NS_E4, target)
+        assert FLOQUET_CODE.logical_error_rate(QUBIT_MAJ_NS_E4, d) <= target
+        assert d == 1 or (
+            FLOQUET_CODE.logical_error_rate(QUBIT_MAJ_NS_E4, d - 2) > target
+        )
+
+    @given(
+        st.floats(min_value=1e-25, max_value=1e-4, allow_nan=False),
+        st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    )
+    def test_property_tighter_target_never_smaller_distance(self, target, factor):
+        d1 = FLOQUET_CODE.required_code_distance(QUBIT_MAJ_NS_E6, target)
+        d2 = FLOQUET_CODE.required_code_distance(QUBIT_MAJ_NS_E6, target / factor)
+        assert d2 >= d1
+
+
+class TestCustomSchemes:
+    def test_fully_custom_scheme(self):
+        custom = QECScheme(
+            name="my_code",
+            crossing_prefactor=0.05,
+            error_correction_threshold=0.005,
+            logical_cycle_time="10 * oneQubitMeasurementTime * codeDistance",
+            physical_qubits_per_logical_qubit="3 * codeDistance^2",
+        )
+        assert custom.cycle_time_ns(QUBIT_GATE_NS_E4, 3) == 3000
+        assert custom.physical_qubits(QUBIT_GATE_NS_E4, 3) == 27
+
+    def test_customized_override_keeps_rest(self):
+        slow = FLOQUET_CODE.customized(crossing_prefactor=0.2)
+        assert slow.crossing_prefactor == 0.2
+        assert slow.error_correction_threshold == FLOQUET_CODE.error_correction_threshold
+        assert "customized" in slow.name
+
+    def test_custom_scheme_referencing_missing_parameter(self):
+        needs_gates = QECScheme(
+            name="needs_gates",
+            crossing_prefactor=0.03,
+            error_correction_threshold=0.01,
+            logical_cycle_time="twoQubitGateTime * codeDistance",
+            physical_qubits_per_logical_qubit="2 * codeDistance^2",
+        )
+        with pytest.raises(QECSchemeError, match="twoQubitGateTime"):
+            needs_gates.check_compatible(QUBIT_MAJ_NS_E4)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(QECSchemeError):
+            FLOQUET_CODE.customized(crossing_prefactor=-1.0)
+        with pytest.raises(QECSchemeError):
+            FLOQUET_CODE.customized(error_correction_threshold=1.5)
+        with pytest.raises(QECSchemeError):
+            FLOQUET_CODE.customized(max_code_distance=10)  # even
+
+
+class TestLogicalQubit:
+    def test_for_target_error_rate(self):
+        lq = LogicalQubit.for_target_error_rate(FLOQUET_CODE, QUBIT_MAJ_NS_E4, 1e-12)
+        assert lq.logical_error_rate <= 1e-12
+        assert lq.physical_qubits == FLOQUET_CODE.physical_qubits(
+            QUBIT_MAJ_NS_E4, lq.code_distance
+        )
+        assert lq.logical_cycles_per_second == pytest.approx(1e9 / lq.cycle_time_ns)
+
+    def test_to_dict_structure(self):
+        lq = LogicalQubit.for_target_error_rate(FLOQUET_CODE, QUBIT_MAJ_NS_E6, 1e-9)
+        d = lq.to_dict()
+        assert d["codeDistance"] == lq.code_distance
+        assert d["qecScheme"]["name"] == "floquet_code"

@@ -1,0 +1,244 @@
+"""Tests for the QIR text front end: parsing, emission, round-trips."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import estimate, qubit_params
+from repro.ir import CircuitBuilder
+from repro.qir import QIRParseError, emit_qir, parse_qir
+
+SIMPLE_PROGRAM = """
+; a QIR module
+define void @main() {
+entry:
+  %q0 = call %Qubit* @__quantum__rt__qubit_allocate()
+  %q1 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(%Qubit* %q0)
+  call void @__quantum__qis__cnot__body(%Qubit* %q0, %Qubit* %q1)
+  call void @__quantum__qis__t__body(%Qubit* %q1)
+  call void @__quantum__qis__t__adj(%Qubit* %q0)
+  call void @__quantum__qis__rz__body(double 0.125, %Qubit* %q1)
+  %r0 = call %Result* @__quantum__qis__m__body(%Qubit* %q0)
+  call void @__quantum__rt__qubit_release(%Qubit* %q1)
+  call void @__quantum__rt__qubit_release(%Qubit* %q0)
+  ret void
+}
+"""
+
+
+class TestParser:
+    def test_simple_program_counts(self):
+        counts = parse_qir(SIMPLE_PROGRAM).logical_counts()
+        assert counts.num_qubits == 2
+        assert counts.t_count == 2  # t body + t adj
+        assert counts.rotation_count == 1
+        assert counts.measurement_count == 1
+
+    def test_three_qubit_gates(self):
+        text = """
+        define void @main() {
+        entry:
+          %a = call %Qubit* @__quantum__rt__qubit_allocate()
+          %b = call %Qubit* @__quantum__rt__qubit_allocate()
+          %c = call %Qubit* @__quantum__rt__qubit_allocate()
+          call void @__quantum__qis__ccz__body(%Qubit* %a, %Qubit* %b, %Qubit* %c)
+          call void @__quantum__qis__toffoli__body(%Qubit* %a, %Qubit* %b, %Qubit* %c)
+          call void @__quantum__qis__ccix__body(%Qubit* %a, %Qubit* %b, %Qubit* %c)
+          ret void
+        }
+        """
+        counts = parse_qir(text).logical_counts()
+        assert counts.ccz_count == 2
+        assert counts.ccix_count == 1
+
+    def test_static_qubit_literals(self):
+        """Base-profile style: inttoptr literals and null instead of SSA."""
+        text = """
+        define void @main() {
+        entry:
+          call void @__quantum__qis__h__body(%Qubit* null)
+          call void @__quantum__qis__cnot__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*))
+          call void @__quantum__qis__t__body(%Qubit* inttoptr (i64 2 to %Qubit*))
+          ret void
+        }
+        """
+        counts = parse_qir(text).logical_counts()
+        assert counts.num_qubits == 3
+        assert counts.t_count == 1
+
+    def test_rotation_adjoint_negates_angle(self):
+        text = """
+        define void @main() {
+        entry:
+          %q = call %Qubit* @__quantum__rt__qubit_allocate()
+          call void @__quantum__qis__rz__adj(double 0.5, %Qubit* %q)
+          ret void
+        }
+        """
+        circuit = parse_qir(text)
+        angles = [ins[4] for ins in circuit.instructions if ins[4] != 0.0]
+        assert angles == [-0.5]
+
+    def test_result_runtime_calls_ignored(self):
+        text = """
+        define void @main() {
+        entry:
+          %q = call %Qubit* @__quantum__rt__qubit_allocate()
+          %r = call %Result* @__quantum__qis__m__body(%Qubit* %q)
+          %b = call i1 @__quantum__rt__read_result(%Result* %r)
+          call void @__quantum__rt__result_record_output(%Result* %r, i8* null)
+          ret void
+        }
+        """
+        assert parse_qir(text).logical_counts().measurement_count == 1
+
+    def test_unknown_intrinsic_rejected(self):
+        text = """
+        define void @main() {
+        entry:
+          %q = call %Qubit* @__quantum__rt__qubit_allocate()
+          call void @__quantum__qis__frobnicate__body(%Qubit* %q)
+          ret void
+        }
+        """
+        with pytest.raises(QIRParseError, match="frobnicate"):
+            parse_qir(text)
+
+    def test_unsupported_classical_instruction_rejected(self):
+        text = """
+        define void @main() {
+        entry:
+          %x = add i64 1, 2
+          ret void
+        }
+        """
+        with pytest.raises(QIRParseError, match="unsupported instruction"):
+            parse_qir(text)
+
+    def test_use_of_unallocated_qubit_rejected(self):
+        text = """
+        define void @main() {
+        entry:
+          call void @__quantum__qis__h__body(%Qubit* %ghost)
+          ret void
+        }
+        """
+        with pytest.raises(QIRParseError, match="unallocated"):
+            parse_qir(text)
+
+    def test_wrong_arity_rejected(self):
+        text = """
+        define void @main() {
+        entry:
+          %q = call %Qubit* @__quantum__rt__qubit_allocate()
+          call void @__quantum__qis__cnot__body(%Qubit* %q)
+          ret void
+        }
+        """
+        with pytest.raises(QIRParseError, match="2 qubit argument"):
+            parse_qir(text)
+
+    def test_error_reports_line_number(self):
+        text = "define void @main() {\nentry:\n  bogus instruction\n  ret void\n}"
+        with pytest.raises(QIRParseError, match="line 3"):
+            parse_qir(text)
+
+    def test_parsed_circuit_estimates_end_to_end(self):
+        result = estimate(
+            parse_qir(SIMPLE_PROGRAM), qubit_params("qubit_gate_ns_e3"), budget=1e-3
+        )
+        assert result.physical_qubits > 0
+
+
+class TestEmitter:
+    def test_emit_contains_expected_intrinsics(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.h(q[0])
+        b.cx(q[0], q[1])
+        b.t_adj(q[1])
+        b.rz(0.25, q[0])
+        b.measure(q[0])
+        text = emit_qir(b.finish())
+        assert "@__quantum__rt__qubit_allocate()" in text
+        assert "@__quantum__qis__cnot__body" in text
+        assert "@__quantum__qis__t__adj" in text
+        assert "double 0.25" in text
+        assert "@__quantum__qis__m__body" in text
+        assert text.strip().endswith("}")
+
+    def test_and_pairs_lower_to_ccix_and_measure(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        t = b.and_compute(q[0], q[1])
+        b.and_uncompute(q[0], q[1], t)
+        text = emit_qir(b.finish())
+        assert "ccix" in text
+        assert "m__body" in text
+
+    def test_account_for_estimates_rejected(self):
+        from repro import LogicalCounts
+
+        b = CircuitBuilder()
+        b.allocate()
+        b.account_for_estimates(LogicalCounts(num_qubits=1, t_count=5))
+        with pytest.raises(ValueError, match="QIR"):
+            emit_qir(b.finish())
+
+
+class TestRoundTrip:
+    def test_counts_preserved_through_round_trip(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        b.h(q[0]); b.t(q[0]); b.s(q[1]); b.s_adj(q[2])
+        b.ccx(*q); b.ccz(*q)
+        t = b.and_compute(q[0], q[1]); b.and_uncompute(q[0], q[1], t)
+        b.rz(0.3, q[2]); b.rx(-0.7, q[0]); b.ry(math.pi / 4, q[1])
+        b.measure(q[0]); b.reset(q[1])
+        original = b.finish()
+        reparsed = parse_qir(emit_qir(original))
+        assert reparsed.logical_counts() == original.logical_counts()
+
+    @given(
+        ops=st.lists(
+            st.sampled_from(["h", "t", "tadj", "cx", "ccz", "and", "rz", "m"]),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_random_circuits_round_trip(self, ops):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        for op in ops:
+            if op == "h":
+                b.h(q[0])
+            elif op == "t":
+                b.t(q[1])
+            elif op == "tadj":
+                b.t_adj(q[2])
+            elif op == "cx":
+                b.cx(q[0], q[2])
+            elif op == "ccz":
+                b.ccz(*q)
+            elif op == "and":
+                t = b.and_compute(q[0], q[1])
+                b.and_uncompute(q[0], q[1], t)
+            elif op == "rz":
+                b.rz(0.123, q[0])
+            elif op == "m":
+                b.measure(q[2])
+        original = b.finish()
+        reparsed = parse_qir(emit_qir(original))
+        assert reparsed.logical_counts() == original.logical_counts()
+
+    def test_multiplier_circuit_round_trips(self):
+        """A real arithmetic circuit survives QIR serialization."""
+        from repro.arithmetic import SchoolbookMultiplier
+
+        original = SchoolbookMultiplier(8).circuit()
+        reparsed = parse_qir(emit_qir(original))
+        assert reparsed.logical_counts() == original.logical_counts()

@@ -1,0 +1,132 @@
+"""Tests for the physical qubit parameter models and profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qubits import (
+    InstructionSet,
+    PREDEFINED_PROFILES,
+    PhysicalQubitParams,
+    QUBIT_GATE_NS_E3,
+    QUBIT_MAJ_NS_E4,
+    qubit_params,
+)
+
+
+class TestPredefinedProfiles:
+    def test_all_six_present(self):
+        assert set(PREDEFINED_PROFILES) == {
+            "qubit_gate_ns_e3",
+            "qubit_gate_ns_e4",
+            "qubit_gate_us_e3",
+            "qubit_gate_us_e4",
+            "qubit_maj_ns_e4",
+            "qubit_maj_ns_e6",
+        }
+
+    def test_paper_quoted_maj_e4_parameters(self):
+        """Sec. V quotes the qubit_maj_ns_e4 parameters explicitly."""
+        p = QUBIT_MAJ_NS_E4
+        assert p.one_qubit_measurement_time_ns == 100.0  # "gate operation time 100ns"
+        assert p.two_qubit_joint_measurement_time_ns == 100.0
+        assert p.clifford_error_rate == 1e-4  # "Clifford error rate 1e-4"
+        assert p.t_gate_error_rate == 5e-2  # "non-Clifford error rate 0.05"
+        assert p.instruction_set is InstructionSet.MAJORANA
+
+    def test_gate_based_profiles_have_gate_fields(self):
+        for name in ("qubit_gate_ns_e3", "qubit_gate_ns_e4"):
+            p = PREDEFINED_PROFILES[name]
+            assert p.instruction_set is InstructionSet.GATE_BASED
+            assert p.two_qubit_gate_time_ns == 50.0
+            assert p.one_qubit_measurement_time_ns == 100.0
+
+    def test_us_profiles_are_slow_with_good_t(self):
+        p = PREDEFINED_PROFILES["qubit_gate_us_e3"]
+        assert p.two_qubit_gate_time_ns == 100_000.0
+        assert p.t_gate_error_rate == 1e-6
+
+    def test_realistic_vs_optimistic_regimes(self):
+        assert (
+            PREDEFINED_PROFILES["qubit_gate_ns_e4"].clifford_error_rate
+            < PREDEFINED_PROFILES["qubit_gate_ns_e3"].clifford_error_rate
+        )
+        assert (
+            PREDEFINED_PROFILES["qubit_maj_ns_e6"].clifford_error_rate
+            < PREDEFINED_PROFILES["qubit_maj_ns_e4"].clifford_error_rate
+        )
+
+
+class TestLookupAndCustomization:
+    def test_lookup_by_name(self):
+        assert qubit_params("qubit_gate_ns_e3") is QUBIT_GATE_NS_E3
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="qubit_gate_ns_e3"):
+            qubit_params("qubit_gate_xx")
+
+    def test_customized_override(self):
+        fast = qubit_params("qubit_gate_ns_e3", two_qubit_gate_time_ns=20.0)
+        assert fast.two_qubit_gate_time_ns == 20.0
+        assert fast.one_qubit_gate_time_ns == 50.0  # untouched
+        assert "customized" in fast.name
+        # the original is untouched (frozen dataclass copy)
+        assert QUBIT_GATE_NS_E3.two_qubit_gate_time_ns == 50.0
+
+    def test_customized_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown"):
+            QUBIT_GATE_NS_E3.customized(bogus_rate=1.0)
+
+
+class TestValidation:
+    def test_gate_based_requires_gate_parameters(self):
+        with pytest.raises(ValueError, match="missing required"):
+            PhysicalQubitParams(
+                name="incomplete",
+                instruction_set=InstructionSet.GATE_BASED,
+                one_qubit_measurement_time_ns=100.0,
+                one_qubit_measurement_error_rate=1e-3,
+                t_gate_error_rate=1e-3,
+            )
+
+    def test_majorana_requires_joint_measurement(self):
+        with pytest.raises(ValueError, match="missing required"):
+            PhysicalQubitParams(
+                name="incomplete",
+                instruction_set=InstructionSet.MAJORANA,
+                one_qubit_measurement_time_ns=100.0,
+                one_qubit_measurement_error_rate=1e-4,
+                t_gate_error_rate=5e-2,
+            )
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError, match="positive"):
+            QUBIT_GATE_NS_E3.customized(t_gate_time_ns=0.0)
+
+    def test_rejects_error_rates_outside_unit_interval(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            QUBIT_GATE_NS_E3.customized(two_qubit_gate_error_rate=1.0)
+
+
+class TestFormulaEnvironment:
+    def test_gate_based_environment(self):
+        env = QUBIT_GATE_NS_E3.formula_environment(9)
+        assert env["codeDistance"] == 9.0
+        assert env["twoQubitGateTime"] == 50.0
+        assert env["oneQubitMeasurementTime"] == 100.0
+        assert env["cliffordErrorRate"] == 1e-3
+        assert "twoQubitJointMeasurementTime" not in env
+
+    def test_majorana_environment(self):
+        env = QUBIT_MAJ_NS_E4.formula_environment(11)
+        assert env["twoQubitJointMeasurementTime"] == 100.0
+        assert "twoQubitGateTime" not in env
+
+    def test_clifford_error_rate_is_worst_case(self):
+        p = QUBIT_GATE_NS_E3.customized(one_qubit_measurement_error_rate=5e-3)
+        assert p.clifford_error_rate == 5e-3
+
+    def test_to_dict_drops_inapplicable_fields(self):
+        d = QUBIT_MAJ_NS_E4.to_dict()
+        assert d["instruction_set"] == "majorana"
+        assert "two_qubit_gate_time_ns" not in d

@@ -1,0 +1,99 @@
+"""Tests for the full report renderer and parallel sweep execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LogicalCounts, estimate, qubit_params
+from repro.experiments.parallel import fig3_points, fig4_points, run_rows_parallel
+from repro.report import render_report
+
+
+@pytest.fixture(scope="module")
+def result():
+    counts = LogicalCounts(
+        num_qubits=60,
+        t_count=10_000,
+        ccz_count=5_000,
+        rotation_count=200,
+        rotation_depth=100,
+        measurement_count=1_000,
+    )
+    return estimate(counts, qubit_params("qubit_gate_ns_e4"), budget=1e-3)
+
+
+class TestRenderReport:
+    def test_all_eight_groups_present(self, result):
+        text = render_report(result)
+        for heading in (
+            "Physical resource estimates",
+            "Resource estimates breakdown",
+            "Logical qubit parameters",
+            "T factory parameters",
+            "Pre-layout logical resources",
+            "Assumed error budget",
+            "Physical qubit parameters",
+            "Assumptions",
+        ):
+            assert heading in text, heading
+
+    def test_values_rendered(self, result):
+        text = render_report(result)
+        assert f"{result.physical_qubits:,}" in text
+        assert str(result.code_distance) in text
+        assert "surface_code" in text
+        assert "10,000" in text  # T gates
+        assert "15-to-1" in text  # factory units
+
+    def test_markdown_mode(self, result):
+        text = render_report(result, markdown=True)
+        assert "## Physical resource estimates" in text
+        assert "| quantity | value |" in text
+        assert "- Logical qubits are laid out" in text
+
+    def test_clifford_only_report(self):
+        counts = LogicalCounts(num_qubits=5, measurement_count=10)
+        r = estimate(counts, qubit_params("qubit_gate_ns_e4"), budget=1e-3)
+        text = render_report(r)
+        assert "not needed" in text
+
+    def test_duration_formatting_scales(self, result):
+        from repro.report import _duration
+
+        assert _duration(5e2) == "0.5 µs"
+        assert _duration(2e7) == "20 ms"
+        assert _duration(3e9) == "3 s"
+        assert _duration(3.6e12) == "60 min"
+        assert _duration(4e13) == "11.1 h"
+        assert _duration(9e14) == "10.4 days"
+
+
+class TestParallelSweeps:
+    POINTS = [
+        ("schoolbook", 64, "qubit_maj_ns_e4"),
+        ("windowed", 64, "qubit_maj_ns_e4"),
+        ("karatsuba", 64, "qubit_maj_ns_e6"),
+        ("windowed", 128, "qubit_gate_ns_e4"),
+    ]
+
+    def test_serial_matches_parallel(self):
+        serial = run_rows_parallel(self.POINTS, max_workers=1)
+        parallel = run_rows_parallel(self.POINTS, max_workers=2)
+        assert serial == parallel
+
+    def test_order_preserved(self):
+        rows = run_rows_parallel(self.POINTS, max_workers=2)
+        assert [(r.algorithm, r.bits, r.profile) for r in rows] == self.POINTS
+
+    def test_point_grids(self):
+        grid3 = fig3_points([32, 64])
+        assert len(grid3) == 6
+        assert grid3[0] == ("schoolbook", 32, "qubit_maj_ns_e4")
+        grid4 = fig4_points(["qubit_gate_ns_e3", "qubit_maj_ns_e4"])
+        assert len(grid4) == 6
+        assert grid4[0] == ("schoolbook", 2048, "qubit_gate_ns_e3")
+
+    def test_single_point_runs_inline(self):
+        rows = run_rows_parallel([("windowed", 32, "qubit_maj_ns_e6")])
+        assert len(rows) == 1
+        assert rows[0].bits == 32

@@ -1,0 +1,135 @@
+"""Tests for the reversible-logic simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import CircuitBuilder
+from repro.sim import ReversibleSimulator, SimulationError, run_reversible
+
+
+class TestBasics:
+    def test_x_and_cx(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.x(q[0])
+        b.cx(q[0], q[1])
+        sim = run_reversible(b.finish())
+        assert sim.read_register(q) == 3
+
+    def test_swap(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.x(q[0])
+        b.swap(q[0], q[1])
+        sim = run_reversible(b.finish())
+        assert sim.bit(q[0]) == 0 and sim.bit(q[1]) == 1
+
+    def test_toffoli_truth_table(self):
+        for a in (0, 1):
+            for bval in (0, 1):
+                b = CircuitBuilder()
+                q = b.allocate_register(3)
+                b.ccx(q[0], q[1], q[2])
+                sim = run_reversible(b.finish(), {q[0]: a, q[1]: bval})
+                assert sim.bit(q[2]) == (a & bval)
+
+    def test_initial_values_applied_at_alloc(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(4)
+        sim = run_reversible(b.finish(), {q[1]: 1, q[3]: 1})
+        assert sim.read_register(q) == 0b1010
+
+    def test_measure_records_outcomes(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        b.x(q[1])
+        b.measure(q[0])
+        b.measure(q[1])
+        sim = run_reversible(b.finish())
+        assert sim.measurements == [(q[0], 0), (q[1], 1)]
+
+    def test_reset_clears_bit(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.x(q)
+        b.reset(q)
+        sim = run_reversible(b.finish())
+        assert sim.bit(q) == 0
+
+    def test_diagonal_gates_are_noops_on_basis_states(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(3)
+        b.x(q[0]); b.x(q[1])
+        b.z(q[0]); b.s(q[0]); b.t(q[0]); b.cz(q[0], q[1]); b.ccz(*q)
+        sim = run_reversible(b.finish())
+        assert sim.read_register(q) == 3
+
+
+class TestContracts:
+    def test_dirty_release_rejected(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.x(q)
+        b.release(q)
+        with pytest.raises(SimulationError, match="released in"):
+            run_reversible(b.finish())
+
+    def test_and_target_contract_enforced(self):
+        b = CircuitBuilder()
+        q = b.allocate_register(2)
+        t = b.and_compute(q[0], q[1])
+        b.x(t)  # corrupt the AND target
+        b.and_uncompute(q[0], q[1], t)
+        with pytest.raises(SimulationError, match="AND_UNCOMPUTE"):
+            run_reversible(b.finish())
+
+    def test_superposition_gates_rejected(self):
+        b = CircuitBuilder()
+        q = b.allocate()
+        b.h(q)
+        with pytest.raises(SimulationError, match="superposition"):
+            run_reversible(b.finish())
+
+    def test_reused_id_comes_back_clean(self):
+        b = CircuitBuilder()
+        keep = b.allocate()
+        q1 = b.allocate()
+        b.cx(q1, keep)  # consume q1's initial value
+        b.x(q1)  # clear it (initial value will be 1)
+        b.release(q1)
+        q2 = b.allocate()  # reuses q1's id
+        assert q2 == q1
+        b.cx(q2, keep)  # if init were re-applied, this would flip keep back
+        c = b.finish()
+        sim = run_reversible(c, {q1: 1})
+        assert sim.bit(keep) == 1  # initial value seen exactly once
+
+    def test_write_register_bounds(self):
+        sim = ReversibleSimulator()
+        with pytest.raises(SimulationError, match="fit"):
+            sim.write_register([0, 1], 4)
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_property_cnot_ladder_computes_xor(x, y):
+    """An 8-bit CNOT ladder XORs one register into another."""
+    b = CircuitBuilder()
+    xs = b.allocate_register(8)
+    ys = b.allocate_register(8)
+    for xq, yq in zip(xs, ys):
+        b.cx(xq, yq)
+    init = {q: (x >> i) & 1 for i, q in enumerate(xs)}
+    init.update({q: (y >> i) & 1 for i, q in enumerate(ys)})
+    sim = run_reversible(b.finish(), init)
+    assert sim.read_register(ys) == x ^ y
+    assert sim.read_register(xs) == x
+
+
+@given(st.integers(0, 2**16 - 1))
+def test_property_write_then_read_register(value):
+    sim = ReversibleSimulator()
+    qubits = list(range(16))
+    sim.write_register(qubits, value)
+    assert sim.read_register(qubits) == value
