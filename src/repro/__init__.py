@@ -13,6 +13,11 @@ Quickstart
 >>> result = estimate(counts, qubit_params("qubit_gate_ns_e3"), budget=1e-3)
 >>> print(result.summary())
 
+Sweeps over many (program, qubit, scheme, budget, constraints) points go
+through :func:`estimate_batch` (see :mod:`repro.estimator.batch`), which
+memoizes cross-point work and optionally fans out over processes;
+:func:`estimate_frontier` trades qubits against runtime on top of it.
+
 The case-study quantum arithmetic (schoolbook / Karatsuba / windowed
 multiplication) lives in :mod:`repro.arithmetic`; figure reproduction
 drivers live in :mod:`repro.experiments`.
@@ -29,10 +34,16 @@ from .distillation import (
     design_t_factory,
 )
 from .estimator import (
+    BatchOutcome,
     Constraints,
+    EstimateCache,
+    EstimateRequest,
     EstimationError,
+    Frontier,
+    FrontierPoint,
     PhysicalResourceEstimates,
     estimate,
+    estimate_batch,
     estimate_frontier,
 )
 from .formulas import Formula
@@ -60,14 +71,19 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AdvantageAssessment",
+    "BatchOutcome",
     "Constraints",
     "DistillationRound",
     "DistillationUnit",
     "ErrorBudget",
     "ErrorBudgetPartition",
+    "EstimateCache",
+    "EstimateRequest",
     "EstimationError",
     "FLOQUET_CODE",
     "Formula",
+    "Frontier",
+    "FrontierPoint",
     "ImplementationLevel",
     "InstructionSet",
     "LogicalCounts",
@@ -86,6 +102,7 @@ __all__ = [
     "design_t_factory",
     "emit_qir",
     "estimate",
+    "estimate_batch",
     "estimate_frontier",
     "layout_resources",
     "logical_qubits_after_layout",

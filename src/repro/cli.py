@@ -14,6 +14,24 @@ Usage::
 
     {"num_qubits": 100, "t_count": 1000000, "ccz_count": 500000,
      "rotation_count": 0, "rotation_depth": 0, "measurement_count": 10000}
+
+Grid sweeps run through the shared batch engine (one trace per circuit,
+memoized factory designs and distance lookups, optional process fan-out)::
+
+    python -m repro batch grid.json --workers 4 --json
+
+``grid.json`` describes a cartesian sweep. Programs are either the paper's
+multipliers (``algorithms`` x ``bits``) or explicit logical counts
+(``counts``: one dict or a list of dicts); the grid crosses them with
+``profiles`` x ``budgets`` x ``depth_factors``::
+
+    {"algorithms": ["schoolbook", "windowed"], "bits": [64, 128],
+     "profiles": ["qubit_maj_ns_e4"], "budgets": [1e-4],
+     "depth_factors": [1.0], "qec_scheme": null, "max_t_factories": null,
+     "max_duration_ns": null, "max_physical_qubits": null}
+
+Infeasible points are reported per row (and set a non-zero exit status)
+rather than aborting the sweep.
 """
 
 from __future__ import annotations
@@ -27,6 +45,7 @@ from .advantage import assess
 from .budget import ErrorBudget
 from .counts import LogicalCounts
 from .estimator import Constraints, EstimationError, estimate
+from .estimator.batch import estimate_batch, request_grid
 from .qec import default_scheme_for, qec_scheme
 from .qir import QIRParseError, parse_qir
 from .qubits import PREDEFINED_PROFILES, qubit_params
@@ -37,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Fault-tolerant quantum resource estimation "
         "(Azure Quantum Resource Estimator reproduction).",
+        epilog="Grid sweeps: 'repro batch grid.json [--workers N] [--json]' "
+        "runs many points through the cached batch engine "
+        "(see 'repro batch --help').",
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
@@ -107,8 +129,231 @@ def _load_program(args: argparse.Namespace):
         raise SystemExit(f"error: QIR parse failed: {exc}")
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Sweep a grid of estimation points through the shared "
+        "batch engine (cached cross-point work, optional process fan-out).",
+    )
+    parser.add_argument("grid", type=Path, help="JSON grid specification file")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; default: 1)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per grid point instead of the table",
+    )
+    return parser
+
+
+#: Recognized top-level grid spec keys; anything else is a likely typo
+#: (e.g. "budget" for "budgets") that would silently run with defaults.
+_GRID_KEYS = frozenset(
+    {
+        "algorithms",
+        "bits",
+        "counts",
+        "profiles",
+        "budgets",
+        "depth_factors",
+        "max_t_factories",
+        "max_duration_ns",
+        "max_physical_qubits",
+        "qec_scheme",
+    }
+)
+
+
+def _load_grid(path: Path) -> dict:
+    try:
+        spec = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read grid spec: {exc}")
+    if not isinstance(spec, dict):
+        raise SystemExit("error: grid spec must be a JSON object")
+    unknown = sorted(set(spec) - _GRID_KEYS)
+    if unknown:
+        raise SystemExit(
+            f"error: unknown grid spec keys {unknown}; "
+            f"known keys: {sorted(_GRID_KEYS)}"
+        )
+    return spec
+
+
+def _grid_programs(spec: dict) -> list[tuple[object, object, str]]:
+    """(program, program_key, label) triples from a grid spec."""
+    has_multipliers = "algorithms" in spec or "bits" in spec
+    has_counts = "counts" in spec
+    if has_multipliers == has_counts:
+        raise SystemExit(
+            "error: grid spec needs either 'algorithms'+'bits' or 'counts'"
+        )
+    programs: list[tuple[object, object, str]] = []
+    if has_multipliers:
+        algorithms = spec.get("algorithms")
+        bits_list = spec.get("bits")
+        if not algorithms or not bits_list:
+            raise SystemExit(
+                "error: multiplier grids need non-empty 'algorithms' and 'bits'"
+            )
+        from .arithmetic import multiplier_by_name
+
+        for algorithm in algorithms:
+            for bits in bits_list:
+                # Construct eagerly so bad names/sizes fail as spec errors;
+                # tracing stays lazy (logical_counts() runs in the workers).
+                try:
+                    program = multiplier_by_name(algorithm, int(bits))
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise SystemExit(f"error: invalid grid spec: {exc}")
+                programs.append(
+                    (
+                        program,
+                        ("multiplier", algorithm, int(bits)),
+                        f"{algorithm}/{bits}",
+                    )
+                )
+        return programs
+    counts_spec = spec["counts"]
+    if isinstance(counts_spec, dict):
+        counts_spec = [counts_spec]
+    if not isinstance(counts_spec, list) or not counts_spec:
+        raise SystemExit("error: 'counts' must be a dict or non-empty list of dicts")
+    for index, data in enumerate(counts_spec):
+        try:
+            counts = LogicalCounts.from_dict(data)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"error: invalid logical counts [{index}]: {exc}")
+        programs.append((counts, None, f"counts[{index}]"))
+    return programs
+
+
+def _batch_main(argv: list[str]) -> int:
+    parser = build_batch_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    spec = _load_grid(args.grid)
+
+    programs = _grid_programs(spec)
+    profiles = spec.get("profiles")
+    if not profiles:
+        raise SystemExit("error: grid spec needs non-empty 'profiles'")
+    def _float_list(key: str, default: list[float]) -> list[float]:
+        raw = spec.get(key, default)
+        if not isinstance(raw, list) or not raw:
+            raise SystemExit(f"error: '{key}' must be a non-empty list of numbers")
+        try:
+            return [float(value) for value in raw]
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"error: invalid '{key}' value: {exc}")
+
+    budgets = _float_list("budgets", [1e-3])
+    depth_factors = _float_list("depth_factors", [1.0])
+    scheme_name = spec.get("qec_scheme")
+
+    try:
+        qubits = [qubit_params(profile) for profile in profiles]
+        constraints = [
+            Constraints(
+                max_t_factories=spec.get("max_t_factories"),
+                logical_depth_factor=factor,
+                max_duration_ns=spec.get("max_duration_ns"),
+                max_physical_qubits=spec.get("max_physical_qubits"),
+            )
+            for factor in depth_factors
+        ]
+        requests = request_grid(
+            programs,
+            qubits,
+            budgets=[ErrorBudget(total=budget) for budget in budgets],
+            constraints=constraints,
+            scheme_for=(
+                (lambda qubit: qec_scheme(scheme_name, qubit))
+                if scheme_name
+                else default_scheme_for
+            ),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: invalid grid spec: {exc}")
+    # Row labels come from the request fields themselves, so they can
+    # never fall out of sync with the grid expansion order.
+    meta = [
+        (
+            request.label,
+            request.qubit.name,
+            request.budget.total,
+            request.constraints.logical_depth_factor,
+        )
+        for request in requests
+    ]
+
+    outcomes = estimate_batch(requests, max_workers=args.workers)
+    failures = 0
+
+    if args.json:
+        records = []
+        for (label, profile, budget, factor), outcome in zip(meta, outcomes):
+            record: dict[str, object] = {
+                "program": label,
+                "profile": profile,
+                "budget": budget,
+                "depthFactor": factor,
+                "ok": outcome.ok,
+            }
+            if outcome.ok:
+                r = outcome.result
+                record["result"] = {
+                    "physicalQubits": r.physical_qubits,
+                    "runtime_s": r.runtime_seconds,
+                    "codeDistance": r.code_distance,
+                    "logicalQubits": r.logical_qubits,
+                    "rqops": r.rqops,
+                    "tFactoryCopies": r.t_factory.copies if r.t_factory else 0,
+                }
+            else:
+                record["error"] = outcome.error
+                failures += 1
+            records.append(record)
+        print(json.dumps(records, indent=2))
+    else:
+        header = (
+            f"{'program':<20} {'profile':<17} {'budget':>8} {'depth':>6} "
+            f"{'phys qubits':>12} {'runtime[s]':>11} {'d':>3} {'rQOPS':>10}"
+        )
+        print(header)
+        print("-" * len(header))
+        for (label, profile, budget, factor), outcome in zip(meta, outcomes):
+            if outcome.ok:
+                r = outcome.result
+                print(
+                    f"{label:<20} {profile:<17} {budget:>8.1g} {factor:>6g} "
+                    f"{r.physical_qubits:>12,} {r.runtime_seconds:>11.3g} "
+                    f"{r.code_distance:>3} {r.rqops:>10.3g}"
+                )
+            else:
+                failures += 1
+                print(
+                    f"{label:<20} {profile:<17} {budget:>8.1g} {factor:>6g} "
+                    f"error: {outcome.error}"
+                )
+        if failures:
+            print(
+                f"{failures} of {len(outcomes)} points infeasible",
+                file=sys.stderr,
+            )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "batch":
+        return _batch_main(raw[1:])
+    args = build_parser().parse_args(raw)
     program = _load_program(args)
     qubit = qubit_params(args.profile)
     scheme = (

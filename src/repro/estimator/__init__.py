@@ -1,11 +1,16 @@
 """The resource estimation pipeline (paper Sec. III and IV-D).
 
-:func:`estimate` is the main entry point: it takes a program (as
+:func:`estimate` is the single-point entry point: it takes a program (as
 pre-layout :class:`~repro.counts.LogicalCounts`, or anything with a
 ``logical_counts()`` method such as a traced circuit), a hardware profile,
 and optional QEC scheme / error budget / constraints, and returns
 :class:`PhysicalResourceEstimates` with all eight output groups of the
-tool.
+tool. It composes the explicit stages of :mod:`repro.estimator.stages`.
+
+Sweeps go through :func:`estimate_batch` (:mod:`repro.estimator.batch`):
+one engine with cross-point memoization (traced counts, T-factory
+designs, code-distance lookups) and optional process fan-out that serves
+:func:`estimate_frontier`, the figure runners, and the CLI alike.
 """
 
 from .constraints import Constraints
@@ -15,17 +20,32 @@ from .result import (
     ResourceBreakdown,
     TFactoryUsage,
 )
-from .pipeline import EstimationError, estimate
-from .frontier import FrontierPoint, estimate_frontier
+from .stages import (
+    EstimationContext,
+    EstimationError,
+    FixedPointSolution,
+    solve_code_distance_fixed_point,
+)
+from .pipeline import estimate
+from .batch import BatchOutcome, EstimateCache, EstimateRequest, estimate_batch
+from .frontier import Frontier, FrontierPoint, estimate_frontier
 
 __all__ = [
+    "BatchOutcome",
     "Constraints",
+    "EstimateCache",
+    "EstimateRequest",
+    "EstimationContext",
     "EstimationError",
+    "FixedPointSolution",
+    "Frontier",
     "FrontierPoint",
     "PhysicalCounts",
     "PhysicalResourceEstimates",
     "ResourceBreakdown",
     "TFactoryUsage",
     "estimate",
+    "estimate_batch",
     "estimate_frontier",
+    "solve_code_distance_fixed_point",
 ]

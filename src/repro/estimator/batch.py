@@ -1,0 +1,410 @@
+"""Shared batch/sweep engine: evaluate many estimation points at once.
+
+Every sweep surface of the library — :func:`~repro.estimator.frontier.
+estimate_frontier`, the Fig. 3/4 experiment runners, and the CLI ``batch``
+subcommand — routes through :func:`estimate_batch`, so cross-point work is
+paid once per sweep instead of once per point:
+
+* **Traced logical counts** are memoized per program. Tracing a 16384-bit
+  multiplier circuit costs ~1 s of pure Python; a grid that revisits the
+  same circuit across profiles/budgets traces it exactly once. Requests
+  may carry a hashable ``program_key`` so deduplication survives process
+  boundaries (object identity is used otherwise).
+* **T-factory designs** are memoized per (designer, qubit, scheme,
+  required output error), on top of the designer's own per-(qubit, scheme)
+  catalog cache.
+* **Code-distance lookups** (:meth:`LogicalQubit.for_target_error_rate`)
+  are memoized per (scheme, qubit, required error) — the inner loop of the
+  C<->D fixed point.
+
+Parallelism knobs
+-----------------
+``max_workers=1`` (the default) runs serially with one shared
+:class:`EstimateCache`. ``max_workers=None`` or ``> 1`` fans contiguous
+request chunks out over a ``ProcessPoolExecutor``; each worker process
+keeps a process-global cache, and chunk pickling preserves shared program
+objects so in-chunk deduplication still applies. Pool start-up failures
+(sandboxes without process spawning) and unpicklable requests fall back to
+serial execution with identical results — determinism is asserted by the
+tests.
+
+Programs may be :class:`~repro.counts.LogicalCounts`, any object with a
+``logical_counts()`` method, or a zero-argument callable returning either
+(a *program factory*, e.g. ``functools.partial``) — factories let workers
+build and trace circuits in parallel instead of serializing the traced
+artifact through the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+from ..budget import ErrorBudget
+from ..counts import LogicalCounts
+from ..distillation import TFactory, TFactoryDesigner
+from ..qec import LogicalQubit, QECScheme
+from ..qubits import PhysicalQubitParams
+from ..synthesis import RotationSynthesis
+from .constraints import Constraints
+from .result import PhysicalResourceEstimates
+from .stages import (
+    DEFAULT_DESIGNER,
+    EstimationError,
+    build_context,
+    resolve_counts,
+    run_pipeline,
+)
+
+__all__ = [
+    "BatchOutcome",
+    "EstimateCache",
+    "EstimateRequest",
+    "estimate_batch",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class EstimateRequest:
+    """One point of a sweep: a program plus its estimation parameters.
+
+    ``program`` may be :class:`LogicalCounts`, an object exposing
+    ``logical_counts()``, or a zero-argument callable returning either
+    (evaluated lazily, inside the worker for parallel runs).
+
+    ``program_key``, when given, is the memoization key for the program's
+    traced counts; requests sharing a key trace once. Without it, object
+    identity deduplicates (identical only within one process / chunk).
+
+    ``label`` is free-form caller metadata echoed on the outcome.
+    """
+
+    program: object
+    qubit: PhysicalQubitParams
+    scheme: QECScheme | None = None
+    budget: ErrorBudget | float = 1e-3
+    constraints: Constraints | None = None
+    synthesis: RotationSynthesis | None = None
+    program_key: Hashable | None = None
+    label: str | None = None
+
+
+@dataclass(frozen=True, eq=False)
+class BatchOutcome:
+    """Result of one request: an estimate, or the estimation error hit."""
+
+    request: EstimateRequest
+    result: PhysicalResourceEstimates | None
+    error: str | None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def unwrap(self) -> PhysicalResourceEstimates:
+        """The estimate, raising :class:`EstimationError` on failure."""
+        if self.result is None:
+            raise EstimationError(self.error or "estimation failed")
+        return self.result
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`EstimateCache` (observability)."""
+
+    counts_hits: int = 0
+    counts_misses: int = 0
+    factory_hits: int = 0
+    factory_misses: int = 0
+    distance_hits: int = 0
+    distance_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class EstimateCache:
+    """Exact-key memos for the cross-point work of a sweep.
+
+    All cached functions are deterministic and pure, so caching never
+    changes a result — only how often the underlying work runs. A cache
+    may be shared across :func:`estimate_batch` calls to keep its memos
+    warm (the module keeps one such shared instance for default calls);
+    :meth:`clear` drops all entries.
+    """
+
+    designer: TFactoryDesigner = field(default_factory=lambda: DEFAULT_DESIGNER)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        # program key -> (program ref, counts); the ref pins object ids.
+        self._counts: dict[Hashable, tuple[object, LogicalCounts]] = {}
+        # (designer id, ...) -> (designer ref, factory); the ref pins ids.
+        self._factories: dict[tuple, tuple[TFactoryDesigner, TFactory]] = {}
+        self._distances: dict[tuple, LogicalQubit] = {}
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._factories.clear()
+        self._distances.clear()
+
+    def prune_unkeyed_counts(self) -> None:
+        """Drop counts memoized by object identity (not ``program_key``).
+
+        Identity entries pin their program objects alive; the module-shared
+        cache prunes them after each batch so long-lived processes don't
+        accumulate every circuit ever estimated. Keyed entries persist —
+        their vocabulary is bounded by the caller's grid definitions.
+        """
+        self._counts = {
+            key: value
+            for key, value in self._counts.items()
+            if not (isinstance(key, tuple) and len(key) == 2 and key[0] == "id")
+        }
+
+    def resolve_counts(
+        self, program: object, key: Hashable | None = None
+    ) -> LogicalCounts:
+        """Resolve (and memoize) a program's pre-layout logical counts."""
+        if isinstance(program, LogicalCounts):
+            return program
+        cache_key: Hashable = key if key is not None else ("id", id(program))
+        hit = self._counts.get(cache_key)
+        if hit is not None:
+            self.stats.counts_hits += 1
+            return hit[1]
+        self.stats.counts_misses += 1
+        materialized = program
+        if callable(materialized) and not hasattr(materialized, "logical_counts"):
+            materialized = materialized()
+        counts = resolve_counts(materialized)
+        self._counts[cache_key] = (program, counts)
+        return counts
+
+    def design_factory(
+        self,
+        designer: TFactoryDesigner,
+        qubit: PhysicalQubitParams,
+        scheme: QECScheme,
+        required_output_error_rate: float,
+    ) -> TFactory:
+        """Memoized :meth:`TFactoryDesigner.design`."""
+        key = (id(designer), qubit, scheme, required_output_error_rate)
+        hit = self._factories.get(key)
+        if hit is not None:
+            self.stats.factory_hits += 1
+            return hit[1]
+        self.stats.factory_misses += 1
+        factory = designer.design(qubit, scheme, required_output_error_rate)
+        # Store the designer alongside the factory: the strong ref pins its
+        # id so a garbage-collected designer's address can never be reused
+        # by a differently-configured one and hit a stale entry.
+        self._factories[key] = (designer, factory)
+        return factory
+
+    def logical_qubit(
+        self,
+        scheme: QECScheme,
+        qubit: PhysicalQubitParams,
+        required_error_rate: float,
+    ) -> LogicalQubit:
+        """Memoized :meth:`LogicalQubit.for_target_error_rate`."""
+        key = (scheme, qubit, required_error_rate)
+        lq = self._distances.get(key)
+        if lq is not None:
+            self.stats.distance_hits += 1
+            return lq
+        self.stats.distance_misses += 1
+        lq = LogicalQubit.for_target_error_rate(scheme, qubit, required_error_rate)
+        self._distances[key] = lq
+        return lq
+
+
+#: Cache used by default estimate_batch calls, so back-to-back sweeps
+#: (figure drivers, frontier ladders, tests) keep their memos warm. Safe
+#: because entries are exact-key memos of pure functions.
+_SHARED_CACHE = EstimateCache()
+
+#: Per-worker-process cache for parallel runs (initialized lazily).
+_WORKER_CACHE: EstimateCache | None = None
+
+
+def _run_request(
+    request: EstimateRequest, cache: EstimateCache
+) -> BatchOutcome:
+    """Evaluate one request, capturing infeasibility as an outcome."""
+    try:
+        counts = cache.resolve_counts(request.program, key=request.program_key)
+        ctx = build_context(
+            request.program,
+            request.qubit,
+            scheme=request.scheme,
+            budget=request.budget,
+            constraints=request.constraints,
+            synthesis=request.synthesis,
+            factory_designer=cache.designer,
+            counts=counts,
+        )
+        result = run_pipeline(ctx, cache=cache)
+    except EstimationError as exc:
+        return BatchOutcome(request=request, result=None, error=str(exc))
+    return BatchOutcome(request=request, result=result, error=None)
+
+
+def _run_chunk(
+    payload: tuple[int, list[EstimateRequest], TFactoryDesigner | None],
+) -> tuple[int, list[tuple[PhysicalResourceEstimates | None, str | None]]]:
+    """Worker entry point: run one contiguous chunk with the process cache.
+
+    ``payload`` carries the parent's custom factory designer (``None`` for
+    the shared default); a custom designer gets a chunk-local cache so
+    parallel results match what the same cache produces serially.
+    """
+    global _WORKER_CACHE
+    start, requests, designer = payload
+    if designer is not None:
+        cache = EstimateCache(designer=designer)
+    else:
+        if _WORKER_CACHE is None:
+            _WORKER_CACHE = EstimateCache()
+        cache = _WORKER_CACHE
+    outcomes = [_run_request(request, cache) for request in requests]
+    # Ship only (result, error) back; the parent re-attaches its own
+    # request objects so callers can match outcomes by identity.
+    return start, [(o.result, o.error) for o in outcomes]
+
+
+def _run_serial(
+    requests: Sequence[EstimateRequest], cache: EstimateCache
+) -> list[BatchOutcome]:
+    return [_run_request(request, cache) for request in requests]
+
+
+def _chunks(
+    requests: Sequence[EstimateRequest], num_chunks: int
+) -> list[tuple[int, list[EstimateRequest]]]:
+    """Split into at most ``num_chunks`` contiguous (start, chunk) pieces."""
+    n = len(requests)
+    num_chunks = max(1, min(num_chunks, n))
+    size, extra = divmod(n, num_chunks)
+    pieces: list[tuple[int, list[EstimateRequest]]] = []
+    start = 0
+    for i in range(num_chunks):
+        end = start + size + (1 if i < extra else 0)
+        pieces.append((start, list(requests[start:end])))
+        start = end
+    return pieces
+
+
+def estimate_batch(
+    requests: Sequence[EstimateRequest],
+    *,
+    max_workers: int | None = 1,
+    cache: EstimateCache | None = None,
+) -> list[BatchOutcome]:
+    """Evaluate many estimation points, preserving input order.
+
+    Parameters
+    ----------
+    requests:
+        The sweep points. Outcomes are returned in the same order; a point
+        whose estimation is infeasible yields a failed
+        :class:`BatchOutcome` (``ok`` false, ``error`` set) instead of
+        raising, so sweeps can report partial results.
+    max_workers:
+        ``1`` (default) runs serially with a shared cache. ``None`` or
+        ``> 1`` distributes contiguous chunks over a process pool (one
+        chunk per worker); unavailable pools and unpicklable requests fall
+        back to serial execution with identical results.
+    cache:
+        Cache to use (and warm) for serial execution; defaults to a
+        module-shared instance. Worker processes always use their own
+        process-global caches.
+
+    Input validation errors (bad program type, malformed budget or
+    constraints) raise immediately — only :class:`EstimationError`
+    infeasibility is captured per point.
+    """
+    requests = list(requests)
+    shared = cache is None
+    cache = cache if cache is not None else _SHARED_CACHE
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1 or None, got {max_workers}")
+    try:
+        if max_workers == 1 or len(requests) <= 1:
+            return _run_serial(requests, cache)
+
+        # One chunk per worker so in-chunk pickling preserves shared
+        # program objects (identity deduplication inside each worker).
+        num_workers = max_workers if max_workers is not None else os.cpu_count() or 1
+        # A non-default designer must travel with the chunks — workers'
+        # process-global caches only know the shared default.
+        designer = cache.designer if cache.designer is not DEFAULT_DESIGNER else None
+        pieces = [
+            (start, chunk, designer) for start, chunk in _chunks(requests, num_workers)
+        ]
+        try:
+            # Probe picklability up front: unpicklable programs (lambdas,
+            # open handles) run serially instead of dying in the pool.
+            pickle.dumps(pieces)
+        except Exception:
+            return _run_serial(requests, cache)
+        try:
+            with ProcessPoolExecutor(max_workers=num_workers) as pool:
+                results: list[tuple[PhysicalResourceEstimates | None, str | None]] = (
+                    [None] * len(requests)  # type: ignore[list-item]
+                )
+                for start, payloads in pool.map(_run_chunk, pieces):
+                    for offset, payload in enumerate(payloads):
+                        results[start + offset] = payload
+        except (OSError, PermissionError, BrokenProcessPool):
+            # Sandboxes without process spawning fall back to serial
+            # execution; genuine worker exceptions propagate unchanged.
+            return _run_serial(requests, cache)
+        return [
+            BatchOutcome(request=request, result=result, error=error)
+            for request, (result, error) in zip(requests, results)
+        ]
+    finally:
+        if shared:
+            cache.prune_unkeyed_counts()
+
+
+def request_grid(
+    programs: Sequence[tuple[object, Hashable | None, str | None]],
+    qubits: Sequence[PhysicalQubitParams],
+    *,
+    budgets: Sequence[ErrorBudget | float] = (1e-3,),
+    constraints: Sequence[Constraints | None] = (None,),
+    scheme_for: Callable[[PhysicalQubitParams], QECScheme | None] | None = None,
+) -> list[EstimateRequest]:
+    """Cartesian grid helper: (program x qubit x budget x constraints).
+
+    ``programs`` holds ``(program, program_key, label)`` triples;
+    ``scheme_for`` maps each qubit to its QEC scheme (``None`` keeps the
+    technology default). Points are ordered program-major, matching the
+    nesting order of the arguments.
+    """
+    grid: list[EstimateRequest] = []
+    for program, program_key, label in programs:
+        for qubit in qubits:
+            scheme = scheme_for(qubit) if scheme_for is not None else None
+            for budget in budgets:
+                for constraint in constraints:
+                    grid.append(
+                        EstimateRequest(
+                            program=program,
+                            qubit=qubit,
+                            scheme=scheme,
+                            budget=budget,
+                            constraints=constraint,
+                            program_key=program_key,
+                            label=label,
+                        )
+                    )
+    return grid

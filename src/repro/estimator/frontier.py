@@ -3,20 +3,24 @@
 Sweeping the logical-depth slowdown factor trades runtime for T-factory
 parallelism: a slower program needs fewer simultaneous factory copies, so
 it uses fewer physical qubits. :func:`estimate_frontier` evaluates a
-geometric ladder of slowdown factors and returns the Pareto-optimal
-(physical qubits, runtime) points.
+geometric ladder of slowdown factors through the shared batch engine
+(:mod:`repro.estimator.batch`) — the program is traced once and the
+T-factory design is reused across the whole ladder — and returns the
+Pareto-optimal (physical qubits, runtime) points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..budget import ErrorBudget
+from ..distillation import TFactoryDesigner
 from ..qec import QECScheme
 from ..qubits import PhysicalQubitParams
+from ..synthesis import RotationSynthesis
+from .batch import EstimateCache, EstimateRequest, estimate_batch
 from .constraints import Constraints
-from .pipeline import EstimationError, estimate
 from .result import PhysicalResourceEstimates
 
 
@@ -36,6 +40,54 @@ class FrontierPoint:
         return self.estimates.runtime_seconds
 
 
+class Frontier(list):
+    """The Pareto points of a frontier sweep, plus failure diagnostics.
+
+    Behaves exactly like ``list[FrontierPoint]`` (sorted by increasing
+    runtime), and additionally reports the ladder points whose estimation
+    failed instead of silently dropping them:
+
+    ``skipped``
+        ``(depth_factor, error message)`` pairs for infeasible points.
+    ``num_skipped``
+        Count of skipped factors.
+    """
+
+    def __init__(
+        self,
+        points: Iterable[FrontierPoint] = (),
+        skipped: Iterable[tuple[float, str]] = (),
+    ) -> None:
+        super().__init__(points)
+        self.skipped: tuple[tuple[float, str], ...] = tuple(skipped)
+
+    @property
+    def num_skipped(self) -> int:
+        return len(self.skipped)
+
+    @property
+    def skipped_factors(self) -> tuple[float, ...]:
+        return tuple(factor for factor, _ in self.skipped)
+
+
+def pareto_frontier(points: Sequence[FrontierPoint]) -> list[FrontierPoint]:
+    """Pareto-minimal (runtime, qubits) points in one pass.
+
+    Sorting by (runtime, qubits) makes the kept qubit counts strictly
+    decreasing, so a single running minimum replaces the quadratic
+    all-pairs dominance check: a point survives iff it uses strictly fewer
+    qubits than every faster point seen before it.
+    """
+    ordered = sorted(points, key=lambda pt: (pt.runtime_seconds, pt.physical_qubits))
+    frontier: list[FrontierPoint] = []
+    min_qubits: int | None = None
+    for pt in ordered:
+        if min_qubits is None or pt.physical_qubits < min_qubits:
+            frontier.append(pt)
+            min_qubits = pt.physical_qubits
+    return frontier
+
+
 def estimate_frontier(
     program: object,
     qubit: PhysicalQubitParams,
@@ -43,8 +95,9 @@ def estimate_frontier(
     scheme: QECScheme | None = None,
     budget: ErrorBudget | float = 1e-3,
     depth_factors: Sequence[float] | None = None,
-    **estimate_kwargs: object,
-) -> list[FrontierPoint]:
+    synthesis: RotationSynthesis | None = None,
+    factory_designer: TFactoryDesigner | None = None,
+) -> Frontier:
     """Estimate the Pareto frontier of qubits vs runtime.
 
     Parameters
@@ -53,32 +106,41 @@ def estimate_frontier(
         Slowdown factors to evaluate; defaults to a geometric ladder
         ``1, 2, 4, ..., 1024``.
 
-    Returns the Pareto-optimal points sorted by increasing runtime. Points
-    where estimation fails (e.g. a constraint violation) are skipped.
+    Returns the Pareto-optimal points sorted by increasing runtime, as a
+    :class:`Frontier` (a ``list`` that also carries the ladder points
+    whose estimation failed, e.g. on a constraint violation, as
+    ``.skipped``).
     """
     if depth_factors is None:
         depth_factors = [float(2**k) for k in range(11)]
     if not depth_factors:
         raise ValueError("depth_factors must not be empty")
 
-    points: list[FrontierPoint] = []
-    for factor in depth_factors:
-        try:
-            result = estimate(
-                program,
-                qubit,
-                scheme=scheme,
-                budget=budget,
-                constraints=Constraints(logical_depth_factor=factor),
-                **estimate_kwargs,  # type: ignore[arg-type]
-            )
-        except EstimationError:
-            continue
-        points.append(FrontierPoint(logical_depth_factor=factor, estimates=result))
+    # A custom designer needs its own cache; otherwise share the module
+    # cache so repeated frontiers keep their memos warm.
+    cache = EstimateCache(designer=factory_designer) if factory_designer else None
+    requests = [
+        EstimateRequest(
+            program=program,
+            qubit=qubit,
+            scheme=scheme,
+            budget=budget,
+            constraints=Constraints(logical_depth_factor=factor),
+            synthesis=synthesis,
+        )
+        for factor in depth_factors
+    ]
+    outcomes = estimate_batch(requests, max_workers=1, cache=cache)
 
-    points.sort(key=lambda pt: (pt.runtime_seconds, pt.physical_qubits))
-    frontier: list[FrontierPoint] = []
-    for pt in points:
-        if all(pt.physical_qubits < kept.physical_qubits for kept in frontier):
-            frontier.append(pt)
-    return frontier
+    points: list[FrontierPoint] = []
+    skipped: list[tuple[float, str]] = []
+    for factor, outcome in zip(depth_factors, outcomes):
+        if outcome.ok:
+            points.append(
+                FrontierPoint(
+                    logical_depth_factor=factor, estimates=outcome.result
+                )
+            )
+        else:
+            skipped.append((factor, outcome.error or "estimation failed"))
+    return Frontier(pareto_frontier(points), skipped)

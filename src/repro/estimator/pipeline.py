@@ -15,64 +15,32 @@ D. *T factories* — design the cheapest factory meeting the distillation
    changes the required per-cycle error rate and possibly the distance,
    steps C and D iterate to a fixed point.
 E. *rQOPS* — combine logical qubits with the logical clock rate.
+
+The stages themselves live in :mod:`repro.estimator.stages`;
+:func:`estimate` is the single-point composition. Sweeps should use
+:func:`repro.estimator.batch.estimate_batch`, which runs the same stages
+with cross-point memoization and optional process fan-out.
 """
 
 from __future__ import annotations
 
-import math
-
 from ..budget import ErrorBudget
-from ..counts import LogicalCounts
-from ..distillation import TFactoryDesigner, TFactoryError
-from ..layout import layout_resources
-from ..qec import LogicalQubit, QECScheme, default_scheme_for
+from ..distillation import TFactoryDesigner
+from ..qec import QECScheme
 from ..qubits import PhysicalQubitParams
 from ..synthesis import RotationSynthesis
 from .constraints import Constraints
-from .result import (
-    PhysicalCounts,
-    PhysicalResourceEstimates,
-    ResourceBreakdown,
-    TFactoryUsage,
+from .result import PhysicalResourceEstimates
+from .stages import (
+    ASSUMPTIONS as _ASSUMPTIONS,  # noqa: F401  (compat re-export)
+    DEFAULT_DESIGNER as _DEFAULT_DESIGNER,  # noqa: F401  (compat re-export)
+    EstimationError,
+    build_context,
+    resolve_counts as _resolve_counts,
+    run_pipeline,
 )
 
-_ASSUMPTIONS: tuple[str, ...] = (
-    "Logical qubits are laid out on a 2D nearest-neighbor grid with "
-    "interleaved auxiliary rows for multi-qubit Pauli measurements "
-    "(Q_alg = 2Q + ceil(sqrt(8Q)) + 1); program connectivity is not analyzed.",
-    "Logical error rate per qubit per cycle follows "
-    "a * (p / p_threshold)^((d+1)/2).",
-    "Arbitrary rotations are synthesized into Clifford+T with "
-    "ceil(0.53 log2(R/eps) + 5.3) T states per rotation.",
-    "Each CCZ/CCiX gate takes 3 logical cycles and consumes 4 T states.",
-    "T factories run in parallel with the algorithm and are "
-    "over-provisioned per round to absorb distillation failures.",
-    "Uniform physical error rates; no correlated noise, leakage, or "
-    "qubit loss are modeled.",
-)
-
-
-class EstimationError(RuntimeError):
-    """Raised when no feasible estimate exists for the given inputs."""
-
-
-#: Shared default designer so parameter sweeps reuse its factory catalog.
-_DEFAULT_DESIGNER = TFactoryDesigner()
-
-
-def _resolve_counts(program: object) -> LogicalCounts:
-    """Accept LogicalCounts or anything exposing ``logical_counts()``."""
-    if isinstance(program, LogicalCounts):
-        return program
-    counts_method = getattr(program, "logical_counts", None)
-    if callable(counts_method):
-        counts = counts_method()
-        if isinstance(counts, LogicalCounts):
-            return counts
-    raise TypeError(
-        "program must be LogicalCounts or provide a logical_counts() method "
-        f"returning LogicalCounts; got {type(program).__name__}"
-    )
+__all__ = ["EstimationError", "estimate"]
 
 
 def estimate(
@@ -114,130 +82,13 @@ def estimate(
         If the physical error rate is above the QEC threshold, no factory
         design meets the budget, or a resource constraint is violated.
     """
-    counts = _resolve_counts(program)
-    scheme = scheme or default_scheme_for(qubit)
-    if isinstance(budget, (int, float)):
-        budget = ErrorBudget(total=float(budget))
-    constraints = constraints or Constraints()
-    factory_designer = factory_designer or _DEFAULT_DESIGNER
-
-    try:
-        scheme.check_compatible(qubit)
-    except Exception as exc:  # re-tag for a single caller-facing error type
-        raise EstimationError(str(exc)) from exc
-
-    # Step B: budget partition and layout.
-    partition = budget.partition(
-        has_rotations=counts.rotation_count > 0,
-        has_t_states=counts.non_clifford_count > 0,
+    ctx = build_context(
+        program,
+        qubit,
+        scheme=scheme,
+        budget=budget,
+        constraints=constraints,
+        synthesis=synthesis,
+        factory_designer=factory_designer,
     )
-    alg = layout_resources(counts, partition.rotations, synthesis)
-    num_t_states = alg.t_states
-
-    # Step D (factory design is independent of the code distance choice):
-    factory = None
-    if num_t_states > 0:
-        required_t_error = partition.t_states / num_t_states
-        try:
-            factory = factory_designer.design(qubit, scheme, required_t_error)
-        except TFactoryError as exc:
-            raise EstimationError(str(exc)) from exc
-
-    # Steps C+D fixed point: depth stretch <-> code distance.
-    base_depth = math.ceil(alg.logical_depth * constraints.logical_depth_factor)
-    depth = base_depth
-    for _ in range(64):
-        required_logical_error = partition.logical / (alg.logical_qubits * depth)
-        try:
-            logical_qubit = LogicalQubit.for_target_error_rate(
-                scheme, qubit, required_logical_error
-            )
-        except Exception as exc:
-            raise EstimationError(str(exc)) from exc
-        cycle_ns = logical_qubit.cycle_time_ns
-        runtime_ns = depth * cycle_ns
-
-        if factory is None:
-            copies = 0
-            runs_per_copy = 0
-            total_runs = 0
-            break
-
-        total_runs = factory.runs_required(num_t_states)
-        runs_per_copy = int(runtime_ns // factory.duration_ns)
-        if runs_per_copy == 0:
-            # Algorithm finishes before one distillation completes: stretch
-            # the program so at least one factory run fits.
-            depth = math.ceil(factory.duration_ns / cycle_ns)
-            continue
-        copies = math.ceil(total_runs / runs_per_copy)
-        if constraints.max_t_factories is not None and copies > constraints.max_t_factories:
-            copies = constraints.max_t_factories
-            needed_runs_per_copy = math.ceil(total_runs / copies)
-            needed_depth = math.ceil(
-                needed_runs_per_copy * factory.duration_ns / cycle_ns
-            )
-            if needed_depth > depth:
-                depth = needed_depth
-                continue
-        break
-    else:
-        raise EstimationError(
-            "estimation did not converge: T-factory constraints and code "
-            "distance selection kept invalidating each other"
-        )
-
-    # Step E: assemble outputs.
-    physical_per_logical = logical_qubit.physical_qubits
-    qubits_algorithm = alg.logical_qubits * physical_per_logical
-    qubits_factories = copies * factory.physical_qubits if factory else 0
-    total_qubits = qubits_algorithm + qubits_factories
-    rqops = alg.logical_qubits * logical_qubit.logical_cycles_per_second
-
-    if constraints.max_duration_ns is not None and runtime_ns > constraints.max_duration_ns:
-        raise EstimationError(
-            f"estimated runtime {runtime_ns:.3g} ns exceeds the constraint "
-            f"{constraints.max_duration_ns:.3g} ns"
-        )
-    if (
-        constraints.max_physical_qubits is not None
-        and total_qubits > constraints.max_physical_qubits
-    ):
-        raise EstimationError(
-            f"estimated {total_qubits} physical qubits exceed the constraint "
-            f"{constraints.max_physical_qubits}"
-        )
-
-    t_factory_usage = None
-    if factory is not None:
-        t_factory_usage = TFactoryUsage(
-            factory=factory,
-            copies=copies,
-            total_runs=total_runs,
-            runs_per_copy=runs_per_copy,
-            physical_qubits=qubits_factories,
-            required_output_error_rate=partition.t_states / num_t_states,
-        )
-
-    return PhysicalResourceEstimates(
-        physical_counts=PhysicalCounts(
-            physical_qubits=total_qubits, runtime_ns=runtime_ns, rqops=rqops
-        ),
-        breakdown=ResourceBreakdown(
-            algorithmic_logical_qubits=alg.logical_qubits,
-            algorithmic_logical_depth=alg.logical_depth,
-            logical_depth=depth,
-            num_t_states=num_t_states,
-            clock_frequency_hz=logical_qubit.logical_cycles_per_second,
-            physical_qubits_for_algorithm=qubits_algorithm,
-            physical_qubits_for_t_factories=qubits_factories,
-            required_logical_error_rate=partition.logical
-            / (alg.logical_qubits * depth),
-        ),
-        logical_qubit=logical_qubit,
-        t_factory=t_factory_usage,
-        algorithmic_resources=alg,
-        error_budget=partition,
-        qubit_params=qubit,
-        assumptions=_ASSUMPTIONS,
-    )
+    return run_pipeline(ctx)

@@ -12,7 +12,7 @@
 ``python -m repro.experiments [fig3|fig4|claims|all]`` prints the tables.
 """
 
-from .runner import EstimateRow, run_estimate_row
+from .runner import EstimateRow, run_estimate_row, run_estimate_rows
 from .fig3 import FIG3_BIT_SIZES, run_fig3
 from .fig4 import FIG4_PROFILES, run_fig4
 from .claims import evaluate_claims
@@ -23,6 +23,7 @@ __all__ = [
     "FIG4_PROFILES",
     "evaluate_claims",
     "run_estimate_row",
+    "run_estimate_rows",
     "run_fig3",
     "run_fig4",
 ]

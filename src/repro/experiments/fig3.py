@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .runner import ALGORITHMS, PAPER_ERROR_BUDGET, EstimateRow, run_estimate_row
+from .runner import ALGORITHMS, PAPER_ERROR_BUDGET, EstimateRow, run_estimate_rows
 
 #: The paper sweeps 32 .. 16384 bits (powers of two).
 FIG3_BIT_SIZES: tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
@@ -28,11 +28,17 @@ def run_fig3(
     *,
     budget: float = PAPER_ERROR_BUDGET,
     algorithms: Sequence[str] = ALGORITHMS,
+    max_workers: int | None = 1,
 ) -> list[EstimateRow]:
-    """Reproduce the Fig. 3 sweep; rows ordered by (algorithm, bits)."""
+    """Reproduce the Fig. 3 sweep; rows ordered by (algorithm, bits).
+
+    The grid runs through the shared batch engine; ``max_workers`` fans
+    points out over worker processes (``1`` = serial, with sweep caches).
+    """
     sizes = tuple(bit_sizes) if bit_sizes is not None else FIG3_BIT_SIZES
-    return [
-        run_estimate_row(algorithm, bits, FIG3_PROFILE, budget=budget)
+    points = [
+        (algorithm, bits, FIG3_PROFILE)
         for algorithm in algorithms
         for bits in sizes
     ]
+    return run_estimate_rows(points, budget=budget, max_workers=max_workers)

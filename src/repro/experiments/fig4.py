@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .runner import ALGORITHMS, PAPER_ERROR_BUDGET, EstimateRow, run_estimate_row
+from .runner import ALGORITHMS, PAPER_ERROR_BUDGET, EstimateRow, run_estimate_rows
 
 #: All six predefined profiles, in the paper's grouping order.
 FIG4_PROFILES: tuple[str, ...] = (
@@ -32,11 +32,18 @@ def run_fig4(
     bits: int = FIG4_BITS,
     budget: float = PAPER_ERROR_BUDGET,
     algorithms: Sequence[str] = ALGORITHMS,
+    max_workers: int | None = 1,
 ) -> list[EstimateRow]:
-    """Reproduce the Fig. 4 sweep; rows ordered by (profile, algorithm)."""
+    """Reproduce the Fig. 4 sweep; rows ordered by (profile, algorithm).
+
+    The grid runs through the shared batch engine, so each algorithm's
+    circuit is traced once and reused across all six profiles;
+    ``max_workers`` fans points out over worker processes.
+    """
     chosen = tuple(profiles) if profiles is not None else FIG4_PROFILES
-    return [
-        run_estimate_row(algorithm, bits, profile, budget=budget)
+    points = [
+        (algorithm, bits, profile)
         for profile in chosen
         for algorithm in algorithms
     ]
+    return run_estimate_rows(points, budget=budget, max_workers=max_workers)

@@ -4,28 +4,26 @@ Figure sweeps are embarrassingly parallel: every (algorithm, bits,
 profile) point is independent. Following the HPC guidance of measuring
 first — a single 16384-bit Karatsuba point costs ~1 s of pure-Python count
 generation — the win comes from distributing *points* across processes,
-not micro-optimizing inside one. This module fans the grid out over a
-``ProcessPoolExecutor`` (workers re-derive the T-factory catalog once
-each, which the shared-designer cache then reuses for all their points).
+not micro-optimizing inside one.
 
-Serial fallback (``max_workers=1`` or pool start-up failure) keeps the
-results identical: determinism is asserted by the tests.
+This module is now a thin veneer over the shared batch engine
+(:mod:`repro.estimator.batch`), which owns the pool-with-serial-fallback
+behavior this module introduced: contiguous point chunks fan out over a
+``ProcessPoolExecutor``, each worker keeps a process-global cache (factory
+catalogs, traced counts, distance lookups), and pool start-up failures
+(``max_workers=1`` or sandboxes without process spawning) fall back to
+serial execution with identical results — determinism is asserted by the
+tests.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
-from .runner import PAPER_ERROR_BUDGET, EstimateRow, run_estimate_row
+from .runner import PAPER_ERROR_BUDGET, EstimateRow, run_estimate_rows
 
 #: A sweep point: (algorithm, bits, profile).
 SweepPoint = tuple[str, int, str]
-
-
-def _run_point(args: tuple[str, int, str, float]) -> EstimateRow:
-    algorithm, bits, profile, budget = args
-    return run_estimate_row(algorithm, bits, profile, budget=budget)
 
 
 def run_rows_parallel(
@@ -44,16 +42,9 @@ def run_rows_parallel(
         Total error budget shared by all points.
     max_workers:
         Process count; ``1`` (or an unavailable pool) runs serially.
+        ``None`` uses the executor's default worker count.
     """
-    jobs = [(alg, bits, profile, budget) for alg, bits, profile in points]
-    if max_workers == 1 or len(jobs) <= 1:
-        return [_run_point(job) for job in jobs]
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(_run_point, jobs))
-    except (OSError, PermissionError):
-        # Sandboxes without process spawning fall back to serial execution.
-        return [_run_point(job) for job in jobs]
+    return run_estimate_rows(points, budget=budget, max_workers=max_workers)
 
 
 def fig3_points(

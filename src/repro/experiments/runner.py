@@ -1,12 +1,24 @@
-"""Shared machinery for the experiment drivers."""
+"""Shared machinery for the experiment drivers.
+
+All figure sweeps funnel through :func:`run_estimate_rows`, which routes
+the grid through the batch engine (:mod:`repro.estimator.batch`): traced
+multiplier counts are shared across points hitting the same (algorithm,
+bits), T-factory designs and code-distance lookups are memoized across the
+whole sweep, and ``max_workers`` fans points out over worker processes.
+Programs are shipped to workers as picklable factories, so circuit
+construction and tracing parallelize too.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from functools import lru_cache, partial
+from typing import Any, Sequence
 
 from ..arithmetic import multiplier_by_name
-from ..estimator import PhysicalResourceEstimates, estimate
+from ..counts import LogicalCounts
+from ..estimator import EstimationError, PhysicalResourceEstimates
+from ..estimator.batch import EstimateRequest, estimate_batch
 from ..qec import default_scheme_for
 from ..qubits import qubit_params
 
@@ -49,19 +61,41 @@ class EstimateRow:
         }
 
 
-def run_estimate_row(
-    algorithm: str,
-    bits: int,
-    profile: str,
-    *,
-    budget: float = PAPER_ERROR_BUDGET,
-) -> EstimateRow:
-    """Estimate one figure point, using the profile's default QEC scheme.
+def _multiplier_counts(algorithm: str, bits: int) -> LogicalCounts:
+    """Build and trace one multiplier circuit (runs inside workers)."""
+    return multiplier_by_name(algorithm, bits).logical_counts()
 
-    Matches the paper's setup: surface code for gate-based profiles,
-    floquet code for Majorana profiles, default T-factory search.
+
+@lru_cache(maxsize=None)
+def _program_spec(algorithm: str, bits: int) -> partial:
+    """A picklable, lazily-traced program factory for one multiplier.
+
+    The lru_cache returns the *same* factory object for repeated
+    (algorithm, bits) points, so identity-based deduplication works even
+    without the explicit ``program_key`` (which is also set, covering
+    cross-process chunks).
     """
-    result = _estimate(algorithm, bits, profile, budget)
+    return partial(_multiplier_counts, algorithm, bits)
+
+
+def multiplier_request(
+    algorithm: str, bits: int, profile: str, *, budget: float
+) -> EstimateRequest:
+    """The batch request for one (algorithm, bits, profile) figure point."""
+    qubit = qubit_params(profile)
+    return EstimateRequest(
+        program=_program_spec(algorithm, bits),
+        qubit=qubit,
+        scheme=default_scheme_for(qubit),
+        budget=budget,
+        program_key=("multiplier", algorithm, bits),
+        label=f"{algorithm}/{bits}/{profile}",
+    )
+
+
+def row_from_result(
+    algorithm: str, bits: int, profile: str, result: PhysicalResourceEstimates
+) -> EstimateRow:
     return EstimateRow(
         algorithm=algorithm,
         bits=bits,
@@ -77,17 +111,47 @@ def run_estimate_row(
     )
 
 
-def _estimate(
-    algorithm: str, bits: int, profile: str, budget: float
-) -> PhysicalResourceEstimates:
-    qubit = qubit_params(profile)
-    multiplier = multiplier_by_name(algorithm, bits)
-    return estimate(
-        multiplier.logical_counts(),
-        qubit,
-        scheme=default_scheme_for(qubit),
-        budget=budget,
-    )
+def run_estimate_rows(
+    points: Sequence[tuple[str, int, str]],
+    *,
+    budget: float = PAPER_ERROR_BUDGET,
+    max_workers: int | None = 1,
+) -> list[EstimateRow]:
+    """Estimate ``(algorithm, bits, profile)`` points via the batch engine.
+
+    Matches the paper's setup: surface code for gate-based profiles,
+    floquet code for Majorana profiles, default T-factory search. Rows
+    come back in input order; an infeasible point raises
+    :class:`EstimationError` (figure grids are expected to be feasible).
+
+    ``max_workers=1`` runs serially (with shared sweep caches); ``None``
+    or ``> 1`` fans out over a process pool with serial fallback.
+    """
+    requests = [
+        multiplier_request(algorithm, bits, profile, budget=budget)
+        for algorithm, bits, profile in points
+    ]
+    outcomes = estimate_batch(requests, max_workers=max_workers)
+    rows = []
+    for (algorithm, bits, profile), outcome in zip(points, outcomes):
+        if not outcome.ok:
+            raise EstimationError(
+                f"figure point ({algorithm}, {bits}, {profile}) failed: "
+                f"{outcome.error}"
+            )
+        rows.append(row_from_result(algorithm, bits, profile, outcome.result))
+    return rows
+
+
+def run_estimate_row(
+    algorithm: str,
+    bits: int,
+    profile: str,
+    *,
+    budget: float = PAPER_ERROR_BUDGET,
+) -> EstimateRow:
+    """Estimate one figure point (single-point :func:`run_estimate_rows`)."""
+    return run_estimate_rows([(algorithm, bits, profile)], budget=budget)[0]
 
 
 def format_table(rows: list[EstimateRow]) -> str:

@@ -98,12 +98,19 @@ class CircuitBuilder:
         """Allocate one qubit in |0>, reusing released ids."""
         self._check_open()
         q = -1
-        # Skip free-list entries resurrected by emit_adjoint (still active).
+        # The free list holds only inactive ids (emit_adjoint removes ids
+        # it resurrects), but scan defensively: a still-active entry is
+        # retained for later reuse, never silently discarded.
+        retained: list[int] = []
         while self._free:
             candidate = self._free.pop()
-            if candidate not in self._active:
-                q = candidate
-                break
+            if candidate in self._active:
+                retained.append(candidate)
+                continue
+            q = candidate
+            break
+        if retained:
+            self._free.extend(reversed(retained))
         if q == -1:
             q = self._next_id
             self._next_id += 1
@@ -291,11 +298,15 @@ class CircuitBuilder:
                 )
             if inverse == Op.ALLOC:
                 # Undoing a RELEASE: bring the same id back into service.
-                # The id stays on the free list; allocate() skips active ids.
+                # Remove it from the free list (it is active again) so the
+                # list never accumulates stale duplicates across repeated
+                # record/adjoint cycles and allocate() never has to skip.
                 if q0 in self._active:
                     raise CircuitError(
                         f"adjoint re-allocates qubit {q0}, which is still active"
                     )
+                if q0 in self._free:
+                    self._free.remove(q0)
                 self._active.add(q0)
                 self._instructions.append((Op.ALLOC, q0, -1, -1, 0.0))
             elif inverse == Op.RELEASE:

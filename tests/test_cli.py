@@ -108,6 +108,157 @@ class TestQIRInput:
             main(["--qir", str(bad)])
 
 
+class TestBatchSubcommand:
+    @pytest.fixture
+    def multiplier_grid(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "algorithms": ["schoolbook", "windowed"],
+                    "bits": [32],
+                    "profiles": ["qubit_maj_ns_e4"],
+                    "budgets": [1e-4],
+                }
+            )
+        )
+        return path
+
+    @pytest.fixture
+    def counts_grid(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "counts": COUNTS,
+                    "profiles": ["qubit_maj_ns_e4", "qubit_gate_ns_e4"],
+                    "budgets": [1e-3],
+                    "depth_factors": [1.0, 4.0],
+                }
+            )
+        )
+        return path
+
+    def test_multiplier_grid_table(self, multiplier_grid, capsys):
+        assert main(["batch", str(multiplier_grid)]) == 0
+        out = capsys.readouterr().out
+        assert "schoolbook/32" in out and "windowed/32" in out
+        assert "qubit_maj_ns_e4" in out
+
+    def test_counts_grid_json(self, counts_grid, capsys):
+        assert main(["batch", str(counts_grid), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 4  # 2 profiles x 2 depth factors
+        assert all(r["ok"] for r in records)
+        assert records[0]["result"]["physicalQubits"] > 0
+        # A stretched point runs longer than the unstretched one.
+        assert records[1]["result"]["runtime_s"] > records[0]["result"]["runtime_s"]
+
+    def test_workers_flag_matches_serial(self, multiplier_grid, capsys):
+        assert main(["batch", str(multiplier_grid), "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["batch", str(multiplier_grid), "--json", "--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel
+
+    def test_infeasible_points_reported_with_exit_code(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps(
+                {
+                    "counts": COUNTS,
+                    "profiles": ["qubit_maj_ns_e4"],
+                    "max_physical_qubits": 100,  # no point can fit
+                }
+            )
+        )
+        assert main(["batch", str(grid)]) == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.out
+        assert "infeasible" in captured.err
+
+    def test_scheme_incompatible_with_profile_is_a_spec_error(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps(
+                {
+                    "counts": COUNTS,
+                    "profiles": ["qubit_gate_ns_e4"],
+                    "qec_scheme": "floquet_code",
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="invalid grid spec"):
+            main(["batch", str(grid)])
+
+    def test_rejects_grid_with_both_program_kinds(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps(
+                {
+                    "counts": COUNTS,
+                    "algorithms": ["schoolbook"],
+                    "bits": [32],
+                    "profiles": ["qubit_maj_ns_e4"],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="either"):
+            main(["batch", str(grid)])
+
+    def test_rejects_missing_profiles(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({"counts": COUNTS}))
+        with pytest.raises(SystemExit, match="profiles"):
+            main(["batch", str(grid)])
+
+    def test_rejects_unreadable_spec(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read grid spec"):
+            main(["batch", str(tmp_path / "nope.json")])
+
+    def test_rejects_non_numeric_budgets(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps(
+                {
+                    "counts": COUNTS,
+                    "profiles": ["qubit_maj_ns_e4"],
+                    "budgets": ["abc"],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="invalid 'budgets'"):
+            main(["batch", str(grid)])
+
+    def test_rejects_empty_depth_factors(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps(
+                {
+                    "counts": COUNTS,
+                    "profiles": ["qubit_maj_ns_e4"],
+                    "depth_factors": [],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="non-empty list"):
+            main(["batch", str(grid)])
+
+    def test_rejects_unknown_algorithm(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps(
+                {
+                    "algorithms": ["bogus"],
+                    "bits": [32],
+                    "profiles": ["qubit_maj_ns_e4"],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="unknown multiplier"):
+            main(["batch", str(grid)])
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot read"):

@@ -1,0 +1,256 @@
+"""Tests for the staged pipeline, especially the C<->D fixed-point routine.
+
+The fixed point (depth stretch <-> code distance) was previously reachable
+only end-to-end through ``estimate``; these tests drive
+``solve_code_distance_fixed_point`` directly with synthetic factories and
+lookup functions to pin down convergence, the non-convergence error, and
+the ``max_t_factories`` depth-stretch branch.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro import LogicalCounts, estimate, qubit_params
+from repro.distillation import TFactory
+from repro.estimator import EstimationError, FixedPointSolution
+from repro.estimator.stages import (
+    build_context,
+    run_pipeline,
+    solve_code_distance_fixed_point,
+    stage_assemble,
+    stage_budget_and_layout,
+    stage_design_factory,
+    stage_fixed_point,
+)
+
+MAJ = qubit_params("qubit_maj_ns_e4")
+
+WORKLOAD = LogicalCounts(
+    num_qubits=100, t_count=10**5, ccz_count=10**5, measurement_count=10**4
+)
+
+
+def make_factory(
+    *, duration_ns: float, output_t_states: int = 1, physical_qubits: int = 1000
+) -> TFactory:
+    """A synthetic factory; the fixed point only reads these fields."""
+    return TFactory(
+        rounds=(),
+        physical_qubits=physical_qubits,
+        duration_ns=duration_ns,
+        output_t_states=output_t_states,
+        output_error_rate=1e-12,
+        input_t_error_rate=1e-4,
+    )
+
+
+def constant_lookup(cycle_time_ns: float):
+    """A lookup whose logical qubit has a fixed cycle time."""
+    return lambda required_error: SimpleNamespace(cycle_time_ns=cycle_time_ns)
+
+
+class TestFixedPointConvergence:
+    def test_no_factory_returns_base_depth(self):
+        solution = solve_code_distance_fixed_point(
+            logical_budget=1e-3,
+            logical_qubits=10,
+            base_depth=100,
+            num_t_states=0,
+            factory=None,
+            max_t_factories=None,
+            logical_qubit_for_error=constant_lookup(100.0),
+        )
+        assert solution.depth == 100
+        assert solution.runtime_ns == 100 * 100.0
+        assert solution.copies == 0
+        assert solution.runs_per_copy == 0
+        assert solution.iterations == 1
+
+    def test_factory_fits_at_base_depth(self):
+        # runtime 10_000 ns, factory takes 1_000 ns -> 10 runs per copy.
+        factory = make_factory(duration_ns=1_000.0, output_t_states=1)
+        solution = solve_code_distance_fixed_point(
+            logical_budget=1e-3,
+            logical_qubits=10,
+            base_depth=100,
+            num_t_states=50,
+            factory=factory,
+            max_t_factories=None,
+            logical_qubit_for_error=constant_lookup(100.0),
+        )
+        assert solution.iterations == 1
+        assert solution.total_runs == 50
+        assert solution.runs_per_copy == 10
+        assert solution.copies == 5
+
+    def test_short_program_stretched_to_fit_one_run(self):
+        # runtime 1_000 ns < factory duration 50_000 ns: the depth must be
+        # stretched until one distillation run fits.
+        factory = make_factory(duration_ns=50_000.0)
+        solution = solve_code_distance_fixed_point(
+            logical_budget=1e-3,
+            logical_qubits=10,
+            base_depth=10,
+            num_t_states=1,
+            factory=factory,
+            max_t_factories=None,
+            logical_qubit_for_error=constant_lookup(100.0),
+        )
+        assert solution.iterations == 2
+        assert solution.depth == math.ceil(50_000.0 / 100.0)
+        assert solution.runs_per_copy == 1
+        assert solution.copies == 1
+
+    def test_result_type_is_fixed_point_solution(self):
+        solution = solve_code_distance_fixed_point(
+            logical_budget=1e-3,
+            logical_qubits=1,
+            base_depth=1,
+            num_t_states=0,
+            factory=None,
+            max_t_factories=None,
+            logical_qubit_for_error=constant_lookup(1.0),
+        )
+        assert isinstance(solution, FixedPointSolution)
+
+
+class TestMaxTFactoriesBranch:
+    def test_cap_stretches_depth(self):
+        # Uncapped: 100 runs over 10 runs/copy -> 10 copies. Capping at 2
+        # copies forces 50 runs per copy -> depth 50_000 ns / 100 ns.
+        factory = make_factory(duration_ns=1_000.0, output_t_states=1)
+        solution = solve_code_distance_fixed_point(
+            logical_budget=1e-3,
+            logical_qubits=10,
+            base_depth=100,
+            num_t_states=100,
+            factory=factory,
+            max_t_factories=2,
+            logical_qubit_for_error=constant_lookup(100.0),
+        )
+        assert solution.copies == 2
+        assert solution.iterations == 2
+        assert solution.depth == math.ceil(50 * 1_000.0 / 100.0)
+        # The capped copies still deliver every T state in time.
+        produced = solution.copies * solution.runs_per_copy * factory.output_t_states
+        assert produced >= 100
+
+    def test_cap_not_binding_converges_first_iteration(self):
+        factory = make_factory(duration_ns=1_000.0, output_t_states=1)
+        solution = solve_code_distance_fixed_point(
+            logical_budget=1e-3,
+            logical_qubits=10,
+            base_depth=100,
+            num_t_states=50,
+            factory=factory,
+            max_t_factories=100,
+            logical_qubit_for_error=constant_lookup(100.0),
+        )
+        assert solution.iterations == 1
+        assert solution.copies == 5
+
+    def test_cap_equal_to_needed_copies_converges_without_stretch(self):
+        # The cap exactly matches the copies the base depth needs:
+        # converge immediately with no depth stretch.
+        factory = make_factory(duration_ns=1_000.0, output_t_states=10)
+        solution = solve_code_distance_fixed_point(
+            logical_budget=1e-3,
+            logical_qubits=10,
+            base_depth=100,
+            num_t_states=100,  # 10 runs; 10 fit per copy -> 1 copy anyway
+            factory=factory,
+            max_t_factories=1,
+            logical_qubit_for_error=constant_lookup(100.0),
+        )
+        assert solution.copies == 1
+        assert solution.iterations == 1
+
+
+class TestNonConvergence:
+    def test_iteration_cap_raises_estimation_error(self):
+        # A cycle time that shrinks on every lookup keeps the runtime below
+        # one factory duration forever: the stretch never settles.
+        cycle = {"value": 100.0}
+
+        def shrinking_lookup(required_error):
+            cycle["value"] /= 2.0
+            return SimpleNamespace(cycle_time_ns=cycle["value"])
+
+        factory = make_factory(duration_ns=1e9)
+        with pytest.raises(EstimationError, match="did not converge"):
+            solve_code_distance_fixed_point(
+                logical_budget=1e-3,
+                logical_qubits=10,
+                base_depth=10,
+                num_t_states=1,
+                factory=factory,
+                max_t_factories=None,
+                logical_qubit_for_error=shrinking_lookup,
+            )
+
+    def test_max_iterations_parameter_caps_work(self):
+        # The short-program stretch needs 2 iterations; capping at 1 must
+        # surface the non-convergence error instead of looping.
+        factory = make_factory(duration_ns=50_000.0)
+        with pytest.raises(EstimationError, match="did not converge"):
+            solve_code_distance_fixed_point(
+                logical_budget=1e-3,
+                logical_qubits=10,
+                base_depth=10,
+                num_t_states=1,
+                factory=factory,
+                max_t_factories=None,
+                logical_qubit_for_error=constant_lookup(100.0),
+                max_iterations=1,
+            )
+
+    def test_lookup_failure_wrapped_as_estimation_error(self):
+        def failing_lookup(required_error):
+            raise ValueError("distance unreachable")
+
+        with pytest.raises(EstimationError, match="distance unreachable"):
+            solve_code_distance_fixed_point(
+                logical_budget=1e-3,
+                logical_qubits=10,
+                base_depth=10,
+                num_t_states=0,
+                factory=None,
+                max_t_factories=None,
+                logical_qubit_for_error=failing_lookup,
+            )
+
+
+class TestStageComposition:
+    """The staged pipeline composes to exactly the monolithic estimate()."""
+
+    def test_manual_composition_matches_estimate(self):
+        ctx = build_context(WORKLOAD, MAJ, budget=1e-3)
+        partition, alg = stage_budget_and_layout(ctx)
+        factory = stage_design_factory(ctx, partition, alg.t_states)
+        solution = stage_fixed_point(ctx, partition, alg, factory)
+        manual = stage_assemble(ctx, partition, alg, factory, solution)
+        assert manual.to_dict() == estimate(WORKLOAD, MAJ, budget=1e-3).to_dict()
+
+    def test_run_pipeline_matches_estimate(self):
+        ctx = build_context(WORKLOAD, MAJ, budget=1e-4)
+        assert (
+            run_pipeline(ctx).to_dict()
+            == estimate(WORKLOAD, MAJ, budget=1e-4).to_dict()
+        )
+
+    def test_context_applies_defaults(self):
+        ctx = build_context(WORKLOAD, MAJ)
+        assert ctx.scheme.name == "floquet_code"
+        assert ctx.budget.total == 1e-3
+        assert ctx.constraints.max_t_factories is None
+
+    def test_incompatible_scheme_rejected_at_context_build(self):
+        from repro.qec import FLOQUET_CODE
+
+        gate = qubit_params("qubit_gate_ns_e3")
+        with pytest.raises(EstimationError, match="majorana"):
+            build_context(WORKLOAD, gate, scheme=FLOQUET_CODE)
