@@ -38,7 +38,13 @@ from .comparator import (
 )
 from .lookahead import add_lookahead, add_lookahead_counts
 from .lookup import lookup, lookup_counts, unlookup_adjoint
-from .modexp import mod_mul_inplace, modexp_circuit, modexp_logical_counts
+from .modexp import (
+    emit_modexp,
+    mod_mul_inplace,
+    modexp_circuit,
+    modexp_counting_counts,
+    modexp_logical_counts,
+)
 from .modular import (
     ModularMultiplier,
     mod_add,
@@ -46,6 +52,7 @@ from .modular import (
     mod_add_counts,
 )
 from .multipliers import (
+    COUNT_BACKENDS,
     KaratsubaMultiplier,
     Multiplier,
     SchoolbookMultiplier,
@@ -56,6 +63,7 @@ from .multipliers import (
 )
 
 __all__ = [
+    "COUNT_BACKENDS",
     "GateTally",
     "KaratsubaMultiplier",
     "ModularMultiplier",
@@ -74,6 +82,7 @@ __all__ = [
     "compare_less_than_constant",
     "copy_register",
     "default_window_size",
+    "emit_modexp",
     "increment",
     "lookup",
     "lookup_counts",
@@ -82,6 +91,7 @@ __all__ = [
     "mod_add_counts",
     "mod_mul_inplace",
     "modexp_circuit",
+    "modexp_counting_counts",
     "modexp_logical_counts",
     "multiplier_by_name",
     "schoolbook_multiply_qq",

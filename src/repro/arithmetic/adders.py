@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..ir import CircuitBuilder
+from ..ir import Builder
 from .tally import GateTally
 
 
@@ -33,7 +33,7 @@ def _check_lengths(a_len: int, b_len: int) -> None:
         )
 
 
-def add_into(builder: CircuitBuilder, a: Sequence[int], b: Sequence[int]) -> None:
+def add_into(builder: Builder, a: Sequence[int], b: Sequence[int]) -> None:
     """In-place ``b += a (mod 2^len(b))`` for ``len(a) <= len(b)``.
 
     To keep a carry-out, pass ``b`` extended with a fresh zero qubit.
@@ -105,7 +105,7 @@ def add_into_ancillas(a_len: int, b_len: int) -> int:
     return b_len - 1
 
 
-def subtract_into(builder: CircuitBuilder, a: Sequence[int], b: Sequence[int]) -> None:
+def subtract_into(builder: Builder, a: Sequence[int], b: Sequence[int]) -> None:
     """In-place ``b -= a (mod 2^len(b))``.
 
     Uses the complement identity ``b - a = NOT(NOT(b) + a)``, so the cost
@@ -124,7 +124,7 @@ def subtract_into_counts(a_len: int, b_len: int) -> GateTally:
 
 
 def add_constant_controlled(
-    builder: CircuitBuilder,
+    builder: Builder,
     control: int,
     constant: int,
     b: Sequence[int],

@@ -12,14 +12,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..ir import CircuitBuilder
+from ..ir import Builder
 from .adders import add_into, add_into_counts, subtract_into
 from .registers import copy_register
 from .tally import GateTally
 
 
 def add_constant(
-    builder: CircuitBuilder,
+    builder: Builder,
     constant: int,
     b: Sequence[int],
     scratch: Sequence[int],
@@ -59,7 +59,7 @@ def add_constant_counts(constant: int, b_len: int) -> GateTally:
 
 
 def subtract_constant(
-    builder: CircuitBuilder,
+    builder: Builder,
     constant: int,
     b: Sequence[int],
     scratch: Sequence[int],
@@ -74,14 +74,14 @@ def subtract_constant(
 
 
 def increment(
-    builder: CircuitBuilder, register: Sequence[int], scratch: Sequence[int]
+    builder: Builder, register: Sequence[int], scratch: Sequence[int]
 ) -> None:
     """In-place ``register += 1 (mod 2^len)``."""
     add_constant(builder, 1, register, scratch)
 
 
 def compare_less_than(
-    builder: CircuitBuilder,
+    builder: Builder,
     x: Sequence[int],
     y: Sequence[int],
     out: int,
@@ -107,7 +107,7 @@ def compare_less_than_counts(n: int) -> GateTally:
 
 
 def compare_less_than_constant(
-    builder: CircuitBuilder,
+    builder: Builder,
     x: Sequence[int],
     constant: int,
     out: int,
@@ -148,7 +148,7 @@ def compare_less_than_constant_counts(n: int, constant: int) -> GateTally:
 
 
 def compare_greater_equal_constant(
-    builder: CircuitBuilder,
+    builder: Builder,
     x: Sequence[int],
     constant: int,
     out: int,

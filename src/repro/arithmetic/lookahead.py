@@ -22,11 +22,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..ir import CircuitBuilder
+from ..ir import Builder
 from .tally import GateTally
 
 
-def _or_compute(builder: CircuitBuilder, a: int, b: int) -> int:
+def _or_compute(builder: Builder, a: int, b: int) -> int:
     """Allocate and return a qubit holding ``a OR b`` (1 AND)."""
     builder.x(a)
     builder.x(b)
@@ -38,7 +38,7 @@ def _or_compute(builder: CircuitBuilder, a: int, b: int) -> int:
 
 
 def add_lookahead(
-    builder: CircuitBuilder,
+    builder: Builder,
     a: Sequence[int],
     b: Sequence[int],
     total: Sequence[int],
@@ -86,7 +86,7 @@ def add_lookahead(
 
 
 def _prefix_carries(
-    builder: CircuitBuilder,
+    builder: Builder,
     generate: list[int],
     propagate: list[int],
 ) -> list[int | None]:

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..ir import CircuitBuilder
+from ..ir import Builder
 from ..ir.circuit import Instruction
 from .tally import GateTally
 
 
 def _write_entry(
-    builder: CircuitBuilder,
+    builder: Builder,
     control: int | None,
     value: int,
     target: Sequence[int],
@@ -46,7 +46,7 @@ def _write_entry(
 
 
 def _select(
-    builder: CircuitBuilder,
+    builder: Builder,
     control: int | None,
     address: Sequence[int],
     table: Sequence[int],
@@ -94,7 +94,7 @@ def _select(
 
 
 def lookup(
-    builder: CircuitBuilder,
+    builder: Builder,
     address: Sequence[int],
     table: Sequence[int],
     target: Sequence[int],
@@ -123,7 +123,7 @@ def lookup(
 
 
 def lookup_recorded(
-    builder: CircuitBuilder,
+    builder: Builder,
     address: Sequence[int],
     table: Sequence[int],
     target: Sequence[int],
@@ -134,7 +134,7 @@ def lookup_recorded(
     return builder.stop_recording()
 
 
-def unlookup_adjoint(builder: CircuitBuilder, tape: list[Instruction]) -> None:
+def unlookup_adjoint(builder: Builder, tape: list[Instruction]) -> None:
     """Undo a recorded lookup; every AND becomes a free measured uncompute."""
     builder.emit_adjoint(tape)
 

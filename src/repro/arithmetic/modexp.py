@@ -20,7 +20,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..counts import LogicalCounts
-from ..ir import Circuit, CircuitBuilder
+from ..ir import Builder, Circuit, CircuitBuilder
+from ..ir.counting import CountingBuilder
 from .modular import ModularMultiplier
 from .tally import GateTally
 
@@ -48,7 +49,7 @@ def _extended_gcd(a: int, b: int) -> tuple[int, int]:
 
 
 def mod_mul_inplace(
-    builder: CircuitBuilder,
+    builder: Builder,
     x: Sequence[int],
     constant: int,
     modulus: int,
@@ -86,11 +87,53 @@ def mod_mul_inplace(
     builder.release_register(acc)
 
 
-def _fredkin(builder: CircuitBuilder, control: int, a: int, b: int) -> None:
+def _fredkin(builder: Builder, control: int, a: int, b: int) -> None:
     """Controlled swap from CNOTs and one Toffoli."""
     builder.cx(b, a)
     builder.ccx(control, a, b)
     builder.cx(b, a)
+
+
+def emit_modexp(
+    builder: Builder,
+    base: int,
+    modulus: int,
+    exponent_bits: int,
+    *,
+    window: int | None = None,
+) -> None:
+    """Emit the quantum core of Shor's order finding onto ``builder``.
+
+    ``|e>|1> -> |e>|base^e mod N>``: one controlled in-place
+    multiplication by ``base^(2^i) mod N`` per exponent bit, followed by
+    readout of the result register. Every multiplication block shares one
+    ``subcircuit`` key — the per-bit constants differ, but all of them
+    are coprime powers of the base, whose count contribution depends only
+    on ``(n, modulus, window)`` — so the counting backend traces a single
+    block and replays the remaining ``2n - 1`` in O(1) each.
+    """
+    if base % modulus in (0,):
+        raise ValueError("base must be nonzero modulo the modulus")
+    n = max((modulus - 1).bit_length(), 1)
+    exponent = builder.allocate_register(exponent_bits)
+    result = builder.allocate_register(n)
+    for q in exponent:
+        builder.h(q)
+    builder.x(result[0])  # |1>
+    factor = base % modulus
+    key = ("modexp-ctrl-mul", n, modulus, window)
+    for bit in range(exponent_bits):
+        control = exponent[bit]
+
+        def block(b, factor=factor, control=control):
+            mod_mul_inplace(
+                b, result, factor, modulus, window=window, control=control
+            )
+
+        builder.subcircuit(key, block)
+        factor = (factor * factor) % modulus
+    for q in result:
+        builder.measure(q)
 
 
 def modexp_circuit(
@@ -100,31 +143,36 @@ def modexp_circuit(
     *,
     window: int | None = None,
 ) -> Circuit:
-    """The quantum core of Shor's order finding: ``|e>|1> -> |e>|base^e mod N>``.
+    """The materialized order-finding circuit (see :func:`emit_modexp`).
 
-    One controlled in-place multiplication by ``base^(2^i) mod N`` per
-    exponent bit. The result register holds ``n = bit-length capacity`` of
-    the modulus; the exponent register holds ``exponent_bits`` qubits in
-    uniform superposition (Hadamards), as in phase estimation.
+    The result register holds ``n = bit-length capacity`` of the modulus;
+    the exponent register holds ``exponent_bits`` qubits in uniform
+    superposition (Hadamards), as in phase estimation.
     """
-    if base % modulus in (0,):
-        raise ValueError("base must be nonzero modulo the modulus")
-    n = max((modulus - 1).bit_length(), 1)
     builder = CircuitBuilder(f"modexp-{modulus}")
-    exponent = builder.allocate_register(exponent_bits)
-    result = builder.allocate_register(n)
-    for q in exponent:
-        builder.h(q)
-    builder.x(result[0])  # |1>
-    factor = base % modulus
-    for bit in range(exponent_bits):
-        mod_mul_inplace(
-            builder, result, factor, modulus, window=window, control=exponent[bit]
-        )
-        factor = (factor * factor) % modulus
-    for q in result:
-        builder.measure(q)
+    emit_modexp(builder, base, modulus, exponent_bits, window=window)
     return builder.finish()
+
+
+def modexp_counting_counts(
+    base: int,
+    modulus: int,
+    exponent_bits: int,
+    *,
+    window: int | None = None,
+) -> LogicalCounts:
+    """Logical counts of :func:`modexp_circuit` via the streaming backend.
+
+    Emits the identical construction into a
+    :class:`~repro.ir.counting.CountingBuilder` — no instruction stream is
+    ever stored, and the repeated multiplication blocks are memoized — so
+    RSA-scale moduli (n >= 2048) count in seconds and O(n) memory where
+    the materialized path would need billions of instruction tuples.
+    Bit-for-bit equal to ``modexp_circuit(...).logical_counts()``.
+    """
+    builder = CountingBuilder(f"modexp-{modulus}")
+    emit_modexp(builder, base, modulus, exponent_bits, window=window)
+    return builder.logical_counts()
 
 
 def modexp_logical_counts(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..ir import CircuitBuilder
+from ..ir import Builder, CircuitBuilder
 from .adders import add_constant_controlled, add_into, add_into_counts
 from .comparator import (
     add_constant_counts,
@@ -45,7 +45,7 @@ def _check_modulus(modulus: int, bits: int) -> None:
 
 
 def mod_add(
-    builder: CircuitBuilder,
+    builder: Builder,
     a: Sequence[int],
     b: Sequence[int],
     modulus: int,
@@ -96,7 +96,7 @@ def mod_add_counts(n: int, modulus: int) -> GateTally:
 
 
 def mod_add_constant_controlled(
-    builder: CircuitBuilder,
+    builder: Builder,
     control: int,
     constant: int,
     b: Sequence[int],
@@ -173,7 +173,7 @@ class ModularMultiplier:
     # -- emission -----------------------------------------------------------
 
     def emit(
-        self, builder: CircuitBuilder, x: Sequence[int], acc: Sequence[int]
+        self, builder: Builder, x: Sequence[int], acc: Sequence[int]
     ) -> None:
         """Emit onto caller registers; ``acc`` must hold a value < N."""
         if len(x) != self.bits or len(acc) != self.bits:
@@ -187,29 +187,47 @@ class ModularMultiplier:
             self._emit_windowed(builder, x, acc)
 
     def _emit_schoolbook(self, builder, x, acc) -> None:
-        scratch = builder.allocate_register(self.bits)
+        # Every bit's block runs the same full modular addition — the
+        # imprint CNOTs are the only thing the addend changes, and those
+        # are free Cliffords — so one subcircuit key covers all n bits
+        # (and, via the shared key, every coprime constant of this
+        # multiplier family). The counting backend traces one block and
+        # replays the rest in O(1).
+        n, modulus = self.bits, self.modulus
+        scratch = builder.allocate_register(n)
+        key = ("modmul-bit", n, modulus)
         for i, xq in enumerate(x):
-            addend = (self.constant << i) % self.modulus
-            mod_add_constant_controlled(
-                builder, xq, addend, acc, self.modulus, scratch
-            )
+            addend = (self.constant << i) % modulus
+
+            def block(b, xq=xq, addend=addend):
+                mod_add_constant_controlled(b, xq, addend, acc, modulus, scratch)
+
+            builder.subcircuit(key, block)
         builder.release_register(scratch)
 
     def _emit_windowed(self, builder, x, acc) -> None:
+        # One block per window: lookup, modular add, unlookup. Count
+        # contributions depend only on (n, modulus, window width) — table
+        # *contents* appear solely in Clifford data writes — so equal-width
+        # windows share a key across positions and constants.
         n, w, modulus = self.bits, self.window, self.modulus
         temp = builder.allocate_register(n)
         for j in range(0, n, w):
             wj = min(w, n - j)
             address = x[j : j + wj]
             table = [(v * self.constant << j) % modulus for v in range(1 << wj)]
-            tape = lookup_recorded(builder, address, table, temp)
-            mod_add(builder, temp, acc, modulus)
-            unlookup_adjoint(builder, tape)
+
+            def block(b, address=address, table=table):
+                tape = lookup_recorded(b, address, table, temp)
+                mod_add(b, temp, acc, modulus)
+                unlookup_adjoint(b, tape)
+
+            builder.subcircuit(("modmul-window", n, modulus, wj), block)
         builder.release_register(temp)
 
     def emit_controlled(
         self,
-        builder: CircuitBuilder,
+        builder: Builder,
         control: int,
         x: Sequence[int],
         acc: Sequence[int],
@@ -230,13 +248,18 @@ class ModularMultiplier:
         n, modulus = self.bits, self.modulus
         if self.window == 0:
             scratch = builder.allocate_register(n)
+            key = ("modmul-cbit", n, modulus)
             for i, xq in enumerate(x):
                 addend = (self.constant << i) % modulus
-                both = builder.and_compute(control, xq)
-                mod_add_constant_controlled(
-                    builder, both, addend, acc, modulus, scratch
-                )
-                builder.and_uncompute(control, xq, both)
+
+                def block(b, xq=xq, addend=addend):
+                    both = b.and_compute(control, xq)
+                    mod_add_constant_controlled(
+                        b, both, addend, acc, modulus, scratch
+                    )
+                    b.and_uncompute(control, xq, both)
+
+                builder.subcircuit(key, block)
             builder.release_register(scratch)
             return
         w = self.window
@@ -247,9 +270,13 @@ class ModularMultiplier:
             table = [0] * (1 << wj) + [
                 (v * self.constant << j) % modulus for v in range(1 << wj)
             ]
-            tape = lookup_recorded(builder, address, table, temp)
-            mod_add(builder, temp, acc, modulus)
-            unlookup_adjoint(builder, tape)
+
+            def block(b, address=address, table=table):
+                tape = lookup_recorded(b, address, table, temp)
+                mod_add(b, temp, acc, modulus)
+                unlookup_adjoint(b, tape)
+
+            builder.subcircuit(("modmul-cwindow", n, modulus, wj), block)
         builder.release_register(temp)
 
     # -- mirrors --------------------------------------------------------------

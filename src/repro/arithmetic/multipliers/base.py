@@ -7,8 +7,13 @@ import random
 from typing import Sequence
 
 from ...counts import LogicalCounts
-from ...ir import Circuit, CircuitBuilder
+from ...ir import Builder, Circuit, CircuitBuilder
+from ...ir.counting import CountingBuilder
 from ..tally import GateTally
+
+#: Count-resolution backends of :meth:`Multiplier.backend_counts` (and the
+#: experiment runners / CLI that expose the choice).
+COUNT_BACKENDS = ("formula", "materialize", "counting")
 
 
 def default_constant(bits: int) -> int:
@@ -54,7 +59,7 @@ class Multiplier(abc.ABC):
 
     @abc.abstractmethod
     def emit(
-        self, builder: CircuitBuilder, x: Sequence[int], acc: Sequence[int]
+        self, builder: Builder, x: Sequence[int], acc: Sequence[int]
     ) -> None:
         """Emit ``acc += x * self.constant`` onto caller-provided registers.
 
@@ -99,6 +104,40 @@ class Multiplier(abc.ABC):
     def traced_counts(self) -> LogicalCounts:
         """Counts obtained by actually tracing the emitted circuit."""
         return self.circuit().logical_counts()
+
+    def counted_counts(self) -> LogicalCounts:
+        """Counts via the streaming backend: emit, fold, never store.
+
+        Identical to :meth:`traced_counts` (asserted by the tests) without
+        materializing the instruction stream — O(live qubits) memory.
+        """
+        builder = CountingBuilder(f"{self.name}-{self.bits}b")
+        x = builder.allocate_register(self.bits)
+        acc = builder.allocate_register(2 * self.bits)
+        for q in x:
+            builder.h(q)
+        self.emit(builder, x, acc)
+        for q in acc:
+            builder.measure(q)
+        return builder.logical_counts()
+
+    def backend_counts(self, backend: str = "formula") -> LogicalCounts:
+        """Pre-layout counts through the chosen backend.
+
+        ``formula`` evaluates the closed-form tally, ``materialize``
+        builds and traces the full instruction stream, ``counting``
+        streams it through :class:`~repro.ir.counting.CountingBuilder`.
+        All three agree bit-for-bit; they differ in time and memory.
+        """
+        if backend == "formula":
+            return self.logical_counts()
+        if backend == "materialize":
+            return self.traced_counts()
+        if backend == "counting":
+            return self.counted_counts()
+        raise ValueError(
+            f"unknown count backend {backend!r}; available: {COUNT_BACKENDS}"
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(bits={self.bits})"

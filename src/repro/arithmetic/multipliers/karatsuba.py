@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ...ir import CircuitBuilder
+from ...ir import Builder
 from ..adders import add_into, add_into_counts, subtract_into
 from ..registers import copy_register
 from ..tally import GateTally
@@ -71,7 +71,7 @@ class KaratsubaMultiplier(Multiplier):
         self.clean = clean
 
     def emit(
-        self, builder: CircuitBuilder, x: Sequence[int], acc: Sequence[int]
+        self, builder: Builder, x: Sequence[int], acc: Sequence[int]
     ) -> None:
         if not self.clean:
             _emit_dirty(builder, x, acc, self.constant, self.cutoff)
@@ -110,7 +110,7 @@ def _split(n: int) -> int:
 
 
 def _emit_dirty(
-    builder: CircuitBuilder,
+    builder: Builder,
     x: Sequence[int],
     acc: Sequence[int],
     k: int,

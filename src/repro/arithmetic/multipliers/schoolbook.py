@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ...ir import CircuitBuilder
+from ...ir import Builder
 from ..adders import (
     add_constant_controlled,
     add_constant_controlled_counts,
@@ -29,7 +29,7 @@ class SchoolbookMultiplier(Multiplier):
     name = "schoolbook"
 
     def emit(
-        self, builder: CircuitBuilder, x: Sequence[int], acc: Sequence[int]
+        self, builder: Builder, x: Sequence[int], acc: Sequence[int]
     ) -> None:
         emit_schoolbook(builder, x, acc, self.constant)
 
@@ -44,7 +44,7 @@ class SchoolbookMultiplier(Multiplier):
 
 
 def emit_schoolbook(
-    builder: CircuitBuilder,
+    builder: Builder,
     x: Sequence[int],
     acc: Sequence[int],
     constant: int,
@@ -93,7 +93,7 @@ def schoolbook_peak_workspace(n: int, acc_len: int, constant: int) -> int:
 
 
 def schoolbook_multiply_qq(
-    builder: CircuitBuilder,
+    builder: Builder,
     x: Sequence[int],
     y: Sequence[int],
     acc: Sequence[int],

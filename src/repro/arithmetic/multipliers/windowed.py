@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from ...ir import CircuitBuilder
+from ...ir import Builder
 from ..adders import add_into, add_into_counts
 from ..lookup import lookup_ancillas, lookup_counts, lookup_recorded, unlookup_adjoint
 from ..tally import GateTally
@@ -70,21 +70,38 @@ class WindowedMultiplier(Multiplier):
         ]
 
     def emit(
-        self, builder: CircuitBuilder, x: Sequence[int], acc: Sequence[int]
+        self, builder: Builder, x: Sequence[int], acc: Sequence[int]
     ) -> None:
         n, k = self.bits, self.constant
         if k == 0:
             return
+        # Window blocks whose shape parameters match share one subcircuit
+        # key: the table contents (the only thing the constant changes)
+        # appear solely in Clifford data writes, so the counting backend
+        # traces one full-width window and replays the rest in O(1).
         for j, wj in self._windows():
             address = x[j : j + wj]
             table = [v * k for v in range(1 << wj)]
             target_len = n + wj  # max table entry is (2^wj - 1) * k
-            target = builder.allocate_register(target_len)
-            tape = lookup_recorded(builder, address, table, target)
             window_len = min(n + wj + 1, len(acc) - j)
-            add_into(builder, target, acc[j : j + window_len])
-            unlookup_adjoint(builder, tape)  # returns target to |0...0>
-            builder.release_register(target)
+
+            def block(
+                b,
+                address=address,
+                table=table,
+                j=j,
+                target_len=target_len,
+                window_len=window_len,
+            ):
+                target = b.allocate_register(target_len)
+                tape = lookup_recorded(b, address, table, target)
+                add_into(b, target, acc[j : j + window_len])
+                unlookup_adjoint(b, tape)  # returns target to |0...0>
+                b.release_register(target)
+
+            builder.subcircuit(
+                ("winmul-window", wj, target_len, window_len), block
+            )
 
     def tally(self) -> GateTally:
         n, k = self.bits, self.constant

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..ir import CircuitBuilder
+from ..ir import Builder
 
 
-def xor_constant(builder: CircuitBuilder, register: Sequence[int], value: int) -> None:
+def xor_constant(builder: Builder, register: Sequence[int], value: int) -> None:
     """``register ^= value`` via X gates on the set bits."""
     if value < 0:
         raise ValueError(f"value must be non-negative, got {value}")
@@ -25,7 +25,7 @@ write_constant = xor_constant
 
 
 def copy_register(
-    builder: CircuitBuilder, source: Sequence[int], target: Sequence[int]
+    builder: Builder, source: Sequence[int], target: Sequence[int]
 ) -> None:
     """``target ^= source`` bitwise via CNOTs (a copy when target is zero)."""
     if len(target) < len(source):

@@ -32,13 +32,28 @@ multipliers (``algorithms`` x ``bits``) or explicit logical counts
 
 Infeasible points are reported per row (and set a non-zero exit status)
 rather than aborting the sweep.
+
+``repro bench trace`` prints per-stage timings (build vs trace vs
+estimate) for one workload so performance work has a one-command
+baseline, and exposes the count-resolution backend choice::
+
+    python -m repro bench trace --algorithm modexp --bits 2048 \\
+        --backend counting --json
+
+Both ``batch`` and ``bench trace`` accept ``--backend
+{formula,materialize,counting}``: closed-form tallies, a fully
+materialized instruction stream, or the streaming counting builder
+(identical counts; see the README section "Counting backend and scaling
+limits").
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
+import time
 from pathlib import Path
 
 from .advantage import assess
@@ -49,6 +64,13 @@ from .estimator.batch import estimate_batch, request_grid
 from .qec import default_scheme_for, qec_scheme
 from .qir import QIRParseError, parse_qir
 from .qubits import PREDEFINED_PROFILES, qubit_params
+
+from .arithmetic import COUNT_BACKENDS
+
+#: Count-resolution backends exposed by ``batch`` and ``bench trace``
+#: (the single source of truth is the arithmetic layer's tuple, so a new
+#: backend shows up in both CLI parsers automatically).
+COUNT_BACKEND_CHOICES = COUNT_BACKENDS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,6 +165,14 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial; default: 1)",
     )
     parser.add_argument(
+        "--backend",
+        choices=COUNT_BACKEND_CHOICES,
+        default="formula",
+        help="how multiplier counts are resolved: closed-form tallies "
+        "(formula, default), a materialized trace (materialize), or the "
+        "streaming counting builder (counting); results are identical",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit one JSON object per grid point instead of the table",
@@ -184,7 +214,9 @@ def _load_grid(path: Path) -> dict:
     return spec
 
 
-def _grid_programs(spec: dict) -> list[tuple[object, object, str]]:
+def _grid_programs(
+    spec: dict, backend: str = "formula"
+) -> list[tuple[object, object, str]]:
     """(program, program_key, label) triples from a grid spec."""
     has_multipliers = "algorithms" in spec or "bits" in spec
     has_counts = "counts" in spec
@@ -207,13 +239,20 @@ def _grid_programs(spec: dict) -> list[tuple[object, object, str]]:
                 # Construct eagerly so bad names/sizes fail as spec errors;
                 # tracing stays lazy (logical_counts() runs in the workers).
                 try:
-                    program = multiplier_by_name(algorithm, int(bits))
+                    multiplier = multiplier_by_name(algorithm, int(bits))
                 except (KeyError, ValueError, TypeError) as exc:
                     raise SystemExit(f"error: invalid grid spec: {exc}")
+                program: object = multiplier
+                if backend != "formula":
+                    # Ship a counts provider so workers resolve through
+                    # the chosen backend (lazily, off the parent process).
+                    program = functools.partial(
+                        multiplier.backend_counts, backend
+                    )
                 programs.append(
                     (
                         program,
-                        ("multiplier", algorithm, int(bits)),
+                        ("multiplier", algorithm, int(bits), backend),
                         f"{algorithm}/{bits}",
                     )
                 )
@@ -239,7 +278,7 @@ def _batch_main(argv: list[str]) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     spec = _load_grid(args.grid)
 
-    programs = _grid_programs(spec)
+    programs = _grid_programs(spec, args.backend)
     profiles = spec.get("profiles")
     if not profiles:
         raise SystemExit("error: grid spec needs non-empty 'profiles'")
@@ -349,10 +388,214 @@ def _batch_main(argv: list[str]) -> int:
     return 1 if failures else 0
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Performance baselines: per-stage timing (build vs "
+        "trace vs estimate) of one workload through a chosen counting "
+        "backend.",
+    )
+    parser.add_argument(
+        "mode",
+        choices=("trace",),
+        help="benchmark kind (currently only 'trace')",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="windowed",
+        choices=("schoolbook", "karatsuba", "windowed", "modexp"),
+        help="workload: one of the paper's multipliers, or 'modexp' "
+        "(n-bit modular exponentiation, the RSA workload; default: windowed)",
+    )
+    parser.add_argument(
+        "--bits", type=int, default=64, help="input bit width n (default: 64)"
+    )
+    parser.add_argument(
+        "--exponent-bits",
+        type=int,
+        default=None,
+        help="modexp only: exponent register width (default: 2n, standard "
+        "order finding)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="modexp only: lookup window size (default: cost-balancing; "
+        "0 = schoolbook bit-at-a-time)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=COUNT_BACKEND_CHOICES,
+        default="counting",
+        help="count-resolution backend (default: counting)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="qubit_maj_ns_e4",
+        choices=sorted(PREDEFINED_PROFILES),
+        help="hardware profile for the estimate stage (default: qubit_maj_ns_e4)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=1e-4,
+        help="total error budget for the estimate stage (default: 1e-4)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the timings as JSON"
+    )
+    return parser
+
+
+def _bench_counts(args: argparse.Namespace) -> tuple[LogicalCounts, float, float]:
+    """Resolve the workload's counts; returns (counts, build_s, trace_s).
+
+    ``build`` is circuit/emission construction, ``trace`` the counting
+    pass over it. The streaming backend fuses the two (reported as
+    build); the formula backend has no circuit at all (reported as trace).
+    """
+    algorithm, bits, backend = args.algorithm, args.bits, args.backend
+    if algorithm == "modexp":
+        from .arithmetic import (
+            modexp_circuit,
+            modexp_counting_counts,
+            modexp_logical_counts,
+        )
+
+        if bits < 2:
+            raise SystemExit("error: modexp needs --bits >= 2")
+        exponent_bits = (
+            args.exponent_bits if args.exponent_bits is not None else 2 * bits
+        )
+        if exponent_bits < 1:
+            raise SystemExit(
+                f"error: --exponent-bits must be >= 1, got {exponent_bits}"
+            )
+        modulus = (1 << bits) - 1
+        try:
+            if backend == "formula":
+                start = time.perf_counter()
+                counts = modexp_logical_counts(
+                    bits, exponent_bits, window=args.window
+                )
+                return counts, 0.0, time.perf_counter() - start
+            if backend == "counting":
+                start = time.perf_counter()
+                counts = modexp_counting_counts(
+                    2, modulus, exponent_bits, window=args.window
+                )
+                return counts, time.perf_counter() - start, 0.0
+            start = time.perf_counter()
+            circuit = modexp_circuit(2, modulus, exponent_bits, window=args.window)
+            built = time.perf_counter()
+            counts = circuit.logical_counts()
+            return counts, built - start, time.perf_counter() - built
+        except ValueError as exc:  # e.g. an out-of-range --window
+            raise SystemExit(f"error: {exc}")
+
+    from .arithmetic import multiplier_by_name
+
+    if args.exponent_bits is not None or args.window is not None:
+        raise SystemExit(
+            "error: --exponent-bits/--window only apply to --algorithm modexp"
+        )
+    try:
+        multiplier = multiplier_by_name(algorithm, bits)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if backend == "formula":
+        start = time.perf_counter()
+        counts = multiplier.logical_counts()
+        return counts, 0.0, time.perf_counter() - start
+    if backend == "counting":
+        start = time.perf_counter()
+        counts = multiplier.counted_counts()
+        return counts, time.perf_counter() - start, 0.0
+    start = time.perf_counter()
+    circuit = multiplier.circuit()
+    built = time.perf_counter()
+    counts = circuit.logical_counts()
+    return counts, built - start, time.perf_counter() - built
+
+
+def _bench_main(argv: list[str]) -> int:
+    args = build_bench_parser().parse_args(argv)
+    if args.bits < 1:
+        raise SystemExit(f"error: --bits must be >= 1, got {args.bits}")
+
+    counts, build_s, trace_s = _bench_counts(args)
+
+    qubit = qubit_params(args.profile)
+    start = time.perf_counter()
+    try:
+        result = estimate(counts, qubit, budget=ErrorBudget(total=args.budget))
+        estimate_s = time.perf_counter() - start
+        estimate_error = None
+    except (EstimationError, ValueError) as exc:
+        estimate_s = time.perf_counter() - start
+        result = None
+        estimate_error = str(exc)
+    total_s = build_s + trace_s + estimate_s
+
+    if args.json:
+        record: dict[str, object] = {
+            "algorithm": args.algorithm,
+            "bits": args.bits,
+            "backend": args.backend,
+            "profile": args.profile,
+            "budget": args.budget,
+            "stages": {
+                "build_s": build_s,
+                "trace_s": trace_s,
+                "estimate_s": estimate_s,
+                "total_s": total_s,
+            },
+            "counts": counts.to_dict(),
+        }
+        if result is not None:
+            record["result"] = {
+                "physicalQubits": result.physical_qubits,
+                "runtime_s": result.runtime_seconds,
+                "codeDistance": result.code_distance,
+                "rqops": result.rqops,
+            }
+        else:
+            record["estimateError"] = estimate_error
+        print(json.dumps(record, indent=2))
+    else:
+        print(
+            f"{args.algorithm}/{args.bits} via {args.backend} backend "
+            f"on {args.profile}"
+        )
+        print(f"{'stage':<10} {'time[s]':>10}")
+        print("-" * 21)
+        print(f"{'build':<10} {build_s:>10.3f}")
+        print(f"{'trace':<10} {trace_s:>10.3f}")
+        print(f"{'estimate':<10} {estimate_s:>10.3f}")
+        print(f"{'total':<10} {total_s:>10.3f}")
+        print(
+            f"counts: qubits={counts.num_qubits:,} t={counts.t_count:,} "
+            f"ccz={counts.ccz_count:,} ccix={counts.ccix_count:,} "
+            f"meas={counts.measurement_count:,}"
+        )
+        if result is not None:
+            print(
+                f"estimate: {result.physical_qubits:,} physical qubits, "
+                f"{result.runtime_seconds:.3g} s runtime, "
+                f"d={result.code_distance}"
+            )
+        else:
+            print(f"estimate failed: {estimate_error}")
+    return 0 if estimate_error is None else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "batch":
         return _batch_main(raw[1:])
+    if raw and raw[0] == "bench":
+        return _bench_main(raw[1:])
     args = build_parser().parse_args(raw)
     program = _load_program(args)
     qubit = qubit_params(args.profile)

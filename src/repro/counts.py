@@ -84,6 +84,32 @@ class LogicalCounts:
             measurement_count=self.measurement_count + other.measurement_count,
         )
 
+    def account(self, extras) -> "LogicalCounts":
+        """Fold estimates injected via ``account_for_estimates``.
+
+        Each extra composes sequentially (:meth:`add`) while its qubits
+        are auxiliary *on top of* this program's width, matching Q#'s
+        ``AccountForEstimates`` (which receives the qubits it acts on
+        plus an aux count). Both counting backends — the materialized
+        tracer and the streaming builder — fold a program's injected
+        estimates through this one helper, so the composition rule
+        cannot drift between them.
+        """
+        counts = self
+        for extra in extras:
+            combined_width = counts.num_qubits + extra.num_qubits
+            counts = counts.add(extra)
+            counts = LogicalCounts(
+                num_qubits=combined_width,
+                t_count=counts.t_count,
+                rotation_count=counts.rotation_count,
+                rotation_depth=counts.rotation_depth,
+                ccz_count=counts.ccz_count,
+                ccix_count=counts.ccix_count,
+                measurement_count=counts.measurement_count,
+            )
+        return counts
+
     def parallel(self, other: "LogicalCounts") -> "LogicalCounts":
         """Parallel composition: widths add; counts add.
 

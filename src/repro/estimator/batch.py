@@ -179,10 +179,10 @@ class EstimateCache:
             self.stats.counts_hits += 1
             return hit[1]
         self.stats.counts_misses += 1
-        materialized = program
-        if callable(materialized) and not hasattr(materialized, "logical_counts"):
-            materialized = materialized()
-        counts = resolve_counts(materialized)
+        # resolve_counts handles objects, counts providers (zero-argument
+        # callables, e.g. a partial over the streaming counting backend),
+        # and plain LogicalCounts alike.
+        counts = resolve_counts(program)
         self._counts[cache_key] = (program, counts)
         return counts
 

@@ -78,7 +78,19 @@ DEFAULT_DESIGNER = TFactoryDesigner()
 
 
 def resolve_counts(program: object) -> LogicalCounts:
-    """Accept LogicalCounts or anything exposing ``logical_counts()``."""
+    """Resolve a program into its pre-layout logical counts.
+
+    Accepts, in resolution order:
+
+    * :class:`LogicalCounts` directly (the known-estimates input path);
+    * anything exposing ``logical_counts()`` — a traced
+      :class:`~repro.ir.Circuit`, a :class:`~repro.ir.CountedCircuit`
+      from the streaming backend, a live
+      :class:`~repro.ir.CountingBuilder`, a multiplier object;
+    * a zero-argument *counts provider* returning either of the above
+      (e.g. ``functools.partial(modexp_counting_counts, ...)``), so batch
+      sweeps and workers can defer circuit construction entirely.
+    """
     if isinstance(program, LogicalCounts):
         return program
     counts_method = getattr(program, "logical_counts", None)
@@ -86,9 +98,19 @@ def resolve_counts(program: object) -> LogicalCounts:
         counts = counts_method()
         if isinstance(counts, LogicalCounts):
             return counts
+    elif callable(program):
+        produced = program()
+        if isinstance(produced, LogicalCounts):
+            return produced
+        counts_method = getattr(produced, "logical_counts", None)
+        if callable(counts_method):
+            counts = counts_method()
+            if isinstance(counts, LogicalCounts):
+                return counts
     raise TypeError(
-        "program must be LogicalCounts or provide a logical_counts() method "
-        f"returning LogicalCounts; got {type(program).__name__}"
+        "program must be LogicalCounts, provide a logical_counts() method, "
+        "or be a zero-argument callable returning either; got "
+        f"{type(program).__name__}"
     )
 
 

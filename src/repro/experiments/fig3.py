@@ -29,11 +29,14 @@ def run_fig3(
     budget: float = PAPER_ERROR_BUDGET,
     algorithms: Sequence[str] = ALGORITHMS,
     max_workers: int | None = 1,
+    backend: str = "formula",
 ) -> list[EstimateRow]:
     """Reproduce the Fig. 3 sweep; rows ordered by (algorithm, bits).
 
     The grid runs through the shared batch engine; ``max_workers`` fans
-    points out over worker processes (``1`` = serial, with sweep caches).
+    points out over worker processes (``1`` = serial, with sweep caches)
+    and ``backend`` selects the count-resolution path (``formula`` /
+    ``materialize`` / ``counting`` — identical results).
     """
     sizes = tuple(bit_sizes) if bit_sizes is not None else FIG3_BIT_SIZES
     points = [
@@ -41,4 +44,6 @@ def run_fig3(
         for algorithm in algorithms
         for bits in sizes
     ]
-    return run_estimate_rows(points, budget=budget, max_workers=max_workers)
+    return run_estimate_rows(
+        points, budget=budget, max_workers=max_workers, backend=backend
+    )

@@ -33,12 +33,15 @@ def run_fig4(
     budget: float = PAPER_ERROR_BUDGET,
     algorithms: Sequence[str] = ALGORITHMS,
     max_workers: int | None = 1,
+    backend: str = "formula",
 ) -> list[EstimateRow]:
     """Reproduce the Fig. 4 sweep; rows ordered by (profile, algorithm).
 
     The grid runs through the shared batch engine, so each algorithm's
-    circuit is traced once and reused across all six profiles;
-    ``max_workers`` fans points out over worker processes.
+    counts are resolved once and reused across all six profiles;
+    ``max_workers`` fans points out over worker processes and ``backend``
+    selects the count-resolution path (``formula`` / ``materialize`` /
+    ``counting`` — identical results).
     """
     chosen = tuple(profiles) if profiles is not None else FIG4_PROFILES
     points = [
@@ -46,4 +49,6 @@ def run_fig4(
         for profile in chosen
         for algorithm in algorithms
     ]
-    return run_estimate_rows(points, budget=budget, max_workers=max_workers)
+    return run_estimate_rows(
+        points, budget=budget, max_workers=max_workers, backend=backend
+    )

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from functools import lru_cache, partial
 from typing import Any, Sequence
 
-from ..arithmetic import multiplier_by_name
+from ..arithmetic import COUNT_BACKENDS, multiplier_by_name
 from ..counts import LogicalCounts
 from ..estimator import EstimationError, PhysicalResourceEstimates
 from ..estimator.batch import EstimateRequest, estimate_batch
@@ -61,34 +61,50 @@ class EstimateRow:
         }
 
 
-def _multiplier_counts(algorithm: str, bits: int) -> LogicalCounts:
-    """Build and trace one multiplier circuit (runs inside workers)."""
-    return multiplier_by_name(algorithm, bits).logical_counts()
+def _multiplier_counts(
+    algorithm: str, bits: int, backend: str = "formula"
+) -> LogicalCounts:
+    """Resolve one multiplier's counts (runs inside workers).
+
+    ``backend`` picks how: closed-form tallies (``formula``, the
+    default), a materialized trace (``materialize``), or the streaming
+    counting builder (``counting``); all three agree bit-for-bit.
+    """
+    return multiplier_by_name(algorithm, bits).backend_counts(backend)
 
 
 @lru_cache(maxsize=None)
-def _program_spec(algorithm: str, bits: int) -> partial:
-    """A picklable, lazily-traced program factory for one multiplier.
+def _program_spec(algorithm: str, bits: int, backend: str = "formula") -> partial:
+    """A picklable, lazily-resolved program factory for one multiplier.
 
     The lru_cache returns the *same* factory object for repeated
-    (algorithm, bits) points, so identity-based deduplication works even
-    without the explicit ``program_key`` (which is also set, covering
-    cross-process chunks).
+    (algorithm, bits, backend) points, so identity-based deduplication
+    works even without the explicit ``program_key`` (which is also set,
+    covering cross-process chunks).
     """
-    return partial(_multiplier_counts, algorithm, bits)
+    return partial(_multiplier_counts, algorithm, bits, backend)
 
 
 def multiplier_request(
-    algorithm: str, bits: int, profile: str, *, budget: float
+    algorithm: str,
+    bits: int,
+    profile: str,
+    *,
+    budget: float,
+    backend: str = "formula",
 ) -> EstimateRequest:
     """The batch request for one (algorithm, bits, profile) figure point."""
+    if backend not in COUNT_BACKENDS:
+        raise ValueError(
+            f"unknown count backend {backend!r}; available: {COUNT_BACKENDS}"
+        )
     qubit = qubit_params(profile)
     return EstimateRequest(
-        program=_program_spec(algorithm, bits),
+        program=_program_spec(algorithm, bits, backend),
         qubit=qubit,
         scheme=default_scheme_for(qubit),
         budget=budget,
-        program_key=("multiplier", algorithm, bits),
+        program_key=("multiplier", algorithm, bits, backend),
         label=f"{algorithm}/{bits}/{profile}",
     )
 
@@ -116,6 +132,7 @@ def run_estimate_rows(
     *,
     budget: float = PAPER_ERROR_BUDGET,
     max_workers: int | None = 1,
+    backend: str = "formula",
 ) -> list[EstimateRow]:
     """Estimate ``(algorithm, bits, profile)`` points via the batch engine.
 
@@ -126,9 +143,11 @@ def run_estimate_rows(
 
     ``max_workers=1`` runs serially (with shared sweep caches); ``None``
     or ``> 1`` fans out over a process pool with serial fallback.
+    ``backend`` picks how pre-layout counts are resolved (``formula`` /
+    ``materialize`` / ``counting``); results are identical, cost is not.
     """
     requests = [
-        multiplier_request(algorithm, bits, profile, budget=budget)
+        multiplier_request(algorithm, bits, profile, budget=budget, backend=backend)
         for algorithm, bits, profile in points
     ]
     outcomes = estimate_batch(requests, max_workers=max_workers)

@@ -1,11 +1,18 @@
-"""Quantum program IR, builder, and pre-layout resource tracer.
+"""Quantum program IR, builders, and pre-layout resource tracing.
 
 This package plays the role of QIR in the tool (paper Sec. III-A, IV-B):
 a flat instruction stream recording qubit allocation/release, gate
-applications, and measurements. Programs are authored with
-:class:`CircuitBuilder` (the stand-in for Q#/Qiskit front ends), traced
-into :class:`~repro.counts.LogicalCounts` by :func:`trace`, and validated
-for well-formedness by :func:`validate`.
+applications, and measurements. Programs are authored against the
+:class:`Builder` protocol, which has two interchangeable backends:
+
+* :class:`CircuitBuilder` materializes every gate into a
+  :class:`Circuit`, traced into :class:`~repro.counts.LogicalCounts` by
+  :func:`trace` and validated for well-formedness by :func:`validate` —
+  the full-fidelity path (simulation, QIR round-trips, ISA lowering).
+* :class:`CountingBuilder` streams: emissions fold directly into running
+  counts in O(live qubits) memory, with subcircuit memoization for
+  structurally-repeated blocks — the scaling path for RSA-sized
+  workloads (see :mod:`repro.ir.counting`).
 
 The gate set matches what the tool counts: Clifford gates (free at the
 logical level), T gates, arbitrary rotations, CCZ/CCiX, logical-AND
@@ -15,14 +22,21 @@ without emitting its gates, mirroring Q#'s ``AccountForEstimates``.
 """
 
 from .ops import Op, OPCODE_NAMES
-from .circuit import Circuit, CircuitBuilder, CircuitError, QubitHandle
+from .builder import Builder, BuilderBase, CircuitError, Instruction, QubitHandle
+from .circuit import Circuit, CircuitBuilder
+from .counting import CountedCircuit, CountingBuilder
 from .tracer import trace
 from .validate import validate
 
 __all__ = [
+    "Builder",
+    "BuilderBase",
     "Circuit",
     "CircuitBuilder",
     "CircuitError",
+    "CountedCircuit",
+    "CountingBuilder",
+    "Instruction",
     "OPCODE_NAMES",
     "Op",
     "QubitHandle",

@@ -1,0 +1,459 @@
+"""Builder protocol and the shared circuit-authoring front end.
+
+The library has two interchangeable authoring backends behind one emit
+surface:
+
+* :class:`~repro.ir.circuit.CircuitBuilder` **materializes** every gate
+  into an instruction stream (``Circuit``), which can then be traced,
+  validated, simulated, lowered, or serialized — the full-fidelity path.
+* :class:`~repro.ir.counting.CountingBuilder` **streams**: each emission
+  is folded directly into running :class:`~repro.counts.LogicalCounts`
+  in O(live qubits) memory, never storing instructions — the scaling
+  path that makes RSA-sized workloads (n >= 2048 bit modular
+  exponentiation) tractable.
+
+:class:`Builder` is the structural protocol both implement; circuit
+constructors (the arithmetic library, QIR ingestion, user code) should
+annotate against it so callers pick the backend. :class:`BuilderBase`
+holds everything the two backends share — qubit allocation with a free
+list, gate validation, tape recording, adjoint replay — and funnels every
+emitted instruction through a single ``_put`` hook that subclasses bind
+to "append to the stream" or "fold into the counters".
+
+Two protocol methods exist purely for the streaming backend's benefit and
+are exact no-ops (plain emission) on the materialized path:
+
+* ``subcircuit(key, emit)`` marks a structurally-repeated block. The
+  counting backend traces the block once per ``key`` and replays its
+  cached contribution on later calls in O(1); callers guarantee that
+  blocks sharing a key have identical count/width contributions (gate
+  *parameters* such as classical constants may differ — Clifford-only
+  variation is free).
+* ``repeat(count, emit)`` emits a block ``count`` times; the counting
+  backend traces once and replays ``count - 1`` times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Protocol, runtime_checkable
+
+from ..counts import LogicalCounts
+from .ops import Op
+
+#: Qubits are plain ints; the alias documents intent in signatures.
+QubitHandle = int
+
+Instruction = tuple[int, int, int, int, float]
+
+
+class CircuitError(RuntimeError):
+    """Raised for misuse of a builder or malformed circuits."""
+
+
+@runtime_checkable
+class Builder(Protocol):
+    """Structural protocol of the circuit-authoring surface.
+
+    Anything that provides these methods can drive the arithmetic
+    constructors and every other circuit emitter in the library. The two
+    implementations are :class:`~repro.ir.circuit.CircuitBuilder`
+    (materializes an instruction stream) and
+    :class:`~repro.ir.counting.CountingBuilder` (folds emissions into
+    running logical counts in O(live qubits) memory).
+    """
+
+    name: str
+
+    # -- qubit management --
+    def allocate(self) -> QubitHandle: ...
+    def allocate_register(self, size: int) -> list[QubitHandle]: ...
+    def release(self, qubit: QubitHandle) -> None: ...
+    def release_register(self, qubits: Iterable[QubitHandle]) -> None: ...
+    @property
+    def num_active_qubits(self) -> int: ...
+
+    # -- Clifford gates --
+    def x(self, q: QubitHandle) -> None: ...
+    def y(self, q: QubitHandle) -> None: ...
+    def z(self, q: QubitHandle) -> None: ...
+    def h(self, q: QubitHandle) -> None: ...
+    def s(self, q: QubitHandle) -> None: ...
+    def s_adj(self, q: QubitHandle) -> None: ...
+    def cx(self, control: QubitHandle, target: QubitHandle) -> None: ...
+    def cz(self, a: QubitHandle, b: QubitHandle) -> None: ...
+    def swap(self, a: QubitHandle, b: QubitHandle) -> None: ...
+
+    # -- non-Clifford gates --
+    def t(self, q: QubitHandle) -> None: ...
+    def t_adj(self, q: QubitHandle) -> None: ...
+    def rx(self, angle: float, q: QubitHandle) -> None: ...
+    def ry(self, angle: float, q: QubitHandle) -> None: ...
+    def rz(self, angle: float, q: QubitHandle) -> None: ...
+    def ccz(self, a: QubitHandle, b: QubitHandle, c: QubitHandle) -> None: ...
+    def ccx(
+        self, control1: QubitHandle, control2: QubitHandle, target: QubitHandle
+    ) -> None: ...
+    def ccix(
+        self, control1: QubitHandle, control2: QubitHandle, target: QubitHandle
+    ) -> None: ...
+    def and_compute(self, a: QubitHandle, b: QubitHandle) -> QubitHandle: ...
+    def and_uncompute(
+        self, a: QubitHandle, b: QubitHandle, target: QubitHandle
+    ) -> None: ...
+
+    # -- measurement and injection --
+    def measure(self, q: QubitHandle) -> None: ...
+    def reset(self, q: QubitHandle) -> None: ...
+    def account_for_estimates(self, counts: LogicalCounts) -> None: ...
+
+    # -- recording, adjoints, and structured repetition --
+    def start_recording(self) -> None: ...
+    def stop_recording(self) -> list[Instruction]: ...
+    def emit_adjoint(self, tape: list[Instruction]) -> None: ...
+    def subcircuit(
+        self, key: Hashable, emit: Callable[["Builder"], None]
+    ) -> None: ...
+    def repeat(self, count: int, emit: Callable[["Builder"], None]) -> None: ...
+
+
+class BuilderBase:
+    """Shared authoring machinery of the two builder backends.
+
+    Qubits are plain integer ids managed by an allocator with a free
+    list, so releasing temporary ancillas and re-allocating them reuses
+    ids, exactly like the qubit-tracking pass the tool runs over QIR
+    (paper Sec. IV-B.1). Every emitted instruction funnels through
+    :meth:`_put`; subclasses decide whether to store it
+    (:class:`~repro.ir.circuit.CircuitBuilder`) or fold it into running
+    counters (:class:`~repro.ir.counting.CountingBuilder`).
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._free: list[int] = []
+        self._next_id = 0
+        self._active: set[int] = set()
+        self._estimates: list[LogicalCounts] = []
+        self._finished = False
+        self._recording_starts: list[int] = []
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _put(self, instruction: Instruction) -> None:
+        """Sink one emitted instruction (store it, or fold it)."""
+        raise NotImplementedError
+
+    def _mark(self) -> int:
+        """Current position in the recording medium (for start_recording)."""
+        raise NotImplementedError
+
+    def _capture(self, start: int) -> list[Instruction]:
+        """Instructions emitted since ``start`` (for stop_recording)."""
+        raise NotImplementedError
+
+    # -- qubit management --------------------------------------------------
+
+    def allocate(self) -> QubitHandle:
+        """Allocate one qubit in |0>, reusing released ids."""
+        self._check_open()
+        q = -1
+        # The free list holds only inactive ids (emit_adjoint removes ids
+        # it resurrects), but scan defensively: a still-active entry is
+        # retained for later reuse, never silently discarded.
+        retained: list[int] = []
+        while self._free:
+            candidate = self._free.pop()
+            if candidate in self._active:
+                retained.append(candidate)
+                continue
+            q = candidate
+            break
+        if retained:
+            self._free.extend(reversed(retained))
+        if q == -1:
+            q = self._next_id
+            self._next_id += 1
+        self._active.add(q)
+        self._put((Op.ALLOC, q, -1, -1, 0.0))
+        return q
+
+    def allocate_register(self, size: int) -> list[QubitHandle]:
+        """Allocate ``size`` qubits (little-endian registers by convention)."""
+        if size < 1:
+            raise CircuitError(f"register size must be >= 1, got {size}")
+        return [self.allocate() for _ in range(size)]
+
+    def release(self, qubit: QubitHandle) -> None:
+        """Release a qubit (caller guarantees it is back in |0>)."""
+        self._require_active(qubit)
+        self._active.discard(qubit)
+        self._free.append(qubit)
+        self._put((Op.RELEASE, qubit, -1, -1, 0.0))
+
+    def release_register(self, qubits: Iterable[QubitHandle]) -> None:
+        for q in qubits:
+            self.release(q)
+
+    @property
+    def num_active_qubits(self) -> int:
+        return len(self._active)
+
+    # -- Clifford gates ----------------------------------------------------
+
+    def x(self, q: QubitHandle) -> None:
+        self._one(Op.X, q)
+
+    def y(self, q: QubitHandle) -> None:
+        self._one(Op.Y, q)
+
+    def z(self, q: QubitHandle) -> None:
+        self._one(Op.Z, q)
+
+    def h(self, q: QubitHandle) -> None:
+        self._one(Op.H, q)
+
+    def s(self, q: QubitHandle) -> None:
+        self._one(Op.S, q)
+
+    def s_adj(self, q: QubitHandle) -> None:
+        self._one(Op.S_ADJ, q)
+
+    def cx(self, control: QubitHandle, target: QubitHandle) -> None:
+        self._two(Op.CX, control, target)
+
+    def cz(self, a: QubitHandle, b: QubitHandle) -> None:
+        self._two(Op.CZ, a, b)
+
+    def swap(self, a: QubitHandle, b: QubitHandle) -> None:
+        self._two(Op.SWAP, a, b)
+
+    # -- non-Clifford gates --------------------------------------------------
+
+    def t(self, q: QubitHandle) -> None:
+        self._one(Op.T, q)
+
+    def t_adj(self, q: QubitHandle) -> None:
+        self._one(Op.T_ADJ, q)
+
+    def rx(self, angle: float, q: QubitHandle) -> None:
+        self._rotation(Op.RX, angle, q)
+
+    def ry(self, angle: float, q: QubitHandle) -> None:
+        self._rotation(Op.RY, angle, q)
+
+    def rz(self, angle: float, q: QubitHandle) -> None:
+        self._rotation(Op.RZ, angle, q)
+
+    def ccz(self, a: QubitHandle, b: QubitHandle, c: QubitHandle) -> None:
+        self._three(Op.CCZ, a, b, c)
+
+    def ccx(
+        self, control1: QubitHandle, control2: QubitHandle, target: QubitHandle
+    ) -> None:
+        """Toffoli gate (counts as one CCZ plus Cliffords)."""
+        self._three(Op.CCX, control1, control2, target)
+
+    def ccix(
+        self, control1: QubitHandle, control2: QubitHandle, target: QubitHandle
+    ) -> None:
+        self._three(Op.CCIX, control1, control2, target)
+
+    def and_compute(self, a: QubitHandle, b: QubitHandle) -> QubitHandle:
+        """Gidney temporary AND: allocate and return a target holding a AND b.
+
+        Costs one CCiX (4 T states). Must be undone with
+        :meth:`and_uncompute`, which costs only a measurement.
+        """
+        target = self.allocate()
+        self._three(Op.AND, a, b, target)
+        return target
+
+    def and_uncompute(
+        self, a: QubitHandle, b: QubitHandle, target: QubitHandle
+    ) -> None:
+        """Measurement-based uncompute of :meth:`and_compute`; releases target."""
+        self._three(Op.AND_UNCOMPUTE, a, b, target)
+        self._active.discard(target)
+        self._free.append(target)
+        self._put((Op.RELEASE, target, -1, -1, 0.0))
+
+    # -- measurement and injection -------------------------------------------
+
+    def measure(self, q: QubitHandle) -> None:
+        self._one(Op.MEASURE, q)
+
+    def reset(self, q: QubitHandle) -> None:
+        self._one(Op.RESET, q)
+
+    def account_for_estimates(self, counts: LogicalCounts) -> None:
+        """Inject known logical estimates of an un-emitted subroutine.
+
+        The subroutine's auxiliary qubits are assumed included in
+        ``counts.num_qubits`` *in addition to* the qubits currently live
+        (matching ``AccountForEstimates``, which receives the qubits it
+        acts on plus an aux count).
+        """
+        self._check_open()
+        index = len(self._estimates)
+        self._estimates.append(counts)
+        self._put((Op.ACCOUNT, -1, -1, -1, float(index)))
+
+    # -- recording and adjoints ------------------------------------------------
+
+    def start_recording(self) -> None:
+        """Begin capturing emitted instructions (nestable).
+
+        Use with :meth:`stop_recording` and :meth:`emit_adjoint` to undo a
+        reversible subroutine mechanically (Bennett-style cleanup). Only
+        reversible instructions may be recorded.
+        """
+        self._check_open()
+        self._recording_starts.append(self._mark())
+
+    def stop_recording(self) -> list[Instruction]:
+        """End the innermost recording; return the captured tape."""
+        self._check_open()
+        if not self._recording_starts:
+            raise CircuitError("stop_recording without start_recording")
+        start = self._recording_starts.pop()
+        return self._capture(start)
+
+    #: Opcode inversion map for adjoint replay. AND flips to its
+    #: measurement-based uncompute (and vice versa), which is what makes
+    #: Bennett cleanup free of T states in this cost model.
+    _ADJOINT = {
+        Op.ALLOC: Op.RELEASE,
+        Op.RELEASE: Op.ALLOC,
+        Op.X: Op.X,
+        Op.Y: Op.Y,
+        Op.Z: Op.Z,
+        Op.H: Op.H,
+        Op.S: Op.S_ADJ,
+        Op.S_ADJ: Op.S,
+        Op.CX: Op.CX,
+        Op.CZ: Op.CZ,
+        Op.SWAP: Op.SWAP,
+        Op.T: Op.T_ADJ,
+        Op.T_ADJ: Op.T,
+        Op.RX: Op.RX,  # angle negated at replay
+        Op.RY: Op.RY,
+        Op.RZ: Op.RZ,
+        Op.CCZ: Op.CCZ,
+        Op.CCX: Op.CCX,
+        Op.CCIX: Op.CCIX,
+        Op.AND: Op.AND_UNCOMPUTE,
+        Op.AND_UNCOMPUTE: Op.AND,
+    }
+
+    def emit_adjoint(self, tape: list[Instruction]) -> None:
+        """Replay a recorded tape in reverse with each instruction inverted.
+
+        Qubits the tape allocated are released and vice versa; ids are
+        re-activated directly (not via the free list) so the adjoint acts
+        on exactly the qubits the forward pass used. Irreversible
+        instructions (measure, reset, account) cannot be undone and raise.
+        """
+        self._check_open()
+        for op, q0, q1, q2, param in reversed(tape):
+            inverse = self._ADJOINT.get(Op(op))
+            if inverse is None:
+                raise CircuitError(
+                    f"cannot take the adjoint of irreversible instruction "
+                    f"{Op(op).name}"
+                )
+            if inverse == Op.ALLOC:
+                # Undoing a RELEASE: bring the same id back into service.
+                # Remove it from the free list (it is active again) so the
+                # list never accumulates stale duplicates across repeated
+                # record/adjoint cycles and allocate() never has to skip.
+                if q0 in self._active:
+                    raise CircuitError(
+                        f"adjoint re-allocates qubit {q0}, which is still active"
+                    )
+                if q0 in self._free:
+                    self._free.remove(q0)
+                self._active.add(q0)
+                self._put((Op.ALLOC, q0, -1, -1, 0.0))
+            elif inverse == Op.RELEASE:
+                self.release(q0)
+            elif inverse in (Op.RX, Op.RY, Op.RZ):
+                self._rotation(inverse, -param, q0)
+            elif q2 != -1:
+                self._three(inverse, q0, q1, q2)
+            elif q1 != -1:
+                self._two(inverse, q0, q1)
+            else:
+                self._one(inverse, q0)
+
+    # -- structured repetition -------------------------------------------------
+
+    def subcircuit(
+        self, key: Hashable, emit: Callable[[Builder], None]
+    ) -> None:
+        """Emit a structurally-repeated block, identified by ``key``.
+
+        On the materialized path this simply calls ``emit(self)``. The
+        counting backend overrides it to trace the block once per key and
+        replay the cached counts/width contribution on later calls.
+
+        Callers guarantee: two blocks emitted under the same key make
+        identical contributions to logical counts (gate tallies, peak
+        live-qubit delta, rotation structure) and leave the live-qubit
+        set unchanged (scratch is allocated and released inside the
+        block). Classical parameters may differ between calls as long as
+        the difference is Clifford-only (e.g. which CNOTs imprint a
+        constant) — that is what makes one key cover all 2n modular
+        multiplications of a modular exponentiation. A replay on the
+        counting backend skips the block's allocator churn; see
+        :mod:`repro.ir.counting` for why the resulting qubit-id
+        relabeling cannot change any count.
+        """
+        self._check_open()
+        emit(self)
+
+    def repeat(self, count: int, emit: Callable[[Builder], None]) -> None:
+        """Emit ``emit(self)`` exactly ``count`` times (``count >= 0``).
+
+        The counting backend overrides this to trace the block once and
+        replay its contribution ``count - 1`` times in O(1).
+        """
+        self._check_open()
+        if count < 0:
+            raise CircuitError(f"repeat count must be >= 0, got {count}")
+        for _ in range(count):
+            emit(self)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise CircuitError("builder already finished")
+
+    def _require_active(self, *qubits: int) -> None:
+        for q in qubits:
+            if q not in self._active:
+                raise CircuitError(f"qubit {q} is not allocated")
+
+    def _one(self, op: int, q: int) -> None:
+        self._check_open()
+        self._require_active(q)
+        self._put((op, q, -1, -1, 0.0))
+
+    def _two(self, op: int, a: int, b: int) -> None:
+        self._check_open()
+        self._require_active(a, b)
+        if a == b:
+            raise CircuitError(f"two-qubit gate needs distinct qubits, got {a} twice")
+        self._put((op, a, b, -1, 0.0))
+
+    def _three(self, op: int, a: int, b: int, c: int) -> None:
+        self._check_open()
+        self._require_active(a, b, c)
+        if len({a, b, c}) != 3:
+            raise CircuitError(f"three-qubit gate needs distinct qubits, got {(a, b, c)}")
+        self._put((op, a, b, c, 0.0))
+
+    def _rotation(self, op: int, angle: float, q: int) -> None:
+        self._check_open()
+        self._require_active(q)
+        self._put((op, q, -1, -1, float(angle)))

@@ -1,34 +1,32 @@
-"""Circuit container and builder front end.
+"""Circuit container and the materializing builder front end.
 
-``CircuitBuilder`` is the library's authoring API — the stand-in for the
-Q#/Qiskit front ends of the tool. Qubits are plain integer ids managed by
-an allocator with a free list, so releasing temporary ancillas and
-re-allocating them reuses ids, exactly like the qubit-tracking pass the
-tool runs over QIR (paper Sec. IV-B.1: "track qubit allocation, qubit
-release, gate application, and measurement events").
+``CircuitBuilder`` is the library's full-fidelity authoring API — the
+stand-in for the Q#/Qiskit front ends of the tool. It records every gate
+as an ``Instruction`` tuple, producing a :class:`Circuit` that can be
+traced, validated, simulated, lowered, and serialized. The shared
+allocation/validation/adjoint machinery lives in
+:class:`~repro.ir.builder.BuilderBase`; the streaming counterpart that
+never stores instructions is
+:class:`~repro.ir.counting.CountingBuilder`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from ..counts import LogicalCounts
-from .ops import Op
-
-#: Qubits are plain ints; the alias documents intent in signatures.
-QubitHandle = int
-
-Instruction = tuple[int, int, int, int, float]
-
-
-class CircuitError(RuntimeError):
-    """Raised for misuse of the builder or malformed circuits."""
+from .builder import (  # noqa: F401  (compat re-exports)
+    BuilderBase,
+    CircuitError,
+    Instruction,
+    QubitHandle,
+)
 
 
 class Circuit:
     """An immutable instruction stream plus its injected estimates table."""
 
-    __slots__ = ("_instructions", "_estimates", "_counts_cache", "name")
+    __slots__ = ("_instructions", "_estimates", "_counts_cache", "_counts_len", "name")
 
     def __init__(
         self,
@@ -39,6 +37,7 @@ class Circuit:
         self._instructions = instructions
         self._estimates = estimates
         self._counts_cache: LogicalCounts | None = None
+        self._counts_len = -1
         self.name = name
 
     @property
@@ -57,19 +56,30 @@ class Circuit:
         return iter(self._instructions)
 
     def logical_counts(self) -> LogicalCounts:
-        """Pre-layout logical counts of this circuit (cached)."""
-        if self._counts_cache is None:
+        """Pre-layout logical counts of this circuit (cached).
+
+        The cache is keyed on the instruction count, so a stream that
+        grows after a trace (e.g. a caller-held instruction list that
+        gains ``account_for_estimates`` entries or gates) is re-traced
+        instead of serving a stale count. The stream is borrowed, not
+        copied: append-only growth is the supported mutation; replacing
+        entries in place without changing the length is undefined (the
+        cache cannot see it short of re-hashing the stream per call).
+        """
+        length = len(self._instructions)
+        if self._counts_cache is None or self._counts_len != length:
             from .tracer import trace
 
             self._counts_cache = trace(self)
+            self._counts_len = length
         return self._counts_cache
 
     def __repr__(self) -> str:
         return f"Circuit({self.name!r}, {len(self)} instructions)"
 
 
-class CircuitBuilder:
-    """Authoring API for IR circuits.
+class CircuitBuilder(BuilderBase):
+    """Authoring API for materialized IR circuits.
 
     Example
     -------
@@ -83,242 +93,19 @@ class CircuitBuilder:
     """
 
     def __init__(self, name: str = "circuit") -> None:
-        self.name = name
+        super().__init__(name)
         self._instructions: list[Instruction] = []
-        self._free: list[int] = []
-        self._next_id = 0
-        self._active: set[int] = set()
-        self._estimates: list[LogicalCounts] = []
-        self._finished = False
-        self._recording_starts: list[int] = []
+        # Hot path: every gate emission lands here. Binding the list's
+        # append as the instance's _put skips a method dispatch per gate.
+        self._put = self._instructions.append
 
-    # -- qubit management --------------------------------------------------
+    # -- recording hooks (tapes are slices of the instruction stream) -------
 
-    def allocate(self) -> QubitHandle:
-        """Allocate one qubit in |0>, reusing released ids."""
-        self._check_open()
-        q = -1
-        # The free list holds only inactive ids (emit_adjoint removes ids
-        # it resurrects), but scan defensively: a still-active entry is
-        # retained for later reuse, never silently discarded.
-        retained: list[int] = []
-        while self._free:
-            candidate = self._free.pop()
-            if candidate in self._active:
-                retained.append(candidate)
-                continue
-            q = candidate
-            break
-        if retained:
-            self._free.extend(reversed(retained))
-        if q == -1:
-            q = self._next_id
-            self._next_id += 1
-        self._active.add(q)
-        self._instructions.append((Op.ALLOC, q, -1, -1, 0.0))
-        return q
+    def _mark(self) -> int:
+        return len(self._instructions)
 
-    def allocate_register(self, size: int) -> list[QubitHandle]:
-        """Allocate ``size`` qubits (little-endian registers by convention)."""
-        if size < 1:
-            raise CircuitError(f"register size must be >= 1, got {size}")
-        return [self.allocate() for _ in range(size)]
-
-    def release(self, qubit: QubitHandle) -> None:
-        """Release a qubit (caller guarantees it is back in |0>)."""
-        self._require_active(qubit)
-        self._active.discard(qubit)
-        self._free.append(qubit)
-        self._instructions.append((Op.RELEASE, qubit, -1, -1, 0.0))
-
-    def release_register(self, qubits: Iterable[QubitHandle]) -> None:
-        for q in qubits:
-            self.release(q)
-
-    @property
-    def num_active_qubits(self) -> int:
-        return len(self._active)
-
-    # -- Clifford gates ----------------------------------------------------
-
-    def x(self, q: QubitHandle) -> None:
-        self._one(Op.X, q)
-
-    def y(self, q: QubitHandle) -> None:
-        self._one(Op.Y, q)
-
-    def z(self, q: QubitHandle) -> None:
-        self._one(Op.Z, q)
-
-    def h(self, q: QubitHandle) -> None:
-        self._one(Op.H, q)
-
-    def s(self, q: QubitHandle) -> None:
-        self._one(Op.S, q)
-
-    def s_adj(self, q: QubitHandle) -> None:
-        self._one(Op.S_ADJ, q)
-
-    def cx(self, control: QubitHandle, target: QubitHandle) -> None:
-        self._two(Op.CX, control, target)
-
-    def cz(self, a: QubitHandle, b: QubitHandle) -> None:
-        self._two(Op.CZ, a, b)
-
-    def swap(self, a: QubitHandle, b: QubitHandle) -> None:
-        self._two(Op.SWAP, a, b)
-
-    # -- non-Clifford gates --------------------------------------------------
-
-    def t(self, q: QubitHandle) -> None:
-        self._one(Op.T, q)
-
-    def t_adj(self, q: QubitHandle) -> None:
-        self._one(Op.T_ADJ, q)
-
-    def rx(self, angle: float, q: QubitHandle) -> None:
-        self._rotation(Op.RX, angle, q)
-
-    def ry(self, angle: float, q: QubitHandle) -> None:
-        self._rotation(Op.RY, angle, q)
-
-    def rz(self, angle: float, q: QubitHandle) -> None:
-        self._rotation(Op.RZ, angle, q)
-
-    def ccz(self, a: QubitHandle, b: QubitHandle, c: QubitHandle) -> None:
-        self._three(Op.CCZ, a, b, c)
-
-    def ccx(self, control1: QubitHandle, control2: QubitHandle, target: QubitHandle) -> None:
-        """Toffoli gate (counts as one CCZ plus Cliffords)."""
-        self._three(Op.CCX, control1, control2, target)
-
-    def ccix(self, control1: QubitHandle, control2: QubitHandle, target: QubitHandle) -> None:
-        self._three(Op.CCIX, control1, control2, target)
-
-    def and_compute(self, a: QubitHandle, b: QubitHandle) -> QubitHandle:
-        """Gidney temporary AND: allocate and return a target holding a AND b.
-
-        Costs one CCiX (4 T states). Must be undone with
-        :meth:`and_uncompute`, which costs only a measurement.
-        """
-        target = self.allocate()
-        self._three(Op.AND, a, b, target)
-        return target
-
-    def and_uncompute(self, a: QubitHandle, b: QubitHandle, target: QubitHandle) -> None:
-        """Measurement-based uncompute of :meth:`and_compute`; releases target."""
-        self._three(Op.AND_UNCOMPUTE, a, b, target)
-        self._active.discard(target)
-        self._free.append(target)
-        self._instructions.append((Op.RELEASE, target, -1, -1, 0.0))
-
-    # -- measurement and injection -------------------------------------------
-
-    def measure(self, q: QubitHandle) -> None:
-        self._one(Op.MEASURE, q)
-
-    def reset(self, q: QubitHandle) -> None:
-        self._one(Op.RESET, q)
-
-    def account_for_estimates(self, counts: LogicalCounts) -> None:
-        """Inject known logical estimates of an un-emitted subroutine.
-
-        The subroutine's auxiliary qubits are assumed included in
-        ``counts.num_qubits`` *in addition to* the qubits currently live
-        (matching ``AccountForEstimates``, which receives the qubits it
-        acts on plus an aux count).
-        """
-        self._check_open()
-        index = len(self._estimates)
-        self._estimates.append(counts)
-        self._instructions.append((Op.ACCOUNT, -1, -1, -1, float(index)))
-
-    # -- recording and adjoints ------------------------------------------------
-
-    def start_recording(self) -> None:
-        """Begin capturing emitted instructions (nestable).
-
-        Use with :meth:`stop_recording` and :meth:`emit_adjoint` to undo a
-        reversible subroutine mechanically (Bennett-style cleanup). Only
-        reversible instructions may be recorded.
-        """
-        self._check_open()
-        self._recording_starts.append(len(self._instructions))
-
-    def stop_recording(self) -> list[Instruction]:
-        """End the innermost recording; return the captured tape."""
-        self._check_open()
-        if not self._recording_starts:
-            raise CircuitError("stop_recording without start_recording")
-        start = self._recording_starts.pop()
+    def _capture(self, start: int) -> list[Instruction]:
         return self._instructions[start:]
-
-    #: Opcode inversion map for adjoint replay. AND flips to its
-    #: measurement-based uncompute (and vice versa), which is what makes
-    #: Bennett cleanup free of T states in this cost model.
-    _ADJOINT = {
-        Op.ALLOC: Op.RELEASE,
-        Op.RELEASE: Op.ALLOC,
-        Op.X: Op.X,
-        Op.Y: Op.Y,
-        Op.Z: Op.Z,
-        Op.H: Op.H,
-        Op.S: Op.S_ADJ,
-        Op.S_ADJ: Op.S,
-        Op.CX: Op.CX,
-        Op.CZ: Op.CZ,
-        Op.SWAP: Op.SWAP,
-        Op.T: Op.T_ADJ,
-        Op.T_ADJ: Op.T,
-        Op.RX: Op.RX,  # angle negated at replay
-        Op.RY: Op.RY,
-        Op.RZ: Op.RZ,
-        Op.CCZ: Op.CCZ,
-        Op.CCX: Op.CCX,
-        Op.CCIX: Op.CCIX,
-        Op.AND: Op.AND_UNCOMPUTE,
-        Op.AND_UNCOMPUTE: Op.AND,
-    }
-
-    def emit_adjoint(self, tape: list[Instruction]) -> None:
-        """Replay a recorded tape in reverse with each instruction inverted.
-
-        Qubits the tape allocated are released and vice versa; ids are
-        re-activated directly (not via the free list) so the adjoint acts
-        on exactly the qubits the forward pass used. Irreversible
-        instructions (measure, reset, account) cannot be undone and raise.
-        """
-        self._check_open()
-        for op, q0, q1, q2, param in reversed(tape):
-            inverse = self._ADJOINT.get(Op(op))
-            if inverse is None:
-                raise CircuitError(
-                    f"cannot take the adjoint of irreversible instruction "
-                    f"{Op(op).name}"
-                )
-            if inverse == Op.ALLOC:
-                # Undoing a RELEASE: bring the same id back into service.
-                # Remove it from the free list (it is active again) so the
-                # list never accumulates stale duplicates across repeated
-                # record/adjoint cycles and allocate() never has to skip.
-                if q0 in self._active:
-                    raise CircuitError(
-                        f"adjoint re-allocates qubit {q0}, which is still active"
-                    )
-                if q0 in self._free:
-                    self._free.remove(q0)
-                self._active.add(q0)
-                self._instructions.append((Op.ALLOC, q0, -1, -1, 0.0))
-            elif inverse == Op.RELEASE:
-                self.release(q0)
-            elif inverse in (Op.RX, Op.RY, Op.RZ):
-                self._rotation(inverse, -param, q0)
-            elif q2 != -1:
-                self._three(inverse, q0, q1, q2)
-            elif q1 != -1:
-                self._two(inverse, q0, q1)
-            else:
-                self._one(inverse, q0)
 
     # -- finishing -----------------------------------------------------------
 
@@ -327,38 +114,3 @@ class CircuitBuilder:
         self._check_open()
         self._finished = True
         return Circuit(self._instructions, tuple(self._estimates), self.name)
-
-    # -- helpers ---------------------------------------------------------------
-
-    def _check_open(self) -> None:
-        if self._finished:
-            raise CircuitError("builder already finished")
-
-    def _require_active(self, *qubits: int) -> None:
-        for q in qubits:
-            if q not in self._active:
-                raise CircuitError(f"qubit {q} is not allocated")
-
-    def _one(self, op: int, q: int) -> None:
-        self._check_open()
-        self._require_active(q)
-        self._instructions.append((op, q, -1, -1, 0.0))
-
-    def _two(self, op: int, a: int, b: int) -> None:
-        self._check_open()
-        self._require_active(a, b)
-        if a == b:
-            raise CircuitError(f"two-qubit gate needs distinct qubits, got {a} twice")
-        self._instructions.append((op, a, b, -1, 0.0))
-
-    def _three(self, op: int, a: int, b: int, c: int) -> None:
-        self._check_open()
-        self._require_active(a, b, c)
-        if len({a, b, c}) != 3:
-            raise CircuitError(f"three-qubit gate needs distinct qubits, got {(a, b, c)}")
-        self._instructions.append((op, a, b, c, 0.0))
-
-    def _rotation(self, op: int, angle: float, q: int) -> None:
-        self._check_open()
-        self._require_active(q)
-        self._instructions.append((op, q, -1, -1, float(angle)))

@@ -1,0 +1,358 @@
+"""Streaming counting backend: O(1)-memory tracing with memoization.
+
+:class:`CountingBuilder` implements the :class:`~repro.ir.builder.Builder`
+protocol without ever storing an instruction stream. Each emission is
+folded directly into running :class:`~repro.counts.LogicalCounts` state —
+gate tallies, per-qubit rotation-layer counters, and a high-water-mark
+qubit tracker — in O(live qubits) memory, using exactly the accounting
+rules of :func:`repro.ir.tracer.trace`. The result is bit-for-bit
+identical to materializing the circuit and tracing it, at a fraction of
+the time and none of the memory: the same fold the Azure Quantum Resource
+Estimator applies to its QIR trace so "gate counts" never means "gates in
+memory".
+
+Two mechanisms push beyond streaming into sub-linear emission:
+
+* **Subcircuit memoization** (:meth:`CountingBuilder.subcircuit`):
+  a structurally-repeated block — e.g. each of the 2n controlled in-place
+  modular multiplications of a modular exponentiation — is traced once
+  per key and replayed as a cached O(1) summary afterwards, turning the
+  O(n^3) gate emission of an n-bit modexp into O(n^2) and, with the
+  nested window-level keys the arithmetic layer installs, into roughly
+  O(n^1.5).
+* **Repeat folding** (:meth:`CountingBuilder.repeat`): a block emitted k
+  times in a row is traced once and its contribution scaled by k in O(1).
+
+Correctness rules (enforced, not assumed): a block is memoized only when
+it leaves the live-qubit *set* unchanged, contains no arbitrary
+rotations, and no recording is active; replays additionally require that
+no rotation has been emitted at all, so rotation-layer bookkeeping can
+never be skipped while it matters. Blocks failing the rules are simply
+re-emitted — always correct, just not accelerated. The caller's contract
+for sharing a key is documented on
+:meth:`~repro.ir.builder.BuilderBase.subcircuit`.
+
+Why skipping a block's allocator churn is sound: a replay leaves the
+free list and fresh-id cursor untouched, where the real emission would
+have popped and re-released scratch ids (possibly permuting the free
+list or minting fresh ids). From that point on, the counting run may
+hand out different *numeric* ids than the materialized run — but only
+ids that were inactive at replay time, whose rotation-layer entries are
+necessarily all zero (replays are forbidden once any rotation exists).
+The two runs therefore differ by a relabeling of zero-layer ids, applied
+positionally to the free list, under which every tracked quantity —
+gate tallies, the live-count high-water mark, and all subsequent
+rotation-layer dynamics (which act on relabeling-corresponding ids) —
+is invariant. The equality tests drive free-list-permuting blocks
+followed by rotation/recycle traffic through both backends to pin this.
+
+Tape recording (:meth:`start_recording` / :meth:`emit_adjoint`, used by
+lookup/Bennett cleanup) is supported by buffering instructions only while
+a recording is open, so memory stays bounded by the largest recorded
+block rather than the whole circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from ..counts import LogicalCounts
+from .builder import Builder, BuilderBase, CircuitError, Instruction
+from .ops import Op
+from .tracer import _classify_angle
+
+_ALLOC = int(Op.ALLOC)
+_RELEASE = int(Op.RELEASE)
+_T = int(Op.T)
+_T_ADJ = int(Op.T_ADJ)
+_RX = int(Op.RX)
+_RY = int(Op.RY)
+_RZ = int(Op.RZ)
+_CCZ = int(Op.CCZ)
+_CCX = int(Op.CCX)
+_CCIX = int(Op.CCIX)
+_AND = int(Op.AND)
+_AND_UNCOMPUTE = int(Op.AND_UNCOMPUTE)
+_MEASURE = int(Op.MEASURE)
+_RESET = int(Op.RESET)
+_CX = int(Op.CX)
+_CZ = int(Op.CZ)
+_SWAP = int(Op.SWAP)
+_ACCOUNT = int(Op.ACCOUNT)
+
+
+@dataclass(frozen=True)
+class BlockSummary:
+    """Cached count contribution of one memoized subcircuit block.
+
+    Replaying a summary deliberately does not touch the allocator (see
+    the module docstring for why that is sound), so a summary is valid
+    from any allocator state the caller can legally reach.
+    """
+
+    t: int
+    ccz: int
+    ccix: int
+    measurements: int
+    #: Peak live qubits inside the block, relative to the live count at
+    #: block entry (the block's transient allocation high-water mark).
+    peak_above_entry: int
+    #: Estimates injected via ``account_for_estimates`` inside the block.
+    estimates: tuple[LogicalCounts, ...] = ()
+
+
+class CountedCircuit:
+    """Finished output of a :class:`CountingBuilder`: counts, no gates.
+
+    Quacks like :class:`~repro.ir.circuit.Circuit` where the estimator is
+    concerned (``logical_counts()`` and ``name``); there is no instruction
+    stream to iterate, validate, or simulate.
+    """
+
+    __slots__ = ("_counts", "name", "num_emitted")
+
+    def __init__(self, counts: LogicalCounts, name: str, num_emitted: int) -> None:
+        self._counts = counts
+        self.name = name
+        #: Number of instructions actually folded (replays not included).
+        self.num_emitted = num_emitted
+
+    def logical_counts(self) -> LogicalCounts:
+        return self._counts
+
+    def __repr__(self) -> str:
+        return f"CountedCircuit({self.name!r}, {self.num_emitted} emitted)"
+
+
+class CountingBuilder(BuilderBase):
+    """Builder that folds every emission into running logical counts.
+
+    Drop-in replacement for :class:`~repro.ir.circuit.CircuitBuilder`
+    wherever only :class:`~repro.counts.LogicalCounts` are needed: same
+    emit surface, same validation errors on everything actually emitted,
+    identical resulting counts (asserted circuit-by-circuit in the test
+    suite), O(live qubits) memory instead of O(gates).
+
+    One validation caveat follows directly from memoization: a replayed
+    ``subcircuit``/``repeat`` block never re-executes its emitter, so a
+    program that invalidates a cached block's qubits between calls (e.g.
+    releases a qubit the block gates on) raises only on the materialized
+    path. Blocks are validated in full on the call that traces them.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        super().__init__(name)
+        self._t = 0
+        self._rotations = 0
+        self._rotation_depth = 0
+        self._ccz = 0
+        self._ccix = 0
+        self._measurements = 0
+        self._width = 0
+        self._emitted = 0
+        # Rotation-layer counters, a flat list indexed by qubit id (ids
+        # are free-list-recycled, so the list stays O(peak live qubits)).
+        self._layer: list[int] = []
+        # Tape buffer, non-empty only while a recording is open.
+        self._tape: list[Instruction] = []
+        # Subcircuit memo table and peak-tracking frames of open blocks.
+        self._subcircuits: dict[Hashable, BlockSummary] = {}
+        self._frames: list[int] = []
+        #: Observability: how often subcircuit/repeat served a cached
+        #: block instead of re-tracing it.
+        self.subcircuit_hits = 0
+        self.subcircuit_misses = 0
+
+    # -- the fold ------------------------------------------------------------
+
+    def _put(self, instruction: Instruction) -> None:
+        """Fold one instruction into the running counters (tracer rules)."""
+        if self._recording_starts:
+            self._tape.append(instruction)
+        self._emitted += 1
+        op, q0, q1, q2, param = instruction
+        if op == _CX or op == _CZ or op == _SWAP:
+            layer = self._layer
+            lq0 = layer[q0]
+            lq1 = layer[q1]
+            if lq0 != lq1:
+                m = lq0 if lq0 > lq1 else lq1
+                layer[q0] = m
+                layer[q1] = m
+        elif op == _CCIX or op == _AND:
+            self._ccix += 1
+            self._sync3(q0, q1, q2)
+        elif op == _AND_UNCOMPUTE:
+            self._measurements += 1
+            self._sync3(q0, q1, q2)
+        elif op == _ALLOC:
+            active = len(self._active)
+            if active > self._width:
+                self._width = active
+            frames = self._frames
+            if frames:
+                for i in range(len(frames)):
+                    if active > frames[i]:
+                        frames[i] = active
+            layer = self._layer
+            if q0 >= len(layer):
+                layer.extend([0] * (q0 + 1 - len(layer)))
+        elif op == _RELEASE:
+            pass
+        elif op == _T or op == _T_ADJ:
+            self._t += 1
+        elif op == _RX or op == _RY or op == _RZ:
+            kind = _classify_angle(param)
+            if kind == "t":
+                self._t += 1
+            elif kind == "rotation":
+                self._rotations += 1
+                new_layer = self._layer[q0] + 1
+                self._layer[q0] = new_layer
+                if new_layer > self._rotation_depth:
+                    self._rotation_depth = new_layer
+        elif op == _CCZ or op == _CCX:
+            self._ccz += 1
+            self._sync3(q0, q1, q2)
+        elif op == _MEASURE or op == _RESET:
+            self._measurements += 1
+        # ACCOUNT needs no action here: the estimate is already in
+        # self._estimates and is folded at counts assembly, like the
+        # tracer folds a circuit's estimates table.
+        # Remaining single-qubit Cliffords need no action.
+
+    def _sync3(self, q0: int, q1: int, q2: int) -> None:
+        """Synchronize rotation-layer counters across a three-qubit gate."""
+        layer = self._layer
+        m = layer[q0]
+        if layer[q1] > m:
+            m = layer[q1]
+        if layer[q2] > m:
+            m = layer[q2]
+        layer[q0] = m
+        layer[q1] = m
+        layer[q2] = m
+
+    # -- recording hooks -----------------------------------------------------
+
+    def _mark(self) -> int:
+        return len(self._tape)
+
+    def _capture(self, start: int) -> list[Instruction]:
+        captured = self._tape[start:]
+        if not self._recording_starts:
+            # Outermost recording closed: free the buffer so memory stays
+            # bounded by the largest recorded block, not the circuit.
+            del self._tape[:]
+        return captured
+
+    # -- subcircuit memoization ----------------------------------------------
+
+    def subcircuit(
+        self, key: Hashable, emit: Callable[[Builder], None]
+    ) -> None:
+        self._check_open()
+        if self._recording_starts:
+            # Replaying counts cannot populate an open tape; emit for real.
+            emit(self)
+            return
+        cached = self._subcircuits.get(key)
+        if cached is not None and self._rotations == 0:
+            self.subcircuit_hits += 1
+            self._replay(cached, 1)
+            return
+        self.subcircuit_misses += 1
+        summary = self._traced_block(emit)
+        if summary is not None:
+            self._subcircuits[key] = summary
+
+    def repeat(self, count: int, emit: Callable[[Builder], None]) -> None:
+        self._check_open()
+        if count < 0:
+            raise CircuitError(f"repeat count must be >= 0, got {count}")
+        if count == 0:
+            return
+        if self._recording_starts or self._rotations:
+            for _ in range(count):
+                emit(self)
+            return
+        summary = self._traced_block(emit)
+        if count == 1:
+            return
+        if summary is None:
+            for _ in range(count - 1):
+                emit(self)
+        else:
+            self.subcircuit_hits += count - 1
+            self._replay(summary, count - 1)
+
+    def _traced_block(self, emit: Callable[[Builder], None]) -> BlockSummary | None:
+        """Emit a block for real, returning its summary if memoizable."""
+        entry_active = len(self._active)
+        entry_active_set = frozenset(self._active)
+        entry_t = self._t
+        entry_rotations = self._rotations
+        entry_ccz = self._ccz
+        entry_ccix = self._ccix
+        entry_measurements = self._measurements
+        entry_estimates = len(self._estimates)
+        self._frames.append(entry_active)
+        try:
+            emit(self)
+        finally:
+            peak = self._frames.pop()
+        if (
+            self._recording_starts  # block left a recording open
+            or self._active != entry_active_set  # touched caller qubits'
+            # liveness (a swap of live ids would make replay restore the
+            # wrong allocator state)
+            or self._rotations != entry_rotations  # rotation layers involved
+        ):
+            return None
+        return BlockSummary(
+            t=self._t - entry_t,
+            ccz=self._ccz - entry_ccz,
+            ccix=self._ccix - entry_ccix,
+            measurements=self._measurements - entry_measurements,
+            peak_above_entry=peak - entry_active,
+            estimates=tuple(self._estimates[entry_estimates:]),
+        )
+
+    def _replay(self, summary: BlockSummary, times: int) -> None:
+        """Fold a cached block summary ``times`` times in O(1)."""
+        self._t += summary.t * times
+        self._ccz += summary.ccz * times
+        self._ccix += summary.ccix * times
+        self._measurements += summary.measurements * times
+        if summary.estimates:
+            self._estimates.extend(summary.estimates * times)
+        candidate = len(self._active) + summary.peak_above_entry
+        if candidate > self._width:
+            self._width = candidate
+        frames = self._frames
+        if frames:
+            for i in range(len(frames)):
+                if candidate > frames[i]:
+                    frames[i] = candidate
+
+    # -- counts assembly -------------------------------------------------------
+
+    def logical_counts(self) -> LogicalCounts:
+        """Running pre-layout counts (same assembly as the tracer)."""
+        counts = LogicalCounts(
+            num_qubits=max(self._width, 1),
+            t_count=self._t,
+            rotation_count=self._rotations,
+            rotation_depth=self._rotation_depth,
+            ccz_count=self._ccz,
+            ccix_count=self._ccix,
+            measurement_count=self._measurements,
+        )
+        return counts.account(self._estimates)
+
+    def finish(self) -> CountedCircuit:
+        """Freeze into a :class:`CountedCircuit`. The builder becomes unusable."""
+        self._check_open()
+        self._finished = True
+        return CountedCircuit(self.logical_counts(), self.name, self._emitted)

@@ -4,6 +4,13 @@ Produces well-formed circuits over configurable gate mixes. Used by the
 test suite to cross-validate the tracer, validator, simulator, adjoint
 replay, and QIR round-trip on inputs nobody hand-picked — the highest-
 leverage way to catch bookkeeping bugs in the instruction-stream layer.
+
+:meth:`RandomCircuitGenerator.emit_onto` drives *any*
+:class:`~repro.ir.builder.Builder` with the same seeded operation
+sequence, so the same random program can be emitted into both the
+materializing :class:`CircuitBuilder` and the streaming
+:class:`~repro.ir.counting.CountingBuilder` and their counts compared
+instruction-for-instruction.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from .builder import Builder
 from .circuit import Circuit, CircuitBuilder
 
 #: Gate mix keys and their relative weights in the default profile.
@@ -60,8 +68,19 @@ class RandomCircuitGenerator:
 
     def generate(self, num_operations: int, name: str = "fuzz") -> Circuit:
         """Emit ``num_operations`` randomly chosen operations."""
-        rng = random.Random(self.seed)
         builder = CircuitBuilder(name)
+        self.emit_onto(builder, num_operations)
+        return builder.finish()
+
+    def emit_onto(self, builder: Builder, num_operations: int) -> None:
+        """Drive ``builder`` with the seeded operation sequence.
+
+        Deterministic in the seed and independent of the backend: both
+        builder implementations run the same free-list allocator, so the
+        emitted instruction sequence (ids included) is identical whether
+        it is being materialized or folded into counts.
+        """
+        rng = random.Random(self.seed)
         core = builder.allocate_register(max(self.min_qubits, 3))
         extra: list[int] = []
         choices = list(self.weights)
@@ -111,8 +130,6 @@ class RandomCircuitGenerator:
                     qubit = extra.pop(rng.randrange(len(extra)))
                     builder.reset(qubit)  # ensure it is clean to release
                     builder.release(qubit)
-
-        return builder.finish()
 
 
 def random_circuit(

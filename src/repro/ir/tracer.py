@@ -15,6 +15,20 @@ Walks an instruction stream once and produces
   half of temporary-AND uncomputes.
 
 Rotations by multiples of pi/2 are Clifford and cost nothing here.
+
+The loop is the hottest code in the materialized path (multiplier
+circuits reach tens of millions of instructions), so it binds opcodes as
+plain-int locals (the old loop compared every stream int against ``Op``
+enum members — most of the cost) and keeps the per-qubit rotation-layer
+counters in a flat list indexed by qubit id (ids are free-list-recycled
+by the builder, so the list stays at peak-width length) instead of a
+dict. Measured on a 654k-instruction modexp stream (n=128, one exponent
+bit): 2.03 s -> 0.157 s per trace (~13x), identical counts; the full
+before/after table is recorded in
+``benchmarks/test_counting_backend.py``.
+
+The streaming counterpart that avoids materializing the stream entirely
+is :class:`repro.ir.counting.CountingBuilder`.
 """
 
 from __future__ import annotations
@@ -28,14 +42,17 @@ from .ops import Op
 #: Angles closer than this to a pi/4 grid point are snapped onto it.
 ANGLE_TOLERANCE = 1e-12
 
+_HALF_PI = math.pi / 2
+_QUARTER_PI = math.pi / 4
+
 
 def _classify_angle(angle: float) -> str:
     """Classify a rotation angle: 'clifford', 't', or 'rotation'."""
-    quarter_turns = angle / (math.pi / 2)
+    quarter_turns = angle / _HALF_PI
     nearest = round(quarter_turns)
     if abs(quarter_turns - nearest) <= ANGLE_TOLERANCE:
         return "clifford"
-    eighth_turns = angle / (math.pi / 4)
+    eighth_turns = angle / _QUARTER_PI
     nearest = round(eighth_turns)
     if abs(eighth_turns - nearest) <= ANGLE_TOLERANCE:
         return "t"
@@ -55,25 +72,65 @@ def trace(circuit: Circuit) -> LogicalCounts:
     # Rotation-layer tracking: layer[q] = number of rotation layers qubit q
     # has passed through; multi-qubit gates synchronize the counters of the
     # qubits they touch. The overall rotation depth is the max layer index.
-    layer: dict[int, int] = {}
+    # Flat list indexed by qubit id; entries survive release/re-allocation
+    # of an id, matching dependency tracking through recycled ancillas.
+    layer: list[int] = []
     rotation_depth = 0
 
     injected: list[LogicalCounts] = []
+    estimates = circuit.estimates
+    classify = _classify_angle
 
+    op_alloc = int(Op.ALLOC)
+    op_release = int(Op.RELEASE)
+    op_t = int(Op.T)
+    op_t_adj = int(Op.T_ADJ)
+    op_rx = int(Op.RX)
+    op_ry = int(Op.RY)
+    op_rz = int(Op.RZ)
+    op_ccz = int(Op.CCZ)
+    op_ccx = int(Op.CCX)
+    op_ccix = int(Op.CCIX)
+    op_and = int(Op.AND)
+    op_and_uncompute = int(Op.AND_UNCOMPUTE)
+    op_measure = int(Op.MEASURE)
+    op_reset = int(Op.RESET)
+    op_cx = int(Op.CX)
+    op_cz = int(Op.CZ)
+    op_swap = int(Op.SWAP)
+    op_account = int(Op.ACCOUNT)
+
+    # Branches ordered by frequency in arithmetic workloads: CNOT-heavy
+    # imprint/copy networks first, then the temporary-AND pairs, then
+    # allocation traffic; everything else is rare.
     for op, q0, q1, q2, param in circuit.instructions:
-        if op == Op.ALLOC:
+        if op == op_cx or op == op_cz or op == op_swap:
+            lq0 = layer[q0]
+            lq1 = layer[q1]
+            if lq0 != lq1:
+                m = lq0 if lq0 > lq1 else lq1
+                layer[q0] = m
+                layer[q1] = m
+        elif op == op_ccix or op == op_and:
+            ccix += 1
+            _sync3(layer, q0, q1, q2)
+        elif op == op_and_uncompute:
+            measurements += 1
+            _sync3(layer, q0, q1, q2)
+        elif op == op_alloc:
             active += 1
             if active > width:
                 width = active
-            layer.setdefault(q0, 0)
-        elif op == Op.RELEASE:
+            if q0 >= len(layer):
+                layer.extend([0] * (q0 + 1 - len(layer)))
+        elif op == op_release:
             active -= 1
             if active < 0:
                 raise CircuitError("RELEASE without matching ALLOC")
-        elif op == Op.T or op == Op.T_ADJ:
+        elif op == op_t or op == op_t_adj:
             t_count += 1
-        elif op == Op.RX or op == Op.RY or op == Op.RZ:
-            kind = _classify_angle(param)
+        elif op == op_rx or op == op_ry or op == op_rz:
+            kind = classify(param)
             if kind == "t":
                 t_count += 1
             elif kind == "rotation":
@@ -82,26 +139,13 @@ def trace(circuit: Circuit) -> LogicalCounts:
                 layer[q0] = new_layer
                 if new_layer > rotation_depth:
                     rotation_depth = new_layer
-        elif op == Op.CCZ or op == Op.CCX:
+        elif op == op_ccz or op == op_ccx:
             ccz += 1
             _sync3(layer, q0, q1, q2)
-        elif op == Op.CCIX or op == Op.AND:
-            ccix += 1
-            _sync3(layer, q0, q1, q2)
-        elif op == Op.AND_UNCOMPUTE:
+        elif op == op_measure or op == op_reset:
             measurements += 1
-            _sync3(layer, q0, q1, q2)
-        elif op == Op.MEASURE or op == Op.RESET:
-            measurements += 1
-        elif op == Op.CX or op == Op.CZ or op == Op.SWAP:
-            lq0 = layer[q0]
-            lq1 = layer[q1]
-            if lq0 != lq1:
-                m = lq0 if lq0 > lq1 else lq1
-                layer[q0] = m
-                layer[q1] = m
-        elif op == Op.ACCOUNT:
-            injected.append(circuit.estimates[int(param)])
+        elif op == op_account:
+            injected.append(estimates[int(param)])
         # Remaining single-qubit Cliffords need no action.
 
     counts = LogicalCounts(
@@ -113,24 +157,10 @@ def trace(circuit: Circuit) -> LogicalCounts:
         ccix_count=ccix,
         measurement_count=measurements,
     )
-    for extra in injected:
-        # Injected estimates contribute their counts; their qubits are
-        # auxiliary to the traced program's width (see account_for_estimates).
-        combined_width = counts.num_qubits + extra.num_qubits
-        counts = counts.add(extra)
-        counts = LogicalCounts(
-            num_qubits=combined_width,
-            t_count=counts.t_count,
-            rotation_count=counts.rotation_count,
-            rotation_depth=counts.rotation_depth,
-            ccz_count=counts.ccz_count,
-            ccix_count=counts.ccix_count,
-            measurement_count=counts.measurement_count,
-        )
-    return counts
+    return counts.account(injected)
 
 
-def _sync3(layer: dict[int, int], q0: int, q1: int, q2: int) -> None:
+def _sync3(layer: list[int], q0: int, q1: int, q2: int) -> None:
     """Synchronize rotation-layer counters across a three-qubit gate."""
     m = layer[q0]
     if layer[q1] > m:

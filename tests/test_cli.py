@@ -154,6 +154,15 @@ class TestBatchSubcommand:
         # A stretched point runs longer than the unstretched one.
         assert records[1]["result"]["runtime_s"] > records[0]["result"]["runtime_s"]
 
+    def test_backend_flag_matches_default(self, multiplier_grid, capsys):
+        assert main(["batch", str(multiplier_grid), "--json"]) == 0
+        formula = json.loads(capsys.readouterr().out)
+        assert main(
+            ["batch", str(multiplier_grid), "--json", "--backend", "counting"]
+        ) == 0
+        counting = json.loads(capsys.readouterr().out)
+        assert counting == formula
+
     def test_workers_flag_matches_serial(self, multiplier_grid, capsys):
         assert main(["batch", str(multiplier_grid), "--json"]) == 0
         serial = json.loads(capsys.readouterr().out)
@@ -281,3 +290,42 @@ class TestErrors:
     def test_unknown_profile_rejected(self, counts_file):
         with pytest.raises(SystemExit):
             main(["--counts", str(counts_file), "--profile", "bogus"])
+
+
+class TestBenchSubcommand:
+    def test_trace_table_output(self, capsys):
+        assert main(["bench", "trace", "--algorithm", "windowed", "--bits", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "build" in out and "trace" in out and "estimate" in out
+        assert "physical qubits" in out
+
+    def test_trace_json_stages_and_backends_agree(self, capsys):
+        records = {}
+        for backend in ("formula", "materialize", "counting"):
+            argv = [
+                "bench", "trace", "--algorithm", "schoolbook",
+                "--bits", "24", "--backend", backend, "--json",
+            ]
+            assert main(argv) == 0
+            records[backend] = json.loads(capsys.readouterr().out)
+        counts = {b: r["counts"] for b, r in records.items()}
+        assert counts["counting"] == counts["materialize"] == counts["formula"]
+        for record in records.values():
+            stages = record["stages"]
+            assert stages["total_s"] >= stages["estimate_s"] >= 0
+            assert record["result"]["physicalQubits"] > 0
+
+    def test_trace_modexp_counting(self, capsys):
+        argv = [
+            "bench", "trace", "--algorithm", "modexp", "--bits", "16",
+            "--exponent-bits", "4", "--backend", "counting", "--json",
+        ]
+        assert main(argv) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["counts"]["ccix_count"] > 0
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "trace", "--bits", "0"])
+        with pytest.raises(SystemExit):
+            main(["bench", "trace", "--algorithm", "modexp", "--bits", "1"])

@@ -1,0 +1,559 @@
+"""Streaming counting backend: equality with the materialized path.
+
+The contract of :class:`repro.ir.counting.CountingBuilder` is bit-for-bit
+equality: folding emissions into running counters (with subcircuit
+memoization and repeat folding) must produce exactly the
+:class:`~repro.counts.LogicalCounts` that materializing the same emission
+into a :class:`~repro.ir.circuit.Circuit` and tracing it produces. This
+module asserts that contract over a catalog spanning every emitter in the
+library — adders, lookahead, comparators, lookups, modular arithmetic,
+the three paper multipliers, modular exponentiation — plus seeded random
+circuits driven instruction-for-instruction through both backends, plus
+hand-built programs that stress the memoization machinery itself
+(nested/unmemoizable blocks, recording, adjoints, injected estimates).
+
+It also covers the satellite fixes that ride along: the closed-form
+``GateTally`` cross-checks now include the counting backend, and
+``Circuit.logical_counts()`` no longer serves a stale cache when the
+underlying stream grows after a trace.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro.arithmetic import (
+    KaratsubaMultiplier,
+    SchoolbookMultiplier,
+    WindowedMultiplier,
+    add_into,
+    add_lookahead,
+    add_lookahead_counts,
+    compare_less_than,
+    compare_less_than_constant,
+    compare_greater_equal_constant,
+    increment,
+    lookup,
+    mod_add,
+    mod_mul_inplace,
+    modexp_circuit,
+    modexp_counting_counts,
+    modexp_logical_counts,
+    multiplier_by_name,
+    schoolbook_multiply_qq,
+    subtract_into,
+    unlookup_adjoint,
+)
+from repro.arithmetic.adders import add_constant_controlled
+from repro.arithmetic.comparator import add_constant
+from repro.arithmetic.lookup import lookup_recorded
+from repro.arithmetic.modular import ModularMultiplier, mod_add_constant_controlled
+from repro.counts import LogicalCounts
+from repro.ir import Circuit, CircuitBuilder, CircuitError, CountingBuilder, Op
+from repro.ir.counting import CountedCircuit
+from repro.ir.random_circuits import (
+    DEFAULT_WEIGHTS,
+    REVERSIBLE_WEIGHTS,
+    RandomCircuitGenerator,
+)
+
+
+def both_backends(emit):
+    """Run one emitter through both backends; return (materialized, counted)."""
+    materializing = CircuitBuilder("dual")
+    emit(materializing)
+    materialized = materializing.finish().logical_counts()
+    counting = CountingBuilder("dual")
+    emit(counting)
+    return materialized, counting.logical_counts()
+
+
+# -- the catalog -------------------------------------------------------------
+#
+# Each entry drives a Builder through one library emitter (or a
+# hand-built stress program). Registers are measured or released exactly
+# as the real constructions do; sizes are small so the whole catalog runs
+# in a few seconds.
+
+
+def emit_add_into(b):
+    a = b.allocate_register(5)
+    t = b.allocate_register(6)  # extra qubit keeps the carry
+    add_into(b, a, t)
+    subtract_into(b, a, t)
+
+
+def emit_add_constant_controlled(b):
+    control = b.allocate()
+    target = b.allocate_register(6)
+    scratch = b.allocate_register(6)
+    for constant in (1, 0b101101, 0):
+        add_constant_controlled(b, control, constant, target, scratch)
+
+
+def emit_add_lookahead(b):
+    a = b.allocate_register(8)
+    reg = b.allocate_register(8)
+    total = b.allocate_register(9)
+    add_lookahead(b, a, reg, total)
+
+
+def emit_comparators(b):
+    x = b.allocate_register(6)
+    y = b.allocate_register(6)
+    out = b.allocate()
+    compare_less_than(b, x, y, out)
+    compare_less_than_constant(b, x, 13, out)
+    compare_less_than_constant(b, x, 0, out)
+    compare_less_than_constant(b, x, 1 << 6, out)
+    compare_greater_equal_constant(b, x, 29, out)
+    scratch = b.allocate_register(7)
+    increment(b, x, scratch)
+    add_constant(b, 21, x, scratch)
+
+
+def emit_lookup(b):
+    address = b.allocate_register(3)
+    target = b.allocate_register(5)
+    table = [3, 1, 4, 1, 5, 9, 2, 6]
+    lookup(b, address, table, target)
+    tape = lookup_recorded(b, address, table, target)
+    unlookup_adjoint(b, tape)
+
+
+def emit_mod_add(b):
+    a = b.allocate_register(5)
+    reg = b.allocate_register(5)
+    mod_add(b, a, reg, 23)
+    control = b.allocate()
+    scratch = b.allocate_register(5)
+    for constant in (7, 18, 1):
+        mod_add_constant_controlled(b, control, constant, reg, 23, scratch)
+
+
+def emit_modular_multiplier(b, window):
+    mult = ModularMultiplier(5, 29, 17, window=window)
+    x = b.allocate_register(5)
+    acc = b.allocate_register(5)
+    mult.emit(b, x, acc)
+    control = b.allocate()
+    mult.emit_controlled(b, control, x, acc)
+
+
+def emit_mod_mul_inplace(b, window, controlled):
+    x = b.allocate_register(5)
+    b.x(x[0])
+    control = b.allocate() if controlled else None
+    mod_mul_inplace(b, x, 9, 23, window=window, control=control)
+
+
+def emit_multiplier(b, algorithm, bits):
+    mult = multiplier_by_name(algorithm, bits)
+    x = b.allocate_register(bits)
+    acc = b.allocate_register(2 * bits)
+    for q in x:
+        b.h(q)
+    mult.emit(b, x, acc)
+    for q in acc:
+        b.measure(q)
+
+
+def emit_multiply_qq(b):
+    x = b.allocate_register(4)
+    y = b.allocate_register(4)
+    acc = b.allocate_register(8)
+    schoolbook_multiply_qq(b, x, y, acc)
+
+
+def emit_modexp(b, bits, window, exponent_bits):
+    from repro.arithmetic import emit_modexp as emit
+
+    emit(b, 2, (1 << bits) - 1, exponent_bits, window=window)
+
+
+def emit_random(b, seed, reversible):
+    weights = REVERSIBLE_WEIGHTS if reversible else DEFAULT_WEIGHTS
+    generator = RandomCircuitGenerator(seed=seed, weights=dict(weights))
+    generator.emit_onto(b, 600)
+
+
+# Memoization stress: blocks the counting backend must refuse to cache
+# (or cache correctly) while staying bit-for-bit with materialization.
+
+
+def emit_unmemoizable_net_alloc(b):
+    qs = b.allocate_register(2)
+    kept = []
+
+    def leaky(bb):
+        kept.append(bb.allocate())  # net allocation: must never be cached
+
+    for _ in range(3):
+        b.subcircuit("leaky", leaky)
+    b.ccx(kept[0], kept[1], kept[2])
+
+
+def emit_rotations_around_blocks(b):
+    qs = b.allocate_register(4)
+    b.rz(0.31, qs[0])  # rotation before: replay must be suppressed
+
+    def block(bb):
+        t = bb.and_compute(qs[0], qs[1])
+        bb.ccz(qs[1], qs[2], t)
+        bb.and_uncompute(qs[0], qs[1], t)
+
+    for _ in range(3):
+        b.subcircuit("rot", block)
+    b.cx(qs[0], qs[3])
+    b.rz(0.62, qs[3])  # deepens the synced layer: depth 2, not 1
+
+
+def emit_nested_subcircuits(b):
+    qs = b.allocate_register(3)
+
+    def inner(bb):
+        t = bb.and_compute(qs[0], qs[1])
+        bb.and_uncompute(qs[0], qs[1], t)
+
+    def outer(bb):
+        bb.repeat(2, inner)
+        bb.subcircuit("inner", inner)
+        bb.ccz(qs[0], qs[1], qs[2])
+
+    b.repeat(3, outer)
+    b.subcircuit("outer", outer)
+
+
+def emit_estimates_in_blocks(b):
+    qs = b.allocate_register(3)
+    injected = LogicalCounts(num_qubits=11, t_count=13, measurement_count=2)
+
+    def block(bb):
+        bb.account_for_estimates(injected)
+        bb.ccx(qs[0], qs[1], qs[2])
+
+    for _ in range(4):
+        b.subcircuit("acct", block)
+    b.measure(qs[0])
+
+
+def emit_recording_spans_block(b):
+    qs = b.allocate_register(4)
+
+    def block(bb):
+        t = bb.and_compute(qs[0], qs[1])
+        bb.and_uncompute(qs[0], qs[1], t)
+
+    b.subcircuit("taped", block)  # cached here ...
+    b.start_recording()
+    b.cx(qs[0], qs[1])
+    b.subcircuit("taped", block)  # ... but must re-emit inside a recording
+    tape = b.stop_recording()
+    b.emit_adjoint(tape)
+
+
+def emit_freelist_permuting_blocks(b):
+    """Replays skip allocator churn; the resulting id relabeling must be
+    invisible to every count, including rotation depth through recycled
+    ids (the soundness argument in repro.ir.counting's docstring)."""
+    qs = b.allocate_register(2)
+
+    def block(bb):
+        reg = bb.allocate_register(3)
+        t = bb.and_compute(reg[0], reg[1])
+        bb.and_uncompute(reg[0], reg[1], t)
+        bb.release_register(reg)  # FIFO release permutes the free list
+
+    warm = b.allocate_register(4)  # prime the free list
+    b.release_register(warm)
+    for _ in range(4):
+        b.subcircuit("perm", block)
+    # Rotation/recycle traffic downstream of the replays: rotated ids
+    # travel through the (now backend-divergent) free list and return.
+    x = b.allocate_register(3)
+    b.rz(0.3, x[0])
+    b.rz(0.5, x[1])
+    b.cx(x[0], x[2])
+    b.release(x[0])
+    b.release(x[1])
+    y = b.allocate_register(2)  # recycles rotated ids
+    b.rz(0.7, y[0])
+    b.ccz(y[0], y[1], x[2])
+    b.rz(0.9, y[1])
+
+
+def emit_width_highwater(b):
+    qs = b.allocate_register(2)
+
+    def spike(bb):
+        extra = bb.allocate_register(7)
+        bb.ccx(extra[0], extra[1], extra[2])
+        bb.release_register(extra)
+
+    for _ in range(2):
+        b.subcircuit("spike", spike)
+    b.release(qs[1])  # replay from a lower live count: peak must not move
+    b.subcircuit("spike", spike)
+
+
+CATALOG = {
+    "add-into": emit_add_into,
+    "add-constant-controlled": emit_add_constant_controlled,
+    "add-lookahead": emit_add_lookahead,
+    "comparators": emit_comparators,
+    "lookup": emit_lookup,
+    "mod-add": emit_mod_add,
+    "modular-multiplier-w0": partial(emit_modular_multiplier, window=0),
+    "modular-multiplier-w2": partial(emit_modular_multiplier, window=2),
+    "mod-mul-inplace-w0": partial(emit_mod_mul_inplace, window=0, controlled=False),
+    "mod-mul-inplace-ctrl": partial(emit_mod_mul_inplace, window=2, controlled=True),
+    "schoolbook-8": partial(emit_multiplier, algorithm="schoolbook", bits=8),
+    "karatsuba-12": partial(emit_multiplier, algorithm="karatsuba", bits=12),
+    "windowed-12": partial(emit_multiplier, algorithm="windowed", bits=12),
+    "multiply-qq": emit_multiply_qq,
+    "modexp-4": partial(emit_modexp, bits=4, window=None, exponent_bits=8),
+    "modexp-5-w0": partial(emit_modexp, bits=5, window=0, exponent_bits=3),
+    "modexp-5-w1": partial(emit_modexp, bits=5, window=1, exponent_bits=3),
+    "fuzz-0": partial(emit_random, seed=0, reversible=False),
+    "fuzz-1": partial(emit_random, seed=1, reversible=False),
+    "fuzz-2": partial(emit_random, seed=2, reversible=False),
+    "fuzz-3-reversible": partial(emit_random, seed=3, reversible=True),
+    "fuzz-4-reversible": partial(emit_random, seed=4, reversible=True),
+    "unmemoizable-net-alloc": emit_unmemoizable_net_alloc,
+    "rotations-around-blocks": emit_rotations_around_blocks,
+    "nested-subcircuits": emit_nested_subcircuits,
+    "estimates-in-blocks": emit_estimates_in_blocks,
+    "freelist-permuting-blocks": emit_freelist_permuting_blocks,
+    "recording-spans-block": emit_recording_spans_block,
+    "width-highwater": emit_width_highwater,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_counting_equals_materialized(name):
+    """The shared equality contract, circuit by circuit."""
+    materialized, counted = both_backends(CATALOG[name])
+    assert counted == materialized
+
+
+# -- closed forms vs both backends ------------------------------------------
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+def test_lookahead_closed_form_matches_both_backends(n):
+    def emit(b):
+        a = b.allocate_register(n)
+        reg = b.allocate_register(n)
+        total = b.allocate_register(n + 1)
+        add_lookahead(b, a, reg, total)
+
+    materialized, counted = both_backends(emit)
+    formula = add_lookahead_counts(n).to_logical_counts(materialized.num_qubits)
+    assert counted == materialized == formula
+
+
+@pytest.mark.parametrize("algorithm", ["schoolbook", "karatsuba", "windowed"])
+@pytest.mark.parametrize("bits", [2, 3, 5, 8, 16])
+def test_multiplier_tallies_match_both_backends(algorithm, bits):
+    mult = multiplier_by_name(algorithm, bits)
+    formula = mult.backend_counts("formula")
+    assert mult.backend_counts("materialize") == formula
+    assert mult.backend_counts("counting") == formula
+
+
+@pytest.mark.parametrize("window", [2, 3, 4])
+@pytest.mark.parametrize("bits", [8, 12])
+def test_windowed_tally_matches_both_backends_across_windows(bits, window):
+    mult = WindowedMultiplier(bits, window=window)
+    formula = mult.backend_counts("formula")
+    assert mult.backend_counts("materialize") == formula
+    assert mult.backend_counts("counting") == formula
+
+
+@pytest.mark.parametrize("window", [None, 0, 1, 2])
+@pytest.mark.parametrize("bits", [3, 4, 6])
+def test_modexp_tally_matches_both_backends(bits, window):
+    modulus = (1 << bits) - 1
+    exponent_bits = 2 * bits
+    formula = modexp_logical_counts(bits, exponent_bits, window=window)
+    counted = modexp_counting_counts(2, modulus, exponent_bits, window=window)
+    materialized = modexp_circuit(
+        2, modulus, exponent_bits, window=window
+    ).logical_counts()
+    assert counted == materialized == formula
+
+
+def test_modexp_counting_reaches_rsa_widths():
+    """The streaming path agrees with the closed form far beyond what
+    materialization can reach (the closed form is exact at any width)."""
+    counts = modexp_counting_counts(2, (1 << 192) - 1, 12)
+    assert counts == modexp_logical_counts(192, 12)
+
+
+# -- memoization machinery ---------------------------------------------------
+
+
+def test_subcircuit_hits_and_misses_are_counted():
+    builder = CountingBuilder()
+    qs = builder.allocate_register(3)
+
+    def block(b):
+        b.ccz(qs[0], qs[1], qs[2])
+
+    for _ in range(5):
+        builder.subcircuit("k", block)
+    assert builder.subcircuit_misses == 1
+    assert builder.subcircuit_hits == 4
+    assert builder.logical_counts().ccz_count == 5
+
+
+def test_repeat_folds_into_one_trace():
+    builder = CountingBuilder()
+    qs = builder.allocate_register(3)
+
+    def block(b):
+        target = b.and_compute(qs[0], qs[1])
+        b.and_uncompute(qs[0], qs[1], target)
+
+    builder.repeat(1000, block)
+    counts = builder.logical_counts()
+    assert counts.ccix_count == 1000
+    assert counts.measurement_count == 1000
+    # One real trace; the other 999 served from the cached summary.
+    assert builder.subcircuit_hits == 999
+
+
+def test_repeat_zero_and_negative():
+    builder = CountingBuilder()
+    qs = builder.allocate_register(3)
+
+    def block(b):
+        b.ccz(qs[0], qs[1], qs[2])
+
+    builder.repeat(0, block)
+    assert builder.logical_counts().ccz_count == 0
+    with pytest.raises(CircuitError):
+        builder.repeat(-1, block)
+
+
+def test_counting_builder_validates_like_materializing():
+    builder = CountingBuilder()
+    q = builder.allocate()
+    builder.release(q)
+    with pytest.raises(CircuitError):
+        builder.t(q)  # released qubit
+    a, b_ = builder.allocate(), builder.allocate()
+    with pytest.raises(CircuitError):
+        builder.cx(a, a)  # duplicate operands
+    with pytest.raises(CircuitError):
+        builder.ccz(a, b_, b_)
+    with pytest.raises(CircuitError):
+        builder.stop_recording()  # no recording open
+
+
+def test_counted_circuit_freezes_builder():
+    builder = CountingBuilder("frozen")
+    q = builder.allocate()
+    builder.t(q)
+    counted = builder.finish()
+    assert isinstance(counted, CountedCircuit)
+    assert counted.name == "frozen"
+    assert counted.logical_counts().t_count == 1
+    assert "frozen" in repr(counted)
+    with pytest.raises(CircuitError):
+        builder.t(q)
+    with pytest.raises(CircuitError):
+        builder.finish()
+
+
+def test_counting_memory_stays_flat_under_repeats():
+    """The tape buffer is only populated while a recording is open."""
+    builder = CountingBuilder()
+    qs = builder.allocate_register(3)
+
+    def block(b):
+        t = b.and_compute(qs[0], qs[1])
+        b.and_uncompute(qs[0], qs[1], t)
+
+    builder.repeat(10_000, block)
+    assert builder._tape == []
+    # Folded instructions: one traced block (alloc/AND/uncompute/release)
+    # plus the initial register allocations; replays add nothing.
+    assert builder._emitted < 20
+
+
+# -- satellite: stale logical_counts cache -----------------------------------
+
+
+class TestCircuitCountsCache:
+    def test_counts_recomputed_when_stream_grows(self):
+        stream = [(int(Op.ALLOC), 0, -1, -1, 0.0), (int(Op.T), 0, -1, -1, 0.0)]
+        estimates: list[LogicalCounts] = []
+        circuit = Circuit(stream, estimates, "growing")
+        assert circuit.logical_counts().t_count == 1
+        # A caller holding the stream appends after the first trace; the
+        # cache must notice instead of serving the stale count.
+        stream.append((int(Op.T), 0, -1, -1, 0.0))
+        estimates.append(LogicalCounts(num_qubits=4, t_count=100))
+        stream.append((int(Op.ACCOUNT), -1, -1, -1, 0.0))
+        counts = circuit.logical_counts()
+        assert counts.t_count == 102
+        assert counts.num_qubits == 1 + 4
+
+    def test_counts_still_cached_when_unchanged(self):
+        builder = CircuitBuilder()
+        q = builder.allocate()
+        builder.t(q)
+        circuit = builder.finish()
+        assert circuit.logical_counts() is circuit.logical_counts()
+
+
+# -- estimator integration ----------------------------------------------------
+
+
+def test_resolve_counts_accepts_providers():
+    from repro.estimator.stages import resolve_counts
+
+    direct = LogicalCounts(num_qubits=3, t_count=5)
+    assert resolve_counts(direct) == direct
+    assert resolve_counts(lambda: direct) == direct
+
+    mult = SchoolbookMultiplier(4)
+    expected = mult.logical_counts()
+    assert resolve_counts(mult) == expected
+    assert resolve_counts(partial(mult.backend_counts, "counting")) == expected
+    assert resolve_counts(mult.circuit()) == expected
+
+    with pytest.raises(TypeError):
+        resolve_counts(object())
+    with pytest.raises(TypeError):
+        resolve_counts(lambda: "not counts")
+
+
+def test_backend_counts_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown count backend"):
+        SchoolbookMultiplier(4).backend_counts("qir")
+    with pytest.raises(ValueError, match="unknown count backend"):
+        from repro.experiments.runner import multiplier_request
+
+        multiplier_request("schoolbook", 4, "qubit_maj_ns_e4", budget=1e-3, backend="x")
+
+
+def test_runner_backends_produce_identical_rows():
+    from repro.experiments.runner import run_estimate_rows
+
+    points = [
+        ("schoolbook", 16, "qubit_maj_ns_e4"),
+        ("windowed", 16, "qubit_maj_ns_e4"),
+    ]
+    baseline = run_estimate_rows(points, budget=1e-4)
+    for backend in ("materialize", "counting"):
+        rows = run_estimate_rows(points, budget=1e-4, backend=backend)
+        assert [r.to_dict() for r in rows] == [r.to_dict() for r in baseline]
+
+
+def test_karatsuba_counting_matches():
+    mult = KaratsubaMultiplier(10)
+    assert mult.counted_counts() == mult.traced_counts()
