@@ -97,9 +97,10 @@ def test_cached_batch_sweep_beats_per_point_estimates():
     # one per point; counts traced once per algorithm likewise.
     cache = EstimateCache()
     _run_batch(cache)
-    assert cache.stats.factory_misses == len(ALGORITHMS)
-    assert cache.stats.factory_hits == len(_grid()) - len(ALGORITHMS)
-    assert cache.stats.counts_misses == len(ALGORITHMS)
+    stats = cache.stats()
+    assert stats["factories"]["misses"] == len(ALGORITHMS)
+    assert stats["factories"]["hits"] == len(_grid()) - len(ALGORITHMS)
+    assert stats["counts"]["misses"] == len(ALGORITHMS)
 
     # The headline: the cached sweep is measurably faster. The grid shares
     # a factory design across a 6-point ladder, so the expected ratio is

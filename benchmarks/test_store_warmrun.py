@@ -1,0 +1,77 @@
+"""Benchmark of the persistent result store: warm re-runs must be fast.
+
+The acceptance floor for the store layer: re-running the same batch grid
+against a warm store is **>= 10x faster** than the cold run, because
+every point answers with a hash lookup plus one JSON read instead of a
+factory search and a code-distance fixed point. Results must be
+bit-for-bit identical either way (the stored document deserializes to an
+equal ``PhysicalResourceEstimates``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import EstimateCache, ResultStore, run_specs
+from repro.distillation import TFactoryDesigner
+from repro.experiments.runner import multiplier_spec
+
+ALGORITHMS = ("schoolbook", "karatsuba", "windowed")
+PROFILES = ("qubit_maj_ns_e4", "qubit_maj_ns_e6")
+BUDGETS = (1e-3, 1e-4)
+BITS = 256
+
+
+def _grid():
+    """3 algorithms x 2 profiles x 2 budgets = 12 figure-style points."""
+    return [
+        multiplier_spec(algorithm, BITS, profile, budget=budget)
+        for algorithm in ALGORITHMS
+        for profile in PROFILES
+        for budget in BUDGETS
+    ]
+
+
+def _fresh_cache() -> EstimateCache:
+    # A private designer too: the shared default's factory catalogs may be
+    # warm from other benchmarks, which would understate the cold time.
+    return EstimateCache(designer=TFactoryDesigner())
+
+
+def test_warm_store_rerun_is_10x_faster(tmp_path):
+    store = ResultStore(tmp_path)
+
+    start = time.perf_counter()
+    cold = run_specs(_grid(), store=store, cache=_fresh_cache())
+    cold_s = time.perf_counter() - start
+    assert all(outcome.ok for outcome in cold)
+    assert not any(outcome.from_store for outcome in cold)
+    assert len(store) == len(cold)
+
+    start = time.perf_counter()
+    warm = run_specs(_grid(), store=store, cache=_fresh_cache())
+    warm_s = time.perf_counter() - start
+    assert all(outcome.from_store for outcome in warm)
+
+    # Identical results, point for point, through the disk round-trip.
+    for cold_outcome, warm_outcome in zip(cold, warm):
+        assert warm_outcome.result == cold_outcome.result
+        assert warm_outcome.spec_hash == cold_outcome.spec_hash
+
+    speedup = cold_s / warm_s
+    print(
+        f"\nstore warm-run: cold {cold_s:.3f}s, warm {warm_s:.4f}s "
+        f"({speedup:.0f}x, {len(cold)} points)"
+    )
+    assert speedup >= 10.0, (
+        f"warm store re-run only {speedup:.1f}x faster "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s); floor is 10x"
+    )
+
+
+def test_store_shared_across_processes_shape(tmp_path):
+    """A second store *instance* (new process in real life) reuses entries."""
+    grid = _grid()[:3]
+    run_specs(grid, store=ResultStore(tmp_path), cache=_fresh_cache())
+    warm = run_specs(grid, store=ResultStore(tmp_path), cache=_fresh_cache())
+    assert all(outcome.from_store for outcome in warm)

@@ -38,13 +38,18 @@ from .estimator import (
     Constraints,
     EstimateCache,
     EstimateRequest,
+    EstimateSpec,
     EstimationError,
     Frontier,
     FrontierPoint,
     PhysicalResourceEstimates,
+    ProgramRef,
+    ResultStore,
+    SpecOutcome,
     estimate,
     estimate_batch,
     estimate_frontier,
+    run_specs,
 )
 from .formulas import Formula
 from .layout import layout_resources, logical_qubits_after_layout
@@ -64,6 +69,7 @@ from .qubits import (
     qubit_params,
 )
 from .qir import emit_qir, parse_qir
+from .registry import Registry, default_registry
 from .report import render_report
 from .synthesis import RotationSynthesis
 
@@ -79,6 +85,7 @@ __all__ = [
     "ErrorBudgetPartition",
     "EstimateCache",
     "EstimateRequest",
+    "EstimateSpec",
     "EstimationError",
     "FLOQUET_CODE",
     "Formula",
@@ -91,13 +98,18 @@ __all__ = [
     "PREDEFINED_PROFILES",
     "PhysicalQubitParams",
     "PhysicalResourceEstimates",
+    "ProgramRef",
     "QECScheme",
+    "Registry",
+    "ResultStore",
     "RotationSynthesis",
+    "SpecOutcome",
     "SURFACE_CODE_GATE_BASED",
     "SURFACE_CODE_MAJORANA",
     "TFactory",
     "TFactoryDesigner",
     "assess",
+    "default_registry",
     "default_scheme_for",
     "design_t_factory",
     "emit_qir",
@@ -110,4 +122,5 @@ __all__ = [
     "qec_scheme",
     "qubit_params",
     "render_report",
+    "run_specs",
 ]

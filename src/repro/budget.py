@@ -50,6 +50,23 @@ class ErrorBudgetPartition:
             "rotations": self.rotations,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "ErrorBudgetPartition":
+        known = {"logical", "tStates", "rotations"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown error budget fields: {sorted(unknown)}")
+        missing = known - set(data)
+        if missing:
+            raise ValueError(
+                f"explicit error budget missing fields: {sorted(missing)}"
+            )
+        return cls(
+            logical=data["logical"],
+            t_states=data["tStates"],
+            rotations=data["rotations"],
+        )
+
 
 @dataclass(frozen=True)
 class ErrorBudget:
@@ -72,6 +89,29 @@ class ErrorBudget:
     ) -> "ErrorBudget":
         """Budget with user-pinned parts (their sum is the total)."""
         part = ErrorBudgetPartition(logical, t_states, rotations)
+        return cls(total=part.total, _explicit=part)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON form: ``{"total": t}`` or the explicit three-way split."""
+        if self._explicit is not None:
+            return dict(self._explicit.to_dict())
+        return {"total": self.total}
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, object] | float") -> "ErrorBudget":
+        """Inverse of :meth:`to_dict`; also accepts a bare total number."""
+        if isinstance(data, (int, float)) and not isinstance(data, bool):
+            return cls(total=float(data))
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"error budget must be a number or an object, got {type(data).__name__}"
+            )
+        if set(data) == {"total"}:
+            total = data["total"]
+            if not isinstance(total, (int, float)) or isinstance(total, bool):
+                raise ValueError(f"budget total must be a number, got {total!r}")
+            return cls(total=float(total))
+        part = ErrorBudgetPartition.from_dict(data)  # type: ignore[arg-type]
         return cls(total=part.total, _explicit=part)
 
     def partition(self, *, has_rotations: bool, has_t_states: bool) -> ErrorBudgetPartition:

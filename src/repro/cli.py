@@ -45,12 +45,29 @@ Both ``batch`` and ``bench trace`` accept ``--backend
 materialized instruction stream, or the streaming counting builder
 (identical counts; see the README section "Counting backend and scaling
 limits").
+
+Every subcommand accepts ``--scenario hw.json`` (repeatable) to register
+user-defined qubit profiles / QEC schemes / distillation units, opening
+the ``--profile`` and ``qec_scheme`` choices beyond the predefined sets
+(README section "Scenario files"), and most accept ``--store DIR``, a
+content-addressed persistent result store: re-running a spec whose hash
+is already stored answers from disk instead of re-estimating.
+
+``repro serve`` runs the estimation service — a JSON HTTP API mirroring
+the paper's submit-a-job workflow (POST a spec or batch of specs, GET a
+stored result by spec hash) over the shared batch engine with the store
+behind it — and ``repro submit`` is its thin client::
+
+    python -m repro serve --port 8000 --store /var/cache/repro &
+    python -m repro submit --url http://127.0.0.1:8000 \\
+        --counts counts.json --profile qubit_gate_ns_e3
+
+(README section "Running as a service".)
 """
 
 from __future__ import annotations
 
 import argparse
-import functools
 import json
 import sys
 import time
@@ -59,11 +76,14 @@ from pathlib import Path
 from .advantage import assess
 from .budget import ErrorBudget
 from .counts import LogicalCounts
-from .estimator import Constraints, EstimationError, estimate
-from .estimator.batch import estimate_batch, request_grid
-from .qec import default_scheme_for, qec_scheme
+from .estimator import Constraints
+from .estimator.batch import EstimateCache
+from .estimator.spec import EstimateSpec, ProgramRef, run_specs
+from .estimator.stages import resolve_counts
+from .estimator.store import ResultStore, default_store_root
 from .qir import QIRParseError, parse_qir
-from .qubits import PREDEFINED_PROFILES, qubit_params
+from .qubits import PREDEFINED_PROFILES
+from .registry import Registry, default_registry
 
 from .arithmetic import COUNT_BACKENDS
 
@@ -87,12 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--counts", type=Path, help="JSON file with LogicalCounts fields"
     )
     source.add_argument("--qir", type=Path, help="QIR text file (.ll)")
-    parser.add_argument(
-        "--profile",
-        default="qubit_gate_ns_e3",
-        choices=sorted(PREDEFINED_PROFILES),
-        help="hardware profile (default: qubit_gate_ns_e3)",
-    )
+    _add_profile_argument(parser)
     parser.add_argument(
         "--budget",
         type=float,
@@ -117,6 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="logical-depth slowdown factor >= 1 (trades runtime for qubits)",
     )
+    _add_scenario_argument(parser)
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store directory; a re-run of the "
+        "same spec answers from disk",
+    )
     parser.add_argument(
         "--json",
         action="store_true",
@@ -129,6 +153,51 @@ def build_parser() -> argparse.ArgumentParser:
         "implementation levels",
     )
     return parser
+
+
+def _add_profile_argument(
+    parser: argparse.ArgumentParser, default: str = "qubit_gate_ns_e3"
+) -> None:
+    """The hardware profile option (open set: registry + scenario files)."""
+    parser.add_argument(
+        "--profile",
+        default=default,
+        help=f"hardware profile name — predefined "
+        f"({', '.join(sorted(PREDEFINED_PROFILES))}) or defined by a "
+        f"--scenario file (default: {default})",
+    )
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="scenario JSON file registering custom qubit profiles / QEC "
+        "schemes / distillation units (repeatable; see the README section "
+        "'Scenario files')",
+    )
+
+
+def _load_scenarios(paths: list[Path] | None) -> Registry:
+    """Load --scenario files into the process registry; exits on errors."""
+    registry = default_registry()
+    for path in paths or ():
+        try:
+            registry.load_scenario(path)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    return registry
+
+
+def _resolve_profile(registry: Registry, name: str):
+    """Profile lookup with a CLI-friendly failure."""
+    try:
+        return registry.qubit(name)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
 
 
 def _load_program(args: argparse.Namespace):
@@ -171,6 +240,15 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="how multiplier counts are resolved: closed-form tallies "
         "(formula, default), a materialized trace (materialize), or the "
         "streaming counting builder (counting); results are identical",
+    )
+    _add_scenario_argument(parser)
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store directory; previously computed "
+        "grid points answer from disk (>= 10x on warm re-runs)",
     )
     parser.add_argument(
         "--json",
@@ -215,16 +293,23 @@ def _load_grid(path: Path) -> dict:
 
 
 def _grid_programs(
-    spec: dict, backend: str = "formula"
-) -> list[tuple[object, object, str]]:
-    """(program, program_key, label) triples from a grid spec."""
+    spec: dict,
+) -> list[tuple[ProgramRef | LogicalCounts, str]]:
+    """(program, label) pairs from a grid spec.
+
+    Programs come back in declarative form — :class:`ProgramRef` for the
+    multipliers, inline :class:`LogicalCounts` otherwise — ready to embed
+    in :class:`EstimateSpec` points. Multiplier names/sizes are validated
+    eagerly so typos fail as spec errors; counting stays lazy (resolved
+    in the batch workers through the chosen backend).
+    """
     has_multipliers = "algorithms" in spec or "bits" in spec
     has_counts = "counts" in spec
     if has_multipliers == has_counts:
         raise SystemExit(
             "error: grid spec needs either 'algorithms'+'bits' or 'counts'"
         )
-    programs: list[tuple[object, object, str]] = []
+    programs: list[tuple[ProgramRef | LogicalCounts, str]] = []
     if has_multipliers:
         algorithms = spec.get("algorithms")
         bits_list = spec.get("bits")
@@ -236,26 +321,14 @@ def _grid_programs(
 
         for algorithm in algorithms:
             for bits in bits_list:
-                # Construct eagerly so bad names/sizes fail as spec errors;
-                # tracing stays lazy (logical_counts() runs in the workers).
                 try:
-                    multiplier = multiplier_by_name(algorithm, int(bits))
+                    multiplier_by_name(algorithm, int(bits))  # validate only
+                    ref = ProgramRef(
+                        kind="multiplier", algorithm=algorithm, bits=int(bits)
+                    )
                 except (KeyError, ValueError, TypeError) as exc:
                     raise SystemExit(f"error: invalid grid spec: {exc}")
-                program: object = multiplier
-                if backend != "formula":
-                    # Ship a counts provider so workers resolve through
-                    # the chosen backend (lazily, off the parent process).
-                    program = functools.partial(
-                        multiplier.backend_counts, backend
-                    )
-                programs.append(
-                    (
-                        program,
-                        ("multiplier", algorithm, int(bits), backend),
-                        f"{algorithm}/{bits}",
-                    )
-                )
+                programs.append((ref, f"{algorithm}/{bits}"))
         return programs
     counts_spec = spec["counts"]
     if isinstance(counts_spec, dict):
@@ -267,7 +340,7 @@ def _grid_programs(
             counts = LogicalCounts.from_dict(data)
         except (TypeError, ValueError) as exc:
             raise SystemExit(f"error: invalid logical counts [{index}]: {exc}")
-        programs.append((counts, None, f"counts[{index}]"))
+        programs.append((counts, f"counts[{index}]"))
     return programs
 
 
@@ -276,9 +349,10 @@ def _batch_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    registry = _load_scenarios(args.scenario)
     spec = _load_grid(args.grid)
 
-    programs = _grid_programs(spec, args.backend)
+    programs = _grid_programs(spec)
     profiles = spec.get("profiles")
     if not profiles:
         raise SystemExit("error: grid spec needs non-empty 'profiles'")
@@ -295,8 +369,13 @@ def _batch_main(argv: list[str]) -> int:
     depth_factors = _float_list("depth_factors", [1.0])
     scheme_name = spec.get("qec_scheme")
 
+    # Validate names and parameters eagerly — a typo in the grid is a spec
+    # error, not sixteen failed sweep points.
     try:
-        qubits = [qubit_params(profile) for profile in profiles]
+        for profile in profiles:
+            qubit = registry.qubit(profile)
+            if scheme_name:
+                registry.scheme(scheme_name, qubit)
         constraints = [
             Constraints(
                 max_t_factories=spec.get("max_t_factories"),
@@ -306,32 +385,42 @@ def _batch_main(argv: list[str]) -> int:
             )
             for factor in depth_factors
         ]
-        requests = request_grid(
-            programs,
-            qubits,
-            budgets=[ErrorBudget(total=budget) for budget in budgets],
-            constraints=constraints,
-            scheme_for=(
-                (lambda qubit: qec_scheme(scheme_name, qubit))
-                if scheme_name
-                else default_scheme_for
-            ),
-        )
+        error_budgets = [ErrorBudget(total=budget) for budget in budgets]
     except (KeyError, ValueError) as exc:
-        raise SystemExit(f"error: invalid grid spec: {exc}")
-    # Row labels come from the request fields themselves, so they can
-    # never fall out of sync with the grid expansion order.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        raise SystemExit(f"error: invalid grid spec: {message}")
+
+    # The cartesian grid as declarative specs, program-major (matching the
+    # nesting order of the grid file's keys).
+    specs = [
+        EstimateSpec(
+            program=program,
+            qubit=profile,
+            scheme=scheme_name or None,
+            budget=budget,
+            constraints=constraint,
+            backend=args.backend,
+            label=label,
+        )
+        for program, label in programs
+        for profile in profiles
+        for budget in error_budgets
+        for constraint in constraints
+    ]
     meta = [
         (
-            request.label,
-            request.qubit.name,
-            request.budget.total,
-            request.constraints.logical_depth_factor,
+            point.label,
+            point.qubit,
+            point.budget.total,
+            point.constraints.logical_depth_factor,
         )
-        for request in requests
+        for point in specs
     ]
 
-    outcomes = estimate_batch(requests, max_workers=args.workers)
+    store = ResultStore(args.store) if args.store else None
+    outcomes = run_specs(
+        specs, registry=registry, store=store, max_workers=args.workers
+    )
     failures = 0
 
     if args.json:
@@ -342,6 +431,8 @@ def _batch_main(argv: list[str]) -> int:
                 "profile": profile,
                 "budget": budget,
                 "depthFactor": factor,
+                "specHash": outcome.spec_hash,
+                "fromStore": outcome.from_store,
                 "ok": outcome.ok,
             }
             if outcome.ok:
@@ -430,17 +521,21 @@ def build_bench_parser() -> argparse.ArgumentParser:
         default="counting",
         help="count-resolution backend (default: counting)",
     )
-    parser.add_argument(
-        "--profile",
-        default="qubit_maj_ns_e4",
-        choices=sorted(PREDEFINED_PROFILES),
-        help="hardware profile for the estimate stage (default: qubit_maj_ns_e4)",
-    )
+    _add_profile_argument(parser, default="qubit_maj_ns_e4")
     parser.add_argument(
         "--budget",
         type=float,
         default=1e-4,
         help="total error budget for the estimate stage (default: 1e-4)",
+    )
+    _add_scenario_argument(parser)
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="result store directory; the estimate stage answers from disk "
+        "on a warm re-run (store hits show up in the --json cache stats)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit the timings as JSON"
@@ -523,19 +618,28 @@ def _bench_main(argv: list[str]) -> int:
     args = build_bench_parser().parse_args(argv)
     if args.bits < 1:
         raise SystemExit(f"error: --bits must be >= 1, got {args.bits}")
+    registry = _load_scenarios(args.scenario)
+    _resolve_profile(registry, args.profile)  # fail fast on a typo
 
     counts, build_s, trace_s = _bench_counts(args)
 
-    qubit = qubit_params(args.profile)
+    # The estimate stage runs through the declarative spec path with an
+    # explicit cache, so the timing baseline also reports cache/store
+    # observability (and a --store warm re-run shows the store hit).
+    cache = EstimateCache()
+    store = ResultStore(args.store) if args.store else None
     start = time.perf_counter()
     try:
-        result = estimate(counts, qubit, budget=ErrorBudget(total=args.budget))
-        estimate_s = time.perf_counter() - start
-        estimate_error = None
-    except (EstimationError, ValueError) as exc:
-        estimate_s = time.perf_counter() - start
+        point = EstimateSpec(
+            program=counts, qubit=args.profile, budget=args.budget
+        )
+        outcome = run_specs([point], registry=registry, store=store, cache=cache)[0]
+        result = outcome.result
+        estimate_error = outcome.error
+    except ValueError as exc:  # e.g. an out-of-range --budget
         result = None
         estimate_error = str(exc)
+    estimate_s = time.perf_counter() - start
     total_s = build_s + trace_s + estimate_s
 
     if args.json:
@@ -551,6 +655,7 @@ def _bench_main(argv: list[str]) -> int:
                 "estimate_s": estimate_s,
                 "total_s": total_s,
             },
+            "cacheStats": cache.stats(),
             "counts": counts.to_dict(),
         }
         if result is not None:
@@ -590,35 +695,65 @@ def _bench_main(argv: list[str]) -> int:
     return 0 if estimate_error is None else 1
 
 
+def _spec_from_program_args(args: argparse.Namespace) -> EstimateSpec:
+    """Build the declarative spec for the single-point / submit flags.
+
+    The program (counts file or QIR) is resolved into inline
+    :class:`LogicalCounts` client-side; names (profile, scheme) stay
+    names, resolved by whichever registry evaluates the spec — locally or
+    on the service side.
+    """
+    program = _load_program(args)
+    try:
+        counts = resolve_counts(program)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error: cannot resolve program counts: {exc}")
+    try:
+        return EstimateSpec(
+            program=counts,
+            qubit=args.profile,
+            scheme=args.qec_scheme or None,
+            budget=args.budget,
+            constraints=Constraints(
+                max_t_factories=args.max_t_factories,
+                logical_depth_factor=args.depth_factor,
+            ),
+            label=getattr(args, "label", None),
+        )
+    except ValueError as exc:
+        # Invalid budget/constraints values are input errors (exit 1, like
+        # an infeasible estimate, matching the previous behavior).
+        raise _SpecInputError(str(exc))
+
+
+class _SpecInputError(Exception):
+    """Invalid spec parameters from CLI flags (reported, exit code 1)."""
+
+
 def main(argv: list[str] | None = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "batch":
         return _batch_main(raw[1:])
     if raw and raw[0] == "bench":
         return _bench_main(raw[1:])
+    if raw and raw[0] == "serve":
+        return _serve_main(raw[1:])
+    if raw and raw[0] == "submit":
+        return _submit_main(raw[1:])
     args = build_parser().parse_args(raw)
-    program = _load_program(args)
-    qubit = qubit_params(args.profile)
-    scheme = (
-        qec_scheme(args.qec_scheme, qubit)
-        if args.qec_scheme
-        else default_scheme_for(qubit)
-    )
+    registry = _load_scenarios(args.scenario)
+    _resolve_profile(registry, args.profile)
     try:
-        constraints = Constraints(
-            max_t_factories=args.max_t_factories,
-            logical_depth_factor=args.depth_factor,
-        )
-        result = estimate(
-            program,
-            qubit,
-            scheme=scheme,
-            budget=ErrorBudget(total=args.budget),
-            constraints=constraints,
-        )
-    except (EstimationError, ValueError) as exc:
+        point = _spec_from_program_args(args)
+    except _SpecInputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    store = ResultStore(args.store) if args.store else None
+    outcome = run_specs([point], registry=registry, store=store)[0]
+    if not outcome.ok:
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
+    result = outcome.result
 
     if args.json:
         report = result.to_dict()
@@ -638,6 +773,164 @@ def main(argv: list[str] | None = None) -> int:
             for note in verdict.notes:
                 print(f"  Note: {note}")
     return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the estimation service: a JSON HTTP API (POST "
+        "/v1/estimate with a spec or batch of specs, GET /v1/results/<hash>) "
+        "over the shared batch engine with the persistent result store "
+        "behind it.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="bind port; 0 picks a free one, printed on startup (default: 8000)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=f"result store directory (default: $REPRO_STORE_DIR or "
+        f"{Path('~') / '.cache' / 'repro' / 'store'})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent store (every submission recomputes)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per submitted batch (1 = serial; default: 1)",
+    )
+    _add_scenario_argument(parser)
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    from .service import EstimationService, make_server
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.no_store and args.store:
+        parser.error("--store and --no-store are mutually exclusive")
+    registry = _load_scenarios(args.scenario)
+    store = None if args.no_store else ResultStore(args.store or default_store_root())
+    service = EstimationService(
+        registry=registry, store=store, max_workers=args.workers
+    )
+    server = make_server(
+        args.host, args.port, service=service, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}", flush=True)
+    print(
+        f"store: {store.root if store is not None else 'disabled'}", flush=True
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit an estimation spec to a running 'repro serve' "
+        "instance and print the report.",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8000",
+        help="service base URL (default: http://127.0.0.1:8000)",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--spec",
+        type=Path,
+        help="spec JSON file (or a {'specs': [...]} batch), submitted as-is "
+        "— the program/profile flags below are ignored",
+    )
+    source.add_argument(
+        "--counts", type=Path, help="JSON file with LogicalCounts fields"
+    )
+    source.add_argument("--qir", type=Path, help="QIR text file (.ll)")
+    _add_profile_argument(parser)
+    parser.add_argument(
+        "--budget", type=float, default=1e-3, help="total error budget"
+    )
+    parser.add_argument("--qec-scheme", default=None, help="QEC scheme name")
+    parser.add_argument(
+        "--max-t-factories", type=int, default=None,
+        help="cap on parallel T-factory copies",
+    )
+    parser.add_argument(
+        "--depth-factor", type=float, default=1.0,
+        help="logical-depth slowdown factor >= 1",
+    )
+    parser.add_argument("--label", default=None, help="label echoed on the record")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw result record(s) instead of the summary",
+    )
+    return parser
+
+
+def _submit_main(argv: list[str]) -> int:
+    from .estimator.result import PhysicalResourceEstimates
+    from .service import ServiceClient, ServiceError
+
+    args = build_submit_parser().parse_args(argv)
+    if args.spec is not None:
+        try:
+            payload = json.loads(args.spec.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot read spec file: {exc}")
+    else:
+        try:
+            payload = _spec_from_program_args(args).to_dict()
+        except _SpecInputError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    client = ServiceClient(args.url)
+    try:
+        response = client._request("/v1/estimate", payload)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    records = response["results"] if "results" in response else [response]
+    if args.json:
+        print(json.dumps(response, indent=2))
+    else:
+        for record in records:
+            label = record.get("label") or record.get("specHash") or "(spec)"
+            if record["ok"]:
+                origin = "store" if record.get("fromStore") else "computed"
+                print(f"# {label} [{record['specHash']}] ({origin})")
+                result = PhysicalResourceEstimates.from_dict(record["result"])
+                print(result.summary())
+            else:
+                print(f"# {label}: error: {record['error']}")
+    return 0 if all(record["ok"] for record in records) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -77,6 +77,7 @@ class _RoundReport:
     def to_dict(self) -> dict[str, Any]:
         return {
             "unit": self.round.unit.name,
+            "unitSpec": self.round.unit.to_dict(),
             "codeDistance": self.round.code_distance,
             "numUnits": self.num_units,
             "failureProbability": self.failure_probability,
@@ -85,6 +86,22 @@ class _RoundReport:
             "physicalQubits": self.physical_qubits,
             "duration_ns": self.duration_ns,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "_RoundReport":
+        """Inverse of :meth:`to_dict`, rebuilding the full unit definition."""
+        return cls(
+            round=DistillationRound(
+                unit=DistillationUnit.from_dict(data["unitSpec"]),
+                code_distance=data["codeDistance"],
+            ),
+            num_units=data["numUnits"],
+            failure_probability=data["failureProbability"],
+            input_error_rate=data["inputErrorRate"],
+            output_error_rate=data["outputErrorRate"],
+            physical_qubits=data["physicalQubits"],
+            duration_ns=data["duration_ns"],
+        )
 
 
 @dataclass(frozen=True)
@@ -124,6 +141,18 @@ class TFactory:
             "inputTErrorRate": self.input_t_error_rate,
             "rounds": [r.to_dict() for r in self.rounds],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TFactory":
+        """Inverse of :meth:`to_dict`; the round reports carry full units."""
+        return cls(
+            rounds=tuple(_RoundReport.from_dict(r) for r in data["rounds"]),
+            physical_qubits=data["physicalQubits"],
+            duration_ns=data["duration_ns"],
+            output_t_states=data["outputTStates"],
+            output_error_rate=data["outputErrorRate"],
+            input_t_error_rate=data["inputTErrorRate"],
+        )
 
 
 def evaluate_pipeline(

@@ -45,6 +45,24 @@ class PhysicalUnitSpec:
             )
         object.__setattr__(self, "duration", Formula(self.duration))
 
+    def to_dict(self) -> dict[str, Any]:
+        return {"numQubits": self.num_qubits, "duration": self.duration.source}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PhysicalUnitSpec":
+        known = {"numQubits", "duration"}
+        unknown = set(data) - known
+        if unknown:
+            raise DistillationUnitError(
+                f"unknown physical unit spec fields: {sorted(unknown)}"
+            )
+        missing = known - set(data)
+        if missing:
+            raise DistillationUnitError(
+                f"physical unit spec missing fields: {sorted(missing)}"
+            )
+        return cls(num_qubits=data["numQubits"], duration=Formula(data["duration"]))
+
 
 @dataclass(frozen=True)
 class LogicalUnitSpec:
@@ -62,6 +80,30 @@ class LogicalUnitSpec:
             raise DistillationUnitError(
                 f"logical unit duration must be >= 1 cycle, got {self.duration_in_cycles}"
             )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "numLogicalQubits": self.num_logical_qubits,
+            "durationInCycles": self.duration_in_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LogicalUnitSpec":
+        known = {"numLogicalQubits", "durationInCycles"}
+        unknown = set(data) - known
+        if unknown:
+            raise DistillationUnitError(
+                f"unknown logical unit spec fields: {sorted(unknown)}"
+            )
+        missing = known - set(data)
+        if missing:
+            raise DistillationUnitError(
+                f"logical unit spec missing fields: {sorted(missing)}"
+            )
+        return cls(
+            num_logical_qubits=data["numLogicalQubits"],
+            duration_in_cycles=data["durationInCycles"],
+        )
 
 
 @dataclass(frozen=True)
@@ -151,6 +193,51 @@ class DistillationUnit:
         if "name" not in overrides:
             overrides["name"] = f"{self.name} (customized)"
         return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "numInputTs": self.num_input_ts,
+            "numOutputTs": self.num_output_ts,
+            "failureProbability": self.failure_probability.source,
+            "outputErrorRate": self.output_error_rate.source,
+            "physicalSpec": self.physical_spec.to_dict() if self.physical_spec else None,
+            "logicalSpec": self.logical_spec.to_dict() if self.logical_spec else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DistillationUnit":
+        """Inverse of :meth:`to_dict` (formulas re-parsed from source)."""
+        known = {
+            "name",
+            "numInputTs",
+            "numOutputTs",
+            "failureProbability",
+            "outputErrorRate",
+            "physicalSpec",
+            "logicalSpec",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise DistillationUnitError(
+                f"unknown distillation unit fields: {sorted(unknown)}"
+            )
+        missing = (known - {"physicalSpec", "logicalSpec"}) - set(data)
+        if missing:
+            raise DistillationUnitError(
+                f"distillation unit definition missing: {sorted(missing)}"
+            )
+        physical = data.get("physicalSpec")
+        logical = data.get("logicalSpec")
+        return cls(
+            name=data["name"],
+            num_input_ts=data["numInputTs"],
+            num_output_ts=data["numOutputTs"],
+            failure_probability=Formula(data["failureProbability"]),
+            output_error_rate=Formula(data["outputErrorRate"]),
+            physical_spec=PhysicalUnitSpec.from_dict(physical) if physical else None,
+            logical_spec=LogicalUnitSpec.from_dict(logical) if logical else None,
+        )
 
 
 _FAIL_15_TO_1 = "15 * inputErrorRate + 356 * cliffordErrorRate"

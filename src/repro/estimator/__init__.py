@@ -29,12 +29,15 @@ from .stages import (
 from .pipeline import estimate
 from .batch import BatchOutcome, EstimateCache, EstimateRequest, estimate_batch
 from .frontier import Frontier, FrontierPoint, estimate_frontier
+from .spec import EstimateSpec, ProgramRef, SpecOutcome, run_specs
+from .store import ResultStore
 
 __all__ = [
     "BatchOutcome",
     "Constraints",
     "EstimateCache",
     "EstimateRequest",
+    "EstimateSpec",
     "EstimationContext",
     "EstimationError",
     "FixedPointSolution",
@@ -42,10 +45,14 @@ __all__ = [
     "FrontierPoint",
     "PhysicalCounts",
     "PhysicalResourceEstimates",
+    "ProgramRef",
     "ResourceBreakdown",
+    "ResultStore",
+    "SpecOutcome",
     "TFactoryUsage",
     "estimate",
     "estimate_batch",
     "estimate_frontier",
+    "run_specs",
     "solve_code_distance_fixed_point",
 ]

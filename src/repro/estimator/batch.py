@@ -122,6 +122,8 @@ class CacheStats:
     factory_misses: int = 0
     distance_hits: int = 0
     distance_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -135,18 +137,38 @@ class EstimateCache:
     changes a result — only how often the underlying work runs. A cache
     may be shared across :func:`estimate_batch` calls to keep its memos
     warm (the module keeps one such shared instance for default calls);
-    :meth:`clear` drops all entries.
+    :meth:`clear` drops all entries. :meth:`stats` reports hit/miss
+    counters per memo table plus persistent-store hits (counted by
+    :func:`repro.estimator.spec.run_specs` when a store is layered under
+    this cache), surfaced by ``repro bench trace --json``.
     """
 
     designer: TFactoryDesigner = field(default_factory=lambda: DEFAULT_DESIGNER)
-    stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
+        self._stats = CacheStats()
         # program key -> (program ref, counts); the ref pins object ids.
         self._counts: dict[Hashable, tuple[object, LogicalCounts]] = {}
         # (designer id, ...) -> (designer ref, factory); the ref pins ids.
         self._factories: dict[tuple, tuple[TFactoryDesigner, TFactory]] = {}
         self._distances: dict[tuple, LogicalQubit] = {}
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Hits/misses per memo table (and the layered result store)."""
+        s = self._stats
+        return {
+            "counts": {"hits": s.counts_hits, "misses": s.counts_misses},
+            "factories": {"hits": s.factory_hits, "misses": s.factory_misses},
+            "distances": {"hits": s.distance_hits, "misses": s.distance_misses},
+            "store": {"hits": s.store_hits, "misses": s.store_misses},
+        }
+
+    def record_store_lookup(self, hit: bool) -> None:
+        """Count a persistent-store lookup made on behalf of this cache."""
+        if hit:
+            self._stats.store_hits += 1
+        else:
+            self._stats.store_misses += 1
 
     def clear(self) -> None:
         self._counts.clear()
@@ -176,9 +198,9 @@ class EstimateCache:
         cache_key: Hashable = key if key is not None else ("id", id(program))
         hit = self._counts.get(cache_key)
         if hit is not None:
-            self.stats.counts_hits += 1
+            self._stats.counts_hits += 1
             return hit[1]
-        self.stats.counts_misses += 1
+        self._stats.counts_misses += 1
         # resolve_counts handles objects, counts providers (zero-argument
         # callables, e.g. a partial over the streaming counting backend),
         # and plain LogicalCounts alike.
@@ -197,9 +219,9 @@ class EstimateCache:
         key = (id(designer), qubit, scheme, required_output_error_rate)
         hit = self._factories.get(key)
         if hit is not None:
-            self.stats.factory_hits += 1
+            self._stats.factory_hits += 1
             return hit[1]
-        self.stats.factory_misses += 1
+        self._stats.factory_misses += 1
         factory = designer.design(qubit, scheme, required_output_error_rate)
         # Store the designer alongside the factory: the strong ref pins its
         # id so a garbage-collected designer's address can never be reused
@@ -217,9 +239,9 @@ class EstimateCache:
         key = (scheme, qubit, required_error_rate)
         lq = self._distances.get(key)
         if lq is not None:
-            self.stats.distance_hits += 1
+            self._stats.distance_hits += 1
             return lq
-        self.stats.distance_misses += 1
+        self._stats.distance_misses += 1
         lq = LogicalQubit.for_target_error_rate(scheme, qubit, required_error_rate)
         self._distances[key] = lq
         return lq

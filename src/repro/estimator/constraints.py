@@ -52,3 +52,21 @@ class Constraints:
             "maxDuration_ns": self.max_duration_ns,
             "maxPhysicalQubits": self.max_physical_qubits,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Constraints":
+        known = {
+            "maxTFactories",
+            "logicalDepthFactor",
+            "maxDuration_ns",
+            "maxPhysicalQubits",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown constraint fields: {sorted(unknown)}")
+        return cls(
+            max_t_factories=data.get("maxTFactories"),  # type: ignore[arg-type]
+            logical_depth_factor=data.get("logicalDepthFactor", 1.0),  # type: ignore[arg-type]
+            max_duration_ns=data.get("maxDuration_ns"),  # type: ignore[arg-type]
+            max_physical_qubits=data.get("maxPhysicalQubits"),  # type: ignore[arg-type]
+        )

@@ -34,6 +34,14 @@ class PhysicalCounts:
             "rqops": self.rqops,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PhysicalCounts":
+        return cls(
+            physical_qubits=data["physicalQubits"],
+            runtime_ns=data["runtime_ns"],
+            rqops=data["rqops"],
+        )
+
 
 @dataclass(frozen=True)
 class TFactoryUsage:
@@ -55,6 +63,17 @@ class TFactoryUsage:
             "requiredOutputErrorRate": self.required_output_error_rate,
             "factory": self.factory.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TFactoryUsage":
+        return cls(
+            factory=TFactory.from_dict(data["factory"]),
+            copies=data["copies"],
+            total_runs=data["totalRuns"],
+            runs_per_copy=data["runsPerCopy"],
+            physical_qubits=data["physicalQubits"],
+            required_output_error_rate=data["requiredOutputErrorRate"],
+        )
 
 
 @dataclass(frozen=True)
@@ -87,6 +106,19 @@ class ResourceBreakdown:
             "requiredLogicalErrorRate": self.required_logical_error_rate,
             "logicalOperations": self.logical_operations,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResourceBreakdown":
+        return cls(
+            algorithmic_logical_qubits=data["algorithmicLogicalQubits"],
+            algorithmic_logical_depth=data["algorithmicLogicalDepth"],
+            logical_depth=data["logicalDepth"],
+            num_t_states=data["numTStates"],
+            clock_frequency_hz=data["clockFrequency_Hz"],
+            physical_qubits_for_algorithm=data["physicalQubitsForAlgorithm"],
+            physical_qubits_for_t_factories=data["physicalQubitsForTFactories"],
+            required_logical_error_rate=data["requiredLogicalErrorRate"],
+        )
 
 
 @dataclass(frozen=True)
@@ -139,10 +171,41 @@ class PhysicalResourceEstimates:
             "logicalQubit": self.logical_qubit.to_dict(),
             "tFactory": self.t_factory.to_dict() if self.t_factory else None,
             "preLayoutLogicalResources": self.pre_layout.to_dict(),
+            "tStatesPerRotation": self.algorithmic_resources.t_states_per_rotation,
             "errorBudget": self.error_budget.to_dict(),
             "physicalQubitParameters": self.qubit_params.to_dict(),
             "assumptions": list(self.assumptions),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PhysicalResourceEstimates":
+        """Inverse of :meth:`to_dict`: lossless result deserialization.
+
+        ``from_dict(json.loads(result.to_json()))`` equals ``result``:
+        every sub-object (including the full T-factory design and the QEC
+        scheme formulas) is reconstructed, so stored results can be served
+        and post-processed without re-running the estimator.
+        """
+        qubit = PhysicalQubitParams.from_dict(data["physicalQubitParameters"])
+        breakdown = ResourceBreakdown.from_dict(data["breakdown"])
+        pre_layout = LogicalCounts.from_dict(data["preLayoutLogicalResources"])
+        t_factory = data.get("tFactory")
+        return cls(
+            physical_counts=PhysicalCounts.from_dict(data["physicalCounts"]),
+            breakdown=breakdown,
+            logical_qubit=LogicalQubit.from_dict(data["logicalQubit"], qubit),
+            t_factory=TFactoryUsage.from_dict(t_factory) if t_factory else None,
+            algorithmic_resources=AlgorithmicLogicalResources(
+                logical_qubits=breakdown.algorithmic_logical_qubits,
+                logical_depth=breakdown.algorithmic_logical_depth,
+                t_states=breakdown.num_t_states,
+                t_states_per_rotation=data["tStatesPerRotation"],
+                pre_layout=pre_layout,
+            ),
+            error_budget=ErrorBudgetPartition.from_dict(data["errorBudget"]),
+            qubit_params=qubit,
+            assumptions=tuple(data["assumptions"]),
+        )
 
     def to_json(self, **json_kwargs: Any) -> str:
         json_kwargs.setdefault("indent", 2)

@@ -1,0 +1,597 @@
+"""Declarative scenario specs: serializable, hashable estimation requests.
+
+An :class:`EstimateSpec` is the *declarative* form of one estimation
+point: instead of live Python objects it holds either inline
+:class:`~repro.counts.LogicalCounts` or a :class:`ProgramRef` naming a
+known construction (the paper's multipliers, or modular exponentiation),
+plus the qubit profile, QEC scheme, budget, constraints, and synthesis
+model — each either a registry *name* or an inline definition. That makes
+a spec:
+
+* **JSON-round-trippable** (:meth:`EstimateSpec.to_dict` /
+  :meth:`EstimateSpec.from_dict`) — specs travel over HTTP to the
+  estimation service and live in batch grid files;
+* **content-addressable** (:meth:`EstimateSpec.content_hash`) — the
+  canonical serialization is stable across processes and Python
+  versions, so the hash keys the persistent
+  :class:`~repro.estimator.store.ResultStore`;
+* **resolvable** (:meth:`EstimateSpec.to_request`) — a
+  :class:`~repro.registry.Registry` turns names back into model objects,
+  producing the :class:`~repro.estimator.batch.EstimateRequest` the
+  shared batch engine runs.
+
+:func:`run_specs` is the one evaluation path layered over both caches:
+specs are hashed, answered from the persistent store when possible, and
+the misses run through :func:`~repro.estimator.batch.estimate_batch`
+(with its in-memory cross-point memos) before being written back.
+
+The canonical form deliberately excludes two fields from the hash:
+``label`` (display metadata) and ``backend`` (all counting backends
+produce bit-for-bit identical counts — asserted by the test suite — so a
+result computed via one backend answers a spec submitted via another).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache, partial
+from typing import TYPE_CHECKING, Any, Hashable, Sequence
+
+from ..budget import ErrorBudget
+from ..counts import LogicalCounts
+from ..qec import QECScheme
+from ..qubits import PhysicalQubitParams
+from ..synthesis import RotationSynthesis
+from .batch import EstimateCache, EstimateRequest, estimate_batch
+from .constraints import Constraints
+from .result import PhysicalResourceEstimates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..registry import Registry
+    from .store import ResultStore
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "EstimateSpec",
+    "ProgramRef",
+    "SpecOutcome",
+    "run_specs",
+]
+
+#: Version tag of the spec canonical form; part of every content hash, so
+#: changing the spec schema can never alias old store entries.
+SPEC_SCHEMA = "repro-spec-v1"
+
+#: Program constructions addressable by reference.
+PROGRAM_KINDS = ("multiplier", "modexp")
+
+
+def _multiplier_counts(algorithm: str, bits: int, backend: str) -> LogicalCounts:
+    """Resolve one multiplier's counts (runs inside batch workers)."""
+    from ..arithmetic import multiplier_by_name
+
+    return multiplier_by_name(algorithm, bits).backend_counts(backend)
+
+
+def _modexp_counts(
+    bits: int, exponent_bits: int, window: int | None, backend: str
+) -> LogicalCounts:
+    """Resolve an n-bit modular exponentiation's counts (in workers)."""
+    from ..arithmetic import (
+        modexp_circuit,
+        modexp_counting_counts,
+        modexp_logical_counts,
+    )
+
+    if backend == "formula":
+        return modexp_logical_counts(bits, exponent_bits, window=window)
+    modulus = (1 << bits) - 1  # counts depend only on the bit length
+    if backend == "counting":
+        return modexp_counting_counts(2, modulus, exponent_bits, window=window)
+    return modexp_circuit(2, modulus, exponent_bits, window=window).logical_counts()
+
+
+@lru_cache(maxsize=None)
+def _program_factory(
+    kind: str, params: tuple[tuple[str, Any], ...], backend: str
+) -> partial:
+    """A picklable, lazily-resolved counts factory for a program ref.
+
+    The lru_cache returns the *same* factory object for repeated
+    (ref, backend) resolutions, so identity-based deduplication in the
+    batch engine works even before the explicit ``program_key`` (which is
+    also set, covering cross-process chunks).
+    """
+    kwargs = dict(params)
+    if kind == "multiplier":
+        return partial(_multiplier_counts, kwargs["algorithm"], kwargs["bits"], backend)
+    return partial(
+        _modexp_counts,
+        kwargs["bits"],
+        kwargs["exponent_bits"],
+        kwargs["window"],
+        backend,
+    )
+
+
+@dataclass(frozen=True)
+class ProgramRef:
+    """A program named by construction rather than carried as an object.
+
+    ``kind="multiplier"`` needs ``algorithm`` (schoolbook / karatsuba /
+    windowed) and ``bits``; ``kind="modexp"`` needs ``bits`` and takes
+    optional ``exponent_bits`` (default ``2 * bits``, standard order
+    finding) and ``window`` (default: cost-balancing).
+    """
+
+    kind: str
+    bits: int
+    algorithm: str | None = None
+    exponent_bits: int | None = None
+    window: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROGRAM_KINDS:
+            raise ValueError(
+                f"unknown program kind {self.kind!r}; known: {list(PROGRAM_KINDS)}"
+            )
+        if not isinstance(self.bits, int) or isinstance(self.bits, bool) or self.bits < 1:
+            raise ValueError(f"bits must be a positive int, got {self.bits!r}")
+        if self.kind == "multiplier":
+            if not self.algorithm:
+                raise ValueError("a multiplier program ref needs an 'algorithm'")
+            if self.exponent_bits is not None or self.window is not None:
+                raise ValueError(
+                    "exponent_bits/window only apply to modexp program refs"
+                )
+        else:
+            if self.algorithm is not None:
+                raise ValueError("'algorithm' only applies to multiplier refs")
+            if self.bits < 2:
+                raise ValueError("modexp needs a modulus of >= 2 bits")
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.kind == "multiplier":
+            return {
+                "multiplier": {"algorithm": self.algorithm, "bits": self.bits}
+            }
+        body: dict[str, Any] = {"bits": self.bits}
+        if self.exponent_bits is not None:
+            body["exponentBits"] = self.exponent_bits
+        if self.window is not None:
+            body["window"] = self.window
+        return {"modexp": body}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProgramRef":
+        if not isinstance(data, dict) or len(data) != 1:
+            raise ValueError(
+                "a program ref is an object with exactly one of "
+                f"{list(PROGRAM_KINDS)} as key, got {data!r}"
+            )
+        (kind, body), = data.items()
+        if kind not in PROGRAM_KINDS or not isinstance(body, dict):
+            raise ValueError(f"unknown program ref {data!r}")
+        if kind == "multiplier":
+            unknown = set(body) - {"algorithm", "bits"}
+            if unknown:
+                raise ValueError(f"unknown multiplier ref fields: {sorted(unknown)}")
+            return cls(
+                kind="multiplier",
+                algorithm=body.get("algorithm"),
+                bits=body.get("bits", 0),
+            )
+        unknown = set(body) - {"bits", "exponentBits", "window"}
+        if unknown:
+            raise ValueError(f"unknown modexp ref fields: {sorted(unknown)}")
+        return cls(
+            kind="modexp",
+            bits=body.get("bits", 0),
+            exponent_bits=body.get("exponentBits"),
+            window=body.get("window"),
+        )
+
+    def resolve(self, backend: str) -> tuple[object, Hashable]:
+        """The (lazy program, memo key) pair for the batch engine.
+
+        The program is a picklable zero-argument counts factory, so batch
+        workers construct and count the circuit themselves instead of
+        shipping a traced artifact through the parent process.
+        """
+        if self.kind == "multiplier":
+            params: tuple[tuple[str, Any], ...] = (
+                ("algorithm", self.algorithm),
+                ("bits", self.bits),
+            )
+            key: Hashable = ("multiplier", self.algorithm, self.bits, backend)
+        else:
+            exponent_bits = (
+                self.exponent_bits if self.exponent_bits is not None else 2 * self.bits
+            )
+            params = (
+                ("bits", self.bits),
+                ("exponent_bits", exponent_bits),
+                ("window", self.window),
+            )
+            key = ("modexp", self.bits, exponent_bits, self.window, backend)
+        return _program_factory(self.kind, params, backend), key
+
+
+@dataclass(frozen=True)
+class EstimateSpec:
+    """One declarative estimation point (frozen, hashable, serializable).
+
+    Fields hold either registry names or inline definitions:
+
+    * ``program`` — inline :class:`LogicalCounts` or a :class:`ProgramRef`;
+    * ``qubit`` — profile name or inline :class:`PhysicalQubitParams`;
+    * ``scheme`` — scheme name, inline :class:`QECScheme`, or ``None``
+      for the technology default;
+    * ``budget`` — total error budget (number) or :class:`ErrorBudget`;
+    * ``constraints`` / ``synthesis`` — ``None`` means the defaults;
+    * ``backend`` — how referenced programs resolve counts (``formula`` /
+      ``materialize`` / ``counting``; identical results);
+    * ``label`` — free-form display metadata, echoed on outcomes.
+    """
+
+    program: ProgramRef | LogicalCounts
+    qubit: str | PhysicalQubitParams
+    scheme: str | QECScheme | None = None
+    budget: ErrorBudget | float = 1e-3
+    constraints: Constraints | None = None
+    synthesis: RotationSynthesis | None = None
+    backend: str = "formula"
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.program, (ProgramRef, LogicalCounts)):
+            raise TypeError(
+                "spec program must be a ProgramRef or inline LogicalCounts, "
+                f"got {type(self.program).__name__}"
+            )
+        # Normalize bare-number budgets so equal specs compare equal.
+        if isinstance(self.budget, (int, float)) and not isinstance(self.budget, bool):
+            object.__setattr__(self, "budget", ErrorBudget(total=float(self.budget)))
+        elif not isinstance(self.budget, ErrorBudget):
+            raise TypeError(
+                f"spec budget must be a number or ErrorBudget, got "
+                f"{type(self.budget).__name__}"
+            )
+        from ..arithmetic import COUNT_BACKENDS
+
+        if self.backend not in COUNT_BACKENDS:
+            raise ValueError(
+                f"unknown count backend {self.backend!r}; available: "
+                f"{COUNT_BACKENDS}"
+            )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form; :meth:`from_dict` is the exact inverse."""
+        if isinstance(self.program, LogicalCounts):
+            program: dict[str, Any] = {"counts": self.program.to_dict()}
+        else:
+            program = self.program.to_dict()
+        qubit = (
+            {"profile": self.qubit}
+            if isinstance(self.qubit, str)
+            else {"params": self.qubit.to_dict()}
+        )
+        if self.scheme is None:
+            scheme = None
+        elif isinstance(self.scheme, str):
+            scheme = {"name": self.scheme}
+        else:
+            scheme = {"params": self.scheme.to_dict()}
+        return {
+            "program": program,
+            "qubit": qubit,
+            "scheme": scheme,
+            "budget": self.budget.to_dict(),
+            "constraints": self.constraints.to_dict() if self.constraints else None,
+            "synthesis": self.synthesis.to_dict() if self.synthesis else None,
+            "backend": self.backend,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EstimateSpec":
+        """Parse a spec document (tolerates omitted optional fields)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"a spec must be a JSON object, got {type(data).__name__}")
+        known = {
+            "program",
+            "qubit",
+            "scheme",
+            "budget",
+            "constraints",
+            "synthesis",
+            "backend",
+            "label",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown spec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+
+        raw_program = data.get("program")
+        if not isinstance(raw_program, dict) or not raw_program:
+            raise ValueError(
+                "spec needs a 'program': {'counts': {...}}, "
+                "{'multiplier': {...}}, or {'modexp': {...}}"
+            )
+        if "counts" in raw_program:
+            if len(raw_program) != 1:
+                raise ValueError(f"ambiguous program {raw_program!r}")
+            program: ProgramRef | LogicalCounts = LogicalCounts.from_dict(
+                raw_program["counts"]
+            )
+        else:
+            program = ProgramRef.from_dict(raw_program)
+
+        raw_qubit = data.get("qubit")
+        if isinstance(raw_qubit, dict) and set(raw_qubit) == {"profile"}:
+            qubit: str | PhysicalQubitParams = raw_qubit["profile"]
+        elif isinstance(raw_qubit, dict) and set(raw_qubit) == {"params"}:
+            qubit = PhysicalQubitParams.from_dict(raw_qubit["params"])
+        else:
+            raise ValueError(
+                "spec needs a 'qubit': {'profile': name} or {'params': {...}}"
+            )
+
+        raw_scheme = data.get("scheme")
+        if raw_scheme is None:
+            scheme: str | QECScheme | None = None
+        elif isinstance(raw_scheme, dict) and set(raw_scheme) == {"name"}:
+            scheme = raw_scheme["name"]
+        elif isinstance(raw_scheme, dict) and set(raw_scheme) == {"params"}:
+            scheme = QECScheme.from_dict(raw_scheme["params"])
+        else:
+            raise ValueError(
+                "spec 'scheme' must be null, {'name': name}, or {'params': {...}}"
+            )
+
+        raw_budget = data.get("budget", 1e-3)
+        budget = ErrorBudget.from_dict(raw_budget)
+
+        raw_constraints = data.get("constraints")
+        constraints = (
+            Constraints.from_dict(raw_constraints) if raw_constraints else None
+        )
+        raw_synthesis = data.get("synthesis")
+        synthesis = (
+            RotationSynthesis.from_dict(raw_synthesis) if raw_synthesis else None
+        )
+        return cls(
+            program=program,
+            qubit=qubit,
+            scheme=scheme,
+            budget=budget,
+            constraints=constraints,
+            synthesis=synthesis,
+            backend=data.get("backend", "formula"),
+            label=data.get("label"),
+        )
+
+    # -- content addressing ------------------------------------------------
+
+    def canonical_dict(self, registry: "Registry | None" = None) -> dict[str, Any]:
+        """The normalized form whose JSON keys the content hash.
+
+        Equivalent specs canonicalize identically: a bare-number budget
+        equals ``ErrorBudget(total=...)``, omitted constraints/synthesis
+        equal their defaults, and ``label``/``backend`` are excluded (see
+        the module docstring).
+
+        With a ``registry``, profile/scheme *names* are inlined as their
+        resolved definitions, so the canonical form covers the actual
+        model parameters. The persistent store is keyed on this resolved
+        form — a scenario file redefining a name changes the hash and can
+        never be served a stale result computed for the old definition.
+        Unknown names raise :class:`KeyError`, exactly as resolution
+        would.
+        """
+        data = self.to_dict()
+        del data["label"], data["backend"]
+        data["constraints"] = (self.constraints or Constraints()).to_dict()
+        data["synthesis"] = (self.synthesis or RotationSynthesis()).to_dict()
+        if registry is not None:
+            if isinstance(self.qubit, str):
+                data["qubit"] = {"params": registry.qubit(self.qubit).to_dict()}
+            if isinstance(self.scheme, str):
+                qubit = (
+                    registry.qubit(self.qubit)
+                    if isinstance(self.qubit, str)
+                    else self.qubit
+                )
+                data["scheme"] = {
+                    "params": registry.scheme(self.scheme, qubit).to_dict()
+                }
+        return data
+
+    def canonical_json(self, registry: "Registry | None" = None) -> str:
+        """Stable, compact serialization of :meth:`canonical_dict`."""
+        return json.dumps(
+            self.canonical_dict(registry), sort_keys=True, separators=(",", ":")
+        )
+
+    def content_hash(self, registry: "Registry | None" = None) -> str:
+        """SHA-256 over the schema tag plus the canonical serialization.
+
+        Without a registry this is the *syntactic* hash (names kept as
+        names — stable for clients that cannot resolve them). With one,
+        the *resolved* hash (names inlined) that keys the result store.
+        """
+        payload = f"{SPEC_SCHEMA}\n{self.canonical_json(registry)}".encode()
+        return hashlib.sha256(payload).hexdigest()
+
+    # -- resolution --------------------------------------------------------
+
+    def to_request(self, registry: "Registry | None" = None) -> EstimateRequest:
+        """Resolve names through a registry into a batch-engine request.
+
+        Raises :class:`KeyError` for unknown profile/scheme names and
+        :class:`ValueError`/:class:`TypeError` for invalid inline
+        definitions — the same behavior as constructing the model objects
+        directly.
+        """
+        from ..registry import default_registry
+
+        registry = registry if registry is not None else default_registry()
+        qubit = (
+            registry.qubit(self.qubit) if isinstance(self.qubit, str) else self.qubit
+        )
+        scheme = (
+            registry.scheme(self.scheme, qubit)
+            if isinstance(self.scheme, str)
+            else self.scheme
+        )
+        if isinstance(self.program, LogicalCounts):
+            program: object = self.program
+            program_key: Hashable | None = None
+        else:
+            program, program_key = self.program.resolve(self.backend)
+        return EstimateRequest(
+            program=program,
+            qubit=qubit,
+            scheme=scheme,
+            budget=self.budget,
+            constraints=self.constraints,
+            synthesis=self.synthesis,
+            program_key=program_key,
+            label=self.label,
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class SpecOutcome:
+    """Result of one spec: an estimate (possibly store-served) or an error."""
+
+    spec: EstimateSpec
+    spec_hash: str
+    result: PhysicalResourceEstimates | None
+    error: str | None
+    from_store: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def run_specs(
+    specs: Sequence[EstimateSpec],
+    *,
+    registry: "Registry | None" = None,
+    store: "ResultStore | None" = None,
+    cache: EstimateCache | None = None,
+    max_workers: int | None = 1,
+) -> list[SpecOutcome]:
+    """Evaluate declarative specs through the store and the batch engine.
+
+    For each spec (order preserved): resolve names through the registry
+    and compute the *resolved* content hash, answer from ``store`` when
+    it holds a valid document, otherwise run through
+    :func:`estimate_batch` (sharing its in-memory cross-point memos and
+    process fan-out) and write successful results back. Keying the store
+    on the resolved hash means a scenario file redefining a profile or
+    scheme name changes the address — a stale result computed for the
+    old definition can never be served. Duplicate hashes within one call
+    are computed once. Invalid specs (unknown profile or scheme names,
+    malformed inline definitions) become failed outcomes rather than
+    aborting the batch — a service must answer per spec.
+
+    Store lookups are counted on the cache's :meth:`EstimateCache.stats`
+    under ``store``; passing no cache uses the module-shared one.
+    """
+    from ..registry import default_registry
+    from .batch import _SHARED_CACHE  # shared instance also used by defaults
+
+    stats_cache = cache if cache is not None else _SHARED_CACHE
+    resolved_registry = registry if registry is not None else default_registry()
+
+    hashes: list[str] = []
+    results: dict[str, Any] = {}
+    errors: dict[int, str] = {}
+    from_store: set[str] = set()
+    to_run: list[tuple[int, str, EstimateRequest]] = []
+    seen_misses: set[str] = set()
+
+    for index, spec in enumerate(specs):
+        try:
+            request = spec.to_request(resolved_registry)
+            spec_hash = spec.content_hash(resolved_registry)
+        except (KeyError, ValueError, TypeError) as exc:
+            message = str(exc)
+            if isinstance(exc, KeyError) and exc.args:
+                message = str(exc.args[0])  # KeyError str() adds quotes
+            errors[index] = message
+            hashes.append(spec.content_hash())  # syntactic; no store I/O
+            continue
+        hashes.append(spec_hash)
+        if spec_hash in results or spec_hash in seen_misses:
+            continue  # duplicate of an earlier hit/miss; computed once
+        if store is not None:
+            hit = store.get(spec_hash)
+            stats_cache.record_store_lookup(hit is not None)
+            if hit is not None:
+                results[spec_hash] = hit
+                from_store.add(spec_hash)
+                continue
+        seen_misses.add(spec_hash)
+        to_run.append((index, spec_hash, request))
+
+    if to_run:
+        outcomes = estimate_batch(
+            [request for _, _, request in to_run],
+            max_workers=max_workers,
+            cache=cache,
+        )
+        for (index, spec_hash, _), outcome in zip(to_run, outcomes):
+            if outcome.ok:
+                results[spec_hash] = outcome.result
+                if store is not None:
+                    store.put(
+                        spec_hash, outcome.result, spec=specs[index].to_dict()
+                    )
+            else:
+                errors[index] = outcome.error or "estimation failed"
+
+    final: list[SpecOutcome] = []
+    for index, (spec, spec_hash) in enumerate(zip(specs, hashes)):
+        result = results.get(spec_hash)
+        if result is not None:
+            final.append(
+                SpecOutcome(
+                    spec=spec,
+                    spec_hash=spec_hash,
+                    result=result,
+                    error=None,
+                    from_store=spec_hash in from_store,
+                )
+            )
+        else:
+            # A failed hash-duplicate of an earlier spec shares its error.
+            error = errors.get(index)
+            if error is None:
+                error = next(
+                    (
+                        errors[i]
+                        for i in sorted(errors)
+                        if hashes[i] == spec_hash
+                    ),
+                    "estimation failed",
+                )
+            final.append(
+                SpecOutcome(
+                    spec=spec,
+                    spec_hash=spec_hash,
+                    result=None,
+                    error=error,
+                    from_store=False,
+                )
+            )
+    return final

@@ -1,0 +1,192 @@
+"""Content-addressed persistent result store.
+
+Every estimation result can be addressed by the content hash of the
+:class:`~repro.estimator.spec.EstimateSpec` that produced it — estimation
+is deterministic, so the spec hash *is* the result identity. The store
+keeps one JSON document per hash on disk, which buys three things the
+in-memory :class:`~repro.estimator.batch.EstimateCache` cannot:
+
+* **cross-process reuse** — a second process (or a restarted service)
+  re-running the same sweep grid answers from disk in milliseconds
+  instead of re-solving every fixed point;
+* **warm starts** — the fig3/fig4 reproductions and CLI batch grids skip
+  all previously-computed points (``benchmarks/test_store.py`` asserts a
+  >= 10x warm-run speedup floor);
+* **serving** — the estimation service's ``GET /v1/results/<hash>``
+  endpoint reads stored documents directly.
+
+Layout and durability
+---------------------
+Entries live under ``<root>/<schema-tag>/<hh>/<hash>.json`` where ``hh``
+is the first two hash hex digits (fan-out keeps directories small). The
+schema tag versions the result serialization: bumping
+:data:`RESULT_SCHEMA` (on any change to ``to_dict`` output) makes a new
+namespace, so stale entries are never deserialized against new code —
+that is the cache-invalidation story, no migration needed.
+
+Writes go through a temporary file in the destination directory followed
+by :func:`os.replace`, so concurrent writers and crashes can never leave
+a torn document; rewriting the same hash is idempotent. Corrupt or
+foreign files read back as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+from .result import PhysicalResourceEstimates
+
+__all__ = ["RESULT_SCHEMA", "ResultStore", "default_store_root"]
+
+#: Version tag of the stored result document format. Bump when the
+#: ``PhysicalResourceEstimates.to_dict`` schema changes incompatibly;
+#: old entries then simply stop being found (no migration required).
+RESULT_SCHEMA = "repro-result-v1"
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "REPRO_STORE_DIR"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_STORE_DIR`` or ``~/.cache/repro/store``."""
+    env = os.environ.get(STORE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "store"
+
+
+class ResultStore:
+    """Spec-hash -> result-JSON mapping persisted on disk.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created lazily on first write. Defaults to
+        :func:`default_store_root`. Multiple processes may share a root —
+        writes are atomic and entries immutable (same hash, same bytes).
+    schema:
+        Result-document schema tag; entries written under a different tag
+        are invisible. Override only in tests.
+    """
+
+    def __init__(
+        self, root: str | Path | None = None, *, schema: str = RESULT_SCHEMA
+    ) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+        self.schema = schema
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def _base(self) -> Path:
+        return self.root / self.schema
+
+    def path_for(self, spec_hash: str) -> Path:
+        """Where the document for ``spec_hash`` lives (existing or not)."""
+        if not spec_hash or any(c not in "0123456789abcdef" for c in spec_hash):
+            raise ValueError(f"malformed spec hash {spec_hash!r}")
+        return self._base / spec_hash[:2] / f"{spec_hash}.json"
+
+    # -- reads -------------------------------------------------------------
+
+    def get_raw(self, spec_hash: str) -> dict[str, Any] | None:
+        """The stored document for a hash, or ``None`` (missing/corrupt).
+
+        Documents are ``{"schema": ..., "specHash": ..., "spec": ...,
+        "result": ...}``; a readable file whose schema or hash does not
+        match is treated as a miss, never an error — a shared store
+        directory must not be able to crash an estimation run.
+        """
+        path = self.path_for(spec_hash)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != self.schema
+            or document.get("specHash") != spec_hash
+            or not isinstance(document.get("result"), dict)
+        ):
+            return None
+        return document
+
+    def get(self, spec_hash: str) -> PhysicalResourceEstimates | None:
+        """The stored result for a hash, deserialized, or ``None``."""
+        document = self.get_raw(spec_hash)
+        if document is None:
+            return None
+        try:
+            return PhysicalResourceEstimates.from_dict(document["result"])
+        except (KeyError, TypeError, ValueError):
+            return None  # written by an incompatible (future) build
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self.get_raw(spec_hash) is not None
+
+    def keys(self) -> Iterator[str]:
+        """Hashes currently stored under this schema tag."""
+        if not self._base.is_dir():
+            return
+        for path in sorted(self._base.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- writes ------------------------------------------------------------
+
+    def put(
+        self,
+        spec_hash: str,
+        result: PhysicalResourceEstimates,
+        *,
+        spec: dict[str, Any] | None = None,
+    ) -> bool:
+        """Persist a result document atomically; returns success.
+
+        ``spec`` (the producing spec's ``to_dict``) is embedded for
+        debuggability and re-queueing; it is not required to read the
+        result back. An unwritable store degrades to a no-op (``False``)
+        instead of failing the estimation that produced the result.
+        """
+        path = self.path_for(spec_hash)
+        document = {
+            "schema": self.schema,
+            "specHash": spec_hash,
+            "spec": spec,
+            "result": result.to_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{spec_hash[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(document, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Remove every entry under this schema tag; returns the count."""
+        removed = 0
+        for spec_hash in list(self.keys()):
+            try:
+                self.path_for(spec_hash).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,26 +1,34 @@
-"""Parallel execution of estimation sweeps.
+"""DEPRECATED veneer over the shared batch engine — slated for removal.
 
-Figure sweeps are embarrassingly parallel: every (algorithm, bits,
-profile) point is independent. Following the HPC guidance of measuring
-first — a single 16384-bit Karatsuba point costs ~1 s of pure-Python count
-generation — the win comes from distributing *points* across processes,
-not micro-optimizing inside one.
+Everything this module offered lives on the one sweep surface now:
 
-This module is now a thin veneer over the shared batch engine
-(:mod:`repro.estimator.batch`), which owns the pool-with-serial-fallback
-behavior this module introduced: contiguous point chunks fan out over a
-``ProcessPoolExecutor``, each worker keeps a process-global cache (factory
-catalogs, traced counts, distance lookups), and pool start-up failures
-(``max_workers=1`` or sandboxes without process spawning) fall back to
-serial execution with identical results — determinism is asserted by the
-tests.
+* :func:`run_rows_parallel` -> :func:`repro.experiments.runner.
+  run_estimate_rows` (same signature plus ``backend``/``store``), or
+  :func:`repro.estimator.batch.estimate_batch` /
+  :func:`repro.estimator.spec.run_specs` for non-figure grids;
+* :func:`fig3_points` / :func:`fig4_points` -> build the ``(algorithm,
+  bits, profile)`` triples directly, or use :func:`repro.experiments.
+  fig3.run_fig3` / :func:`repro.experiments.fig4.run_fig4`.
+
+Importing it emits a :class:`DeprecationWarning`; the module will be
+removed in a future PR once external callers have had a release to
+migrate. No internal code imports it anymore.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from .runner import PAPER_ERROR_BUDGET, EstimateRow, run_estimate_rows
+
+warnings.warn(
+    "repro.experiments.parallel is deprecated and will be removed in a "
+    "future release; use repro.experiments.runner.run_estimate_rows or "
+    "repro.estimator.batch.estimate_batch instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 #: A sweep point: (algorithm, bits, profile).
 SweepPoint = tuple[str, int, str]

@@ -1,26 +1,30 @@
 """Shared machinery for the experiment drivers.
 
-All figure sweeps funnel through :func:`run_estimate_rows`, which routes
-the grid through the batch engine (:mod:`repro.estimator.batch`): traced
-multiplier counts are shared across points hitting the same (algorithm,
-bits), T-factory designs and code-distance lookups are memoized across the
-whole sweep, and ``max_workers`` fans points out over worker processes.
-Programs are shipped to workers as picklable factories, so circuit
-construction and tracing parallelize too.
+All figure sweeps funnel through :func:`run_estimate_rows`, which builds
+each (algorithm, bits, profile) point as a declarative
+:class:`~repro.estimator.spec.EstimateSpec` and evaluates the grid with
+:func:`~repro.estimator.spec.run_specs` — the same path as the CLI and
+the estimation service. Cross-point work is memoized by the batch
+engine's :class:`~repro.estimator.batch.EstimateCache` (traced counts,
+T-factory designs, code-distance lookups), ``max_workers`` fans points
+out over worker processes (programs travel as picklable factories, so
+circuit construction and tracing parallelize too), and an optional
+persistent ``store`` answers previously-computed points from disk — a
+warm fig3/fig4 reproduction takes milliseconds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache, partial
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
-from ..arithmetic import COUNT_BACKENDS, multiplier_by_name
-from ..counts import LogicalCounts
 from ..estimator import EstimationError, PhysicalResourceEstimates
-from ..estimator.batch import EstimateRequest, estimate_batch
-from ..qec import default_scheme_for
-from ..qubits import qubit_params
+from ..estimator.batch import EstimateRequest
+from ..estimator.spec import EstimateSpec, ProgramRef, run_specs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..estimator.store import ResultStore
+    from ..registry import Registry
 
 #: The three algorithms compared by the paper, in its plotting order.
 ALGORITHMS = ("schoolbook", "karatsuba", "windowed")
@@ -61,28 +65,28 @@ class EstimateRow:
         }
 
 
-def _multiplier_counts(
-    algorithm: str, bits: int, backend: str = "formula"
-) -> LogicalCounts:
-    """Resolve one multiplier's counts (runs inside workers).
+def multiplier_spec(
+    algorithm: str,
+    bits: int,
+    profile: str,
+    *,
+    budget: float,
+    backend: str = "formula",
+) -> EstimateSpec:
+    """The declarative spec for one (algorithm, bits, profile) figure point.
 
-    ``backend`` picks how: closed-form tallies (``formula``, the
-    default), a materialized trace (``materialize``), or the streaming
-    counting builder (``counting``); all three agree bit-for-bit.
+    ``backend`` picks how counts resolve: closed-form tallies
+    (``formula``, the default), a materialized trace (``materialize``),
+    or the streaming counting builder (``counting``); all three agree
+    bit-for-bit, so they share one content hash in the result store.
     """
-    return multiplier_by_name(algorithm, bits).backend_counts(backend)
-
-
-@lru_cache(maxsize=None)
-def _program_spec(algorithm: str, bits: int, backend: str = "formula") -> partial:
-    """A picklable, lazily-resolved program factory for one multiplier.
-
-    The lru_cache returns the *same* factory object for repeated
-    (algorithm, bits, backend) points, so identity-based deduplication
-    works even without the explicit ``program_key`` (which is also set,
-    covering cross-process chunks).
-    """
-    return partial(_multiplier_counts, algorithm, bits, backend)
+    return EstimateSpec(
+        program=ProgramRef(kind="multiplier", algorithm=algorithm, bits=bits),
+        qubit=profile,
+        budget=budget,
+        backend=backend,
+        label=f"{algorithm}/{bits}/{profile}",
+    )
 
 
 def multiplier_request(
@@ -93,20 +97,14 @@ def multiplier_request(
     budget: float,
     backend: str = "formula",
 ) -> EstimateRequest:
-    """The batch request for one (algorithm, bits, profile) figure point."""
-    if backend not in COUNT_BACKENDS:
-        raise ValueError(
-            f"unknown count backend {backend!r}; available: {COUNT_BACKENDS}"
-        )
-    qubit = qubit_params(profile)
-    return EstimateRequest(
-        program=_program_spec(algorithm, bits, backend),
-        qubit=qubit,
-        scheme=default_scheme_for(qubit),
-        budget=budget,
-        program_key=("multiplier", algorithm, bits, backend),
-        label=f"{algorithm}/{bits}/{profile}",
-    )
+    """The resolved batch request for one figure point.
+
+    Kept for callers driving :func:`estimate_batch` directly; the figure
+    runners go through :func:`multiplier_spec` + :func:`run_specs`.
+    """
+    return multiplier_spec(
+        algorithm, bits, profile, budget=budget, backend=backend
+    ).to_request()
 
 
 def row_from_result(
@@ -133,8 +131,10 @@ def run_estimate_rows(
     budget: float = PAPER_ERROR_BUDGET,
     max_workers: int | None = 1,
     backend: str = "formula",
+    store: "ResultStore | None" = None,
+    registry: "Registry | None" = None,
 ) -> list[EstimateRow]:
-    """Estimate ``(algorithm, bits, profile)`` points via the batch engine.
+    """Estimate ``(algorithm, bits, profile)`` points via the spec layer.
 
     Matches the paper's setup: surface code for gate-based profiles,
     floquet code for Majorana profiles, default T-factory search. Rows
@@ -145,12 +145,18 @@ def run_estimate_rows(
     or ``> 1`` fans out over a process pool with serial fallback.
     ``backend`` picks how pre-layout counts are resolved (``formula`` /
     ``materialize`` / ``counting``); results are identical, cost is not.
+    ``store`` layers the persistent result store under the run: points
+    whose spec hash is already stored answer from disk (a warm full
+    figure reproduces in milliseconds), and fresh results are written
+    back for the next run.
     """
-    requests = [
-        multiplier_request(algorithm, bits, profile, budget=budget, backend=backend)
+    specs = [
+        multiplier_spec(algorithm, bits, profile, budget=budget, backend=backend)
         for algorithm, bits, profile in points
     ]
-    outcomes = estimate_batch(requests, max_workers=max_workers)
+    outcomes = run_specs(
+        specs, registry=registry, store=store, max_workers=max_workers
+    )
     rows = []
     for (algorithm, bits, profile), outcome in zip(points, outcomes):
         if not outcome.ok:

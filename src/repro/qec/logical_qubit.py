@@ -66,3 +66,20 @@ class LogicalQubit:
             "logicalCyclesPerSecond": self.logical_cycles_per_second,
             "qecScheme": self.scheme.to_dict(),
         }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict[str, Any], qubit: PhysicalQubitParams
+    ) -> "LogicalQubit":
+        """Inverse of :meth:`to_dict`.
+
+        The serialized form carries the scheme but not the qubit model
+        (the enclosing result serializes it once at the top level), so the
+        caller supplies ``qubit``. Derived quantities (footprint, cycle
+        time, error rate) are recomputed from the scheme formulas.
+        """
+        return cls(
+            scheme=QECScheme.from_dict(data["qecScheme"]),
+            qubit=qubit,
+            code_distance=data["codeDistance"],
+        )

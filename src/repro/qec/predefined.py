@@ -56,23 +56,20 @@ PREDEFINED_SCHEMES: dict[tuple[str, InstructionSet], QECScheme] = {
 
 
 def qec_scheme(name: str, qubit: PhysicalQubitParams, **overrides: object) -> QECScheme:
-    """Look up a predefined scheme for a qubit technology, with overrides.
+    """Look up a scheme by name for a qubit technology, with overrides.
+
+    Resolves through the default :class:`~repro.registry.Registry`, so
+    user-defined schemes (registered in code or loaded from scenario
+    files) are found alongside the predefined ones. An unknown or
+    incompatible name raises a :class:`KeyError` listing every available
+    scheme together with the instruction sets it applies to.
 
     >>> qec_scheme("surface_code", QUBIT_GATE_NS_E3)
     >>> qec_scheme("floquet_code", QUBIT_MAJ_NS_E4, max_code_distance=31)
     """
-    key = (name, qubit.instruction_set)
-    try:
-        base = PREDEFINED_SCHEMES[key]
-    except KeyError:
-        available = sorted({n for n, _ in PREDEFINED_SCHEMES})
-        raise KeyError(
-            f"no predefined QEC scheme {name!r} for "
-            f"{qubit.instruction_set.value} qubits; known schemes: {available}"
-        ) from None
-    if overrides:
-        return base.customized(**overrides)
-    return base
+    from ..registry import default_registry  # deferred: avoids import cycle
+
+    return default_registry().scheme(name, qubit, **overrides)
 
 
 def default_scheme_for(qubit: PhysicalQubitParams) -> QECScheme:

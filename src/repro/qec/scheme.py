@@ -173,3 +173,42 @@ class QECScheme:
             "instructionSet": self.instruction_set.value if self.instruction_set else None,
             "maxCodeDistance": self.max_code_distance,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QECScheme":
+        """Inverse of :meth:`to_dict` (formulas re-parsed from source)."""
+        known = {
+            "name",
+            "crossingPrefactor",
+            "errorCorrectionThreshold",
+            "logicalCycleTime",
+            "physicalQubitsPerLogicalQubit",
+            "instructionSet",
+            "maxCodeDistance",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise QECSchemeError(f"unknown QEC scheme fields: {sorted(unknown)}")
+        missing = {
+            "name",
+            "crossingPrefactor",
+            "errorCorrectionThreshold",
+            "logicalCycleTime",
+            "physicalQubitsPerLogicalQubit",
+        } - set(data)
+        if missing:
+            raise QECSchemeError(f"QEC scheme definition missing: {sorted(missing)}")
+        instruction_set = data.get("instructionSet")
+        return cls(
+            name=data["name"],
+            crossing_prefactor=data["crossingPrefactor"],
+            error_correction_threshold=data["errorCorrectionThreshold"],
+            logical_cycle_time=Formula(data["logicalCycleTime"]),
+            physical_qubits_per_logical_qubit=Formula(
+                data["physicalQubitsPerLogicalQubit"]
+            ),
+            instruction_set=(
+                InstructionSet(instruction_set) if instruction_set else None
+            ),
+            max_code_distance=data.get("maxCodeDistance", 51),
+        )

@@ -153,3 +153,24 @@ class PhysicalQubitParams:
         data = dataclasses.asdict(self)
         data["instruction_set"] = self.instruction_set.value
         return {k: v for k, v in data.items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PhysicalQubitParams":
+        """Inverse of :meth:`to_dict`; validates field names and values."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown PhysicalQubitParams fields: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        try:
+            kwargs["instruction_set"] = InstructionSet(kwargs["instruction_set"])
+        except KeyError:
+            raise ValueError("qubit parameters need an 'instruction_set'") from None
+        except ValueError:
+            raise ValueError(
+                f"unknown instruction_set {kwargs['instruction_set']!r}; "
+                f"expected one of {[i.value for i in InstructionSet]}"
+            ) from None
+        return cls(**kwargs)

@@ -106,17 +106,15 @@ PREDEFINED_PROFILES: dict[str, PhysicalQubitParams] = {
 
 
 def qubit_params(name: str, **overrides: object) -> PhysicalQubitParams:
-    """Look up a predefined profile, optionally customizing parameters.
+    """Look up a profile by name, optionally customizing parameters.
+
+    Resolves through the default :class:`~repro.registry.Registry`, so
+    user-defined profiles (registered in code or loaded from scenario
+    files) are found alongside the predefined ones.
 
     >>> qubit_params("qubit_gate_ns_e3")
     >>> qubit_params("qubit_maj_ns_e4", t_gate_error_rate=0.01)
     """
-    try:
-        base = PREDEFINED_PROFILES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown qubit profile {name!r}; available: {sorted(PREDEFINED_PROFILES)}"
-        ) from None
-    if overrides:
-        return base.customized(**overrides)
-    return base
+    from ..registry import default_registry  # deferred: avoids import cycle
+
+    return default_registry().qubit(name, **overrides)

@@ -1,0 +1,368 @@
+"""The estimation service: submit specs over HTTP, get reports back.
+
+The source paper frames resource estimation as a cloud service — users
+submit an algorithm plus hardware profile and receive a report (Sec.
+IV-A). This module is that shape for the reproduction: a stdlib-only
+JSON API over the shared batch engine with the persistent
+:class:`~repro.estimator.store.ResultStore` behind it, so repeated
+submissions (and anything already computed by a CLI sweep sharing the
+store) answer from disk.
+
+Endpoints
+---------
+``POST /v1/estimate``
+    Body: one spec document (see
+    :meth:`repro.estimator.spec.EstimateSpec.to_dict`) or
+    ``{"specs": [...]}`` for a batch. Responds with one record per spec::
+
+        {"specHash": "...", "label": ..., "ok": true, "fromStore": false,
+         "result": {...eight-group report...}, "error": null}
+
+    (single-spec submissions get the bare record, batches
+    ``{"results": [...]}``). Results are bit-for-bit identical to an
+    in-process :func:`repro.estimate` call — asserted by the tests and
+    the CI ``service-smoke`` job.
+``GET /v1/results/<specHash>``
+    The stored document for a hash (404 until someone computes it).
+``GET /v1/registry``
+    Names of the available qubit profiles, QEC schemes, distillation
+    units, and factory designers (including scenario-file entries).
+``GET /v1/healthz``
+    Liveness plus the store location and schema tags.
+
+Run it with ``python -m repro serve`` (see the README section "Running
+as a service") and talk to it with :class:`ServiceClient`, the thin
+urllib wrapper the tests use::
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    record = client.submit(EstimateSpec(program=counts, qubit="qubit_gate_ns_e3"))
+
+Malformed specs in a batch fail per record; malformed requests (bad
+JSON, unknown routes) get JSON error bodies with 4xx status codes. The
+server is a ``ThreadingHTTPServer``; the underlying engine call is
+serialized with a lock, so concurrent submissions are safe and still
+share one warm :class:`~repro.estimator.batch.EstimateCache`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib import error as urllib_error
+from urllib import request as urllib_request
+
+from .estimator.batch import EstimateCache
+from .estimator.spec import EstimateSpec, run_specs
+from .estimator.store import ResultStore
+from .registry import Registry, default_registry
+
+__all__ = [
+    "EstimationService",
+    "ServiceClient",
+    "ServiceError",
+    "make_server",
+]
+
+#: Cap on request body size (a batch of ~10k inline-counts specs).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServiceError(RuntimeError):
+    """A client-side service failure (non-2xx response, bad payload)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class EstimationService:
+    """Request handling, independent of the HTTP transport.
+
+    Parameters
+    ----------
+    registry:
+        Name resolution for profiles/schemes (defaults to the process
+        registry, including any loaded scenario files).
+    store:
+        Persistent result store; ``None`` disables persistence (every
+        submission recomputes, ``GET /v1/results`` always misses).
+    cache:
+        In-memory cross-point memo cache shared by all submissions.
+    max_workers:
+        Fan-out for each submitted batch (see :func:`estimate_batch`).
+    """
+
+    def __init__(
+        self,
+        registry: Registry | None = None,
+        store: ResultStore | None = None,
+        cache: EstimateCache | None = None,
+        max_workers: int | None = 1,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.store = store
+        self.cache = cache if cache is not None else EstimateCache()
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+
+    # -- request handling --------------------------------------------------
+
+    def submit(self, payload: Any) -> dict[str, Any]:
+        """Handle a ``POST /v1/estimate`` body (single spec or batch).
+
+        Raises :class:`ValueError` only for an unusable envelope; bad
+        individual specs become failed records so one typo cannot sink a
+        batch.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        if "specs" in payload:
+            extra = set(payload) - {"specs"}
+            if extra:
+                raise ValueError(f"unknown batch fields: {sorted(extra)}")
+            raw_specs = payload["specs"]
+            if not isinstance(raw_specs, list) or not raw_specs:
+                raise ValueError("'specs' must be a non-empty list of spec objects")
+            return {"results": self._run(raw_specs)}
+        return self._run([payload])[0]
+
+    def _run(self, raw_specs: list[Any]) -> list[dict[str, Any]]:
+        parsed: list[tuple[int, EstimateSpec]] = []
+        records: list[dict[str, Any] | None] = [None] * len(raw_specs)
+        for index, raw in enumerate(raw_specs):
+            try:
+                parsed.append((index, EstimateSpec.from_dict(raw)))
+            except (KeyError, ValueError, TypeError) as exc:
+                # KeyError included as defense in depth: a missing field
+                # in one spec must fail that record, never 500 the batch.
+                message = str(exc.args[0]) if isinstance(exc, KeyError) else str(exc)
+                records[index] = {
+                    "specHash": None,
+                    "label": raw.get("label") if isinstance(raw, dict) else None,
+                    "ok": False,
+                    "fromStore": False,
+                    "result": None,
+                    "error": f"invalid spec: {message}",
+                }
+        if parsed:
+            with self._lock:
+                outcomes = run_specs(
+                    [spec for _, spec in parsed],
+                    registry=self.registry,
+                    store=self.store,
+                    cache=self.cache,
+                    max_workers=self.max_workers,
+                )
+            for (index, spec), outcome in zip(parsed, outcomes):
+                records[index] = {
+                    "specHash": outcome.spec_hash,
+                    "label": spec.label,
+                    "ok": outcome.ok,
+                    "fromStore": outcome.from_store,
+                    "result": outcome.result.to_dict() if outcome.ok else None,
+                    "error": outcome.error,
+                }
+        return records  # type: ignore[return-value]
+
+    def result_document(self, spec_hash: str) -> dict[str, Any] | None:
+        """The stored document for ``GET /v1/results/<hash>`` (or None)."""
+        if self.store is None:
+            return None
+        try:
+            return self.store.get_raw(spec_hash)
+        except ValueError:
+            return None  # malformed hash in the URL
+
+    def health(self) -> dict[str, Any]:
+        from .estimator.spec import SPEC_SCHEMA
+        from .estimator.store import RESULT_SCHEMA
+
+        return {
+            "status": "ok",
+            "specSchema": SPEC_SCHEMA,
+            "resultSchema": RESULT_SCHEMA,
+            "store": str(self.store.root) if self.store is not None else None,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the server's :class:`EstimationService`."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, message: str, status: int, *, close: bool = False
+    ) -> None:
+        # ``close`` is required when the request body was not fully read
+        # (rejected Content-Length): on a keep-alive connection the
+        # leftover bytes would otherwise be parsed as the next request.
+        if close:
+            self.close_connection = True
+        self._send_json({"error": message}, status=status)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        path = self.path.rstrip("/")
+        if path == "/v1/healthz":
+            self._send_json(service.health())
+        elif path == "/v1/registry":
+            self._send_json(service.registry.describe())
+        elif path.startswith("/v1/results/"):
+            spec_hash = path[len("/v1/results/") :]
+            document = service.result_document(spec_hash)
+            if document is None:
+                self._send_error_json(
+                    f"no stored result for spec hash {spec_hash!r}", 404
+                )
+            else:
+                self._send_json(document)
+        else:
+            self._send_error_json(f"unknown route {self.path!r}", 404)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.rstrip("/") != "/v1/estimate":
+            self._send_error_json(f"unknown route {self.path!r}", 404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json("invalid Content-Length", 400, close=True)
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_json(
+                f"request body must be 1..{MAX_BODY_BYTES} bytes",
+                400,
+                close=True,
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(f"invalid JSON body: {exc}", 400)
+            return
+        try:
+            response = self.server.service.submit(payload)
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+            return
+        except Exception as exc:  # never leak a traceback as a hung socket
+            self._send_error_json(f"internal error: {exc}", 500)
+            return
+        self._send_json(response)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: EstimationService,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    service: EstimationService | None = None,
+    verbose: bool = False,
+) -> _Server:
+    """Bind the service to a socket (``port=0`` picks a free port).
+
+    Returns the server; callers drive it with ``serve_forever()`` (or
+    ``handle_request()``) and read the bound port from
+    ``server.server_address[1]``. The tests run it on a daemon thread.
+    """
+    service = service if service is not None else EstimationService()
+    return _Server((host, port), service, verbose=verbose)
+
+
+class ServiceClient:
+    """Thin stdlib HTTP client for the estimation service.
+
+    >>> client = ServiceClient("http://127.0.0.1:8000")
+    >>> record = client.submit(spec)          # EstimateSpec or spec dict
+    >>> records = client.submit_batch(specs)  # one record per spec
+    >>> client.result(record["specHash"])     # stored document or None
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: Any | None = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib_request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib_request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib_error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from exc
+        except urllib_error.URLError as exc:
+            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+
+    @staticmethod
+    def _spec_dict(spec: EstimateSpec | dict[str, Any]) -> dict[str, Any]:
+        return spec.to_dict() if isinstance(spec, EstimateSpec) else spec
+
+    def submit(self, spec: EstimateSpec | dict[str, Any]) -> dict[str, Any]:
+        """Submit one spec; returns its result record."""
+        return self._request("/v1/estimate", self._spec_dict(spec))
+
+    def submit_batch(
+        self, specs: "list[EstimateSpec | dict[str, Any]]"
+    ) -> list[dict[str, Any]]:
+        """Submit a batch; returns one record per spec, in order."""
+        payload = {"specs": [self._spec_dict(spec) for spec in specs]}
+        return self._request("/v1/estimate", payload)["results"]
+
+    def result(self, spec_hash: str) -> dict[str, Any] | None:
+        """The stored document for a hash, or ``None`` if not stored."""
+        try:
+            return self._request(f"/v1/results/{spec_hash}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def registry(self) -> dict[str, Any]:
+        return self._request("/v1/registry")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("/v1/healthz")

@@ -39,6 +39,16 @@ class RotationSynthesis:
         if self.a < 0 or self.b < 0:
             raise ValueError("synthesis coefficients must be non-negative")
 
+    def to_dict(self) -> dict[str, float]:
+        return {"a": self.a, "b": self.b}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "RotationSynthesis":
+        unknown = set(data) - {"a", "b"}
+        if unknown:
+            raise ValueError(f"unknown synthesis fields: {sorted(unknown)}")
+        return cls(a=data.get("a", SYNTHESIS_A), b=data.get("b", SYNTHESIS_B))
+
     def t_states_per_rotation(self, num_rotations: int, synthesis_budget: float) -> int:
         """T states required for each of ``num_rotations`` rotations.
 

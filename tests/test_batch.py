@@ -163,13 +163,12 @@ class TestEstimateCache:
         circuit_counts = multiplier_by_name("windowed", 32)
         cache.resolve_counts(circuit_counts, key=("w", 32))
         cache.resolve_counts(circuit_counts, key=("w", 32))
-        assert cache.stats.counts_hits == 1
-        assert cache.stats.counts_misses == 1
+        assert cache.stats()["counts"] == {"hits": 1, "misses": 1}
 
     def test_logical_counts_bypass_cache(self):
         cache = EstimateCache()
         assert cache.resolve_counts(WORKLOAD) is WORKLOAD
-        assert cache.stats.counts_misses == 0
+        assert cache.stats()["counts"]["misses"] == 0
 
     def test_factory_and_distance_memos_hit_on_identical_points(self):
         cache = EstimateCache()
@@ -178,10 +177,10 @@ class TestEstimateCache:
             for _ in range(3)
         ]
         estimate_batch(requests, max_workers=1, cache=cache)
-        assert cache.stats.factory_misses == 1
-        assert cache.stats.factory_hits == 2
-        assert cache.stats.distance_misses >= 1
-        assert cache.stats.distance_hits >= 2
+        stats = cache.stats()
+        assert stats["factories"] == {"hits": 2, "misses": 1}
+        assert stats["distances"]["misses"] >= 1
+        assert stats["distances"]["hits"] >= 2
 
     def test_clear_resets_memos(self):
         cache = EstimateCache()
@@ -192,7 +191,7 @@ class TestEstimateCache:
         estimate_batch(
             [EstimateRequest(program=WORKLOAD, qubit=MAJ)], cache=cache
         )
-        assert cache.stats.factory_misses == 2
+        assert cache.stats()["factories"]["misses"] == 2
 
     def test_caching_never_changes_results(self):
         cache = EstimateCache()

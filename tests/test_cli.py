@@ -253,6 +253,49 @@ class TestBatchSubcommand:
         with pytest.raises(SystemExit, match="non-empty list"):
             main(["batch", str(grid)])
 
+    def test_scenario_profile_flows_through_batch(self, tmp_path, capsys):
+        scenario = tmp_path / "hw.json"
+        scenario.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-scenario-v1",
+                    "qubitParams": [
+                        {
+                            "name": "cli_batch_qubit",
+                            "instruction_set": "gate_based",
+                            "one_qubit_measurement_time_ns": 80.0,
+                            "one_qubit_measurement_error_rate": 5e-4,
+                            "one_qubit_gate_time_ns": 40.0,
+                            "one_qubit_gate_error_rate": 5e-4,
+                            "two_qubit_gate_time_ns": 40.0,
+                            "two_qubit_gate_error_rate": 5e-4,
+                            "t_gate_time_ns": 40.0,
+                            "t_gate_error_rate": 5e-4,
+                        }
+                    ],
+                }
+            )
+        )
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps({"counts": COUNTS, "profiles": ["cli_batch_qubit"]})
+        )
+        assert main(
+            ["batch", str(grid), "--scenario", str(scenario), "--json"]
+        ) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["ok"] and records[0]["profile"] == "cli_batch_qubit"
+
+    def test_store_flag_warm_run_hits(self, multiplier_grid, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["batch", str(multiplier_grid), "--store", str(store), "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert all(not r["fromStore"] for r in cold)
+        assert main(["batch", str(multiplier_grid), "--store", str(store), "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert all(r["fromStore"] for r in warm)
+        assert [r["result"] for r in warm] == [r["result"] for r in cold]
+
     def test_rejects_unknown_algorithm(self, tmp_path):
         grid = tmp_path / "grid.json"
         grid.write_text(

@@ -1,0 +1,248 @@
+"""Tests for the unified registry and scenario-file loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import qec_scheme, qubit_params
+from repro.distillation.units import T15_RM_PREP
+from repro.qec import (
+    FLOQUET_CODE,
+    QECScheme,
+    SURFACE_CODE_GATE_BASED,
+    SURFACE_CODE_MAJORANA,
+)
+from repro.qubits import (
+    InstructionSet,
+    PREDEFINED_PROFILES,
+    QUBIT_GATE_NS_E3,
+    QUBIT_MAJ_NS_E4,
+)
+from repro.registry import Registry, RegistryError, default_registry
+
+CUSTOM_QUBIT = {
+    "name": "test_registry_qubit",
+    "instruction_set": "gate_based",
+    "one_qubit_measurement_time_ns": 80.0,
+    "one_qubit_measurement_error_rate": 5e-4,
+    "one_qubit_gate_time_ns": 40.0,
+    "one_qubit_gate_error_rate": 5e-4,
+    "two_qubit_gate_time_ns": 40.0,
+    "two_qubit_gate_error_rate": 5e-4,
+    "t_gate_time_ns": 40.0,
+    "t_gate_error_rate": 5e-4,
+}
+
+CUSTOM_SCHEME = {
+    "name": "test_registry_code",
+    "crossingPrefactor": 0.05,
+    "errorCorrectionThreshold": 0.008,
+    "logicalCycleTime": "(2 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance",
+    "physicalQubitsPerLogicalQubit": "1.5 * codeDistance^2 + 2 * codeDistance",
+    "instructionSet": "gate_based",
+}
+
+
+class TestPredefinedLookups:
+    def test_qubits_seeded_and_identical(self):
+        registry = Registry()
+        assert registry.qubit_names() == sorted(PREDEFINED_PROFILES)
+        assert registry.qubit("qubit_gate_ns_e3") is QUBIT_GATE_NS_E3
+
+    def test_scheme_variants_by_instruction_set(self):
+        registry = Registry()
+        assert (
+            registry.scheme("surface_code", QUBIT_GATE_NS_E3)
+            is SURFACE_CODE_GATE_BASED
+        )
+        assert (
+            registry.scheme("surface_code", QUBIT_MAJ_NS_E4)
+            is SURFACE_CODE_MAJORANA
+        )
+        assert registry.scheme("floquet_code", QUBIT_MAJ_NS_E4) is FLOQUET_CODE
+        # Single-variant schemes resolve without a qubit.
+        assert registry.scheme("floquet_code") is FLOQUET_CODE
+
+    def test_overrides_customize(self):
+        registry = Registry()
+        tweaked = registry.qubit("qubit_maj_ns_e4", t_gate_error_rate=0.02)
+        assert tweaked.t_gate_error_rate == 0.02
+        scheme = registry.scheme(
+            "floquet_code", QUBIT_MAJ_NS_E4, max_code_distance=31
+        )
+        assert scheme.max_code_distance == 31
+
+    def test_default_designer_registered(self):
+        from repro.estimator.stages import DEFAULT_DESIGNER
+
+        assert Registry().designer() is DEFAULT_DESIGNER
+
+    def test_units_seeded(self):
+        assert Registry().unit("15-to-1 RM prep") is T15_RM_PREP
+
+    def test_empty_registry(self):
+        registry = Registry(include_predefined=False)
+        assert registry.qubit_names() == []
+        with pytest.raises(KeyError):
+            registry.qubit("qubit_gate_ns_e3")
+
+
+class TestErrorMessages:
+    def test_unknown_qubit_lists_available(self):
+        with pytest.raises(KeyError, match="qubit_gate_ns_e3"):
+            Registry().qubit("nope")
+
+    def test_unknown_scheme_lists_names_with_instruction_sets(self):
+        with pytest.raises(KeyError) as excinfo:
+            Registry().scheme("nope", QUBIT_GATE_NS_E3)
+        message = str(excinfo.value)
+        assert "surface_code (gate_based, majorana)" in message
+        assert "floquet_code (majorana)" in message
+
+    def test_incompatible_scheme_lists_instruction_sets(self):
+        # The satellite fix: the error names every scheme *and* the
+        # instruction sets it applies to, not just the failing name.
+        with pytest.raises(KeyError) as excinfo:
+            Registry().scheme("floquet_code", QUBIT_GATE_NS_E3)
+        message = str(excinfo.value)
+        assert "gate_based qubits" in message
+        assert "floquet_code (majorana)" in message
+        assert "surface_code (gate_based, majorana)" in message
+
+    def test_module_level_qec_scheme_uses_same_message(self):
+        with pytest.raises(KeyError, match=r"floquet_code \(majorana\)"):
+            qec_scheme("floquet_code", QUBIT_GATE_NS_E3)
+
+    def test_registry_error_is_keyerror(self):
+        assert issubclass(RegistryError, KeyError)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        registry = Registry()
+        params = QUBIT_GATE_NS_E3.customized(name="fresh")
+        registry.register_qubit(params)
+        assert registry.qubit("fresh") is params
+
+    def test_collision_requires_replace(self):
+        registry = Registry()
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_qubit(QUBIT_GATE_NS_E3.customized(name="qubit_gate_ns_e3"))
+        registry.register_qubit(
+            QUBIT_GATE_NS_E3.customized(name="qubit_gate_ns_e3"), replace=True
+        )
+
+    def test_any_instruction_set_scheme_matches_all(self):
+        registry = Registry()
+        scheme = QECScheme.from_dict(dict(CUSTOM_SCHEME, instructionSet=None))
+        registry.register_scheme(scheme)
+        assert registry.scheme(scheme.name, QUBIT_GATE_NS_E3) is scheme
+        assert registry.scheme(scheme.name, QUBIT_MAJ_NS_E4) is scheme
+
+
+class TestScenarioLoading:
+    def scenario(self) -> dict:
+        return {
+            "schema": "repro-scenario-v1",
+            "qubitParams": [CUSTOM_QUBIT],
+            "qecSchemes": [CUSTOM_SCHEME],
+            "distillationUnits": [
+                dict(T15_RM_PREP.to_dict(), name="test_registry_unit")
+            ],
+            "factoryDesigners": [
+                {
+                    "name": "test_registry_designer",
+                    "units": ["test_registry_unit"],
+                    "maxRounds": 2,
+                    "maxCodeDistance": 21,
+                }
+            ],
+        }
+
+    def test_load_from_dict(self):
+        registry = Registry()
+        loaded = registry.load_scenario(self.scenario())
+        assert loaded == {
+            "qubitParams": ["test_registry_qubit"],
+            "qecSchemes": ["test_registry_code"],
+            "distillationUnits": ["test_registry_unit"],
+            "factoryDesigners": ["test_registry_designer"],
+        }
+        qubit = registry.qubit("test_registry_qubit")
+        assert qubit.instruction_set is InstructionSet.GATE_BASED
+        assert registry.scheme("test_registry_code", qubit).crossing_prefactor == 0.05
+        designer = registry.designer("test_registry_designer")
+        assert designer.max_rounds == 2
+        assert [u.name for u in designer.units] == ["test_registry_unit"]
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(self.scenario()))
+        registry = Registry()
+        registry.load_scenario(path)
+        assert "test_registry_qubit" in registry.qubit_names()
+
+    def test_loaded_entries_estimate(self):
+        from repro import LogicalCounts, estimate
+
+        registry = Registry()
+        registry.load_scenario(self.scenario())
+        counts = LogicalCounts(num_qubits=20, t_count=10_000)
+        result = estimate(
+            counts,
+            registry.qubit("test_registry_qubit"),
+            scheme=registry.scheme("test_registry_code"),
+        )
+        assert result.physical_qubits > 0
+
+    def test_bad_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario sections"):
+            Registry().load_scenario({"bogus": []})
+
+    def test_bad_schema_tag_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            Registry().load_scenario({"schema": "other-v9"})
+
+    def test_invalid_entry_rejected(self):
+        with pytest.raises(ValueError):
+            Registry().load_scenario({"qubitParams": [{"name": "x"}]})
+
+    def test_designer_with_unknown_unit_is_valueerror(self):
+        # Regression: RegistryError (a KeyError) escaped the documented
+        # ValueError contract and crashed the CLI with a traceback.
+        with pytest.raises(ValueError, match="unknown distillation unit"):
+            Registry().load_scenario(
+                {"factoryDesigners": [{"name": "d", "units": ["nope"]}]}
+            )
+
+    def test_unit_with_incomplete_nested_spec_is_valueerror(self):
+        unit = dict(T15_RM_PREP.to_dict(), name="incomplete")
+        unit["physicalSpec"] = {"numQubits": 31}  # missing "duration"
+        with pytest.raises(ValueError, match="missing"):
+            Registry().load_scenario({"distillationUnits": [unit]})
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            Registry().load_scenario(tmp_path / "nope.json")
+
+    def test_describe_includes_loaded_entries(self):
+        registry = Registry()
+        registry.load_scenario(self.scenario())
+        description = registry.describe()
+        assert "test_registry_qubit" in description["qubitParams"]
+        assert description["qecSchemes"]["test_registry_code"] == ["gate_based"]
+        assert "test_registry_designer" in description["factoryDesigners"]
+
+
+class TestDefaultRegistryDelegation:
+    def test_qubit_params_sees_registered_entries(self):
+        name = "test_default_delegation_qubit"
+        default_registry().register_qubit(
+            QUBIT_GATE_NS_E3.customized(name=name), replace=True
+        )
+        assert qubit_params(name).name == name
+
+    def test_qubit_params_identity_for_predefined(self):
+        assert qubit_params("qubit_gate_ns_e3") is QUBIT_GATE_NS_E3

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro import LogicalCounts, estimate, qubit_params
-from repro.experiments.parallel import fig3_points, fig4_points, run_rows_parallel
+from repro.experiments.runner import run_estimate_rows
 from repro.report import render_report
 
 
@@ -77,23 +79,43 @@ class TestParallelSweeps:
     ]
 
     def test_serial_matches_parallel(self):
-        serial = run_rows_parallel(self.POINTS, max_workers=1)
-        parallel = run_rows_parallel(self.POINTS, max_workers=2)
+        serial = run_estimate_rows(self.POINTS, budget=1e-4, max_workers=1)
+        parallel = run_estimate_rows(self.POINTS, budget=1e-4, max_workers=2)
         assert serial == parallel
 
     def test_order_preserved(self):
-        rows = run_rows_parallel(self.POINTS, max_workers=2)
+        rows = run_estimate_rows(self.POINTS, budget=1e-4, max_workers=2)
         assert [(r.algorithm, r.bits, r.profile) for r in rows] == self.POINTS
 
-    def test_point_grids(self):
-        grid3 = fig3_points([32, 64])
-        assert len(grid3) == 6
-        assert grid3[0] == ("schoolbook", 32, "qubit_maj_ns_e4")
-        grid4 = fig4_points(["qubit_gate_ns_e3", "qubit_maj_ns_e4"])
-        assert len(grid4) == 6
-        assert grid4[0] == ("schoolbook", 2048, "qubit_gate_ns_e3")
-
     def test_single_point_runs_inline(self):
-        rows = run_rows_parallel([("windowed", 32, "qubit_maj_ns_e6")])
+        rows = run_estimate_rows([("windowed", 32, "qubit_maj_ns_e6")], budget=1e-4)
         assert len(rows) == 1
         assert rows[0].bits == 32
+
+
+class TestDeprecatedParallelShim:
+    """The parallel module still works but warns; removal is slated."""
+
+    def test_import_warns_and_shim_matches_engine(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.experiments.parallel", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            parallel = importlib.import_module("repro.experiments.parallel")
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        ), "importing repro.experiments.parallel must warn"
+        assert "deprecated" in (parallel.__doc__ or "").lower()
+
+        points = [("windowed", 32, "qubit_maj_ns_e4")]
+        shim_rows = parallel.run_rows_parallel(points, max_workers=1)
+        assert shim_rows == run_estimate_rows(
+            points, budget=parallel.PAPER_ERROR_BUDGET, max_workers=1
+        )
+
+        grid3 = parallel.fig3_points([32, 64])
+        assert grid3[0] == ("schoolbook", 32, "qubit_maj_ns_e4")
+        grid4 = parallel.fig4_points(["qubit_gate_ns_e3", "qubit_maj_ns_e4"])
+        assert len(grid4) == 6

@@ -1,0 +1,213 @@
+"""Result serialization round-trips: ``to_dict`` -> JSON -> ``from_dict``.
+
+The invariant backing the persistent store and the estimation service:
+for every result the estimator can produce,
+``PhysicalResourceEstimates.from_dict(json.loads(result.to_json()))``
+equals the original result — including the full T-factory design, the
+QEC scheme formulas, and the qubit parameters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    Constraints,
+    ErrorBudget,
+    LogicalCounts,
+    PhysicalResourceEstimates,
+    QECScheme,
+    RotationSynthesis,
+    estimate,
+    qubit_params,
+)
+from repro.budget import ErrorBudgetPartition
+from repro.distillation import TFactory, TFactoryDesigner, design_t_factory
+from repro.distillation.units import (
+    DistillationUnit,
+    LogicalUnitSpec,
+    PhysicalUnitSpec,
+    T15_RM_PREP,
+    T15_SPACE_EFFICIENT,
+)
+from repro.qec import (
+    FLOQUET_CODE,
+    LogicalQubit,
+    SURFACE_CODE_GATE_BASED,
+    SURFACE_CODE_MAJORANA,
+)
+from repro.qubits import PREDEFINED_PROFILES, PhysicalQubitParams
+
+WORKLOAD = LogicalCounts(
+    num_qubits=60,
+    t_count=50_000,
+    ccz_count=10_000,
+    rotation_count=200,
+    rotation_depth=100,
+    measurement_count=2_000,
+)
+
+#: Every predefined profile paired with every scheme that runs on it.
+PROFILE_SCHEME_COMBOS = [
+    (profile_name, scheme)
+    for profile_name, profile in sorted(PREDEFINED_PROFILES.items())
+    for scheme in (
+        SURFACE_CODE_GATE_BASED,
+        SURFACE_CODE_MAJORANA,
+        FLOQUET_CODE,
+    )
+    if scheme.instruction_set is profile.instruction_set
+]
+
+
+def roundtrip(result: PhysicalResourceEstimates) -> PhysicalResourceEstimates:
+    return PhysicalResourceEstimates.from_dict(json.loads(result.to_json()))
+
+
+class TestFullResultRoundTrip:
+    @pytest.mark.parametrize(
+        "profile_name, scheme",
+        PROFILE_SCHEME_COMBOS,
+        ids=[f"{p}-{s.name}" for p, s in PROFILE_SCHEME_COMBOS],
+    )
+    def test_every_profile_scheme_combo(self, profile_name, scheme):
+        result = estimate(
+            WORKLOAD, qubit_params(profile_name), scheme=scheme, budget=1e-3
+        )
+        assert roundtrip(result) == result
+
+    def test_clifford_only_result_without_t_factory(self):
+        counts = LogicalCounts(num_qubits=5, measurement_count=10)
+        result = estimate(counts, qubit_params("qubit_gate_ns_e4"))
+        assert result.t_factory is None
+        assert roundtrip(result) == result
+
+    def test_constrained_result(self):
+        result = estimate(
+            WORKLOAD,
+            qubit_params("qubit_maj_ns_e4"),
+            budget=1e-4,
+            constraints=Constraints(max_t_factories=2, logical_depth_factor=4.0),
+        )
+        assert result.t_factory is not None
+        assert result.t_factory.copies <= 2
+        assert roundtrip(result) == result
+
+    def test_explicit_budget_and_custom_synthesis(self):
+        result = estimate(
+            WORKLOAD,
+            qubit_params("qubit_gate_ns_e3"),
+            budget=ErrorBudget.explicit(
+                logical=5e-4, t_states=3e-4, rotations=1e-4
+            ),
+            synthesis=RotationSynthesis(a=0.6, b=6.0),
+        )
+        assert roundtrip(result) == result
+
+    def test_roundtrip_preserves_derived_accessors(self):
+        result = estimate(WORKLOAD, qubit_params("qubit_maj_ns_e4"), budget=1e-4)
+        back = roundtrip(result)
+        assert back.physical_qubits == result.physical_qubits
+        assert back.runtime_seconds == result.runtime_seconds
+        assert back.code_distance == result.code_distance
+        assert back.rqops == result.rqops
+        assert back.pre_layout == WORKLOAD
+        assert back.summary() == result.summary()
+
+    def test_double_roundtrip_is_stable(self):
+        result = estimate(WORKLOAD, qubit_params("qubit_gate_us_e4"))
+        once = roundtrip(result)
+        assert roundtrip(once) == once
+        assert once.to_dict() == result.to_dict()
+
+
+class TestSubObjectRoundTrips:
+    def test_physical_qubit_params_all_profiles(self):
+        for params in PREDEFINED_PROFILES.values():
+            back = PhysicalQubitParams.from_dict(
+                json.loads(json.dumps(params.to_dict()))
+            )
+            assert back == params
+
+    def test_physical_qubit_params_rejects_unknown_fields(self):
+        data = qubit_params("qubit_gate_ns_e3").to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            PhysicalQubitParams.from_dict(data)
+
+    def test_qec_scheme(self):
+        for scheme in (SURFACE_CODE_GATE_BASED, SURFACE_CODE_MAJORANA, FLOQUET_CODE):
+            back = QECScheme.from_dict(json.loads(json.dumps(scheme.to_dict())))
+            assert back == scheme
+
+    def test_qec_scheme_missing_fields(self):
+        with pytest.raises(Exception, match="missing"):
+            QECScheme.from_dict({"name": "x"})
+
+    def test_logical_qubit(self):
+        qubit = qubit_params("qubit_maj_ns_e4")
+        lq = LogicalQubit.for_target_error_rate(FLOQUET_CODE, qubit, 1e-9)
+        back = LogicalQubit.from_dict(json.loads(json.dumps(lq.to_dict())), qubit)
+        assert back == lq
+        assert back.physical_qubits == lq.physical_qubits
+        assert back.cycle_time_ns == lq.cycle_time_ns
+
+    def test_t_factory_with_physical_first_round(self):
+        qubit = qubit_params("qubit_gate_ns_e4")
+        factory = design_t_factory(qubit, SURFACE_CODE_GATE_BASED, 1e-9)
+        back = TFactory.from_dict(json.loads(json.dumps(factory.to_dict())))
+        assert back == factory
+        assert back.input_t_states == factory.input_t_states
+
+    def test_t_factory_with_custom_unit(self):
+        compact = T15_RM_PREP.customized(
+            name="15-to-1 compact",
+            logical_spec=LogicalUnitSpec(num_logical_qubits=16, duration_in_cycles=21),
+        )
+        designer = TFactoryDesigner(units=(compact, T15_SPACE_EFFICIENT))
+        qubit = qubit_params("qubit_maj_ns_e4")
+        factory = designer.design(qubit, FLOQUET_CODE, 1e-8)
+        back = TFactory.from_dict(json.loads(json.dumps(factory.to_dict())))
+        assert back == factory
+
+    def test_distillation_unit(self):
+        for unit in (T15_RM_PREP, T15_SPACE_EFFICIENT):
+            back = DistillationUnit.from_dict(
+                json.loads(json.dumps(unit.to_dict()))
+            )
+            assert back == unit
+
+    def test_unit_specs(self):
+        physical = T15_RM_PREP.physical_spec
+        assert physical is not None
+        assert PhysicalUnitSpec.from_dict(physical.to_dict()) == physical
+        logical = T15_RM_PREP.logical_spec
+        assert logical is not None
+        assert LogicalUnitSpec.from_dict(logical.to_dict()) == logical
+
+    def test_error_budget_partition(self):
+        part = ErrorBudgetPartition(logical=1e-4, t_states=2e-4, rotations=3e-4)
+        assert ErrorBudgetPartition.from_dict(part.to_dict()) == part
+
+    def test_error_budget(self):
+        total = ErrorBudget(total=1e-3)
+        assert ErrorBudget.from_dict(total.to_dict()) == total
+        assert ErrorBudget.from_dict(1e-3) == total
+        explicit = ErrorBudget.explicit(logical=1e-4, t_states=2e-4, rotations=3e-4)
+        assert ErrorBudget.from_dict(explicit.to_dict()) == explicit
+
+    def test_constraints(self):
+        constraints = Constraints(
+            max_t_factories=3,
+            logical_depth_factor=2.0,
+            max_duration_ns=1e12,
+            max_physical_qubits=10**9,
+        )
+        assert Constraints.from_dict(constraints.to_dict()) == constraints
+        assert Constraints.from_dict({}) == Constraints()
+
+    def test_rotation_synthesis(self):
+        model = RotationSynthesis(a=0.61, b=8.0)
+        assert RotationSynthesis.from_dict(model.to_dict()) == model

@@ -1,0 +1,261 @@
+"""Tests for the estimation service (HTTP API + client).
+
+The load-bearing assertion: a result served over HTTP is **bit-for-bit**
+equal to the in-process ``estimate()`` / ``estimate_batch()`` result —
+the JSON transport is lossless. The CI ``service-smoke`` job re-asserts
+this against a real ``repro serve`` process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import (
+    EstimateSpec,
+    LogicalCounts,
+    ProgramRef,
+    ResultStore,
+    estimate,
+    estimate_batch,
+    qubit_params,
+)
+from repro.estimator.batch import EstimateRequest
+from repro.registry import Registry
+from repro.service import (
+    EstimationService,
+    ServiceClient,
+    ServiceError,
+    make_server,
+)
+
+COUNTS = LogicalCounts(num_qubits=50, t_count=100_000, measurement_count=1_000)
+
+CUSTOM_QUBIT = {
+    "name": "service_test_qubit",
+    "instruction_set": "gate_based",
+    "one_qubit_measurement_time_ns": 80.0,
+    "one_qubit_measurement_error_rate": 5e-4,
+    "one_qubit_gate_time_ns": 40.0,
+    "one_qubit_gate_error_rate": 5e-4,
+    "two_qubit_gate_time_ns": 40.0,
+    "two_qubit_gate_error_rate": 5e-4,
+    "t_gate_time_ns": 40.0,
+    "t_gate_error_rate": 5e-4,
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    registry = Registry()
+    registry.load_scenario({"qubitParams": [CUSTOM_QUBIT]})
+    return EstimationService(registry=registry, store=ResultStore(tmp_path))
+
+
+@pytest.fixture()
+def client(service):
+    server = make_server("127.0.0.1", 0, service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    try:
+        yield ServiceClient(f"http://127.0.0.1:{port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestSubmit:
+    def test_single_spec_matches_in_process_bit_for_bit(self, client):
+        spec = EstimateSpec(program=COUNTS, qubit="qubit_gate_ns_e3", label="one")
+        record = client.submit(spec)
+        assert record["ok"] is True
+        assert record["label"] == "one"
+        # The service addresses results by the *resolved* hash (profile
+        # names inlined via its registry), not the client's syntactic one.
+        assert record["specHash"] == spec.content_hash(Registry())
+        expected = estimate(COUNTS, qubit_params("qubit_gate_ns_e3"))
+        # Bit-for-bit: the HTTP JSON equals the local report dict exactly.
+        assert record["result"] == json.loads(json.dumps(expected.to_dict()))
+        assert record["result"] == expected.to_dict()
+
+    def test_batch_matches_estimate_batch(self, client):
+        specs = [
+            EstimateSpec(program=COUNTS, qubit=profile, budget=1e-4, label=profile)
+            for profile in ("qubit_gate_ns_e3", "qubit_maj_ns_e4")
+        ]
+        records = client.submit_batch(specs)
+        assert [r["label"] for r in records] == [s.label for s in specs]
+        outcomes = estimate_batch(
+            [
+                EstimateRequest(
+                    program=COUNTS, qubit=qubit_params(profile), budget=1e-4
+                )
+                for profile in ("qubit_gate_ns_e3", "qubit_maj_ns_e4")
+            ]
+        )
+        for record, outcome in zip(records, outcomes):
+            assert record["ok"]
+            assert record["result"] == outcome.unwrap().to_dict()
+
+    def test_program_ref_spec(self, client):
+        spec = EstimateSpec(
+            program=ProgramRef(kind="multiplier", algorithm="windowed", bits=64),
+            qubit="qubit_maj_ns_e4",
+            budget=1e-4,
+        )
+        record = client.submit(spec)
+        assert record["ok"], record["error"]
+        assert record["result"]["physicalCounts"]["physicalQubits"] > 0
+
+    def test_second_submission_served_from_store(self, client):
+        spec = EstimateSpec(program=COUNTS, qubit="qubit_gate_ns_e4")
+        first = client.submit(spec)
+        second = client.submit(spec)
+        assert first["fromStore"] is False
+        assert second["fromStore"] is True
+        assert second["result"] == first["result"]
+
+    def test_scenario_qubit_flows_through_service(self, client):
+        spec = EstimateSpec(program=COUNTS, qubit="service_test_qubit")
+        record = client.submit(spec)
+        assert record["ok"], record["error"]
+        assert (
+            record["result"]["physicalQubitParameters"]["name"]
+            == "service_test_qubit"
+        )
+
+    def test_infeasible_spec_reports_error_record(self, client):
+        from repro import Constraints
+
+        spec = EstimateSpec(
+            program=COUNTS,
+            qubit="qubit_gate_ns_e3",
+            constraints=Constraints(max_physical_qubits=10),
+        )
+        record = client.submit(spec)
+        assert record["ok"] is False
+        assert "exceed" in record["error"]
+
+    def test_bad_spec_in_batch_fails_per_record(self, client):
+        good = EstimateSpec(program=COUNTS, qubit="qubit_gate_ns_e3")
+        records = client.submit_batch(
+            [good, {"program": {"counts": COUNTS.to_dict()}}]  # missing qubit
+        )
+        assert records[0]["ok"] is True
+        assert records[1]["ok"] is False
+        assert "qubit" in records[1]["error"]
+
+    def test_unknown_profile_fails_per_record(self, client):
+        record = client.submit(EstimateSpec(program=COUNTS, qubit="bogus"))
+        assert record["ok"] is False
+        assert "bogus" in record["error"]
+
+    def test_partial_budget_fails_per_record_not_batch(self, client):
+        # Regression: a budget object missing a field used to raise
+        # KeyError past the per-spec handler and 500 the whole batch.
+        good = EstimateSpec(program=COUNTS, qubit="qubit_gate_ns_e3")
+        records = client.submit_batch(
+            [
+                good,
+                {
+                    "program": {"counts": COUNTS.to_dict()},
+                    "qubit": {"profile": "qubit_gate_ns_e3"},
+                    "budget": {"logical": 1e-4, "tStates": 1e-4},
+                },
+            ]
+        )
+        assert records[0]["ok"] is True
+        assert records[1]["ok"] is False
+        assert "rotations" in records[1]["error"]
+
+
+class TestResultsEndpoint:
+    def test_get_by_hash_round_trips(self, client):
+        spec = EstimateSpec(program=COUNTS, qubit="qubit_maj_ns_e4", budget=1e-4)
+        record = client.submit(spec)
+        document = client.result(record["specHash"])
+        assert document is not None
+        assert document["result"] == record["result"]
+        assert document["spec"] == spec.to_dict()
+
+    def test_unknown_hash_is_none(self, client):
+        assert client.result("ab" + "0" * 62) is None
+
+
+class TestIntrospection:
+    def test_registry_endpoint_includes_scenario_entries(self, client):
+        description = client.registry()
+        assert "service_test_qubit" in description["qubitParams"]
+        assert "surface_code" in description["qecSchemes"]
+
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["store"] is not None
+
+
+class TestProtocolErrors:
+    def test_bad_json_body_is_400(self, client):
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{client.base_url}/v1/estimate",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_empty_specs_list_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/v1/estimate", {"specs": []})
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/v1/bogus")
+        assert excinfo.value.status == 404
+
+    def test_oversized_body_is_400_and_closes_connection(self, client):
+        # Regression: an early 400 leaves the (unread) body on the
+        # socket; on keep-alive the server must close the connection so
+        # the leftover bytes are never parsed as the next request.
+        import http.client
+        from repro.service import MAX_BODY_BYTES
+
+        host = client.base_url.split("//")[1]
+        connection = http.client.HTTPConnection(host, timeout=10)
+        try:
+            connection.request(
+                "POST",
+                "/v1/estimate",
+                body=b"x" * 16,
+                headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert response.headers.get("Connection") == "close"
+        finally:
+            connection.close()
+
+    def test_unreachable_server(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=2)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+
+class TestServiceWithoutStore:
+    def test_submit_recomputes_and_results_miss(self):
+        service = EstimationService(registry=Registry(), store=None)
+        spec = EstimateSpec(program=COUNTS, qubit="qubit_gate_ns_e3")
+        record = service.submit(spec.to_dict())
+        assert record["ok"] and record["fromStore"] is False
+        again = service.submit(spec.to_dict())
+        assert again["fromStore"] is False
+        assert service.result_document(record["specHash"]) is None

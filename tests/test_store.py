@@ -1,0 +1,125 @@
+"""Tests for the content-addressed persistent result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import LogicalCounts, ResultStore, estimate, qubit_params
+from repro.estimator.store import RESULT_SCHEMA, STORE_ENV_VAR, default_store_root
+
+COUNTS = LogicalCounts(num_qubits=40, t_count=50_000, measurement_count=500)
+HASH_A = "ab" + "0" * 62
+HASH_B = "cd" + "1" * 62
+
+
+@pytest.fixture()
+def result():
+    return estimate(COUNTS, qubit_params("qubit_gate_ns_e3"))
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        assert store.put(HASH_A, result, spec={"label": "x"})
+        assert store.get(HASH_A) == result
+        assert HASH_A in store
+        assert list(store.keys()) == [HASH_A]
+        assert len(store) == 1
+
+    def test_missing_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(HASH_A) is None
+        assert HASH_A not in store
+
+    def test_document_embeds_spec_and_schema(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result, spec={"label": "x"})
+        document = store.get_raw(HASH_A)
+        assert document["schema"] == RESULT_SCHEMA
+        assert document["specHash"] == HASH_A
+        assert document["spec"] == {"label": "x"}
+        assert document["result"] == result.to_dict()
+
+    def test_rewrite_is_idempotent(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        store.put(HASH_A, result)
+        assert len(store) == 1
+        assert store.get(HASH_A) == result
+
+    def test_fanout_layout(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        expected = tmp_path / RESULT_SCHEMA / HASH_A[:2] / f"{HASH_A}.json"
+        assert expected.is_file()
+        assert store.path_for(HASH_A) == expected
+
+    def test_malformed_hash_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="malformed"):
+            store.path_for("../../etc/passwd")
+        with pytest.raises(ValueError, match="malformed"):
+            store.get("")
+
+    def test_no_temp_files_left_behind(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        store.put(HASH_B, result)
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestRobustness:
+    def test_corrupt_file_reads_as_miss(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        store.path_for(HASH_A).write_text("{not json")
+        assert store.get(HASH_A) is None
+
+    def test_wrong_schema_tag_is_invisible(self, tmp_path, result):
+        old = ResultStore(tmp_path, schema="repro-result-v0")
+        old.put(HASH_A, result)
+        current = ResultStore(tmp_path)
+        assert current.get(HASH_A) is None
+        assert len(current) == 0
+        # And vice versa: the old namespace still reads its own entry.
+        assert old.get(HASH_A) == result
+
+    def test_mismatched_hash_inside_document_is_a_miss(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        document = json.loads(store.path_for(HASH_A).read_text())
+        document["specHash"] = HASH_B
+        store.path_for(HASH_A).write_text(json.dumps(document))
+        assert store.get(HASH_A) is None
+
+    def test_unwritable_root_degrades_to_noop(self, tmp_path, result):
+        # A root whose parent is a regular file can never be created
+        # (works even when the suite runs as root, unlike chmod tricks).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        store = ResultStore(blocker / "store")
+        assert store.put(HASH_A, result) is False
+        assert store.get(HASH_A) is None
+
+    def test_clear(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        store.put(HASH_B, result)
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestDefaultRoot:
+    def test_env_var_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "custom"))
+        assert default_store_root() == tmp_path / "custom"
+        assert ResultStore().root == tmp_path / "custom"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        root = default_store_root()
+        assert root.name == "store"
+        assert "repro" in str(root)
