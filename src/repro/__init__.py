@@ -17,6 +17,9 @@ Sweeps over many (program, qubit, scheme, budget, constraints) points go
 through :func:`estimate_batch` (see :mod:`repro.estimator.batch`), which
 memoizes cross-point work and optionally fans out over processes;
 :func:`estimate_frontier` trades qubits against runtime on top of it.
+Declarative, resumable sweeps with per-group Pareto frontiers are
+:class:`SweepSpec` / :func:`run_sweep` (see :mod:`repro.estimator.sweep`
+and the ``repro sweep`` CLI subcommand).
 
 The case-study quantum arithmetic (schoolbook / Karatsuba / windowed
 multiplication) lives in :mod:`repro.arithmetic`; figure reproduction
@@ -41,15 +44,22 @@ from .estimator import (
     EstimateSpec,
     EstimationError,
     Frontier,
+    FrontierGroup,
     FrontierPoint,
+    FrontierSpec,
     PhysicalResourceEstimates,
     ProgramRef,
     ResultStore,
     SpecOutcome,
+    SweepAxis,
+    SweepPointOutcome,
+    SweepResult,
+    SweepSpec,
     estimate,
     estimate_batch,
     estimate_frontier,
     run_specs,
+    run_sweep,
 )
 from .formulas import Formula
 from .layout import layout_resources, logical_qubits_after_layout
@@ -90,7 +100,9 @@ __all__ = [
     "FLOQUET_CODE",
     "Formula",
     "Frontier",
+    "FrontierGroup",
     "FrontierPoint",
+    "FrontierSpec",
     "ImplementationLevel",
     "InstructionSet",
     "LogicalCounts",
@@ -106,6 +118,10 @@ __all__ = [
     "SpecOutcome",
     "SURFACE_CODE_GATE_BASED",
     "SURFACE_CODE_MAJORANA",
+    "SweepAxis",
+    "SweepPointOutcome",
+    "SweepResult",
+    "SweepSpec",
     "TFactory",
     "TFactoryDesigner",
     "assess",
@@ -123,4 +139,5 @@ __all__ = [
     "qubit_params",
     "render_report",
     "run_specs",
+    "run_sweep",
 ]

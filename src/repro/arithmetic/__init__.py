@@ -53,6 +53,7 @@ from .modular import (
 )
 from .multipliers import (
     COUNT_BACKENDS,
+    MULTIPLIER_ALGORITHMS,
     KaratsubaMultiplier,
     Multiplier,
     SchoolbookMultiplier,
@@ -64,6 +65,7 @@ from .multipliers import (
 
 __all__ = [
     "COUNT_BACKENDS",
+    "MULTIPLIER_ALGORITHMS",
     "GateTally",
     "KaratsubaMultiplier",
     "ModularMultiplier",

@@ -17,13 +17,20 @@ library completeness.
   Theta(n^2 / w) ANDs with near-schoolbook workspace.
 """
 
-from .base import COUNT_BACKENDS, Multiplier, default_constant, multiplier_by_name
+from .base import (
+    COUNT_BACKENDS,
+    MULTIPLIER_ALGORITHMS,
+    Multiplier,
+    default_constant,
+    multiplier_by_name,
+)
 from .schoolbook import SchoolbookMultiplier, schoolbook_multiply_qq
 from .karatsuba import KaratsubaMultiplier
 from .windowed import WindowedMultiplier, default_window_size
 
 __all__ = [
     "COUNT_BACKENDS",
+    "MULTIPLIER_ALGORITHMS",
     "KaratsubaMultiplier",
     "Multiplier",
     "SchoolbookMultiplier",

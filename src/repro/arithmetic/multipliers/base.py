@@ -143,6 +143,12 @@ class Multiplier(abc.ABC):
         return f"{type(self).__name__}(bits={self.bits})"
 
 
+#: The multiplier algorithms addressable by name (grid specs, program
+#: refs). Declarative layers validate against this eagerly, so a typo
+#: fails at spec-parse time instead of inside a batch worker.
+MULTIPLIER_ALGORITHMS = ("schoolbook", "karatsuba", "windowed")
+
+
 def multiplier_by_name(name: str, bits: int, **kwargs: object) -> Multiplier:
     """Construct a multiplier from its experiment identifier."""
     from .karatsuba import KaratsubaMultiplier
@@ -154,6 +160,7 @@ def multiplier_by_name(name: str, bits: int, **kwargs: object) -> Multiplier:
         "karatsuba": KaratsubaMultiplier,
         "windowed": WindowedMultiplier,
     }
+    assert set(registry) == set(MULTIPLIER_ALGORITHMS)
     try:
         cls = registry[name]
     except KeyError:

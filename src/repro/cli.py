@@ -33,6 +33,20 @@ multipliers (``algorithms`` x ``bits``) or explicit logical counts
 Infeasible points are reported per row (and set a non-zero exit status)
 rather than aborting the sweep.
 
+``repro sweep`` runs a declarative sweep file — axes over registry
+names, numeric ranges, or inline spec fragments, cartesian or zipped,
+with an optional per-group frontier objective — in store-backed chunks::
+
+    python -m repro sweep sweep.json --store /var/cache/repro --resume \\
+        --csv results.csv
+
+Every completed chunk is persisted before the next starts, so a killed
+sweep re-run with ``--resume`` picks up from its completed points and
+produces a bit-for-bit identical result (README section "Sweeps and
+frontiers"). The same sweep documents drive the service's async job API
+(``POST /v1/sweeps`` -> 202 + job id, ``GET /v1/jobs/<id>`` to poll,
+``GET /v1/sweeps/<id>/result`` when done).
+
 ``repro bench trace`` prints per-stage timings (build vs trace vs
 estimate) for one workload so performance work has a one-command
 baseline, and exposes the count-resolution backend choice::
@@ -81,6 +95,7 @@ from .estimator.batch import EstimateCache
 from .estimator.spec import EstimateSpec, ProgramRef, run_specs
 from .estimator.stages import resolve_counts
 from .estimator.store import ResultStore, default_store_root
+from .estimator.sweep import SweepSpec, run_sweep
 from .qir import QIRParseError, parse_qir
 from .qubits import PREDEFINED_PROFILES
 from .registry import Registry, default_registry
@@ -376,51 +391,59 @@ def _batch_main(argv: list[str]) -> int:
             qubit = registry.qubit(profile)
             if scheme_name:
                 registry.scheme(scheme_name, qubit)
-        constraints = [
-            Constraints(
-                max_t_factories=spec.get("max_t_factories"),
-                logical_depth_factor=factor,
-                max_duration_ns=spec.get("max_duration_ns"),
-                max_physical_qubits=spec.get("max_physical_qubits"),
-            )
-            for factor in depth_factors
-        ]
-        error_budgets = [ErrorBudget(total=budget) for budget in budgets]
+        for factor in depth_factors:
+            Constraints(logical_depth_factor=factor)
+        for budget in budgets:
+            ErrorBudget(total=budget)
+        base_constraints = Constraints(
+            max_t_factories=spec.get("max_t_factories"),
+            max_duration_ns=spec.get("max_duration_ns"),
+            max_physical_qubits=spec.get("max_physical_qubits"),
+        )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         raise SystemExit(f"error: invalid grid spec: {message}")
 
-    # The cartesian grid as declarative specs, program-major (matching the
-    # nesting order of the grid file's keys).
-    specs = [
-        EstimateSpec(
-            program=program,
-            qubit=profile,
-            scheme=scheme_name or None,
-            budget=budget,
-            constraints=constraint,
-            backend=args.backend,
-            label=label,
-        )
-        for program, label in programs
-        for profile in profiles
-        for budget in error_budgets
-        for constraint in constraints
-    ]
+    # The cartesian grid as a declarative sweep, program-major (matching
+    # the nesting order of the grid file's keys); the axes expand to the
+    # same point specs the service and `repro sweep` would build.
+    from .estimator.sweep import SweepAxis
+
+    base: dict[str, object] = {"backend": args.backend}
+    if scheme_name:
+        base["scheme"] = {"name": scheme_name}
+    base["constraints"] = base_constraints.to_dict()
+    grid_sweep = SweepSpec(
+        base=base,
+        axes=(
+            SweepAxis(
+                "program",
+                tuple(
+                    {"counts": program.to_dict()}
+                    if isinstance(program, LogicalCounts)
+                    else program.to_dict()
+                    for program, _ in programs
+                ),
+            ),
+            SweepAxis("qubit", tuple(profiles)),
+            SweepAxis("budget", tuple(budgets)),
+            SweepAxis("constraints.logicalDepthFactor", tuple(depth_factors)),
+        ),
+        mode="cartesian",
+    )
     meta = [
-        (
-            point.label,
-            point.qubit,
-            point.budget.total,
-            point.constraints.logical_depth_factor,
-        )
-        for point in specs
+        (label, profile, budget, factor)
+        for _, label in programs
+        for profile in profiles
+        for budget in budgets
+        for factor in depth_factors
     ]
 
     store = ResultStore(args.store) if args.store else None
-    outcomes = run_specs(
-        specs, registry=registry, store=store, max_workers=args.workers
+    result = run_sweep(
+        grid_sweep, registry=registry, store=store, max_workers=args.workers
     )
+    outcomes = result.points
     failures = 0
 
     if args.json:
@@ -477,6 +500,178 @@ def _batch_main(argv: list[str]) -> int:
                 file=sys.stderr,
             )
     return 1 if failures else 0
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run a declarative sweep file (axes over registry names, "
+        "numeric ranges, or inline spec fragments; cartesian or zipped; "
+        "optional per-group frontier objective) in store-backed, resumable "
+        "chunks.",
+    )
+    parser.add_argument("sweep", type=Path, help="JSON sweep specification file")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per chunk (1 = serial; default: 1)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="points evaluated (and persisted) per chunk "
+        "(default: the sweep file's chunkSize, else 16)",
+    )
+    _add_scenario_argument(parser)
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store directory; completed chunks "
+        "persist there, so a killed sweep resumes from its finished points",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="report how many points are already stored before running "
+        "(requires --store; stored points are always answered from disk)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-chunk progress lines on stderr",
+    )
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full sweep result document as JSON",
+    )
+    output.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the flat CSV of all points to FILE ('-' for stdout)",
+    )
+    return parser
+
+
+def _sweep_main(argv: list[str]) -> int:
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        parser.error(f"--chunk-size must be >= 1, got {args.chunk_size}")
+    if args.resume and not args.store:
+        parser.error("--resume requires --store (that is where points resume from)")
+    registry = _load_scenarios(args.scenario)
+    try:
+        document = json.loads(args.sweep.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read sweep file: {exc}")
+    try:
+        sweep = SweepSpec.from_dict(document)
+        points = sweep.expand()
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid sweep spec: {exc}")
+
+    store = ResultStore(args.store) if args.store else None
+    if args.resume and store is not None:
+        stored = 0
+        for point in points:
+            try:
+                spec_hash = point.spec.content_hash(registry)
+            except KeyError:
+                continue  # unknown names can never have stored results
+            if spec_hash in store:
+                stored += 1
+        print(
+            f"resume: {stored}/{len(points)} points already stored",
+            file=sys.stderr,
+        )
+
+    def progress(event) -> None:
+        if not args.quiet:
+            print(
+                f"[chunk {event.chunk}/{event.num_chunks}] "
+                f"{event.completed}/{event.total} points "
+                f"({event.from_store} from store, {event.failed} failed)",
+                file=sys.stderr,
+            )
+
+    try:
+        result = run_sweep(
+            sweep,
+            registry=registry,
+            store=store,
+            max_workers=args.workers,
+            chunk_size=args.chunk_size,
+            progress=progress,
+        )
+    except KeyboardInterrupt:
+        print(
+            "interrupted; completed chunks are stored — re-run with "
+            "--resume to pick up where this left off",
+            file=sys.stderr,
+        )
+        return 130
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    elif args.csv is not None:
+        csv_text = result.to_csv()
+        if str(args.csv) == "-":
+            sys.stdout.write(csv_text)
+        else:
+            try:
+                args.csv.write_text(csv_text)
+            except OSError as exc:
+                raise SystemExit(f"error: cannot write CSV: {exc}")
+            print(f"wrote {len(result.points)} points to {args.csv}")
+    else:
+        header = (
+            f"{'point':<44} {'phys qubits':>12} {'runtime[s]':>11} {'d':>3} "
+            f"{'rQOPS':>10} {'frontier':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        on_frontier = result.frontier_indices()
+        for point in result.points:
+            label = (point.label or point.spec_hash)[:44]
+            if point.ok:
+                r = point.result
+                marker = "*" if point.index in on_frontier else ""
+                print(
+                    f"{label:<44} {r.physical_qubits:>12,} "
+                    f"{r.runtime_seconds:>11.3g} {r.code_distance:>3} "
+                    f"{r.rqops:>10.3g} {marker:>8}"
+                )
+            else:
+                print(f"{label:<44} error: {point.error}")
+        if result.frontiers is not None:
+            print()
+            objective = sweep.frontier.objective
+            for group in result.frontiers:
+                key = (
+                    ", ".join(f"{field}={value}" for field, value in group.key)
+                    or "(all points)"
+                )
+                print(
+                    f"frontier [{objective}] {key}: "
+                    f"points {list(group.indices)}"
+                )
+    if result.num_failed:
+        print(
+            f"{result.num_failed} of {len(result.points)} points infeasible",
+            file=sys.stderr,
+        )
+    return 1 if result.num_failed else 0
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -734,6 +929,8 @@ def main(argv: list[str] | None = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "batch":
         return _batch_main(raw[1:])
+    if raw and raw[0] == "sweep":
+        return _sweep_main(raw[1:])
     if raw and raw[0] == "bench":
         return _bench_main(raw[1:])
     if raw and raw[0] == "serve":
@@ -811,6 +1008,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes per submitted batch (1 = serial; default: 1)",
     )
+    parser.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=2,
+        help="async sweep job threads (POST /v1/sweeps; default: 2)",
+    )
     _add_scenario_argument(parser)
     parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -825,12 +1028,17 @@ def _serve_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.sweep_workers < 1:
+        parser.error(f"--sweep-workers must be >= 1, got {args.sweep_workers}")
     if args.no_store and args.store:
         parser.error("--store and --no-store are mutually exclusive")
     registry = _load_scenarios(args.scenario)
     store = None if args.no_store else ResultStore(args.store or default_store_root())
     service = EstimationService(
-        registry=registry, store=store, max_workers=args.workers
+        registry=registry,
+        store=store,
+        max_workers=args.workers,
+        sweep_workers=args.sweep_workers,
     )
     server = make_server(
         args.host, args.port, service=service, verbose=args.verbose
@@ -846,6 +1054,7 @@ def _serve_main(argv: list[str]) -> int:
         pass
     finally:
         server.server_close()
+        service.close()
     return 0
 
 

@@ -11,6 +11,10 @@ Sweeps go through :func:`estimate_batch` (:mod:`repro.estimator.batch`):
 one engine with cross-point memoization (traced counts, T-factory
 designs, code-distance lookups) and optional process fan-out that serves
 :func:`estimate_frontier`, the figure runners, and the CLI alike.
+Declarative, resumable sweeps — axes over registry names, numeric
+ranges, or inline spec fragments, executed in store-backed chunks with
+per-group Pareto frontiers — live in :mod:`repro.estimator.sweep`
+(:class:`SweepSpec` / :func:`run_sweep`).
 """
 
 from .constraints import Constraints
@@ -31,6 +35,16 @@ from .batch import BatchOutcome, EstimateCache, EstimateRequest, estimate_batch
 from .frontier import Frontier, FrontierPoint, estimate_frontier
 from .spec import EstimateSpec, ProgramRef, SpecOutcome, run_specs
 from .store import ResultStore
+from .sweep import (
+    FrontierGroup,
+    FrontierSpec,
+    SweepAxis,
+    SweepPointOutcome,
+    SweepProgress,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 
 __all__ = [
     "BatchOutcome",
@@ -42,17 +56,25 @@ __all__ = [
     "EstimationError",
     "FixedPointSolution",
     "Frontier",
+    "FrontierGroup",
     "FrontierPoint",
+    "FrontierSpec",
     "PhysicalCounts",
     "PhysicalResourceEstimates",
     "ProgramRef",
     "ResourceBreakdown",
     "ResultStore",
     "SpecOutcome",
+    "SweepAxis",
+    "SweepPointOutcome",
+    "SweepProgress",
+    "SweepResult",
+    "SweepSpec",
     "TFactoryUsage",
     "estimate",
     "estimate_batch",
     "estimate_frontier",
     "run_specs",
+    "run_sweep",
     "solve_code_distance_fixed_point",
 ]

@@ -2,26 +2,38 @@
 
 Sweeping the logical-depth slowdown factor trades runtime for T-factory
 parallelism: a slower program needs fewer simultaneous factory copies, so
-it uses fewer physical qubits. :func:`estimate_frontier` evaluates a
-geometric ladder of slowdown factors through the shared batch engine
-(:mod:`repro.estimator.batch`) — the program is traced once and the
-T-factory design is reused across the whole ladder — and returns the
-Pareto-optimal (physical qubits, runtime) points.
+it uses fewer physical qubits. :func:`estimate_frontier` is the
+programmatic single-workload form: it evaluates a geometric ladder of
+slowdown factors through the declarative spec layer
+(:func:`~repro.estimator.spec.run_specs` — the same path as the CLI, the
+sweep subsystem, and the estimation service), optionally backed by a
+persistent :class:`~repro.estimator.store.ResultStore`, and keeps the
+Pareto-optimal (physical qubits, runtime) points via the shared reducer
+in :mod:`repro.estimator.sweep`. Declarative sweep files get the same
+reduction from a ``frontier`` objective (see the README section "Sweeps
+and frontiers").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..budget import ErrorBudget
+from ..counts import LogicalCounts
 from ..distillation import TFactoryDesigner
 from ..qec import QECScheme
 from ..qubits import PhysicalQubitParams
 from ..synthesis import RotationSynthesis
-from .batch import EstimateCache, EstimateRequest, estimate_batch
+from .batch import EstimateCache
 from .constraints import Constraints
 from .result import PhysicalResourceEstimates
+from .spec import EstimateSpec, run_specs
+from .stages import resolve_counts
+from .sweep import pareto_min_indices
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -73,19 +85,13 @@ class Frontier(list):
 def pareto_frontier(points: Sequence[FrontierPoint]) -> list[FrontierPoint]:
     """Pareto-minimal (runtime, qubits) points in one pass.
 
-    Sorting by (runtime, qubits) makes the kept qubit counts strictly
-    decreasing, so a single running minimum replaces the quadratic
-    all-pairs dominance check: a point survives iff it uses strictly fewer
-    qubits than every faster point seen before it.
+    Delegates to the sweep subsystem's generic reducer: a point survives
+    iff it uses strictly fewer qubits than every faster point.
     """
-    ordered = sorted(points, key=lambda pt: (pt.runtime_seconds, pt.physical_qubits))
-    frontier: list[FrontierPoint] = []
-    min_qubits: int | None = None
-    for pt in ordered:
-        if min_qubits is None or pt.physical_qubits < min_qubits:
-            frontier.append(pt)
-            min_qubits = pt.physical_qubits
-    return frontier
+    keep = pareto_min_indices(
+        [(pt.runtime_seconds, pt.physical_qubits) for pt in points]
+    )
+    return [points[i] for i in keep]
 
 
 def estimate_frontier(
@@ -97,6 +103,7 @@ def estimate_frontier(
     depth_factors: Sequence[float] | None = None,
     synthesis: RotationSynthesis | None = None,
     factory_designer: TFactoryDesigner | None = None,
+    store: "ResultStore | None" = None,
 ) -> Frontier:
     """Estimate the Pareto frontier of qubits vs runtime.
 
@@ -105,6 +112,10 @@ def estimate_frontier(
     depth_factors:
         Slowdown factors to evaluate; defaults to a geometric ladder
         ``1, 2, 4, ..., 1024``.
+    store:
+        Optional persistent result store; ladder points whose spec hash
+        is already stored answer from disk, and fresh points are written
+        back — repeated frontiers over the same workload are warm.
 
     Returns the Pareto-optimal points sorted by increasing runtime, as a
     :class:`Frontier` (a ``list`` that also carries the ladder points
@@ -115,13 +126,25 @@ def estimate_frontier(
         depth_factors = [float(2**k) for k in range(11)]
     if not depth_factors:
         raise ValueError("depth_factors must not be empty")
+    if factory_designer is not None and store is not None:
+        # Spec hashes do not cover the designer, so storing results from a
+        # custom factory search would poison the shared namespace.
+        raise ValueError(
+            "a persistent store cannot be combined with a custom "
+            "factory_designer (results would be stored under hashes that "
+            "do not reflect the designer)"
+        )
 
+    # The program is traced once up front; the ladder shares the counts.
+    counts = (
+        program if isinstance(program, LogicalCounts) else resolve_counts(program)
+    )
     # A custom designer needs its own cache; otherwise share the module
     # cache so repeated frontiers keep their memos warm.
     cache = EstimateCache(designer=factory_designer) if factory_designer else None
-    requests = [
-        EstimateRequest(
-            program=program,
+    specs = [
+        EstimateSpec(
+            program=counts,
             qubit=qubit,
             scheme=scheme,
             budget=budget,
@@ -130,7 +153,7 @@ def estimate_frontier(
         )
         for factor in depth_factors
     ]
-    outcomes = estimate_batch(requests, max_workers=1, cache=cache)
+    outcomes = run_specs(specs, store=store, cache=cache, max_workers=1)
 
     points: list[FrontierPoint] = []
     skipped: list[tuple[float, str]] = []

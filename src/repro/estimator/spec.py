@@ -142,6 +142,16 @@ class ProgramRef:
         if self.kind == "multiplier":
             if not self.algorithm:
                 raise ValueError("a multiplier program ref needs an 'algorithm'")
+            from ..arithmetic import MULTIPLIER_ALGORITHMS
+
+            if self.algorithm not in MULTIPLIER_ALGORITHMS:
+                # Validate eagerly: counts resolve lazily inside batch
+                # workers, where an unknown name would crash the whole
+                # sweep instead of failing this one spec.
+                raise ValueError(
+                    f"unknown multiplier {self.algorithm!r}; available: "
+                    f"{sorted(MULTIPLIER_ALGORITHMS)}"
+                )
             if self.exponent_bits is not None or self.window is not None:
                 raise ValueError(
                     "exponent_bits/window only apply to modexp program refs"

@@ -9,29 +9,39 @@ in-memory :class:`~repro.estimator.batch.EstimateCache` cannot:
 * **cross-process reuse** — a second process (or a restarted service)
   re-running the same sweep grid answers from disk in milliseconds
   instead of re-solving every fixed point;
-* **warm starts** — the fig3/fig4 reproductions and CLI batch grids skip
-  all previously-computed points (``benchmarks/test_store.py`` asserts a
-  >= 10x warm-run speedup floor);
+* **warm starts** — the fig3/fig4 reproductions, CLI batch grids, and
+  ``repro sweep`` runs skip all previously-computed points
+  (``benchmarks/test_store_warmrun.py`` asserts a >= 10x warm-run
+  speedup floor) — this is also the sweep subsystem's resume story: a
+  killed sweep re-run picks up from its persisted chunks;
 * **serving** — the estimation service's ``GET /v1/results/<hash>``
-  endpoint reads stored documents directly.
+  endpoint reads stored documents directly, and finished sweep results
+  (keyed by the sweep's content hash) survive server restarts in the
+  sweep namespace.
 
 Layout and durability
 ---------------------
 Entries live under ``<root>/<schema-tag>/<hh>/<hash>.json`` where ``hh``
 is the first two hash hex digits (fan-out keeps directories small). The
-schema tag versions the result serialization: bumping
-:data:`RESULT_SCHEMA` (on any change to ``to_dict`` output) makes a new
-namespace, so stale entries are never deserialized against new code —
-that is the cache-invalidation story, no migration needed.
+schema tag versions the document serialization: bumping
+:data:`RESULT_SCHEMA` (on any change to ``to_dict`` output or the
+document envelope) makes a new namespace, so stale entries are never
+deserialized against new code — that is the cache-invalidation story, no
+migration needed. Sweep result documents live under their own
+:data:`SWEEP_DOC_SCHEMA` namespace.
 
 Writes go through a temporary file in the destination directory followed
 by :func:`os.replace`, so concurrent writers and crashes can never leave
-a torn document; rewriting the same hash is idempotent. Corrupt or
-foreign files read back as misses.
+a torn document; rewriting the same hash is idempotent. Every document
+embeds a SHA-256 ``digest`` over its canonical content, verified on
+read: corrupt, truncated, bit-flipped, or foreign files all read back as
+misses — a damaged store heals by recomputation, it never serves a
+mangled result.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -40,12 +50,22 @@ from typing import Any, Iterator
 
 from .result import PhysicalResourceEstimates
 
-__all__ = ["RESULT_SCHEMA", "ResultStore", "default_store_root"]
+__all__ = [
+    "RESULT_SCHEMA",
+    "SWEEP_DOC_SCHEMA",
+    "ResultStore",
+    "default_store_root",
+]
 
 #: Version tag of the stored result document format. Bump when the
-#: ``PhysicalResourceEstimates.to_dict`` schema changes incompatibly;
-#: old entries then simply stop being found (no migration required).
-RESULT_SCHEMA = "repro-result-v1"
+#: ``PhysicalResourceEstimates.to_dict`` schema or the document envelope
+#: changes incompatibly; old entries then simply stop being found (no
+#: migration required). v2: documents gained the integrity ``digest``.
+RESULT_SCHEMA = "repro-result-v2"
+
+#: Version tag (and namespace) of stored sweep result documents. Bump
+#: alongside :data:`RESULT_SCHEMA` — sweep documents embed result dicts.
+SWEEP_DOC_SCHEMA = "repro-sweep-result-v1"
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE_DIR"
@@ -57,6 +77,13 @@ def default_store_root() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro" / "store"
+
+
+def _digest(document: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of a document, sans its digest."""
+    body = {key: value for key, value in document.items() if key != "digest"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 class ResultStore:
@@ -85,11 +112,63 @@ class ResultStore:
     def _base(self) -> Path:
         return self.root / self.schema
 
-    def path_for(self, spec_hash: str) -> Path:
-        """Where the document for ``spec_hash`` lives (existing or not)."""
+    @staticmethod
+    def _check_hash(spec_hash: str) -> str:
         if not spec_hash or any(c not in "0123456789abcdef" for c in spec_hash):
             raise ValueError(f"malformed spec hash {spec_hash!r}")
+        return spec_hash
+
+    def path_for(self, spec_hash: str) -> Path:
+        """Where the document for ``spec_hash`` lives (existing or not)."""
+        self._check_hash(spec_hash)
         return self._base / spec_hash[:2] / f"{spec_hash}.json"
+
+    def sweep_path_for(self, sweep_hash: str) -> Path:
+        """Where the sweep result document for ``sweep_hash`` lives."""
+        self._check_hash(sweep_hash)
+        return self.root / SWEEP_DOC_SCHEMA / sweep_hash[:2] / f"{sweep_hash}.json"
+
+    # -- document plumbing -------------------------------------------------
+
+    @staticmethod
+    def _read_document(path: Path) -> dict[str, Any] | None:
+        """Parse and integrity-check one document file (miss on failure)."""
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        digest = document.get("digest")
+        if not isinstance(digest, str) or digest != _digest(document):
+            return None  # corrupt, tampered, or pre-digest (v1) document
+        return document
+
+    @staticmethod
+    def _write_document(path: Path, document: dict[str, Any]) -> bool:
+        """Atomically persist a document (digest added); returns success."""
+        document = dict(document)
+        document["digest"] = _digest(document)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{path.stem[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    # Compact separators: every byte of the file is
+                    # significant, so corruption cannot hide in formatting.
+                    json.dump(document, handle, separators=(",", ":"))
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
 
     # -- reads -------------------------------------------------------------
 
@@ -97,17 +176,14 @@ class ResultStore:
         """The stored document for a hash, or ``None`` (missing/corrupt).
 
         Documents are ``{"schema": ..., "specHash": ..., "spec": ...,
-        "result": ...}``; a readable file whose schema or hash does not
-        match is treated as a miss, never an error — a shared store
-        directory must not be able to crash an estimation run.
+        "result": ..., "digest": ...}``; a readable file whose digest,
+        schema, or hash does not match is treated as a miss, never an
+        error — a shared store directory must not be able to crash (or
+        corrupt) an estimation run.
         """
-        path = self.path_for(spec_hash)
-        try:
-            document = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return None
+        document = self._read_document(self.path_for(spec_hash))
         if (
-            not isinstance(document, dict)
+            document is None
             or document.get("schema") != self.schema
             or document.get("specHash") != spec_hash
             or not isinstance(document.get("result"), dict)
@@ -161,24 +237,7 @@ class ResultStore:
             "spec": spec,
             "result": result.to_dict(),
         }
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{spec_hash[:8]}-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(document, handle)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            return False
-        return True
+        return self._write_document(path, document)
 
     def clear(self) -> int:
         """Remove every entry under this schema tag; returns the count."""
@@ -190,3 +249,31 @@ class ResultStore:
             except OSError:
                 pass
         return removed
+
+    # -- sweep results -----------------------------------------------------
+
+    def put_sweep(self, sweep_hash: str, result: dict[str, Any]) -> bool:
+        """Persist a finished sweep's result document under its hash.
+
+        ``result`` is a :meth:`repro.estimator.sweep.SweepResult.to_dict`
+        document; the restarted estimation service re-serves finished
+        sweeps from this namespace without recomputing anything.
+        """
+        document = {
+            "schema": SWEEP_DOC_SCHEMA,
+            "sweepHash": sweep_hash,
+            "result": result,
+        }
+        return self._write_document(self.sweep_path_for(sweep_hash), document)
+
+    def get_sweep(self, sweep_hash: str) -> dict[str, Any] | None:
+        """A stored sweep result document, or ``None`` (missing/corrupt)."""
+        document = self._read_document(self.sweep_path_for(sweep_hash))
+        if (
+            document is None
+            or document.get("schema") != SWEEP_DOC_SCHEMA
+            or document.get("sweepHash") != sweep_hash
+            or not isinstance(document.get("result"), dict)
+        ):
+            return None
+        return document["result"]

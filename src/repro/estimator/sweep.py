@@ -1,0 +1,831 @@
+"""Declarative sweeps: resumable grids and per-group Pareto frontiers.
+
+The paper's headline artifacts are parameter sweeps — scaling curves and
+per-profile frontiers over (circuit size, qubit profile, QEC scheme,
+error budget). A :class:`SweepSpec` is the declarative form of one such
+artifact: a ``base`` :class:`~repro.estimator.spec.EstimateSpec` document
+plus *axes* (registry names, numeric ranges, or inline spec fragments)
+that expand — cartesian or zipped — into the point specs, and an
+optional *frontier objective* that reduces the results into per-group
+Pareto frontiers.
+
+Execution (:func:`run_sweep`) happens in store-backed chunks through
+:func:`~repro.estimator.spec.run_specs`: every completed chunk is
+persisted in the content-addressed
+:class:`~repro.estimator.store.ResultStore` before the next one starts,
+so a killed sweep resumes from its completed points for free — re-running
+the same sweep file answers stored points from disk and computes only the
+rest. The serialized :class:`SweepResult` carries no execution
+provenance (store hits, timings), so an interrupted-then-resumed sweep is
+bit-for-bit equal to an uninterrupted one.
+
+Sweep documents are JSON (the ``repro sweep`` CLI subcommand and the
+service's ``POST /v1/sweeps`` job API both accept them)::
+
+    {
+      "base": {"program": {"multiplier": {"algorithm": "schoolbook"}},
+               "budget": 1e-4},
+      "axes": [
+        {"field": "program.multiplier.bits", "geom": {"start": 32, "factor": 2, "count": 4}},
+        {"field": "qubit", "values": ["qubit_gate_ns_e3", "qubit_maj_ns_e4"]}
+      ],
+      "mode": "cartesian",
+      "frontier": {"objective": "qubits-runtime", "groupBy": ["qubit"]}
+    }
+
+Axis values are applied to the base document by dotted field path
+(``program.multiplier.bits``), with sugar for the common cases: a string
+value on the ``qubit`` axis means ``{"profile": name}`` and a string on
+``scheme`` means ``{"name": name}``. Numeric axes may be spelled as an
+explicit ``values`` list, an inclusive linear ``range`` (``start`` /
+``stop`` / ``step``), or a geometric ladder ``geom`` (``start`` /
+``factor`` / ``count``); all three canonicalize to the expanded values,
+so equivalent spellings share one :meth:`SweepSpec.content_hash` — the
+identity under which the service stores and re-serves finished sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import itertools
+import json
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from .result import PhysicalResourceEstimates
+from .spec import SPEC_SCHEMA, EstimateSpec, run_specs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..registry import Registry
+    from .batch import EstimateCache
+    from .store import ResultStore
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "FRONTIER_OBJECTIVES",
+    "FrontierGroup",
+    "FrontierSpec",
+    "SWEEP_SCHEMA",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepPointOutcome",
+    "SweepProgress",
+    "SweepResult",
+    "SweepSpec",
+    "pareto_min_indices",
+    "run_sweep",
+]
+
+#: Version tag of the sweep canonical form (hashes, serialized results).
+SWEEP_SCHEMA = "repro-sweep-v1"
+
+#: Points evaluated (and persisted) per chunk when the caller picks none.
+DEFAULT_CHUNK_SIZE = 16
+
+#: Supported frontier reductions. ``qubits-runtime`` keeps the Pareto
+#: non-dominated (runtime, physical qubits) points per group — the
+#: paper's frontier; ``min-qubits`` / ``min-runtime`` keep the single
+#: best point per group.
+FRONTIER_OBJECTIVES = ("qubits-runtime", "min-qubits", "min-runtime")
+
+#: Expansion modes: full cartesian product of the axes, or position-wise
+#: ``zip`` of equal-length axes.
+SWEEP_MODES = ("cartesian", "zip")
+
+
+def pareto_min_indices(values: Sequence[tuple[float, float]]) -> list[int]:
+    """Indices of the non-dominated points, minimizing both coordinates.
+
+    Sorting by (first, second) makes the kept second coordinates strictly
+    decreasing, so a single running minimum replaces the quadratic
+    all-pairs dominance check; returned indices are ordered by increasing
+    first coordinate. Exact ties keep the earliest input point.
+    """
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    keep: list[int] = []
+    best: float | None = None
+    for i in order:
+        second = values[i][1]
+        if best is None or second < best:
+            keep.append(i)
+            best = second
+    return keep
+
+
+def _expand_range(body: Mapping[str, Any]) -> tuple[Any, ...]:
+    """Inclusive linear range -> explicit values (ints when exact)."""
+    unknown = set(body) - {"start", "stop", "step"}
+    if unknown:
+        raise ValueError(f"unknown range fields {sorted(unknown)}")
+    try:
+        start, stop = body["start"], body["stop"]
+    except KeyError as exc:
+        raise ValueError(f"a range axis needs 'start' and 'stop' ({exc})") from None
+    step = body.get("step", 1)
+    for name, value in (("start", start), ("stop", stop), ("step", step)):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"range {name!r} must be a number, got {value!r}")
+    if step <= 0:
+        raise ValueError(f"range step must be > 0, got {step}")
+    if stop < start:
+        raise ValueError(f"range stop {stop} is below start {start}")
+    count = int((stop - start) / step + 1e-9) + 1
+    integral = all(isinstance(v, int) for v in (start, stop, step))
+    values = [start + i * step for i in range(count)]
+    return tuple(int(v) if integral else float(v) for v in values)
+
+
+def _expand_geom(body: Mapping[str, Any]) -> tuple[Any, ...]:
+    """Geometric ladder -> explicit values (ints when exact)."""
+    unknown = set(body) - {"start", "factor", "count"}
+    if unknown:
+        raise ValueError(f"unknown geom fields {sorted(unknown)}")
+    try:
+        start, factor, count = body["start"], body["factor"], body["count"]
+    except KeyError as exc:
+        raise ValueError(
+            f"a geom axis needs 'start', 'factor', and 'count' ({exc})"
+        ) from None
+    for name, value in (("start", start), ("factor", factor)):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"geom {name!r} must be a number, got {value!r}")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise ValueError(f"geom count must be a positive int, got {count!r}")
+    if factor <= 0:
+        raise ValueError(f"geom factor must be > 0, got {factor}")
+    integral = isinstance(start, int) and isinstance(factor, int)
+    values: list[Any] = []
+    value: Any = start
+    for _ in range(count):
+        values.append(value if integral else float(value))
+        value = value * factor
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One sweep dimension: a spec field path and the values it takes.
+
+    ``field`` is a dotted path into the spec document (with the
+    ``qubit`` / ``scheme`` string sugar described in the module
+    docstring); ``values`` are JSON scalars or spec fragments.
+    """
+
+    field: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.field or not isinstance(self.field, str):
+            raise ValueError(f"axis field must be a non-empty string, got {self.field!r}")
+        if any(not part for part in self.field.split(".")):
+            raise ValueError(f"malformed axis field path {self.field!r}")
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"field": self.field, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SweepAxis":
+        if not isinstance(data, dict):
+            raise ValueError(f"an axis must be a JSON object, got {data!r}")
+        unknown = set(data) - {"field", "values", "range", "geom"}
+        if unknown:
+            raise ValueError(f"unknown axis fields {sorted(unknown)}")
+        field_path = data.get("field")
+        sources = [key for key in ("values", "range", "geom") if key in data]
+        if len(sources) != 1:
+            raise ValueError(
+                "an axis needs exactly one of 'values', 'range', or 'geom'"
+            )
+        source = sources[0]
+        if source == "values":
+            values = data["values"]
+            if not isinstance(values, list) or not values:
+                raise ValueError(
+                    f"axis {field_path!r} 'values' must be a non-empty list"
+                )
+            values = tuple(values)
+        elif source == "range":
+            values = _expand_range(data["range"])
+        else:
+            values = _expand_geom(data["geom"])
+        return cls(field=str(field_path or ""), values=values)
+
+
+@dataclass(frozen=True)
+class FrontierSpec:
+    """How sweep results reduce to frontiers.
+
+    ``group_by`` names axis fields; points sharing those coordinate
+    values form one group, and the ``objective`` is applied per group
+    (no ``group_by`` means one global group).
+    """
+
+    objective: str = "qubits-runtime"
+    group_by: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.objective not in FRONTIER_OBJECTIVES:
+            raise ValueError(
+                f"unknown frontier objective {self.objective!r}; "
+                f"available: {list(FRONTIER_OBJECTIVES)}"
+            )
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"objective": self.objective, "groupBy": list(self.group_by)}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FrontierSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"'frontier' must be a JSON object, got {data!r}")
+        unknown = set(data) - {"objective", "groupBy"}
+        if unknown:
+            raise ValueError(f"unknown frontier fields {sorted(unknown)}")
+        group_by = data.get("groupBy", [])
+        if not isinstance(group_by, list) or any(
+            not isinstance(name, str) for name in group_by
+        ):
+            raise ValueError("'groupBy' must be a list of axis field names")
+        return cls(
+            objective=data.get("objective", "qubits-runtime"),
+            group_by=tuple(group_by),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class SweepPoint:
+    """One expanded point: its axis coordinates and the resulting spec."""
+
+    index: int
+    coords: tuple[tuple[str, Any], ...]
+    spec: EstimateSpec
+
+
+def _apply_axis(document: dict[str, Any], field_path: str, value: Any) -> None:
+    """Set one axis value into a spec document by dotted path."""
+    if field_path == "qubit" and isinstance(value, str):
+        value = {"profile": value}
+    elif field_path == "scheme" and isinstance(value, str):
+        value = {"name": value}
+    parts = field_path.split(".")
+    node = document
+    for part in parts[:-1]:
+        child = node.get(part)
+        if child is None:
+            child = node[part] = {}
+        elif not isinstance(child, dict):
+            raise ValueError(
+                f"axis field {field_path!r} descends into non-object "
+                f"spec field {part!r}"
+            )
+        node = child
+    node[parts[-1]] = value
+
+
+def _coord_label(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return str(value)
+
+
+@dataclass(frozen=True, eq=False)
+class SweepSpec:
+    """A declarative sweep: base spec document, axes, and reductions.
+
+    ``base`` is a partial :class:`EstimateSpec` document; each expanded
+    point deep-copies it, applies one value per axis, and parses the
+    result. ``chunk_size`` is an execution hint (points persisted per
+    chunk) and ``label`` display metadata — neither affects
+    :meth:`content_hash`.
+    """
+
+    axes: tuple[SweepAxis, ...]
+    base: Mapping[str, Any] = field(default_factory=dict)
+    mode: str = "cartesian"
+    frontier: FrontierSpec | None = None
+    chunk_size: int | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        # Own a normalized deep copy of the base document: the spec is
+        # frozen, so expansion (computed once, lazily) can never go stale
+        # if the caller mutates the dict it passed in.
+        if not isinstance(self.base, Mapping):
+            raise ValueError(
+                f"sweep base must be a JSON object, got {type(self.base).__name__}"
+            )
+        try:
+            object.__setattr__(self, "base", json.loads(json.dumps(dict(self.base))))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"sweep base must be JSON-serializable: {exc}") from exc
+        object.__setattr__(self, "_expanded", None)
+        if self.mode not in SWEEP_MODES:
+            raise ValueError(
+                f"unknown sweep mode {self.mode!r}; available: {list(SWEEP_MODES)}"
+            )
+        fields = [axis.field for axis in self.axes]
+        if len(set(fields)) != len(fields):
+            raise ValueError(f"duplicate axis fields in {fields}")
+        if self.mode == "zip":
+            lengths = {len(axis.values) for axis in self.axes}
+            if len(lengths) > 1:
+                raise ValueError(
+                    "zip-mode axes must all have the same length, got "
+                    f"{[len(axis.values) for axis in self.axes]}"
+                )
+        if self.frontier is not None:
+            unknown = set(self.frontier.group_by) - set(fields)
+            if unknown:
+                raise ValueError(
+                    f"frontier groupBy names unknown axes {sorted(unknown)}; "
+                    f"axes: {fields}"
+                )
+        if self.chunk_size is not None and (
+            not isinstance(self.chunk_size, int) or self.chunk_size < 1
+        ):
+            raise ValueError(
+                f"chunk_size must be a positive int, got {self.chunk_size!r}"
+            )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SWEEP_SCHEMA,
+            "base": json.loads(json.dumps(dict(self.base))),
+            "axes": [axis.to_dict() for axis in self.axes],
+            "mode": self.mode,
+            "frontier": self.frontier.to_dict() if self.frontier else None,
+            "chunkSize": self.chunk_size,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"a sweep must be a JSON object, got {type(data).__name__}"
+            )
+        known = {"schema", "base", "axes", "mode", "frontier", "chunkSize", "label"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown sweep fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        schema = data.get("schema")
+        if schema is not None and schema != SWEEP_SCHEMA:
+            raise ValueError(
+                f"unsupported sweep schema {schema!r}; expected {SWEEP_SCHEMA!r}"
+            )
+        raw_axes = data.get("axes")
+        if not isinstance(raw_axes, list) or not raw_axes:
+            raise ValueError("a sweep needs a non-empty 'axes' list")
+        axes = tuple(SweepAxis.from_dict(axis) for axis in raw_axes)
+        base = data.get("base", {})
+        if not isinstance(base, dict):
+            raise ValueError("sweep 'base' must be a JSON object")
+        raw_frontier = data.get("frontier")
+        frontier = FrontierSpec.from_dict(raw_frontier) if raw_frontier else None
+        return cls(
+            axes=axes,
+            base=base,
+            mode=data.get("mode", "cartesian"),
+            frontier=frontier,
+            chunk_size=data.get("chunkSize"),
+            label=data.get("label"),
+        )
+
+    # -- expansion ---------------------------------------------------------
+
+    def _combinations(self) -> Iterable[tuple[Any, ...]]:
+        if self.mode == "zip":
+            return zip(*(axis.values for axis in self.axes))
+        return itertools.product(*(axis.values for axis in self.axes))
+
+    def num_points(self) -> int:
+        if self.mode == "zip":
+            return len(self.axes[0].values)
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def expand(self) -> list[SweepPoint]:
+        """The sweep's points, in deterministic first-axis-major order.
+
+        Each point deep-copies ``base``, applies its axis values, and
+        parses the document as an :class:`EstimateSpec`; a malformed
+        point raises :class:`ValueError` naming its coordinates — a typo
+        in a sweep file is a spec error, not a pile of failed points.
+
+        The expansion is computed once per spec (safe: the spec is
+        frozen and owns its base document) — ``content_hash``, the
+        service's submit path, and ``run_sweep`` all share it.
+        """
+        cached = self._expanded
+        if cached is not None:
+            return list(cached)
+        fields = [axis.field for axis in self.axes]
+        points: list[SweepPoint] = []
+        for index, combo in enumerate(self._combinations()):
+            document = json.loads(json.dumps(dict(self.base)))
+            coords = tuple(zip(fields, combo))
+            for field_path, value in coords:
+                _apply_axis(document, field_path, value)
+            if not document.get("label"):
+                document["label"] = ", ".join(
+                    f"{field_path}={_coord_label(value)}"
+                    for field_path, value in coords
+                )
+            try:
+                spec = EstimateSpec.from_dict(document)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"sweep point {index} ({document['label']}): {exc}"
+                ) from exc
+            points.append(SweepPoint(index=index, coords=coords, spec=spec))
+        object.__setattr__(self, "_expanded", tuple(points))
+        return points
+
+    # -- content addressing ------------------------------------------------
+
+    def content_hash(self, registry: "Registry | None" = None) -> str:
+        """SHA-256 identity of the sweep (the service's job id).
+
+        Covers the expanded points — each point's coordinates plus its
+        *resolved* spec hash (names inlined through ``registry``, exactly
+        like the result store's keys) — and the frontier reduction.
+        Execution hints (``chunk_size``) and display metadata (``label``,
+        per-point labels) are excluded, and equivalent axis spellings
+        (``range`` vs the explicit list) hash identically, so one
+        finished sweep answers every equivalent resubmission.
+        """
+        points = []
+        for point in self.expand():
+            try:
+                spec_hash = point.spec.content_hash(registry)
+            except KeyError:
+                spec_hash = point.spec.content_hash()  # unresolvable names
+            points.append(
+                {"coords": [[f, v] for f, v in point.coords], "spec": spec_hash}
+            )
+        canonical = {
+            "schema": SWEEP_SCHEMA,
+            "specSchema": SPEC_SCHEMA,
+            "frontier": self.frontier.to_dict() if self.frontier else None,
+            "points": points,
+        }
+        payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(f"{SWEEP_SCHEMA}\n{payload}".encode()).hexdigest()
+
+
+@dataclass(frozen=True, eq=False)
+class SweepPointOutcome:
+    """Result of one sweep point.
+
+    ``from_store`` is execution provenance — reported in progress events
+    and job status, deliberately excluded from :meth:`to_dict` so a
+    resumed sweep serializes bit-for-bit equal to an uninterrupted one.
+    """
+
+    index: int
+    coords: tuple[tuple[str, Any], ...]
+    label: str | None
+    spec_hash: str
+    result: PhysicalResourceEstimates | None
+    error: str | None
+    from_store: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "coords": {field_path: value for field_path, value in self.coords},
+            "label": self.label,
+            "specHash": self.spec_hash,
+            "ok": self.ok,
+            "result": self.result.to_dict() if self.result is not None else None,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class FrontierGroup:
+    """One frontier: the group's coordinates and its point indices.
+
+    ``indices`` point into :attr:`SweepResult.points`, ordered by the
+    objective (increasing runtime for ``qubits-runtime``; the single
+    best point otherwise).
+    """
+
+    key: tuple[tuple[str, Any], ...]
+    indices: tuple[int, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": {field_path: value for field_path, value in self.key},
+            "points": list(self.indices),
+        }
+
+
+@dataclass(eq=False)
+class SweepResult:
+    """A finished sweep: per-point outcomes plus frontier reductions."""
+
+    sweep_hash: str
+    spec: SweepSpec
+    points: list[SweepPointOutcome]
+    frontiers: list[FrontierGroup] | None = None
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for point in self.points if point.ok)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.points) - self.num_ok
+
+    @property
+    def num_from_store(self) -> int:
+        return sum(1 for point in self.points if point.from_store)
+
+    def frontier_indices(self) -> set[int]:
+        if not self.frontiers:
+            return set()
+        return {index for group in self.frontiers for index in group.indices}
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON form — independent of execution history."""
+        return {
+            "schema": SWEEP_SCHEMA,
+            "sweepHash": self.sweep_hash,
+            "sweep": self.spec.to_dict(),
+            "counts": {
+                "total": len(self.points),
+                "ok": self.num_ok,
+                "failed": self.num_failed,
+            },
+            "points": [point.to_dict() for point in self.points],
+            "frontiers": (
+                [group.to_dict() for group in self.frontiers]
+                if self.frontiers is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepResult":
+        if not isinstance(data, dict) or data.get("schema") != SWEEP_SCHEMA:
+            raise ValueError(f"not a {SWEEP_SCHEMA} sweep result document")
+        spec = SweepSpec.from_dict(data["sweep"])
+        fields = [axis.field for axis in spec.axes]
+        points = [
+            SweepPointOutcome(
+                index=entry["index"],
+                coords=tuple(
+                    (field_path, entry["coords"][field_path])
+                    for field_path in fields
+                ),
+                label=entry.get("label"),
+                spec_hash=entry["specHash"],
+                result=(
+                    PhysicalResourceEstimates.from_dict(entry["result"])
+                    if entry.get("result") is not None
+                    else None
+                ),
+                error=entry.get("error"),
+            )
+            for entry in data["points"]
+        ]
+        raw_frontiers = data.get("frontiers")
+        frontiers = None
+        if raw_frontiers is not None:
+            group_fields = list(spec.frontier.group_by) if spec.frontier else []
+            frontiers = [
+                FrontierGroup(
+                    key=tuple(
+                        (field_path, entry["key"][field_path])
+                        for field_path in group_fields
+                    ),
+                    indices=tuple(entry["points"]),
+                )
+                for entry in raw_frontiers
+            ]
+        return cls(
+            sweep_hash=data["sweepHash"],
+            spec=spec,
+            points=points,
+            frontiers=frontiers,
+        )
+
+    def to_csv(self) -> str:
+        """Flat CSV: axis coordinates, key metrics, frontier membership."""
+        fields = [axis.field for axis in self.spec.axes]
+        on_frontier = self.frontier_indices()
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            fields
+            + [
+                "specHash",
+                "ok",
+                "physicalQubits",
+                "runtime_s",
+                "codeDistance",
+                "logicalQubits",
+                "tFactoryCopies",
+                "rqops",
+                "onFrontier",
+                "error",
+            ]
+        )
+        for point in self.points:
+            coords = dict(point.coords)
+            row = [_coord_label(coords[field_path]) for field_path in fields]
+            row.append(point.spec_hash)
+            row.append(point.ok)
+            if point.ok:
+                result = point.result
+                row += [
+                    result.physical_qubits,
+                    result.runtime_seconds,
+                    result.code_distance,
+                    result.logical_qubits,
+                    result.t_factory.copies if result.t_factory else 0,
+                    result.rqops,
+                ]
+            else:
+                row += [""] * 6
+            row.append(point.index in on_frontier)
+            row.append(point.error or "")
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress event, emitted after each persisted chunk."""
+
+    chunk: int
+    num_chunks: int
+    completed: int
+    total: int
+    ok: int
+    failed: int
+    from_store: int
+
+
+def _reduce_frontiers(
+    spec: FrontierSpec, points: Sequence[SweepPointOutcome]
+) -> list[FrontierGroup]:
+    """Group points by the frontier key and keep each group's winners."""
+    groups: dict[str, tuple[tuple[tuple[str, Any], ...], list[SweepPointOutcome]]] = {}
+    for point in points:
+        coords = dict(point.coords)
+        key = tuple((name, coords[name]) for name in spec.group_by)
+        # Values may be unhashable fragments; group on their canonical JSON.
+        group_id = json.dumps([[n, v] for n, v in key], sort_keys=True)
+        groups.setdefault(group_id, (key, []))[1].append(point)
+
+    reduced: list[FrontierGroup] = []
+    for key, members in groups.values():  # insertion = expansion order
+        feasible = [point for point in members if point.ok]
+        if not feasible:
+            reduced.append(FrontierGroup(key=key, indices=()))
+            continue
+        if spec.objective == "qubits-runtime":
+            keep = pareto_min_indices(
+                [
+                    (point.result.runtime_seconds, point.result.physical_qubits)
+                    for point in feasible
+                ]
+            )
+            indices = tuple(feasible[i].index for i in keep)
+        elif spec.objective == "min-qubits":
+            best = min(
+                feasible,
+                key=lambda point: (
+                    point.result.physical_qubits,
+                    point.result.runtime_seconds,
+                    point.index,
+                ),
+            )
+            indices = (best.index,)
+        else:  # min-runtime
+            best = min(
+                feasible,
+                key=lambda point: (
+                    point.result.runtime_seconds,
+                    point.result.physical_qubits,
+                    point.index,
+                ),
+            )
+            indices = (best.index,)
+        reduced.append(FrontierGroup(key=key, indices=indices))
+    return reduced
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    registry: "Registry | None" = None,
+    store: "ResultStore | None" = None,
+    cache: "EstimateCache | None" = None,
+    max_workers: int | None = 1,
+    chunk_size: int | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+    lock: Any | None = None,
+) -> SweepResult:
+    """Execute a sweep in store-backed chunks and reduce its frontiers.
+
+    Points run through :func:`run_specs` one chunk at a time (``chunk_size``
+    falls back to the spec's hint, then :data:`DEFAULT_CHUNK_SIZE` with a
+    store and a single chunk without one — chunking only buys anything
+    when completed chunks persist). With a ``store``, every completed
+    chunk is persisted before the next starts, so killing a sweep between
+    chunks loses at most the chunk in flight — re-running the same spec
+    resumes from the stored points. Infeasible or invalid points become
+    failed outcomes, excluded from frontiers.
+
+    ``progress`` is called after each chunk with cumulative counts.
+    ``lock`` (any context manager) serializes chunk execution with other
+    users of a shared cache — the estimation service passes its engine
+    lock so sweep jobs interleave fairly with interactive submissions.
+    """
+    from ..registry import default_registry
+
+    resolved_registry = registry if registry is not None else default_registry()
+    points = spec.expand()
+    sweep_hash = spec.content_hash(resolved_registry)
+    # Chunking exists to bound the work lost on a kill between persisted
+    # chunks; without a store nothing persists, so default to one chunk
+    # (one batch call, one process pool) unless the caller asked for more.
+    size = chunk_size or spec.chunk_size
+    if size is None:
+        size = DEFAULT_CHUNK_SIZE if store is not None else max(len(points), 1)
+    guard = lock if lock is not None else nullcontext()
+
+    outcomes: list[SweepPointOutcome] = []
+    num_chunks = max(1, -(-len(points) // size)) if points else 0
+    ok = failed = from_store = 0
+    for chunk_index in range(num_chunks):
+        chunk = points[chunk_index * size : (chunk_index + 1) * size]
+        with guard:
+            chunk_outcomes = run_specs(
+                [point.spec for point in chunk],
+                registry=resolved_registry,
+                store=store,
+                cache=cache,
+                max_workers=max_workers,
+            )
+        for point, outcome in zip(chunk, chunk_outcomes):
+            outcomes.append(
+                SweepPointOutcome(
+                    index=point.index,
+                    coords=point.coords,
+                    label=point.spec.label,
+                    spec_hash=outcome.spec_hash,
+                    result=outcome.result,
+                    error=outcome.error,
+                    from_store=outcome.from_store,
+                )
+            )
+            if outcome.ok:
+                ok += 1
+            else:
+                failed += 1
+            if outcome.from_store:
+                from_store += 1
+        if progress is not None:
+            progress(
+                SweepProgress(
+                    chunk=chunk_index + 1,
+                    num_chunks=num_chunks,
+                    completed=len(outcomes),
+                    total=len(points),
+                    ok=ok,
+                    failed=failed,
+                    from_store=from_store,
+                )
+            )
+
+    frontiers = (
+        _reduce_frontiers(spec.frontier, outcomes)
+        if spec.frontier is not None
+        else None
+    )
+    return SweepResult(
+        sweep_hash=sweep_hash, spec=spec, points=outcomes, frontiers=frontiers
+    )

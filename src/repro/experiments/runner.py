@@ -1,16 +1,18 @@
 """Shared machinery for the experiment drivers.
 
-All figure sweeps funnel through :func:`run_estimate_rows`, which builds
-each (algorithm, bits, profile) point as a declarative
-:class:`~repro.estimator.spec.EstimateSpec` and evaluates the grid with
-:func:`~repro.estimator.spec.run_specs` — the same path as the CLI and
-the estimation service. Cross-point work is memoized by the batch
-engine's :class:`~repro.estimator.batch.EstimateCache` (traced counts,
-T-factory designs, code-distance lookups), ``max_workers`` fans points
-out over worker processes (programs travel as picklable factories, so
-circuit construction and tracing parallelize too), and an optional
-persistent ``store`` answers previously-computed points from disk — a
-warm fig3/fig4 reproduction takes milliseconds.
+All figure sweeps funnel through :func:`run_estimate_rows`, which frames
+the (algorithm, bits, profile) points as a zip-mode
+:class:`~repro.estimator.sweep.SweepSpec` and evaluates it with
+:func:`~repro.estimator.sweep.run_sweep` — the same declarative path as
+the ``repro sweep`` CLI and the estimation service's async sweep jobs.
+Cross-point work is memoized by the batch engine's
+:class:`~repro.estimator.batch.EstimateCache` (traced counts, T-factory
+designs, code-distance lookups), ``max_workers`` fans points out over
+worker processes (programs travel as picklable factories, so circuit
+construction and tracing parallelize too), and an optional persistent
+``store`` makes figure runs resumable: every completed chunk is
+persisted, so a killed reproduction picks up where it stopped and a warm
+fig3/fig4 re-run takes milliseconds.
 """
 
 from __future__ import annotations
@@ -20,7 +22,8 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from ..estimator import EstimationError, PhysicalResourceEstimates
 from ..estimator.batch import EstimateRequest
-from ..estimator.spec import EstimateSpec, ProgramRef, run_specs
+from ..estimator.spec import EstimateSpec, ProgramRef
+from ..estimator.sweep import SweepAxis, SweepSpec, run_sweep
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..estimator.store import ResultStore
@@ -147,18 +150,31 @@ def run_estimate_rows(
     ``materialize`` / ``counting``); results are identical, cost is not.
     ``store`` layers the persistent result store under the run: points
     whose spec hash is already stored answer from disk (a warm full
-    figure reproduces in milliseconds), and fresh results are written
-    back for the next run.
+    figure reproduces in milliseconds), fresh results are persisted chunk
+    by chunk, and an interrupted figure run resumes from its completed
+    chunks.
     """
-    specs = [
-        multiplier_spec(algorithm, bits, profile, budget=budget, backend=backend)
-        for algorithm, bits, profile in points
-    ]
-    outcomes = run_specs(
-        specs, registry=registry, store=store, max_workers=max_workers
+    if not points:
+        return []
+    sweep = SweepSpec(
+        base={"budget": budget, "backend": backend},
+        axes=(
+            SweepAxis(
+                "program.multiplier.algorithm",
+                tuple(algorithm for algorithm, _, _ in points),
+            ),
+            SweepAxis(
+                "program.multiplier.bits", tuple(int(bits) for _, bits, _ in points)
+            ),
+            SweepAxis("qubit", tuple(profile for _, _, profile in points)),
+        ),
+        mode="zip",
+    )
+    result = run_sweep(
+        sweep, registry=registry, store=store, max_workers=max_workers
     )
     rows = []
-    for (algorithm, bits, profile), outcome in zip(points, outcomes):
+    for (algorithm, bits, profile), outcome in zip(points, result.points):
         if not outcome.ok:
             raise EstimationError(
                 f"figure point ({algorithm}, {bits}, {profile}) failed: "

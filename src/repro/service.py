@@ -24,6 +24,22 @@ Endpoints
     the CI ``service-smoke`` job.
 ``GET /v1/results/<specHash>``
     The stored document for a hash (404 until someone computes it).
+``POST /v1/sweeps``
+    Body: a sweep document (see
+    :meth:`repro.estimator.sweep.SweepSpec.to_dict`). Responds **202**
+    with a job record ``{"jobId": ..., "status": ..., "total": ...}``.
+    The job id is the sweep's content hash, so resubmitting an
+    equivalent sweep returns the same job — running, or already done
+    (including sweeps finished before a server restart, re-served from
+    the store). Jobs execute on a worker thread pool in store-backed
+    chunks; each chunk interleaves with interactive submissions.
+``GET /v1/jobs/<jobId>``
+    Job status: ``queued`` / ``running`` / ``done`` / ``failed`` plus
+    cumulative partial-completion counts (``completed``, ``ok``,
+    ``failed``, ``fromStore``).
+``GET /v1/sweeps/<jobId>/result``
+    The finished sweep's full result document (409 while the job is
+    still queued/running, 404 for unknown jobs).
 ``GET /v1/registry``
     Names of the available qubit profiles, QEC schemes, distillation
     units, and factory designers (including scenario-file entries).
@@ -48,6 +64,9 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib import error as urllib_error
@@ -56,12 +75,14 @@ from urllib import request as urllib_request
 from .estimator.batch import EstimateCache
 from .estimator.spec import EstimateSpec, run_specs
 from .estimator.store import ResultStore
+from .estimator.sweep import SweepProgress, SweepSpec, run_sweep
 from .registry import Registry, default_registry
 
 __all__ = [
     "EstimationService",
     "ServiceClient",
     "ServiceError",
+    "SweepJob",
     "make_server",
 ]
 
@@ -77,6 +98,40 @@ class ServiceError(RuntimeError):
         self.status = status
 
 
+class _ServiceStopping(Exception):
+    """Raised inside a sweep job to abort at a chunk boundary on close()."""
+
+
+@dataclass(eq=False)
+class SweepJob:
+    """In-memory state of one async sweep job (id = sweep content hash)."""
+
+    job_id: str
+    status: str  # "queued" | "running" | "done" | "failed"
+    total: int
+    completed: int = 0
+    ok: int = 0
+    failed: int = 0
+    from_store: int = 0
+    error: str | None = None
+    result_doc: dict[str, Any] | None = None
+
+    def to_record(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "jobId": self.job_id,
+            "status": self.status,
+            "total": self.total,
+            "completed": self.completed,
+            "ok": self.ok,
+            "failed": self.failed,
+            "fromStore": self.from_store,
+            "error": self.error,
+        }
+        if self.status == "done":
+            record["resultUrl"] = f"/v1/sweeps/{self.job_id}/result"
+        return record
+
+
 class EstimationService:
     """Request handling, independent of the HTTP transport.
 
@@ -87,11 +142,16 @@ class EstimationService:
         registry, including any loaded scenario files).
     store:
         Persistent result store; ``None`` disables persistence (every
-        submission recomputes, ``GET /v1/results`` always misses).
+        submission recomputes, ``GET /v1/results`` always misses, and
+        finished sweep jobs survive only in memory).
     cache:
         In-memory cross-point memo cache shared by all submissions.
     max_workers:
         Fan-out for each submitted batch (see :func:`estimate_batch`).
+    sweep_workers:
+        Size of the async sweep job thread pool. Sweep chunks take the
+        same engine lock as interactive submissions, so jobs make
+        progress without starving ``POST /v1/estimate``.
     """
 
     def __init__(
@@ -100,12 +160,30 @@ class EstimationService:
         store: ResultStore | None = None,
         cache: EstimateCache | None = None,
         max_workers: int | None = 1,
+        sweep_workers: int = 2,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.store = store
         self.cache = cache if cache is not None else EstimateCache()
         self.max_workers = max_workers
         self._lock = threading.Lock()
+        self._jobs: dict[str, SweepJob] = {}
+        self._jobs_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._sweep_pool = ThreadPoolExecutor(
+            max_workers=max(1, sweep_workers), thread_name_prefix="repro-sweep"
+        )
+
+    def close(self, *, wait: bool = False) -> None:
+        """Shut the sweep workers down.
+
+        Pending jobs are cancelled and *running* jobs abort at their next
+        chunk boundary (their completed chunks are already persisted, so
+        a resubmission after restart resumes from the store) — a Ctrl-C'd
+        server must not hang until an hours-long sweep finishes.
+        """
+        self._stopping.set()
+        self._sweep_pool.shutdown(wait=wait, cancel_futures=True)
 
     # -- request handling --------------------------------------------------
 
@@ -175,6 +253,146 @@ class EstimationService:
         except ValueError:
             return None  # malformed hash in the URL
 
+    # -- async sweep jobs --------------------------------------------------
+
+    def submit_sweep(self, payload: Any) -> dict[str, Any]:
+        """Handle a ``POST /v1/sweeps`` body; returns the job record.
+
+        The sweep is parsed and expanded eagerly — a malformed sweep file
+        is a :class:`ValueError` (400), never a failed job. The job id is
+        the sweep's resolved content hash: an equivalent resubmission
+        joins the existing job, and a sweep whose result document is
+        already stored (by a previous run or a previous server process)
+        is immediately ``done`` without recomputing anything.
+        """
+        spec = SweepSpec.from_dict(payload)
+        total = len(spec.expand())
+        job_id = spec.content_hash(self.registry)
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is not None and job.status not in ("failed", "done"):
+            return job.to_record()
+        if job is not None and job.status == "done":
+            # Trust a done job only while its result is still readable: a
+            # stored document lost to corruption or deletion must requeue
+            # (heal by recomputation), not 409 forever.
+            if job.result_doc is not None or self._stored_sweep(job_id) is not None:
+                return job.to_record()
+        # Failed jobs (worker exception, resource pressure) and done jobs
+        # whose document vanished are retried rather than cached forever.
+        stored = self._stored_sweep(job_id)  # disk I/O outside the lock
+        with self._jobs_lock:
+            current = self._jobs.get(job_id)
+            if current is not None and current is not job:
+                return current.to_record()  # raced with another submitter
+            if stored is not None:
+                fresh = self._job_from_document(job_id, stored)
+                self._jobs[job_id] = fresh
+                return fresh.to_record()
+            fresh = SweepJob(job_id=job_id, status="queued", total=total)
+            self._jobs[job_id] = fresh
+        self._sweep_pool.submit(self._run_sweep_job, fresh, spec)
+        return fresh.to_record()
+
+    @staticmethod
+    def _job_from_document(job_id: str, document: dict[str, Any]) -> SweepJob:
+        """A ``done`` job reconstructed from a stored sweep result.
+
+        ``result_doc`` stays ``None`` — the document lives in the store,
+        and result reads fall back to it instead of pinning a copy.
+        """
+        counts = document.get("counts", {})
+        total = int(counts.get("total", 0))
+        return SweepJob(
+            job_id=job_id,
+            status="done",
+            total=total,
+            completed=total,
+            ok=int(counts.get("ok", 0)),
+            failed=int(counts.get("failed", 0)),
+        )
+
+    def _run_sweep_job(self, job: SweepJob, spec: SweepSpec) -> None:
+        def on_progress(event: SweepProgress) -> None:
+            if self._stopping.is_set():
+                raise _ServiceStopping()
+            with self._jobs_lock:
+                job.completed = event.completed
+                job.ok = event.ok
+                job.failed = event.failed
+                job.from_store = event.from_store
+
+        try:
+            with self._jobs_lock:
+                job.status = "running"
+            result = run_sweep(
+                spec,
+                registry=self.registry,
+                store=self.store,
+                cache=self.cache,
+                max_workers=self.max_workers,
+                progress=on_progress,
+                lock=self._lock,
+            )
+            document = result.to_dict()
+            persisted = (
+                self.store.put_sweep(job.job_id, document)
+                if self.store is not None
+                else False
+            )
+            with self._jobs_lock:
+                # Keep the document in memory only when the store did not
+                # take it — a long-lived server serving many sweeps must
+                # not pin every finished result; reads fall back to the
+                # store's copy.
+                job.result_doc = None if persisted else document
+                job.status = "done"
+        except _ServiceStopping:
+            with self._jobs_lock:
+                job.status = "failed"
+                job.error = "aborted: service shutting down"
+        except Exception as exc:  # a failed job must be reportable, not lost
+            with self._jobs_lock:
+                job.status = "failed"
+                job.error = str(exc)
+
+    def job_record(self, job_id: str) -> dict[str, Any] | None:
+        """Status for ``GET /v1/jobs/<id>`` (or ``None`` if unknown)."""
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job.to_record()
+        stored = self._stored_sweep(job_id)
+        if stored is not None:
+            return self._job_from_document(job_id, stored).to_record()
+        return None
+
+    def sweep_result_document(
+        self, job_id: str
+    ) -> tuple[dict[str, Any] | None, str | None]:
+        """(result document, status) for ``GET /v1/sweeps/<id>/result``.
+
+        The document is ``None`` until the job is done; ``status`` is
+        ``None`` only for unknown job ids.
+        """
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job.status == "done" and job.result_doc:
+                return job.result_doc, "done"
+            status = job.status if job is not None else None
+        stored = self._stored_sweep(job_id)
+        if stored is not None:
+            return stored, "done"
+        return None, status
+
+    def _stored_sweep(self, job_id: str) -> dict[str, Any] | None:
+        if self.store is None:
+            return None
+        try:
+            return self.store.get_sweep(job_id)
+        except ValueError:
+            return None  # malformed hash in the URL
+
     def health(self) -> dict[str, Any]:
         from .estimator.spec import SPEC_SCHEMA
         from .estimator.store import RESULT_SCHEMA
@@ -237,11 +455,30 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json(document)
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/") :]
+            record = service.job_record(job_id)
+            if record is None:
+                self._send_error_json(f"unknown job {job_id!r}", 404)
+            else:
+                self._send_json(record)
+        elif path.startswith("/v1/sweeps/") and path.endswith("/result"):
+            job_id = path[len("/v1/sweeps/") : -len("/result")]
+            document, status = service.sweep_result_document(job_id)
+            if document is not None:
+                self._send_json(document)
+            elif status is not None:
+                self._send_error_json(
+                    f"sweep job {job_id!r} is {status}, not done", 409
+                )
+            else:
+                self._send_error_json(f"unknown sweep job {job_id!r}", 404)
         else:
             self._send_error_json(f"unknown route {self.path!r}", 404)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path.rstrip("/") != "/v1/estimate":
+        route = self.path.rstrip("/")
+        if route not in ("/v1/estimate", "/v1/sweeps"):
             self._send_error_json(f"unknown route {self.path!r}", 404)
             return
         try:
@@ -262,6 +499,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(f"invalid JSON body: {exc}", 400)
             return
         try:
+            if route == "/v1/sweeps":
+                response = self.server.service.submit_sweep(payload)
+                self._send_json(response, status=202)
+                return
             response = self.server.service.submit(payload)
         except ValueError as exc:
             self._send_error_json(str(exc), 400)
@@ -360,6 +601,66 @@ class ServiceClient:
             if exc.status == 404:
                 return None
             raise
+
+    # -- async sweep jobs --------------------------------------------------
+
+    def submit_sweep(self, sweep: "SweepSpec | dict[str, Any]") -> dict[str, Any]:
+        """POST a sweep; returns the job record (``jobId``, ``status``)."""
+        payload = sweep.to_dict() if isinstance(sweep, SweepSpec) else sweep
+        return self._request("/v1/sweeps", payload)
+
+    def job(self, job_id: str) -> dict[str, Any] | None:
+        """Poll one job's status record, or ``None`` for unknown ids."""
+        try:
+            return self._request(f"/v1/jobs/{job_id}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def sweep_result(self, job_id: str) -> dict[str, Any] | None:
+        """A finished sweep's result document.
+
+        ``None`` for unknown jobs; raises :class:`ServiceError` (409)
+        while the job is still queued or running.
+        """
+        try:
+            return self._request(f"/v1/sweeps/{job_id}/result")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def wait_for_sweep(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll a job until done and return its result document.
+
+        Raises :class:`ServiceError` if the job fails, disappears, or
+        does not finish within ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record is None:
+                raise ServiceError(f"sweep job {job_id!r} is unknown")
+            if record["status"] == "done":
+                document = self.sweep_result(job_id)
+                if document is None:
+                    raise ServiceError(
+                        f"sweep job {job_id!r} finished but has no result"
+                    )
+                return document
+            if record["status"] == "failed":
+                raise ServiceError(
+                    f"sweep job {job_id!r} failed: {record.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"sweep job {job_id!r} still {record['status']} after "
+                    f"{timeout:g} s"
+                )
+            time.sleep(poll)
 
     def registry(self) -> dict[str, Any]:
         return self._request("/v1/registry")

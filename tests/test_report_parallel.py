@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
 
 from repro import LogicalCounts, estimate, qubit_params
@@ -93,29 +91,27 @@ class TestParallelSweeps:
         assert rows[0].bits == 32
 
 
-class TestDeprecatedParallelShim:
-    """The parallel module still works but warns; removal is slated."""
+class TestDeprecatedParallelShimRemoved:
+    """The shim completed its deprecation cycle (PR 3) and is gone.
 
-    def test_import_warns_and_shim_matches_engine(self):
+    Everything it offered lives on the sweep surface now:
+    ``run_rows_parallel`` -> :func:`repro.experiments.runner.
+    run_estimate_rows`, ``fig3_points`` / ``fig4_points`` ->
+    :func:`repro.experiments.fig3.run_fig3` / ``fig4.run_fig4``.
+    """
+
+    def test_module_is_gone(self):
         import importlib
         import sys
 
         sys.modules.pop("repro.experiments.parallel", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            parallel = importlib.import_module("repro.experiments.parallel")
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        ), "importing repro.experiments.parallel must warn"
-        assert "deprecated" in (parallel.__doc__ or "").lower()
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.experiments.parallel")
 
-        points = [("windowed", 32, "qubit_maj_ns_e4")]
-        shim_rows = parallel.run_rows_parallel(points, max_workers=1)
-        assert shim_rows == run_estimate_rows(
-            points, budget=parallel.PAPER_ERROR_BUDGET, max_workers=1
-        )
+    def test_replacement_surface_covers_the_shim(self):
+        # The migration targets named by the shim's docstring must exist.
+        from repro.experiments.fig3 import run_fig3
+        from repro.experiments.fig4 import run_fig4
 
-        grid3 = parallel.fig3_points([32, 64])
-        assert grid3[0] == ("schoolbook", 32, "qubit_maj_ns_e4")
-        grid4 = parallel.fig4_points(["qubit_gate_ns_e3", "qubit_maj_ns_e4"])
-        assert len(grid4) == 6
+        assert callable(run_fig3) and callable(run_fig4)
+        assert callable(run_estimate_rows)

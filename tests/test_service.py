@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -259,3 +260,310 @@ class TestServiceWithoutStore:
         again = service.submit(spec.to_dict())
         assert again["fromStore"] is False
         assert service.result_document(record["specHash"]) is None
+
+
+class TestConcurrentSubmissions:
+    """N threads POSTing overlapping specs/batches over one shared store.
+
+    Every concurrent response must be bit-for-bit equal to what a serial
+    service computes for the same spec, and the shared store directory
+    must hold only whole, digest-valid documents — no torn files.
+    """
+
+    PROFILES = ("qubit_gate_ns_e3", "qubit_gate_ns_e4", "qubit_maj_ns_e4")
+    BUDGETS = (1e-4, 1e-3)
+
+    def _specs(self):
+        return [
+            EstimateSpec(
+                program=COUNTS,
+                qubit=profile,
+                budget=budget,
+                label=f"{profile}/{budget}",
+            )
+            for profile in self.PROFILES
+            for budget in self.BUDGETS
+        ]
+
+    def test_concurrent_matches_serial_and_no_torn_files(self, tmp_path):
+        specs = self._specs()
+
+        # Serial baseline: a fresh service + store, one request at a time.
+        serial = EstimationService(
+            registry=Registry(), store=ResultStore(tmp_path / "serial")
+        )
+        baseline = {
+            record["label"]: record
+            for record in serial.submit({"specs": [s.to_dict() for s in specs]})[
+                "results"
+            ]
+        }
+        serial.close()
+
+        # Concurrent: 8 threads POST overlapping batches over HTTP
+        # against one service sharing one store.
+        shared_store = ResultStore(tmp_path / "shared")
+        service = EstimationService(registry=Registry(), store=shared_store)
+        server = make_server("127.0.0.1", 0, service=service)
+        server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        server_thread.start()
+        client_url = f"http://127.0.0.1:{server.server_address[1]}"
+
+        # Overlapping batches: each thread submits a rotation of the same
+        # specs, so every spec is computed by several threads at once.
+        batches = [
+            specs[offset % len(specs) :] + specs[: offset % len(specs)]
+            for offset in range(8)
+        ]
+        responses: list[list[dict] | Exception] = [None] * len(batches)
+
+        def worker(index: int) -> None:
+            try:
+                client = ServiceClient(client_url)
+                responses[index] = client.submit_batch(batches[index])
+            except Exception as exc:  # surfaced by the assertions below
+                responses[index] = exc
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(batches))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        try:
+            for batch, records in zip(batches, responses):
+                assert not isinstance(records, Exception), records
+                for spec, record in zip(batch, records):
+                    expected = baseline[spec.label]
+                    assert record["ok"], record["error"]
+                    assert record["specHash"] == expected["specHash"]
+                    assert record["result"] == expected["result"]
+
+            # No torn store files: every document on disk parses and
+            # passes the integrity check.
+            files = list((tmp_path / "shared").rglob("*.json"))
+            assert len(files) == len(specs)
+            for path in files:
+                json.loads(path.read_text())  # whole JSON
+                assert shared_store.get_raw(path.stem) is not None, path
+            leftovers = [p for p in (tmp_path / "shared").rglob("*.tmp")]
+            assert leftovers == []
+        finally:
+            server.shutdown()
+            server.server_close()
+            server_thread.join(timeout=5)
+            service.close()
+
+
+SWEEP_DOC = {
+    "base": {"program": {"counts": None}},  # counts filled in below
+    "axes": [
+        {"field": "budget", "values": [1e-4, 1e-3]},
+        {"field": "qubit", "values": ["qubit_gate_ns_e3", "qubit_maj_ns_e4"]},
+    ],
+    "frontier": {"objective": "qubits-runtime", "groupBy": ["qubit"]},
+}
+SWEEP_DOC["base"]["program"]["counts"] = COUNTS.to_dict()
+
+
+class TestSweepJobs:
+    def test_job_lifecycle_over_http(self, client):
+        record = client.submit_sweep(SWEEP_DOC)
+        assert record["status"] in ("queued", "running", "done")
+        assert record["total"] == 4
+        job_id = record["jobId"]
+
+        document = client.wait_for_sweep(job_id, timeout=120)
+        assert document["sweepHash"] == job_id
+        assert document["counts"] == {"total": 4, "ok": 4, "failed": 0}
+        assert len(document["frontiers"]) == 2
+
+        status = client.job(job_id)
+        assert status["status"] == "done"
+        assert status["completed"] == status["total"] == 4
+        assert status["resultUrl"] == f"/v1/sweeps/{job_id}/result"
+
+    def test_resubmission_joins_the_finished_job(self, client):
+        first = client.submit_sweep(SWEEP_DOC)
+        client.wait_for_sweep(first["jobId"], timeout=120)
+        again = client.submit_sweep(SWEEP_DOC)
+        assert again["jobId"] == first["jobId"]
+        assert again["status"] == "done"
+        assert again["completed"] == again["total"]
+
+    def test_unknown_job_is_404(self, client):
+        assert client.job("ab" * 32) is None
+        assert client.sweep_result("ab" * 32) is None
+
+    def test_result_while_running_is_409(self, service, client):
+        from repro.service import SweepJob
+
+        job_id = "ef" * 32
+        with service._jobs_lock:
+            service._jobs[job_id] = SweepJob(job_id=job_id, status="running", total=4)
+        with pytest.raises(ServiceError) as excinfo:
+            client.sweep_result(job_id)
+        assert excinfo.value.status == 409
+
+    def test_malformed_sweep_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_sweep({"axes": []})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_sweep({"axes": [{"field": "budget", "values": [1]}], "bogus": 1})
+        assert excinfo.value.status == 400
+
+    def test_restarted_server_reserves_finished_sweeps(self, tmp_path):
+        """Job state survives via the store across service processes."""
+        store_root = tmp_path / "store"
+        first = EstimationService(registry=Registry(), store=ResultStore(store_root))
+        record = first.submit_sweep(SWEEP_DOC)
+        job_id = record["jobId"]
+        deadline = time.monotonic() + 120
+        while first.job_record(job_id)["status"] not in ("done", "failed"):
+            assert time.monotonic() < deadline, "sweep job did not finish"
+            time.sleep(0.02)
+        document, status = first.sweep_result_document(job_id)
+        assert status == "done"
+        first.close()
+
+        # A brand-new service over the same store re-serves the sweep —
+        # both the result document and an immediately-done resubmission.
+        second = EstimationService(registry=Registry(), store=ResultStore(store_root))
+        try:
+            redocument, restatus = second.sweep_result_document(job_id)
+            assert restatus == "done"
+            assert redocument == document
+            assert second.job_record(job_id)["status"] == "done"
+            resubmitted = second.submit_sweep(SWEEP_DOC)
+            assert resubmitted["jobId"] == job_id
+            assert resubmitted["status"] == "done"
+        finally:
+            second.close()
+
+    def test_storeless_service_keeps_results_in_memory(self):
+        service = EstimationService(registry=Registry(), store=None)
+        try:
+            record = service.submit_sweep(SWEEP_DOC)
+            job_id = record["jobId"]
+            deadline = time.monotonic() + 120
+            while service.job_record(job_id)["status"] not in ("done", "failed"):
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            document, status = service.sweep_result_document(job_id)
+            assert status == "done"
+            assert document["counts"]["ok"] == 4
+        finally:
+            service.close()
+
+    def test_failed_job_is_retried_on_resubmission(self, monkeypatch, tmp_path):
+        # A transient worker failure must not poison the job id forever.
+        import repro.service as service_module
+
+        real_run_sweep = service_module.run_sweep
+        calls = {"count": 0}
+
+        def flaky(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient worker failure")
+            return real_run_sweep(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "run_sweep", flaky)
+        service = EstimationService(
+            registry=Registry(), store=ResultStore(tmp_path)
+        )
+        try:
+            record = service.submit_sweep(SWEEP_DOC)
+            job_id = record["jobId"]
+            deadline = time.monotonic() + 60
+            while service.job_record(job_id)["status"] not in ("done", "failed"):
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            failed = service.job_record(job_id)
+            assert failed["status"] == "failed"
+            assert "transient worker failure" in failed["error"]
+
+            retried = service.submit_sweep(SWEEP_DOC)
+            assert retried["jobId"] == job_id
+            assert retried["status"] in ("queued", "running")
+            while service.job_record(job_id)["status"] not in ("done", "failed"):
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert service.job_record(job_id)["status"] == "done"
+        finally:
+            service.close()
+
+    def test_persisted_results_are_not_pinned_in_memory(self, tmp_path):
+        # With a store attached, a finished job releases its in-memory
+        # result document; reads fall back to the stored copy.
+        service = EstimationService(
+            registry=Registry(), store=ResultStore(tmp_path)
+        )
+        try:
+            record = service.submit_sweep(SWEEP_DOC)
+            job_id = record["jobId"]
+            deadline = time.monotonic() + 120
+            while service.job_record(job_id)["status"] != "done":
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            with service._jobs_lock:
+                assert service._jobs[job_id].result_doc is None
+            document, status = service.sweep_result_document(job_id)
+            assert status == "done" and document["counts"]["ok"] == 4
+        finally:
+            service.close()
+
+    def test_vanished_sweep_document_requeues_on_resubmission(self, tmp_path):
+        # A done job whose stored document was corrupted or deleted must
+        # heal by recomputation, not answer 409/"done" forever.
+        store = ResultStore(tmp_path)
+        service = EstimationService(registry=Registry(), store=store)
+        try:
+            record = service.submit_sweep(SWEEP_DOC)
+            job_id = record["jobId"]
+            deadline = time.monotonic() + 120
+            while service.job_record(job_id)["status"] != "done":
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            store.sweep_path_for(job_id).unlink()
+
+            retried = service.submit_sweep(SWEEP_DOC)
+            assert retried["jobId"] == job_id
+            assert retried["status"] in ("queued", "running")
+            while service.job_record(job_id)["status"] != "done":
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            document, status = service.sweep_result_document(job_id)
+            assert status == "done" and document["counts"]["ok"] == 4
+        finally:
+            service.close()
+
+    def test_close_aborts_jobs_at_the_next_chunk_boundary(self, tmp_path):
+        # A closing service must not keep grinding through a long sweep;
+        # the aborted job reports a failed status, and its persisted
+        # chunks resume after a restart.
+        service = EstimationService(registry=Registry(), store=ResultStore(tmp_path))
+        try:
+            service._stopping.set()
+            record = service.submit_sweep(SWEEP_DOC)
+            job_id = record["jobId"]
+            deadline = time.monotonic() + 60
+            while service.job_record(job_id)["status"] not in ("done", "failed"):
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            status = service.job_record(job_id)
+            assert status["status"] == "failed"
+            assert "shutting down" in status["error"]
+        finally:
+            service.close()
+
+    def test_failed_estimation_points_do_not_fail_the_job(self, client):
+        doc = json.loads(json.dumps(SWEEP_DOC))
+        doc["axes"][1]["values"] = ["qubit_gate_ns_e3", "no_such_profile"]
+        record = client.submit_sweep(doc)
+        document = client.wait_for_sweep(record["jobId"], timeout=120)
+        assert document["counts"] == {"total": 4, "ok": 2, "failed": 2}
+        errors = [p["error"] for p in document["points"] if not p["ok"]]
+        assert all("no_such_profile" in e for e in errors)

@@ -44,6 +44,13 @@ class TestProgramRef:
         ref = ProgramRef(kind="modexp", bits=64)
         assert ref.to_dict() == {"modexp": {"bits": 64}}
 
+    def test_unknown_multiplier_algorithm_rejected_eagerly(self):
+        # Regression: counts resolve lazily in batch workers, so an
+        # unvalidated algorithm name used to crash the whole sweep (and
+        # 500 the service) instead of failing the one spec.
+        with pytest.raises(ValueError, match="unknown multiplier 'nope'"):
+            ProgramRef(kind="multiplier", algorithm="nope", bits=8)
+
     def test_validation(self):
         with pytest.raises(ValueError, match="kind"):
             ProgramRef(kind="bogus", bits=8)

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import json
+import random
 
 import pytest
 
-from repro import LogicalCounts, ResultStore, estimate, qubit_params
+from repro import LogicalCounts, Registry, ResultStore, estimate, qubit_params
+from repro.estimator.spec import EstimateSpec, run_specs
 from repro.estimator.store import RESULT_SCHEMA, STORE_ENV_VAR, default_store_root
 
 COUNTS = LogicalCounts(num_qubits=40, t_count=50_000, measurement_count=500)
@@ -110,6 +112,104 @@ class TestRobustness:
         store.put(HASH_B, result)
         assert store.clear() == 2
         assert len(store) == 0
+
+
+class TestIntegrityDigest:
+    def test_documents_carry_a_verified_digest(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        document = json.loads(store.path_for(HASH_A).read_text())
+        assert isinstance(document.get("digest"), str)
+        assert len(document["digest"]) == 64
+
+    def test_pre_digest_document_reads_as_miss(self, tmp_path, result):
+        # A v1-style document (no digest) must never be served.
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        document = json.loads(store.path_for(HASH_A).read_text())
+        del document["digest"]
+        store.path_for(HASH_A).write_text(json.dumps(document))
+        assert store.get(HASH_A) is None
+
+    def test_sweep_namespace_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        document = {"counts": {"total": 2, "ok": 2, "failed": 0}, "points": []}
+        assert store.put_sweep(HASH_A, document)
+        assert store.get_sweep(HASH_A) == document
+        assert store.get_sweep(HASH_B) is None
+        # Sweep documents are invisible to the result namespace.
+        assert store.get(HASH_A) is None
+        assert len(store) == 0
+
+    def test_sweep_namespace_rejects_malformed_hash(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="malformed"):
+            store.sweep_path_for("../evil")
+
+
+class TestCorruptionFuzz:
+    """Seeded fuzz: any damaged store file is a miss, then recomputed.
+
+    Truncations and byte flips must either break the JSON parse or fail
+    the integrity digest — a corrupted result is *never* served. The
+    end-to-end half asserts :func:`run_specs` treats the corruption as a
+    miss, recomputes the point, and heals the store.
+    """
+
+    SPEC = EstimateSpec(
+        program=LogicalCounts(num_qubits=30, t_count=10_000, measurement_count=200),
+        qubit="qubit_gate_ns_e3",
+    )
+
+    @pytest.fixture()
+    def warmed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        registry = Registry()
+        outcome = run_specs([self.SPEC], registry=registry, store=store)[0]
+        assert outcome.ok and not outcome.from_store
+        path = store.path_for(outcome.spec_hash)
+        return store, registry, outcome, path, path.read_bytes()
+
+    @staticmethod
+    def _corrupt(pristine: bytes, rng: random.Random) -> bytes:
+        if rng.random() < 0.5:
+            cut = rng.randrange(0, len(pristine))  # truncate (maybe to empty)
+            return pristine[:cut]
+        index = rng.randrange(0, len(pristine))
+        old = pristine[index]
+        new = rng.choice([b for b in range(256) if b != old])
+        return pristine[:index] + bytes([new]) + pristine[index + 1 :]
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_every_corruption_reads_as_a_miss(self, warmed, seed):
+        store, _, outcome, path, pristine = warmed
+        rng = random.Random(seed)
+        path.write_bytes(self._corrupt(pristine, rng))
+        assert store.get(outcome.spec_hash) is None, (
+            f"seed {seed}: corrupted document was served"
+        )
+        assert store.get_raw(outcome.spec_hash) is None
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_corrupted_points_are_recomputed_and_healed(self, warmed, seed):
+        store, registry, outcome, path, pristine = warmed
+        rng = random.Random(1000 + seed)
+        path.write_bytes(self._corrupt(pristine, rng))
+        again = run_specs([self.SPEC], registry=registry, store=store)[0]
+        assert again.ok
+        assert again.from_store is False, "a corrupt entry must not be served"
+        assert again.result.to_dict() == outcome.result.to_dict()
+        # The store healed: the recomputed document verifies again.
+        assert store.get(outcome.spec_hash) is not None
+
+    def test_byte_flip_in_embedded_spec_metadata_is_detected(self, warmed):
+        # The digest covers the whole document, not just the result: a
+        # flip inside the debug 'spec' section also reads as a miss.
+        store, _, outcome, path, pristine = warmed
+        index = pristine.index(b'"spec"') + len(b'"spec"') + 4
+        flipped = pristine[:index] + bytes([pristine[index] ^ 0x01]) + pristine[index + 1 :]
+        path.write_bytes(flipped)
+        assert store.get_raw(outcome.spec_hash) is None
 
 
 class TestDefaultRoot:

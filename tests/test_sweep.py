@@ -1,0 +1,566 @@
+"""Tests for the declarative sweep subsystem (spec, execution, resume).
+
+The load-bearing assertion is the kill-and-resume acceptance test:
+interrupting a store-backed sweep mid-run and re-running it completes
+with all previously finished points served from the store, and the final
+:class:`SweepResult` — frontiers included — is bit-for-bit equal to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import LogicalCounts, Registry, ResultStore
+from repro.estimator.spec import EstimateSpec, run_specs
+from repro.estimator.sweep import (
+    DEFAULT_CHUNK_SIZE,
+    FrontierSpec,
+    SweepAxis,
+    SweepResult,
+    SweepSpec,
+    pareto_min_indices,
+    run_sweep,
+)
+
+COUNTS = LogicalCounts(
+    num_qubits=40, t_count=20_000, ccz_count=5_000, measurement_count=500
+)
+
+#: A small two-axis sweep used throughout: budgets x profiles, with a
+#: per-profile Pareto frontier.
+SWEEP_DOC = {
+    "base": {"program": {"counts": COUNTS.to_dict()}},
+    "axes": [
+        {"field": "budget", "values": [1e-4, 1e-3, 1e-2]},
+        {"field": "qubit", "values": ["qubit_gate_ns_e3", "qubit_maj_ns_e4"]},
+    ],
+    "frontier": {"objective": "qubits-runtime", "groupBy": ["qubit"]},
+}
+
+
+def small_sweep() -> SweepSpec:
+    return SweepSpec.from_dict(json.loads(json.dumps(SWEEP_DOC)))
+
+
+class TestSweepSpecParsing:
+    def test_round_trip(self):
+        sweep = small_sweep()
+        again = SweepSpec.from_dict(sweep.to_dict())
+        assert again.to_dict() == sweep.to_dict()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep fields"):
+            SweepSpec.from_dict({**SWEEP_DOC, "bogus": 1})
+        with pytest.raises(ValueError, match="unknown axis fields"):
+            SweepSpec.from_dict(
+                {"axes": [{"field": "budget", "values": [1], "typo": 2}]}
+            )
+        with pytest.raises(ValueError, match="unknown frontier fields"):
+            SweepSpec.from_dict(
+                {
+                    "axes": [{"field": "budget", "values": [1e-3]}],
+                    "frontier": {"objective": "min-qubits", "extra": 1},
+                }
+            )
+
+    def test_axis_needs_exactly_one_value_source(self):
+        with pytest.raises(ValueError, match="exactly one of"):
+            SweepAxis.from_dict({"field": "budget"})
+        with pytest.raises(ValueError, match="exactly one of"):
+            SweepAxis.from_dict(
+                {"field": "budget", "values": [1], "range": {"start": 1, "stop": 2}}
+            )
+
+    def test_range_axis_expands_inclusively(self):
+        axis = SweepAxis.from_dict(
+            {"field": "bits", "range": {"start": 8, "stop": 32, "step": 8}}
+        )
+        assert axis.values == (8, 16, 24, 32)
+        assert all(isinstance(v, int) for v in axis.values)
+        fractional = SweepAxis.from_dict(
+            {"field": "budget", "range": {"start": 0.1, "stop": 0.3, "step": 0.1}}
+        )
+        assert fractional.values == pytest.approx((0.1, 0.2, 0.3))
+
+    def test_geom_axis_expands_geometrically(self):
+        axis = SweepAxis.from_dict(
+            {"field": "bits", "geom": {"start": 32, "factor": 2, "count": 4}}
+        )
+        assert axis.values == (32, 64, 128, 256)
+        assert all(isinstance(v, int) for v in axis.values)
+
+    def test_bad_ranges_rejected(self):
+        for body in (
+            {"start": 2, "stop": 1},
+            {"start": 1, "stop": 2, "step": 0},
+            {"start": 1, "stop": 2, "step": -1},
+            {"start": 1},
+        ):
+            with pytest.raises(ValueError):
+                SweepAxis.from_dict({"field": "x", "range": body})
+        for body in ({"start": 1, "factor": 0, "count": 3}, {"start": 1}):
+            with pytest.raises(ValueError):
+                SweepAxis.from_dict({"field": "x", "geom": body})
+
+    def test_zip_mode_requires_equal_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            SweepSpec(
+                axes=(
+                    SweepAxis("budget", (1e-3, 1e-4)),
+                    SweepAxis("qubit", ("qubit_gate_ns_e3",)),
+                ),
+                mode="zip",
+            )
+
+    def test_unknown_mode_and_objective(self):
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            SweepSpec(axes=(SweepAxis("budget", (1e-3,)),), mode="diagonal")
+        with pytest.raises(ValueError, match="unknown frontier objective"):
+            FrontierSpec(objective="max-qubits")
+
+    def test_group_by_must_name_an_axis(self):
+        with pytest.raises(ValueError, match="groupBy names unknown axes"):
+            SweepSpec(
+                axes=(SweepAxis("budget", (1e-3,)),),
+                frontier=FrontierSpec(group_by=("qubit",)),
+            )
+
+    def test_duplicate_axis_fields_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axis fields"):
+            SweepSpec(
+                axes=(SweepAxis("budget", (1e-3,)), SweepAxis("budget", (1e-4,)))
+            )
+
+
+class TestExpansion:
+    def test_cartesian_order_is_first_axis_major(self):
+        sweep = small_sweep()
+        points = sweep.expand()
+        assert len(points) == sweep.num_points() == 6
+        coords = [dict(point.coords) for point in points]
+        assert [c["budget"] for c in coords] == [1e-4, 1e-4, 1e-3, 1e-3, 1e-2, 1e-2]
+        assert coords[0]["qubit"] == "qubit_gate_ns_e3"
+        assert coords[1]["qubit"] == "qubit_maj_ns_e4"
+
+    def test_zip_mode_pairs_positionally(self):
+        sweep = SweepSpec(
+            base={"program": {"counts": COUNTS.to_dict()}},
+            axes=(
+                SweepAxis("budget", (1e-3, 1e-4)),
+                SweepAxis("qubit", ("qubit_gate_ns_e3", "qubit_maj_ns_e4")),
+            ),
+            mode="zip",
+        )
+        points = sweep.expand()
+        assert len(points) == 2
+        assert dict(points[1].coords) == {
+            "budget": 1e-4,
+            "qubit": "qubit_maj_ns_e4",
+        }
+
+    def test_qubit_and_scheme_string_sugar(self):
+        sweep = SweepSpec(
+            base={"program": {"counts": COUNTS.to_dict()}},
+            axes=(
+                SweepAxis("qubit", ("qubit_gate_ns_e3",)),
+                SweepAxis("scheme", ("surface_code",)),
+            ),
+        )
+        spec = sweep.expand()[0].spec
+        assert spec.qubit == "qubit_gate_ns_e3"
+        assert spec.scheme == "surface_code"
+
+    def test_dotted_paths_create_nested_fragments(self):
+        sweep = SweepSpec(
+            base={"budget": 1e-4},
+            axes=(
+                SweepAxis("program.multiplier.algorithm", ("schoolbook",)),
+                SweepAxis("program.multiplier.bits", (64,)),
+                SweepAxis("qubit", ("qubit_maj_ns_e4",)),
+            ),
+        )
+        spec = sweep.expand()[0].spec
+        assert spec.program.kind == "multiplier"
+        assert spec.program.bits == 64
+
+    def test_points_get_auto_labels(self):
+        point = small_sweep().expand()[0]
+        assert point.spec.label == "budget=0.0001, qubit=qubit_gate_ns_e3"
+
+    def test_base_label_wins_over_auto_label(self):
+        sweep = SweepSpec(
+            base={"program": {"counts": COUNTS.to_dict()}, "label": "mine"},
+            axes=(SweepAxis("qubit", ("qubit_gate_ns_e3",)),),
+        )
+        assert sweep.expand()[0].spec.label == "mine"
+
+    def test_malformed_point_raises_naming_the_point(self):
+        sweep = SweepSpec(
+            base={"program": {"counts": COUNTS.to_dict()}},
+            axes=(SweepAxis("budget", (-1.0,)), SweepAxis("qubit", ("x",))),
+        )
+        with pytest.raises(ValueError, match="sweep point 0"):
+            sweep.expand()
+
+    def test_expansion_is_cached_and_immune_to_base_mutation(self):
+        base = {"program": {"counts": COUNTS.to_dict()}}
+        sweep = SweepSpec(base=base, axes=(SweepAxis("qubit", ("qubit_gate_ns_e3",)),))
+        first = sweep.expand()
+        base["budget"] = -1.0  # the spec owns a copy; no stale/poisoned cache
+        second = sweep.expand()
+        assert [p.spec for p in second] == [p.spec for p in first]
+        assert second is not first  # callers get their own list
+
+    def test_non_json_base_rejected(self):
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            SweepSpec(base={"program": object()}, axes=(SweepAxis("qubit", ("x",)),))
+
+    def test_axis_descending_into_scalar_raises(self):
+        sweep = SweepSpec(
+            base={"budget": 1e-3},
+            axes=(SweepAxis("budget.total.deep", (1,)),),
+        )
+        with pytest.raises(ValueError, match="non-object"):
+            sweep.expand()
+
+
+class TestContentHash:
+    def test_equivalent_axis_spellings_hash_identically(self):
+        base = {**SWEEP_DOC["base"], "qubit": {"profile": "qubit_gate_ns_e3"}}
+        explicit = SweepSpec.from_dict(
+            {
+                "base": base,
+                "axes": [{"field": "budget", "values": [1e-4, 1e-3, 1e-2]}],
+            }
+        )
+        spelled = SweepSpec.from_dict(
+            {
+                "base": base,
+                "axes": [
+                    {
+                        "field": "budget",
+                        "geom": {"start": 1e-4, "factor": 10, "count": 3},
+                    }
+                ],
+            }
+        )
+        assert explicit.content_hash() == spelled.content_hash()
+
+    def test_labels_and_chunk_size_do_not_affect_the_hash(self):
+        sweep = small_sweep()
+        relabeled = SweepSpec.from_dict(
+            {**SWEEP_DOC, "label": "anything", "chunkSize": 2}
+        )
+        assert sweep.content_hash() == relabeled.content_hash()
+
+    def test_frontier_config_changes_the_hash(self):
+        sweep = small_sweep()
+        reduced = SweepSpec.from_dict(
+            {**SWEEP_DOC, "frontier": {"objective": "min-qubits"}}
+        )
+        assert sweep.content_hash() != reduced.content_hash()
+
+    def test_registry_redefinition_changes_the_hash(self):
+        sweep = small_sweep()
+        registry = Registry()
+        baseline = sweep.content_hash(registry)
+        hot = Registry()
+        hot.load_scenario(
+            {
+                "qubitParams": [
+                    {
+                        **hot.qubit("qubit_gate_ns_e3").to_dict(),
+                        "t_gate_time_ns": 123.0,
+                    }
+                ]
+            }
+        )
+        assert sweep.content_hash(hot) != baseline
+
+
+class TestParetoMinIndices:
+    def test_non_dominated_points_kept_in_first_coord_order(self):
+        values = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (2.5, 2.5)]
+        assert pareto_min_indices(values) == [1, 2, 0]
+
+    def test_ties_keep_the_earliest_point(self):
+        values = [(1.0, 2.0), (1.0, 2.0), (2.0, 2.0)]
+        assert pareto_min_indices(values) == [0]
+
+    def test_empty(self):
+        assert pareto_min_indices([]) == []
+
+
+class TestRunSweep:
+    def test_matches_run_specs_bit_for_bit(self):
+        sweep = small_sweep()
+        result = run_sweep(sweep)
+        direct = run_specs([point.spec for point in sweep.expand()])
+        assert [p.ok for p in result.points] == [o.ok for o in direct]
+        for point, outcome in zip(result.points, direct):
+            assert point.spec_hash == outcome.spec_hash
+            assert point.result.to_dict() == outcome.result.to_dict()
+
+    def test_frontier_points_are_mutually_non_dominated(self):
+        result = run_sweep(small_sweep())
+        by_index = {point.index: point for point in result.points}
+        for group in result.frontiers:
+            members = [by_index[i] for i in group.indices]
+            for a in members:
+                for b in members:
+                    if a is b:
+                        continue
+                    dominates = (
+                        a.result.runtime_seconds <= b.result.runtime_seconds
+                        and a.result.physical_qubits <= b.result.physical_qubits
+                    )
+                    assert not dominates, (a.index, b.index)
+
+    def test_failed_points_are_reported_not_raised(self):
+        sweep = SweepSpec(
+            base={"program": {"counts": COUNTS.to_dict()}, "budget": 1e-3},
+            axes=(SweepAxis("qubit", ("qubit_gate_ns_e3", "no_such_profile")),),
+            frontier=FrontierSpec(objective="min-qubits"),
+        )
+        result = run_sweep(sweep)
+        assert result.num_ok == 1 and result.num_failed == 1
+        assert "no_such_profile" in result.points[1].error
+        # The failed point is excluded from the frontier.
+        assert result.frontiers[0].indices == (0,)
+
+    def test_min_runtime_objective(self):
+        sweep = SweepSpec.from_dict(
+            {**SWEEP_DOC, "frontier": {"objective": "min-runtime", "groupBy": ["qubit"]}}
+        )
+        result = run_sweep(sweep)
+        by_index = {point.index: point for point in result.points}
+        for group in result.frontiers:
+            (winner,) = group.indices
+            profile = dict(group.key)["qubit"]
+            rivals = [
+                p
+                for p in result.points
+                if dict(p.coords)["qubit"] == profile
+            ]
+            assert by_index[winner].result.runtime_seconds == min(
+                p.result.runtime_seconds for p in rivals
+            )
+
+    def test_progress_events_accumulate(self):
+        events = []
+        run_sweep(small_sweep(), chunk_size=2, progress=events.append)
+        assert [e.chunk for e in events] == [1, 2, 3]
+        assert events[-1].completed == events[-1].total == 6
+        assert events[-1].ok == 6
+
+    def test_storeless_run_defaults_to_a_single_chunk(self):
+        # Chunking only buys resumability; without a store it would just
+        # split one batch call into several for nothing.
+        events = []
+        run_sweep(small_sweep(), progress=events.append)
+        assert [e.chunk for e in events] == [1]
+        assert events[0].num_chunks == 1
+
+    def test_result_document_round_trips(self):
+        result = run_sweep(small_sweep())
+        document = result.to_dict()
+        again = SweepResult.from_dict(json.loads(json.dumps(document)))
+        assert again.to_dict() == document
+
+    def test_csv_has_one_row_per_point(self):
+        result = run_sweep(small_sweep())
+        lines = result.to_csv().splitlines()
+        assert len(lines) == 1 + len(result.points)
+        assert lines[0].startswith("budget,qubit,specHash,ok,physicalQubits")
+
+
+class TestStoreBackedResume:
+    def test_warm_rerun_answers_everything_from_store(self, tmp_path):
+        sweep = small_sweep()
+        store = ResultStore(tmp_path)
+        cold = run_sweep(sweep, store=store)
+        assert cold.num_from_store == 0
+        warm = run_sweep(sweep, store=store)
+        assert warm.num_from_store == len(warm.points)
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_kill_and_resume_is_bit_for_bit(self, tmp_path):
+        """The acceptance test: interrupt mid-run, resume, compare."""
+        sweep = small_sweep()
+
+        # Reference: one uninterrupted run against a pristine store.
+        reference = run_sweep(sweep, store=ResultStore(tmp_path / "ref"))
+
+        # Interrupted: kill the sweep after the first persisted chunk.
+        store = ResultStore(tmp_path / "killed")
+
+        def kill_after_first_chunk(event):
+            if event.chunk == 1:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                sweep, store=store, chunk_size=2, progress=kill_after_first_chunk
+            )
+        assert len(store) == 2, "the completed chunk must already be persisted"
+
+        # Resume: the finished points answer from the store...
+        resumed = run_sweep(sweep, store=store, chunk_size=2)
+        assert resumed.num_from_store == 2
+        assert resumed.num_ok == len(resumed.points)
+        # ... and the final result — frontiers included — is bit-for-bit
+        # equal to the uninterrupted run.
+        assert resumed.to_dict() == reference.to_dict()
+
+    def test_sweep_document_survives_in_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = run_sweep(small_sweep(), store=store)
+        document = result.to_dict()
+        assert store.put_sweep(result.sweep_hash, document)
+        assert store.get_sweep(result.sweep_hash) == json.loads(
+            json.dumps(document)
+        )
+        assert store.get_sweep("ab" * 32) is None
+
+
+class TestFrontierStoreIntegration:
+    def test_estimate_frontier_warm_start(self, tmp_path):
+        from repro import estimate_frontier, qubit_params
+
+        store = ResultStore(tmp_path)
+        qubit = qubit_params("qubit_maj_ns_e4")
+        factors = [1.0, 4.0, 16.0]
+        cold = estimate_frontier(
+            COUNTS, qubit, budget=1e-4, depth_factors=factors, store=store
+        )
+        warm = estimate_frontier(
+            COUNTS, qubit, budget=1e-4, depth_factors=factors, store=store
+        )
+        assert [p.estimates.to_dict() for p in warm] == [
+            p.estimates.to_dict() for p in cold
+        ]
+        assert len(store) == len(factors)
+
+    def test_custom_designer_refuses_a_store(self, tmp_path):
+        from repro import TFactoryDesigner, estimate_frontier, qubit_params
+
+        with pytest.raises(ValueError, match="factory_designer"):
+            estimate_frontier(
+                COUNTS,
+                qubit_params("qubit_maj_ns_e4"),
+                factory_designer=TFactoryDesigner(),
+                store=ResultStore(tmp_path),
+            )
+
+
+class TestSweepCLI:
+    def _write_sweep(self, tmp_path, doc=None):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(doc if doc is not None else SWEEP_DOC))
+        return path
+
+    def test_table_output_and_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_sweep(tmp_path)
+        assert main(["sweep", str(path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "phys qubits" in out
+        assert "frontier [qubits-runtime]" in out
+
+    def test_json_output_is_the_result_document(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_sweep(tmp_path)
+        assert main(["sweep", str(path), "--quiet", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counts"] == {"total": 6, "ok": 6, "failed": 0}
+        assert len(document["points"]) == 6
+
+    def test_resume_requires_store(self, tmp_path):
+        from repro.cli import main
+
+        path = self._write_sweep(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["sweep", str(path), "--resume"])
+
+    def test_resume_reports_warm_points_and_matches_cold(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_sweep(tmp_path)
+        store_dir = tmp_path / "store"
+        assert main(["sweep", str(path), "--store", str(store_dir), "--json"]) == 0
+        captured = capsys.readouterr()
+        cold = json.loads(captured.out)
+        assert "0/6 points already stored" not in captured.err  # no --resume yet
+
+        assert (
+            main(
+                [
+                    "sweep",
+                    str(path),
+                    "--store",
+                    str(store_dir),
+                    "--resume",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "resume: 6/6 points already stored" in captured.err
+        assert "(6 from store, 0 failed)" in captured.err
+        assert json.loads(captured.out) == cold
+
+    def test_csv_output_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_sweep(tmp_path)
+        out_csv = tmp_path / "points.csv"
+        assert main(["sweep", str(path), "--quiet", "--csv", str(out_csv)]) == 0
+        lines = out_csv.read_text().splitlines()
+        assert len(lines) == 7
+
+    def test_failed_points_set_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = json.loads(json.dumps(SWEEP_DOC))
+        doc["axes"][1]["values"] = ["qubit_gate_ns_e3", "bogus_profile"]
+        path = self._write_sweep(tmp_path, doc)
+        assert main(["sweep", str(path), "--quiet"]) == 1
+        captured = capsys.readouterr()
+        assert "bogus_profile" in captured.out
+        assert "3 of 6 points infeasible" in captured.err
+
+    def test_malformed_sweep_file_is_a_spec_error(self, tmp_path):
+        from repro.cli import main
+
+        path = self._write_sweep(tmp_path, {"axes": []})
+        with pytest.raises(SystemExit, match="invalid sweep spec"):
+            main(["sweep", str(path)])
+
+    def test_unreadable_file(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="cannot read sweep file"):
+            main(["sweep", str(tmp_path / "missing.json")])
+
+
+class TestRunnerOnSweep:
+    def test_run_estimate_rows_empty_points(self):
+        from repro.experiments.runner import run_estimate_rows
+
+        assert run_estimate_rows([]) == []
+
+    def test_figure_rows_resume_from_store(self, tmp_path):
+        from repro.experiments.runner import run_estimate_rows
+
+        store = ResultStore(tmp_path)
+        points = [("schoolbook", 16, "qubit_maj_ns_e4"), ("windowed", 16, "qubit_maj_ns_e4")]
+        cold = run_estimate_rows(points, budget=1e-4, store=store)
+        assert len(store) == 2
+        warm = run_estimate_rows(points, budget=1e-4, store=store)
+        assert warm == cold
