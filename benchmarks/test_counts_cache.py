@@ -1,0 +1,118 @@
+"""Benchmark of the persistent counts cache: re-tracing must be skipped.
+
+The acceptance floor for the program layer's counts namespace: a warm
+re-estimate of an RSA-scale (n >= 1024) modular exponentiation against a
+store that has already traced it is **>= 10x faster** than the cold run —
+with a *fresh* ``EstimateCache``, so no in-memory memo can answer; only
+the store can skip the work.
+
+Two warmth levels are asserted:
+
+* same spec — the result store answers directly (result namespace);
+* different budget — a different *result* address for the same workload,
+  so the full pipeline re-runs, but the counts come from the
+  ``repro-counts-v1`` namespace instead of re-streaming the 1024-bit
+  modexp emission.
+
+The shared default factory designer is pre-warmed with one throwaway
+estimate before any timing, so both ratios measure the counts work the
+store elides — not the designer's one-time per-(qubit, scheme) catalog
+build, which every run shares.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import (
+    EstimateCache,
+    EstimateSpec,
+    ProgramRef,
+    Registry,
+    ResultStore,
+    run_specs,
+)
+
+BITS = 1024
+
+
+def _spec(budget: float) -> EstimateSpec:
+    return EstimateSpec(
+        program=ProgramRef(kind="modexp", bits=BITS),
+        qubit="qubit_maj_ns_e4",
+        budget=budget,
+        backend="counting",
+    )
+
+
+@pytest.fixture()
+def registry() -> Registry:
+    registry = Registry()
+    # Warm the shared designer/distance catalogs on a spec that shares no
+    # store address with the timed runs (tiny program, third budget).
+    warmup = EstimateSpec(
+        program=ProgramRef(kind="modexp", bits=16),
+        qubit="qubit_maj_ns_e4",
+        budget=1e-2,
+    )
+    assert run_specs([warmup], registry=registry, cache=EstimateCache())[0].ok
+    return registry
+
+
+def test_warm_counts_reestimate_is_10x_faster(tmp_path, registry):
+    store = ResultStore(tmp_path)
+
+    start = time.perf_counter()
+    cold = run_specs(
+        [_spec(1e-3)], registry=registry, store=store, cache=EstimateCache()
+    )[0]
+    cold_s = time.perf_counter() - start
+    assert cold.ok and not cold.from_store
+    counts_key = _spec(1e-3).program.counts_cache_key(registry, "counting")
+    assert store.get_counts(counts_key) is not None  # the trace persisted
+
+    # Same spec, fresh in-memory cache: the result namespace answers.
+    start = time.perf_counter()
+    warm_same = run_specs(
+        [_spec(1e-3)], registry=registry, store=store, cache=EstimateCache()
+    )[0]
+    warm_same_s = time.perf_counter() - start
+    assert warm_same.ok and warm_same.from_store
+    assert warm_same.result == cold.result
+
+    # Different budget, fresh in-memory cache: a result-store miss — the
+    # pipeline re-runs, but the counts namespace skips the n=1024 trace.
+    start = time.perf_counter()
+    warm_counts = run_specs(
+        [_spec(1e-4)], registry=registry, store=store, cache=EstimateCache()
+    )[0]
+    warm_counts_s = time.perf_counter() - start
+    assert warm_counts.ok and not warm_counts.from_store
+
+    floor = 10.0
+    assert cold_s / warm_same_s >= floor, (
+        f"warm same-spec re-run only {cold_s / warm_same_s:.1f}x faster "
+        f"(cold {cold_s:.3f}s, warm {warm_same_s:.3f}s)"
+    )
+    assert cold_s / warm_counts_s >= floor, (
+        f"warm counts-cache re-run only {cold_s / warm_counts_s:.1f}x faster "
+        f"(cold {cold_s:.3f}s, warm {warm_counts_s:.3f}s)"
+    )
+
+
+def test_counts_cache_result_identical_to_retrace(tmp_path, registry):
+    """Counts served from the store change nothing about the estimate."""
+    store = ResultStore(tmp_path)
+    with_store = run_specs(
+        [_spec(1e-3)], registry=registry, store=store, cache=EstimateCache()
+    )[0]
+    # Second run resolves counts purely from the namespace (fresh cache),
+    # under a *different* budget so the full pipeline re-runs on top.
+    cached = run_specs(
+        [_spec(1e-4)], registry=registry, store=store, cache=EstimateCache()
+    )[0]
+    bare = run_specs([_spec(1e-4)], registry=registry, cache=EstimateCache())[0]
+    assert with_store.ok and cached.ok and bare.ok
+    assert cached.result == bare.result

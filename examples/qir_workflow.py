@@ -4,8 +4,12 @@ The tool is "built on top of QIR": programs written in any front end that
 emits QIR can be estimated without the front end being present. This
 example plays both sides: it authors a circuit with the builder, emits
 textual QIR to disk (what PyQIR or a Q# compiler would produce), then
-re-enters through the QIR parser — including via the command-line
-interface — and confirms the estimates are identical.
+re-enters through the *spec layer* — a declarative ``EstimateSpec`` whose
+program is a ``qir`` reference, evaluated by ``run_specs`` with a
+persistent store behind it — and confirms the estimates are identical to
+estimating the authored circuit directly. The warm re-run answers from
+the store without re-parsing or re-estimating anything, and the same
+file flows through the command-line interface unchanged.
 
 Run:  python examples/qir_workflow.py
 """
@@ -15,7 +19,15 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro import emit_qir, estimate, parse_qir, qubit_params
+from repro import (
+    EstimateSpec,
+    ProgramRef,
+    ResultStore,
+    emit_qir,
+    estimate,
+    qubit_params,
+    run_specs,
+)
 from repro.arithmetic import WindowedMultiplier
 
 # --- author a program and serialize it to QIR --------------------------------
@@ -31,19 +43,35 @@ print("first instructions:")
 for line in qir_text.splitlines()[2:7]:
     print(f"  {line}")
 
-# --- re-enter through the parser ---------------------------------------------
-reparsed = parse_qir(qir_path.read_text())
-assert reparsed.logical_counts() == circuit.logical_counts()
-print("\nround-trip counts identical:", reparsed.logical_counts().to_dict())
+# --- re-enter through a declarative spec -------------------------------------
+# The program is a *reference*: the spec layer parses and validates the
+# QIR eagerly, hashes its text (never its path), and resolves counts
+# lazily through the batch engine.
+spec = EstimateSpec(
+    program=ProgramRef(kind="qir", file=str(qir_path)),
+    qubit="qubit_maj_ns_e4",
+    budget=1e-4,
+    label="multiply_24bit via QIR",
+)
+assert spec.program.resolved().counts() == circuit.logical_counts()
+print("\nround-trip counts identical:", circuit.logical_counts().to_dict())
 
-qubit = qubit_params("qubit_maj_ns_e4")
-direct = estimate(circuit, qubit, budget=1e-4)
-via_qir = estimate(reparsed, qubit, budget=1e-4)
-assert direct.to_dict() == via_qir.to_dict()
+store = ResultStore(workdir / "store")
+outcome = run_specs([spec], store=store)[0]
+direct = estimate(circuit, qubit_params("qubit_maj_ns_e4"), budget=1e-4)
+assert outcome.ok and outcome.result.to_dict() == direct.to_dict()
 print(
     f"estimates agree: {direct.physical_qubits:,} physical qubits, "
     f"{direct.runtime_seconds:.3g} s"
 )
+
+# A second evaluation answers from the store: the spec's content hash is
+# the result's address, and the program's traced counts were persisted in
+# the counts namespace alongside it.
+warm = run_specs([spec], store=store)[0]
+assert warm.from_store and warm.result == outcome.result
+counts_docs = store.stats()["namespaces"]["counts"]["documents"]
+print(f"warm re-run served from store ({counts_docs} counts document cached)")
 
 # --- and through the command line --------------------------------------------
 completed = subprocess.run(

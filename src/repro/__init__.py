@@ -63,6 +63,7 @@ from .estimator import (
 )
 from .formulas import Formula
 from .layout import layout_resources, logical_qubits_after_layout
+from .programs import Program, program_from_dict
 from .qec import (
     FLOQUET_CODE,
     LogicalQubit,
@@ -110,6 +111,7 @@ __all__ = [
     "PREDEFINED_PROFILES",
     "PhysicalQubitParams",
     "PhysicalResourceEstimates",
+    "Program",
     "ProgramRef",
     "QECScheme",
     "Registry",
@@ -135,6 +137,7 @@ __all__ = [
     "layout_resources",
     "logical_qubits_after_layout",
     "parse_qir",
+    "program_from_dict",
     "qec_scheme",
     "qubit_params",
     "render_report",

@@ -1,14 +1,23 @@
 """Command-line interface: estimate resources without writing Python.
 
 Mirrors the submit-a-job experience of the cloud tool (paper Sec. IV-A):
-feed it an algorithm (logical counts as JSON, or a QIR file), pick a
-hardware profile and budget, get the report.
+feed it an algorithm (logical counts as JSON, a QIR file, or a named
+registry program), pick a hardware profile and budget, get the report.
 
 Usage::
 
     python -m repro --counts counts.json --profile qubit_gate_ns_e3
     python -m repro --qir program.ll --profile qubit_maj_ns_e4 \\
         --budget 1e-4 --qec-scheme floquet_code --max-t-factories 10 --json
+    python -m repro --program rsa_2048 --backend counting \\
+        --profile qubit_maj_ns_e4 --budget 1e-4 --store /var/cache/repro
+
+``--program NAME`` references the registry's open program catalog
+(predefined ``rsa_1024`` / ``rsa_2048``, extended by ``--scenario``
+``programs`` entries of any kind: multiplier, modexp, qir, formula,
+random, counts); ``repro registry`` prints the whole catalog as JSON and
+``repro store stats`` reports what a store is holding per namespace
+(results, sweeps, and the logical-counts cache).
 
 ``counts.json`` uses the LogicalCounts field names::
 
@@ -122,7 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--counts", type=Path, help="JSON file with LogicalCounts fields"
     )
     source.add_argument("--qir", type=Path, help="QIR text file (.ll)")
+    _add_program_argument(source)
     _add_profile_argument(parser)
+    parser.add_argument(
+        "--backend",
+        choices=COUNT_BACKEND_CHOICES,
+        default="formula",
+        help="how a referenced --program resolves its counts (identical "
+        "results; default: formula)",
+    )
     parser.add_argument(
         "--budget",
         type=float,
@@ -180,6 +197,18 @@ def _add_profile_argument(
         help=f"hardware profile name — predefined "
         f"({', '.join(sorted(PREDEFINED_PROFILES))}) or defined by a "
         f"--scenario file (default: {default})",
+    )
+
+
+def _add_program_argument(parser) -> None:
+    """The named-program option (open set: registry + scenario files)."""
+    parser.add_argument(
+        "--program",
+        default=None,
+        metavar="NAME",
+        help="named program from the registry — predefined (rsa_1024, "
+        "rsa_2048) or defined by a --scenario 'programs' entry; see "
+        "'repro registry' for the catalog",
     )
 
 
@@ -252,9 +281,19 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=COUNT_BACKEND_CHOICES,
         default="formula",
-        help="how multiplier counts are resolved: closed-form tallies "
-        "(formula, default), a materialized trace (materialize), or the "
-        "streaming counting builder (counting); results are identical",
+        help="how referenced program counts are resolved: closed-form "
+        "tallies (formula, default), a materialized trace (materialize), "
+        "or the streaming counting builder (counting); results are "
+        "identical",
+    )
+    parser.add_argument(
+        "--program",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="named registry program added to the grid's program list "
+        "(repeatable; with this flag the grid file may omit its own "
+        "program section)",
     )
     _add_scenario_argument(parser)
     parser.add_argument(
@@ -280,6 +319,7 @@ _GRID_KEYS = frozenset(
         "algorithms",
         "bits",
         "counts",
+        "programs",
         "profiles",
         "budgets",
         "depth_factors",
@@ -308,21 +348,25 @@ def _load_grid(path: Path) -> dict:
 
 
 def _grid_programs(
-    spec: dict,
+    spec: dict, registry: Registry, extra_names: list[str] | None = None
 ) -> list[tuple[ProgramRef | LogicalCounts, str]]:
-    """(program, label) pairs from a grid spec.
+    """(program, label) pairs from a grid spec (plus ``--program`` names).
 
-    Programs come back in declarative form — :class:`ProgramRef` for the
-    multipliers, inline :class:`LogicalCounts` otherwise — ready to embed
-    in :class:`EstimateSpec` points. Multiplier names/sizes are validated
-    eagerly so typos fail as spec errors; counting stays lazy (resolved
-    in the batch workers through the chosen backend).
+    Programs come back in declarative form — :class:`ProgramRef` for
+    multipliers and named registry programs, inline
+    :class:`LogicalCounts` otherwise — ready to embed in
+    :class:`EstimateSpec` points. Multiplier sizes and program names are
+    validated eagerly so typos fail as spec errors; counting stays lazy
+    (resolved in the batch workers through the chosen backend).
     """
     has_multipliers = "algorithms" in spec or "bits" in spec
     has_counts = "counts" in spec
-    if has_multipliers == has_counts:
+    has_names = "programs" in spec
+    sources = sum((has_multipliers, has_counts, has_names))
+    if sources > 1 or (sources == 0 and not extra_names):
         raise SystemExit(
-            "error: grid spec needs either 'algorithms'+'bits' or 'counts'"
+            "error: grid spec needs either 'algorithms'+'bits', 'counts', "
+            "or 'programs' (or program names via --program)"
         )
     programs: list[tuple[ProgramRef | LogicalCounts, str]] = []
     if has_multipliers:
@@ -344,18 +388,39 @@ def _grid_programs(
                 except (KeyError, ValueError, TypeError) as exc:
                     raise SystemExit(f"error: invalid grid spec: {exc}")
                 programs.append((ref, f"{algorithm}/{bits}"))
-        return programs
-    counts_spec = spec["counts"]
-    if isinstance(counts_spec, dict):
-        counts_spec = [counts_spec]
-    if not isinstance(counts_spec, list) or not counts_spec:
-        raise SystemExit("error: 'counts' must be a dict or non-empty list of dicts")
-    for index, data in enumerate(counts_spec):
+    elif has_counts:
+        counts_spec = spec["counts"]
+        if isinstance(counts_spec, dict):
+            counts_spec = [counts_spec]
+        if not isinstance(counts_spec, list) or not counts_spec:
+            raise SystemExit(
+                "error: 'counts' must be a dict or non-empty list of dicts"
+            )
+        for index, data in enumerate(counts_spec):
+            try:
+                counts = LogicalCounts.from_dict(data)
+            except (TypeError, ValueError) as exc:
+                raise SystemExit(f"error: invalid logical counts [{index}]: {exc}")
+            programs.append((counts, f"counts[{index}]"))
+    raw_names = spec.get("programs")
+    if raw_names is not None and (not isinstance(raw_names, list) or not raw_names):
+        # An empty list must fail like an empty 'counts' — a mis-generated
+        # grid running zero points and exiting 0 is a silent no-op.
+        raise SystemExit(
+            "error: grid 'programs' must be a non-empty list of registry "
+            "program names"
+        )
+    names = list(raw_names or []) + list(extra_names or [])
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise SystemExit(
+                f"error: grid 'programs' entries must be names, got {name!r}"
+            )
         try:
-            counts = LogicalCounts.from_dict(data)
-        except (TypeError, ValueError) as exc:
-            raise SystemExit(f"error: invalid logical counts [{index}]: {exc}")
-        programs.append((counts, f"counts[{index}]"))
+            registry.program(name)  # validate eagerly, like profiles
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+        programs.append((ProgramRef(name=name), name))
     return programs
 
 
@@ -367,7 +432,7 @@ def _batch_main(argv: list[str]) -> int:
     registry = _load_scenarios(args.scenario)
     spec = _load_grid(args.grid)
 
-    programs = _grid_programs(spec)
+    programs = _grid_programs(spec, registry, args.program)
     profiles = spec.get("profiles")
     if not profiles:
         raise SystemExit("error: grid spec needs non-empty 'profiles'")
@@ -693,6 +758,7 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="workload: one of the paper's multipliers, or 'modexp' "
         "(n-bit modular exponentiation, the RSA workload; default: windowed)",
     )
+    _add_program_argument(parser)
     parser.add_argument(
         "--bits", type=int, default=64, help="input bit width n (default: 64)"
     )
@@ -738,14 +804,30 @@ def build_bench_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _bench_counts(args: argparse.Namespace) -> tuple[LogicalCounts, float, float]:
+def _bench_counts(
+    args: argparse.Namespace, registry: Registry
+) -> tuple[LogicalCounts, float, float]:
     """Resolve the workload's counts; returns (counts, build_s, trace_s).
 
     ``build`` is circuit/emission construction, ``trace`` the counting
     pass over it. The streaming backend fuses the two (reported as
     build); the formula backend has no circuit at all (reported as trace).
+    A named ``--program`` resolves through the registry's program layer
+    (whole resolution reported as build).
     """
     algorithm, bits, backend = args.algorithm, args.bits, args.backend
+    if args.program:
+        if args.exponent_bits is not None or args.window is not None:
+            raise SystemExit(
+                "error: --exponent-bits/--window do not apply to --program"
+            )
+        try:
+            program = registry.program(args.program)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+        start = time.perf_counter()
+        counts = program.counts(backend)
+        return counts, time.perf_counter() - start, 0.0
     if algorithm == "modexp":
         from .arithmetic import (
             modexp_circuit,
@@ -816,7 +898,7 @@ def _bench_main(argv: list[str]) -> int:
     registry = _load_scenarios(args.scenario)
     _resolve_profile(registry, args.profile)  # fail fast on a typo
 
-    counts, build_s, trace_s = _bench_counts(args)
+    counts, build_s, trace_s = _bench_counts(args, registry)
 
     # The estimate stage runs through the declarative spec path with an
     # explicit cache, so the timing baseline also reports cache/store
@@ -839,8 +921,11 @@ def _bench_main(argv: list[str]) -> int:
 
     if args.json:
         record: dict[str, object] = {
-            "algorithm": args.algorithm,
-            "bits": args.bits,
+            # A named program supersedes the algorithm/bits flags; their
+            # defaults would describe a workload that never ran.
+            "algorithm": None if args.program else args.algorithm,
+            "bits": None if args.program else args.bits,
+            "program": args.program,
             "backend": args.backend,
             "profile": args.profile,
             "budget": args.budget,
@@ -864,10 +949,8 @@ def _bench_main(argv: list[str]) -> int:
             record["estimateError"] = estimate_error
         print(json.dumps(record, indent=2))
     else:
-        print(
-            f"{args.algorithm}/{args.bits} via {args.backend} backend "
-            f"on {args.profile}"
-        )
+        workload = args.program or f"{args.algorithm}/{args.bits}"
+        print(f"{workload} via {args.backend} backend on {args.profile}")
         print(f"{'stage':<10} {'time[s]':>10}")
         print("-" * 21)
         print(f"{'build':<10} {build_s:>10.3f}")
@@ -893,19 +976,22 @@ def _bench_main(argv: list[str]) -> int:
 def _spec_from_program_args(args: argparse.Namespace) -> EstimateSpec:
     """Build the declarative spec for the single-point / submit flags.
 
-    The program (counts file or QIR) is resolved into inline
-    :class:`LogicalCounts` client-side; names (profile, scheme) stay
-    names, resolved by whichever registry evaluates the spec — locally or
-    on the service side.
+    A local program (counts file or QIR) is resolved into inline
+    :class:`LogicalCounts` client-side; names (``--program``, profile,
+    scheme) stay names, resolved by whichever registry evaluates the
+    spec — locally or on the service side.
     """
-    program = _load_program(args)
-    try:
-        counts = resolve_counts(program)
-    except (TypeError, ValueError) as exc:
-        raise SystemExit(f"error: cannot resolve program counts: {exc}")
+    if getattr(args, "program", None):
+        program: LogicalCounts | ProgramRef = ProgramRef(name=args.program)
+    else:
+        loaded = _load_program(args)
+        try:
+            program = resolve_counts(loaded)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"error: cannot resolve program counts: {exc}")
     try:
         return EstimateSpec(
-            program=counts,
+            program=program,
             qubit=args.profile,
             scheme=args.qec_scheme or None,
             budget=args.budget,
@@ -913,6 +999,7 @@ def _spec_from_program_args(args: argparse.Namespace) -> EstimateSpec:
                 max_t_factories=args.max_t_factories,
                 logical_depth_factor=args.depth_factor,
             ),
+            backend=getattr(args, "backend", "formula"),
             label=getattr(args, "label", None),
         )
     except ValueError as exc:
@@ -937,9 +1024,18 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(raw[1:])
     if raw and raw[0] == "submit":
         return _submit_main(raw[1:])
+    if raw and raw[0] == "registry":
+        return _registry_main(raw[1:])
+    if raw and raw[0] == "store":
+        return _store_main(raw[1:])
     args = build_parser().parse_args(raw)
     registry = _load_scenarios(args.scenario)
     _resolve_profile(registry, args.profile)
+    if args.program:
+        try:
+            registry.program(args.program)  # fail fast on a typo
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
     try:
         point = _spec_from_program_args(args)
     except _SpecInputError as exc:
@@ -969,6 +1065,54 @@ def main(argv: list[str] | None = None) -> int:
             )
             for note in verdict.notes:
                 print(f"  Note: {note}")
+    return 0
+
+
+def build_registry_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro registry",
+        description="Print the registry catalog — qubit profiles, QEC "
+        "schemes, distillation units, factory designers, and programs "
+        "(including --scenario entries) — as JSON; the same document the "
+        "service serves on GET /v1/registry.",
+    )
+    _add_scenario_argument(parser)
+    return parser
+
+
+def _registry_main(argv: list[str]) -> int:
+    args = build_registry_parser().parse_args(argv)
+    registry = _load_scenarios(args.scenario)
+    print(json.dumps(registry.describe(), indent=2))
+    return 0
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Inspect a content-addressed result store.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats",),
+        help="'stats' reports per-namespace document counts and bytes "
+        "(results, sweeps, and the logical-counts cache) as JSON",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=f"store directory (default: $REPRO_STORE_DIR or "
+        f"{Path('~') / '.cache' / 'repro' / 'store'})",
+    )
+    return parser
+
+
+def _store_main(argv: list[str]) -> int:
+    args = build_store_parser().parse_args(argv)
+    store = ResultStore(args.store or default_store_root())
+    print(json.dumps(store.stats(), indent=2))
     return 0
 
 
@@ -1080,6 +1224,7 @@ def build_submit_parser() -> argparse.ArgumentParser:
         "--counts", type=Path, help="JSON file with LogicalCounts fields"
     )
     source.add_argument("--qir", type=Path, help="QIR text file (.ll)")
+    _add_program_argument(source)
     _add_profile_argument(parser)
     parser.add_argument(
         "--budget", type=float, default=1e-3, help="total error budget"

@@ -2,8 +2,10 @@
 
 An :class:`EstimateSpec` is the *declarative* form of one estimation
 point: instead of live Python objects it holds either inline
-:class:`~repro.counts.LogicalCounts` or a :class:`ProgramRef` naming a
-known construction (the paper's multipliers, or modular exponentiation),
+:class:`~repro.counts.LogicalCounts` or a :class:`ProgramRef` — naming a
+workload by construction through the open program catalog
+(:mod:`repro.programs`: multipliers, modular exponentiation, QIR,
+formula-defined counts, seeded random circuits) or by *registry name* —
 plus the qubit profile, QEC scheme, budget, constraints, and synthesis
 model — each either a registry *name* or an inline definition. That makes
 a spec:
@@ -23,7 +25,11 @@ a spec:
 :func:`run_specs` is the one evaluation path layered over both caches:
 specs are hashed, answered from the persistent store when possible, and
 the misses run through :func:`~repro.estimator.batch.estimate_batch`
-(with its in-memory cross-point memos) before being written back.
+(with its in-memory cross-point memos) before being written back. With a
+store, referenced programs additionally resolve their traced counts
+through the store's *counts namespace* (resolved program hash + backend
+-> :class:`LogicalCounts`), so a result-store miss never re-traces a
+workload the store has already counted.
 
 The canonical form deliberately excludes two fields from the hash:
 ``label`` (display metadata) and ``backend`` (all counting backends
@@ -35,12 +41,18 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
-from functools import lru_cache, partial
+from dataclasses import dataclass, replace
+from functools import partial
 from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
 from ..budget import ErrorBudget
 from ..counts import LogicalCounts
+from ..programs import (
+    Program,
+    cached_counts_factory,
+    make_program,
+    program_kind_listing,
+)
 from ..qec import QECScheme
 from ..qubits import PhysicalQubitParams
 from ..synthesis import RotationSynthesis
@@ -64,169 +76,173 @@ __all__ = [
 #: changing the spec schema can never alias old store entries.
 SPEC_SCHEMA = "repro-spec-v1"
 
-#: Program constructions addressable by reference.
-PROGRAM_KINDS = ("multiplier", "modexp")
 
-
-def _multiplier_counts(algorithm: str, bits: int, backend: str) -> LogicalCounts:
-    """Resolve one multiplier's counts (runs inside batch workers)."""
-    from ..arithmetic import multiplier_by_name
-
-    return multiplier_by_name(algorithm, bits).backend_counts(backend)
-
-
-def _modexp_counts(
-    bits: int, exponent_bits: int, window: int | None, backend: str
-) -> LogicalCounts:
-    """Resolve an n-bit modular exponentiation's counts (in workers)."""
-    from ..arithmetic import (
-        modexp_circuit,
-        modexp_counting_counts,
-        modexp_logical_counts,
-    )
-
-    if backend == "formula":
-        return modexp_logical_counts(bits, exponent_bits, window=window)
-    modulus = (1 << bits) - 1  # counts depend only on the bit length
-    if backend == "counting":
-        return modexp_counting_counts(2, modulus, exponent_bits, window=window)
-    return modexp_circuit(2, modulus, exponent_bits, window=window).logical_counts()
-
-
-@lru_cache(maxsize=None)
-def _program_factory(
-    kind: str, params: tuple[tuple[str, Any], ...], backend: str
-) -> partial:
-    """A picklable, lazily-resolved counts factory for a program ref.
-
-    The lru_cache returns the *same* factory object for repeated
-    (ref, backend) resolutions, so identity-based deduplication in the
-    batch engine works even before the explicit ``program_key`` (which is
-    also set, covering cross-process chunks).
-    """
-    kwargs = dict(params)
-    if kind == "multiplier":
-        return partial(_multiplier_counts, kwargs["algorithm"], kwargs["bits"], backend)
-    return partial(
-        _modexp_counts,
-        kwargs["bits"],
-        kwargs["exponent_bits"],
-        kwargs["window"],
-        backend,
-    )
-
-
-@dataclass(frozen=True)
 class ProgramRef:
-    """A program named by construction rather than carried as an object.
+    """A program named by construction — or by registry name.
 
-    ``kind="multiplier"`` needs ``algorithm`` (schoolbook / karatsuba /
-    windowed) and ``bits``; ``kind="modexp"`` needs ``bits`` and takes
-    optional ``exponent_bits`` (default ``2 * bits``, standard order
-    finding) and ``window`` (default: cost-balancing).
+    Two flavors:
+
+    * **by construction**: ``ProgramRef(kind="modexp", bits=2048)`` — any
+      kind in the open program catalog (see :mod:`repro.programs`), with
+      its body fields as keyword arguments (snake_case accepted for the
+      camelCase JSON spellings). The body is validated eagerly, so a typo
+      fails this one spec instead of crashing a batch worker.
+    * **by name**: ``ProgramRef(name="rsa_2048")`` — resolved through the
+      :class:`~repro.registry.Registry` ``programs`` section (predefined
+      entries plus scenario-file definitions), exactly like profile and
+      scheme names.
     """
 
-    kind: str
-    bits: int
-    algorithm: str | None = None
-    exponent_bits: int | None = None
-    window: int | None = None
+    __slots__ = ("kind", "name", "program")
 
-    def __post_init__(self) -> None:
-        if self.kind not in PROGRAM_KINDS:
+    def __init__(self, kind: str | None = None, *, name: str | None = None, **params: Any):
+        if (kind is None) == (name is None):
             raise ValueError(
-                f"unknown program kind {self.kind!r}; known: {list(PROGRAM_KINDS)}"
+                "a program ref needs exactly one of 'kind' (with body "
+                "fields) or 'name' (a registry program)"
             )
-        if not isinstance(self.bits, int) or isinstance(self.bits, bool) or self.bits < 1:
-            raise ValueError(f"bits must be a positive int, got {self.bits!r}")
-        if self.kind == "multiplier":
-            if not self.algorithm:
-                raise ValueError("a multiplier program ref needs an 'algorithm'")
-            from ..arithmetic import MULTIPLIER_ALGORITHMS
+        if name is not None:
+            if params:
+                raise ValueError(
+                    f"a named program ref takes no body fields, got "
+                    f"{sorted(params)}"
+                )
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"program ref 'name' must be a non-empty string, got {name!r}")
+            self.kind = None
+            self.name = name
+            self.program = None
+            return
+        body = {_camel(field): value for field, value in params.items()}
+        self.kind = kind
+        self.name = None
+        self.program = make_program(kind, body)
 
-            if self.algorithm not in MULTIPLIER_ALGORITHMS:
-                # Validate eagerly: counts resolve lazily inside batch
-                # workers, where an unknown name would crash the whole
-                # sweep instead of failing this one spec.
-                raise ValueError(
-                    f"unknown multiplier {self.algorithm!r}; available: "
-                    f"{sorted(MULTIPLIER_ALGORITHMS)}"
-                )
-            if self.exponent_bits is not None or self.window is not None:
-                raise ValueError(
-                    "exponent_bits/window only apply to modexp program refs"
-                )
-        else:
-            if self.algorithm is not None:
-                raise ValueError("'algorithm' only applies to multiplier refs")
-            if self.bits < 2:
-                raise ValueError("modexp needs a modulus of >= 2 bits")
+    @classmethod
+    def _wrap(cls, program: Program) -> "ProgramRef":
+        ref = object.__new__(cls)
+        ref.kind = program.kind
+        ref.name = None
+        ref.program = program
+        return ref
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProgramRef):
+            return NotImplemented
+        return (self.kind, self.name, self.program) == (
+            other.kind,
+            other.name,
+            other.program,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.name, self.program))
+
+    def __repr__(self) -> str:
+        if self.name is not None:
+            return f"ProgramRef(name={self.name!r})"
+        return f"ProgramRef(kind={self.kind!r}, {self.program.to_body()!r})"
 
     def to_dict(self) -> dict[str, Any]:
-        if self.kind == "multiplier":
-            return {
-                "multiplier": {"algorithm": self.algorithm, "bits": self.bits}
-            }
-        body: dict[str, Any] = {"bits": self.bits}
-        if self.exponent_bits is not None:
-            body["exponentBits"] = self.exponent_bits
-        if self.window is not None:
-            body["window"] = self.window
-        return {"modexp": body}
+        if self.name is not None:
+            return {"name": self.name}
+        return {self.kind: self.program.to_body()}
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ProgramRef":
         if not isinstance(data, dict) or len(data) != 1:
             raise ValueError(
-                "a program ref is an object with exactly one of "
-                f"{list(PROGRAM_KINDS)} as key, got {data!r}"
+                "a program ref is an object with exactly one key — 'name' "
+                f"or a program kind ({program_kind_listing()}) — got {data!r}"
             )
-        (kind, body), = data.items()
-        if kind not in PROGRAM_KINDS or not isinstance(body, dict):
-            raise ValueError(f"unknown program ref {data!r}")
-        if kind == "multiplier":
-            unknown = set(body) - {"algorithm", "bits"}
-            if unknown:
-                raise ValueError(f"unknown multiplier ref fields: {sorted(unknown)}")
-            return cls(
-                kind="multiplier",
-                algorithm=body.get("algorithm"),
-                bits=body.get("bits", 0),
-            )
-        unknown = set(body) - {"bits", "exponentBits", "window"}
-        if unknown:
-            raise ValueError(f"unknown modexp ref fields: {sorted(unknown)}")
-        return cls(
-            kind="modexp",
-            bits=body.get("bits", 0),
-            exponent_bits=body.get("exponentBits"),
-            window=body.get("window"),
-        )
+        ((key, body),) = data.items()
+        if key == "name":
+            if not isinstance(body, str) or not body:
+                raise ValueError(
+                    f"a named program ref needs a non-empty string, got {body!r}"
+                )
+            return cls(name=body)
+        return cls._wrap(make_program(key, body))
 
-    def resolve(self, backend: str) -> tuple[object, Hashable]:
+    def resolved(self, registry: "Registry | None" = None) -> Program:
+        """The :class:`Program` behind this ref (named refs via registry).
+
+        Raises :class:`~repro.registry.RegistryError` (a ``KeyError``)
+        for unknown names, exactly like profile/scheme resolution.
+        """
+        if self.program is not None:
+            return self.program
+        from ..registry import default_registry
+
+        registry = registry if registry is not None else default_registry()
+        return registry.program(self.name)
+
+    def canonical_dict(
+        self, registry: "Registry | None" = None
+    ) -> dict[str, Any]:
+        """The program part of a spec's canonical form.
+
+        By-construction refs canonicalize to their program's canonical
+        body (e.g. a ``qir`` file reference inlines its text). With a
+        ``registry``, *named* refs are inlined the same way — so the
+        resolved spec hash covers the actual workload and a scenario file
+        redefining a program name changes the address; without one, the
+        name stays a name (the syntactic hash).
+        """
+        if self.name is not None and registry is None:
+            return {"name": self.name}
+        program = self.resolved(registry)
+        return {program.kind: program.canonical_body()}
+
+    def resolve(
+        self, backend: str, registry: "Registry | None" = None
+    ) -> tuple[object, Hashable]:
         """The (lazy program, memo key) pair for the batch engine.
 
         The program is a picklable zero-argument counts factory, so batch
         workers construct and count the circuit themselves instead of
-        shipping a traced artifact through the parent process.
+        shipping a traced artifact through the parent process; repeated
+        resolutions of equal refs share one factory object. The memo key
+        is the program's counts identity (content hash with
+        trace-irrelevant default spellings normalized) plus the backend —
+        the same identity the persistent counts cache uses.
         """
-        if self.kind == "multiplier":
-            params: tuple[tuple[str, Any], ...] = (
-                ("algorithm", self.algorithm),
-                ("bits", self.bits),
-            )
-            key: Hashable = ("multiplier", self.algorithm, self.bits, backend)
-        else:
-            exponent_bits = (
-                self.exponent_bits if self.exponent_bits is not None else 2 * self.bits
-            )
-            params = (
-                ("bits", self.bits),
-                ("exponent_bits", exponent_bits),
-                ("window", self.window),
-            )
-            key = ("modexp", self.bits, exponent_bits, self.window, backend)
-        return _program_factory(self.kind, params, backend), key
+        program = self.resolved(registry)
+        factory = cached_counts_factory(program, backend)
+        return factory, ("program", program.counts_identity(), backend)
+
+    def counts_cache_key(
+        self, registry: "Registry | None", backend: str
+    ) -> str:
+        """Address of this ref's counts in the store's counts namespace."""
+        from .store import COUNTS_SCHEMA
+
+        program_hash = self.resolved(registry).counts_identity()
+        payload = f"{COUNTS_SCHEMA}\n{program_hash}\n{backend}".encode()
+        return hashlib.sha256(payload).hexdigest()
+
+
+def _camel(field: str) -> str:
+    """snake_case constructor kwargs -> camelCase JSON body fields."""
+    head, *rest = field.split("_")
+    return head + "".join(part.capitalize() for part in rest)
+
+
+def _counts_via_store(
+    root: str, counts_key: str, program: object, backend: str
+) -> LogicalCounts:
+    """Store-backed counts factory: answer from the counts namespace or
+    trace once and persist (runs inside batch workers; picklable)."""
+    from .stages import resolve_counts
+    from .store import ResultStore
+
+    store = ResultStore(root)
+    hit = store.get_counts(counts_key)
+    if hit is not None:
+        return hit
+    counts = resolve_counts(program)
+    store.put_counts(counts_key, counts, backend=backend)
+    return counts
 
 
 @dataclass(frozen=True)
@@ -331,8 +347,9 @@ class EstimateSpec:
         raw_program = data.get("program")
         if not isinstance(raw_program, dict) or not raw_program:
             raise ValueError(
-                "spec needs a 'program': {'counts': {...}}, "
-                "{'multiplier': {...}}, or {'modexp': {...}}"
+                "spec needs a 'program': inline {'counts': {...}}, a "
+                "registry reference {'name': ...}, or a program kind "
+                f"({program_kind_listing()})"
             )
         if "counts" in raw_program:
             if len(raw_program) != 1:
@@ -409,6 +426,8 @@ class EstimateSpec:
         del data["label"], data["backend"]
         data["constraints"] = (self.constraints or Constraints()).to_dict()
         data["synthesis"] = (self.synthesis or RotationSynthesis()).to_dict()
+        if isinstance(self.program, ProgramRef):
+            data["program"] = self.program.canonical_dict(registry)
         if registry is not None:
             if isinstance(self.qubit, str):
                 data["qubit"] = {"params": registry.qubit(self.qubit).to_dict()}
@@ -464,7 +483,7 @@ class EstimateSpec:
             program: object = self.program
             program_key: Hashable | None = None
         else:
-            program, program_key = self.program.resolve(self.backend)
+            program, program_key = self.program.resolve(self.backend, registry)
         return EstimateRequest(
             program=program,
             qubit=qubit,
@@ -534,6 +553,24 @@ def run_specs(
         try:
             request = spec.to_request(resolved_registry)
             spec_hash = spec.content_hash(resolved_registry)
+            if store is not None and isinstance(spec.program, ProgramRef):
+                # Layer the persistent counts namespace under the program
+                # factory: even when this *result* is a store miss (new
+                # profile, budget, ...), the workload's traced counts
+                # answer from disk — an n-bit modexp is traced once ever
+                # per store, not once per process or sweep chunk.
+                request = replace(
+                    request,
+                    program=partial(
+                        _counts_via_store,
+                        str(store.root),
+                        spec.program.counts_cache_key(
+                            resolved_registry, spec.backend
+                        ),
+                        request.program,
+                        spec.backend,
+                    ),
+                )
         except (KeyError, ValueError, TypeError) as exc:
             message = str(exc)
             if isinstance(exc, KeyError) and exc.args:

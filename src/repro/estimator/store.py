@@ -28,7 +28,12 @@ schema tag versions the document serialization: bumping
 document envelope) makes a new namespace, so stale entries are never
 deserialized against new code — that is the cache-invalidation story, no
 migration needed. Sweep result documents live under their own
-:data:`SWEEP_DOC_SCHEMA` namespace.
+:data:`SWEEP_DOC_SCHEMA` namespace, and traced logical counts — keyed by
+resolved program content hash plus backend — under :data:`COUNTS_SCHEMA`
+(the cross-run counts cache layered under
+:func:`~repro.estimator.spec.run_specs`). :meth:`ResultStore.stats`
+reports per-namespace document counts and bytes (the ``repro store
+stats`` CLI subcommand).
 
 Writes go through a temporary file in the destination directory followed
 by :func:`os.replace`, so concurrent writers and crashes can never leave
@@ -48,9 +53,11 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
+from ..counts import LogicalCounts
 from .result import PhysicalResourceEstimates
 
 __all__ = [
+    "COUNTS_SCHEMA",
     "RESULT_SCHEMA",
     "SWEEP_DOC_SCHEMA",
     "ResultStore",
@@ -66,6 +73,13 @@ RESULT_SCHEMA = "repro-result-v2"
 #: Version tag (and namespace) of stored sweep result documents. Bump
 #: alongside :data:`RESULT_SCHEMA` — sweep documents embed result dicts.
 SWEEP_DOC_SCHEMA = "repro-sweep-result-v1"
+
+#: Version tag (and namespace) of stored logical-counts documents. Keys
+#: are SHA-256 over (this tag, resolved program content hash, backend) —
+#: see :meth:`repro.estimator.spec.ProgramRef.counts_cache_key` — so a
+#: workload referenced by any number of specs, sweeps, or service
+#: submissions is traced once ever per store.
+COUNTS_SCHEMA = "repro-counts-v1"
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE_DIR"
@@ -127,6 +141,11 @@ class ResultStore:
         """Where the sweep result document for ``sweep_hash`` lives."""
         self._check_hash(sweep_hash)
         return self.root / SWEEP_DOC_SCHEMA / sweep_hash[:2] / f"{sweep_hash}.json"
+
+    def counts_path_for(self, counts_key: str) -> Path:
+        """Where the logical-counts document for ``counts_key`` lives."""
+        self._check_hash(counts_key)
+        return self.root / COUNTS_SCHEMA / counts_key[:2] / f"{counts_key}.json"
 
     # -- document plumbing -------------------------------------------------
 
@@ -277,3 +296,72 @@ class ResultStore:
         ):
             return None
         return document["result"]
+
+    # -- logical counts ----------------------------------------------------
+
+    def put_counts(
+        self,
+        counts_key: str,
+        counts: LogicalCounts,
+        *,
+        backend: str | None = None,
+    ) -> bool:
+        """Persist a workload's traced counts under its counts key.
+
+        ``backend`` is embedded for debuggability (the key already covers
+        it). Like :meth:`put`, an unwritable store degrades to a no-op.
+        """
+        document = {
+            "schema": COUNTS_SCHEMA,
+            "countsKey": counts_key,
+            "backend": backend,
+            "counts": counts.to_dict(),
+        }
+        return self._write_document(self.counts_path_for(counts_key), document)
+
+    def get_counts(self, counts_key: str) -> LogicalCounts | None:
+        """Stored counts for a key, or ``None`` (missing/corrupt)."""
+        document = self._read_document(self.counts_path_for(counts_key))
+        if (
+            document is None
+            or document.get("schema") != COUNTS_SCHEMA
+            or document.get("countsKey") != counts_key
+            or not isinstance(document.get("counts"), dict)
+        ):
+            return None
+        try:
+            return LogicalCounts.from_dict(document["counts"])
+        except (TypeError, ValueError):
+            return None  # written by an incompatible (future) build
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Per-namespace document counts and bytes (operator visibility).
+
+        Covers the three namespaces this store reads and writes —
+        results (under the configured schema tag), sweep results, and
+        the logical-counts cache — without parsing any documents, so it
+        is cheap even on large stores.
+        """
+
+        def scan(base: Path, schema: str) -> dict[str, Any]:
+            documents = 0
+            size = 0
+            if base.is_dir():
+                for path in base.glob("*/*.json"):
+                    try:
+                        size += path.stat().st_size
+                    except OSError:
+                        continue  # deleted underneath us; skip
+                    documents += 1
+            return {"schema": schema, "documents": documents, "bytes": size}
+
+        return {
+            "root": str(self.root),
+            "namespaces": {
+                "results": scan(self._base, self.schema),
+                "sweeps": scan(self.root / SWEEP_DOC_SCHEMA, SWEEP_DOC_SCHEMA),
+                "counts": scan(self.root / COUNTS_SCHEMA, COUNTS_SCHEMA),
+            },
+        }

@@ -35,8 +35,10 @@ service's ``POST /v1/sweeps`` job API both accept them)::
 
 Axis values are applied to the base document by dotted field path
 (``program.multiplier.bits``), with sugar for the common cases: a string
-value on the ``qubit`` axis means ``{"profile": name}`` and a string on
-``scheme`` means ``{"name": name}``. Numeric axes may be spelled as an
+value on the ``qubit`` axis means ``{"profile": name}``, and a string on
+``scheme`` or ``program`` means ``{"name": name}`` — so an axis can sweep
+directly over registry program names
+(``{"field": "program", "values": ["rsa_1024", "rsa_2048"]}``). Numeric axes may be spelled as an
 explicit ``values`` list, an inclusive linear ``range`` (``start`` /
 ``stop`` / ``step``), or a geometric ladder ``geom`` (``start`` /
 ``factor`` / ``count``); all three canonicalize to the expanded values,
@@ -269,7 +271,7 @@ def _apply_axis(document: dict[str, Any], field_path: str, value: Any) -> None:
     """Set one axis value into a spec document by dotted path."""
     if field_path == "qubit" and isinstance(value, str):
         value = {"profile": value}
-    elif field_path == "scheme" and isinstance(value, str):
+    elif field_path in ("scheme", "program") and isinstance(value, str):
         value = {"name": value}
     parts = field_path.split(".")
     node = document

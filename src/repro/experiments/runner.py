@@ -5,6 +5,10 @@ the (algorithm, bits, profile) points as a zip-mode
 :class:`~repro.estimator.sweep.SweepSpec` and evaluates it with
 :func:`~repro.estimator.sweep.run_sweep` — the same declarative path as
 the ``repro sweep`` CLI and the estimation service's async sweep jobs.
+Program references resolve through the open program layer
+(:mod:`repro.programs`), so figure multipliers share the registry
+dispatch — and, with a ``store``, the persistent counts cache — with
+every other workload kind.
 Cross-point work is memoized by the batch engine's
 :class:`~repro.estimator.batch.EstimateCache` (traced counts, T-factory
 designs, code-distance lookups), ``max_workers`` fans points out over

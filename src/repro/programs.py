@@ -1,0 +1,701 @@
+"""First-class programs: the open workload catalog behind the spec layer.
+
+The paper's estimator is a *pre-layout* pipeline: any logical workload —
+however it was authored — reduces to :class:`~repro.counts.LogicalCounts`
+before a single layout or QEC decision is made (Sec. III-A). This module
+makes that entry point an open set. A :class:`Program` is one workload in
+declarative form: it knows how to serialize itself (``to_body``), how to
+address itself (:meth:`Program.content_hash` over a canonical body), and
+how to produce its counts through any counting backend
+(:meth:`Program.counts` / :meth:`Program.counts_factory`).
+
+Program *kinds* are registered in a module-level catalog
+(:func:`register_program_kind`), so the spec layer's
+:class:`~repro.estimator.spec.ProgramRef` dispatches over whatever is
+registered instead of a hard-coded tuple. Shipped kinds:
+
+``multiplier``
+    One of the paper's multiplication algorithms (``algorithm``, ``bits``).
+``modexp``
+    n-bit modular exponentiation, the RSA workload (``bits``, optional
+    ``exponentBits`` / ``window``).
+``qir``
+    A QIR program — ``file`` (path to ``.ll`` text) or inline ``text`` —
+    parsed by :func:`repro.qir.parse_qir`. Content addressing always
+    hashes the program *text*, never the path, so an edited file can
+    never be served stale cached counts or results.
+``formula``
+    Closed-form counts: each :class:`LogicalCounts` field is a
+    :class:`repro.formulas.Formula` string over user ``variables``
+    (e.g. ``{"t_count": "4 * n^3", "variables": {"n": 1024}}``).
+``random``
+    A seeded :class:`repro.ir.random_circuits.RandomCircuitGenerator`
+    workload (``operations``, optional ``seed`` / ``minQubits``).
+``counts``
+    Inline :class:`LogicalCounts` — used by scenario files to register a
+    known workload under a name.
+
+Named program instances live in the :class:`repro.registry.Registry`
+``programs`` section (seeded with ``rsa_1024`` / ``rsa_2048``, extended
+by scenario files), so specs, sweeps, the CLI (``--program NAME``), and
+the service all reference workloads the same way they reference hardware
+profiles.
+
+Every kind resolves counts through a *picklable* zero-argument factory
+(module-level functions under :func:`functools.partial`), so batch
+workers construct and trace circuits themselves, and the factory can be
+wrapped by the persistent counts cache
+(:meth:`repro.estimator.store.ResultStore.get_counts`).
+
+Counts are backend-independent by contract (asserted by the test suite):
+kinds with no closed form (``qir``, ``random``) answer the ``formula``
+backend via the streaming counting builder, so one spec hash — which
+excludes the backend — always maps to one set of counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import lru_cache, partial
+from pathlib import Path
+from typing import Any, Callable, ClassVar, Iterator, Mapping
+
+from .counts import LogicalCounts
+
+__all__ = [
+    "PROGRAM_SCHEMA",
+    "FormulaProgram",
+    "InlineCountsProgram",
+    "ModexpProgram",
+    "MultiplierProgram",
+    "Program",
+    "ProgramError",
+    "QIRProgram",
+    "RandomProgram",
+    "forbid_file_programs",
+    "make_program",
+    "program_from_dict",
+    "program_kind_listing",
+    "program_kinds",
+    "register_program_kind",
+]
+
+#: Version tag of the canonical program form; part of every program
+#: content hash (and, with the backend, of every counts-cache key), so a
+#: schema change can never alias old cached counts.
+PROGRAM_SCHEMA = "repro-program-v1"
+
+
+class ProgramError(ValueError):
+    """Raised for invalid program definitions (a :class:`ValueError`)."""
+
+
+_GUARD = threading.local()
+
+
+@contextmanager
+def forbid_file_programs() -> Iterator[None]:
+    """Reject file-referencing programs parsed inside this context.
+
+    A ``{"qir": {"file": ...}}`` body makes *this* process read the path
+    at parse time. The estimation service wraps every untrusted-payload
+    parse (specs, sweep documents, and therefore sweep-axis expansion) in
+    this context, so a remote client can never make the server read — or
+    probe, or leak through parse errors — server-local files, however the
+    reference is spelled. Guarding at parse time covers every
+    construction path; scanning payload JSON would not (axis fragments
+    assemble program bodies only during expansion). Thread-local, so
+    concurrent operator-trusted parses (CLI, scenario loads in other
+    threads) are unaffected.
+    """
+    previous = getattr(_GUARD, "forbid_files", False)
+    _GUARD.forbid_files = True
+    try:
+        yield
+    finally:
+        _GUARD.forbid_files = previous
+
+
+def _file_programs_forbidden() -> bool:
+    return getattr(_GUARD, "forbid_files", False)
+
+
+# -- field validation helpers ------------------------------------------------
+
+
+def _check_fields(
+    kind: str, body: Mapping[str, Any], required: set[str], optional: set[str]
+) -> None:
+    unknown = set(body) - required - optional
+    if unknown:
+        raise ProgramError(
+            f"unknown {kind} program fields {sorted(unknown)}; "
+            f"known: {sorted(required | optional)}"
+        )
+    missing = required - set(body)
+    if missing:
+        raise ProgramError(f"a {kind} program needs {sorted(missing)}")
+
+
+def _int_field(kind: str, name: str, value: Any, minimum: int) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ProgramError(
+            f"{kind} {name!r} must be an int >= {minimum}, got {value!r}"
+        )
+    return value
+
+
+# -- picklable counts factories (module-level for process fan-out) -----------
+
+
+def _multiplier_counts(algorithm: str, bits: int, backend: str) -> LogicalCounts:
+    """Resolve one multiplier's counts (runs inside batch workers)."""
+    from .arithmetic import multiplier_by_name
+
+    return multiplier_by_name(algorithm, bits).backend_counts(backend)
+
+
+def _modexp_counts(
+    bits: int, exponent_bits: int, window: int | None, backend: str
+) -> LogicalCounts:
+    """Resolve an n-bit modular exponentiation's counts (in workers)."""
+    from .arithmetic import (
+        modexp_circuit,
+        modexp_counting_counts,
+        modexp_logical_counts,
+    )
+
+    if backend == "formula":
+        return modexp_logical_counts(bits, exponent_bits, window=window)
+    modulus = (1 << bits) - 1  # counts depend only on the bit length
+    if backend == "counting":
+        return modexp_counting_counts(2, modulus, exponent_bits, window=window)
+    return modexp_circuit(2, modulus, exponent_bits, window=window).logical_counts()
+
+
+@lru_cache(maxsize=8)
+def _qir_circuit(text: str, name: str):
+    """Parse QIR text into a circuit (memoized: eager validation at spec
+    construction and lazy counts resolution share one parse)."""
+    from .qir import parse_qir
+
+    return parse_qir(text, name=name)
+
+
+def _qir_counts(text: str, name: str) -> LogicalCounts:
+    """Trace a QIR program's counts (the trace itself runs only when no
+    cache — in-memory or the store's counts namespace — answers first;
+    ``Circuit.logical_counts`` memoizes the traced result)."""
+    return _qir_circuit(text, name).logical_counts()
+
+
+def _formula_counts(
+    counts_items: tuple[tuple[str, Any], ...],
+    variable_items: tuple[tuple[str, float], ...],
+) -> LogicalCounts:
+    """Evaluate per-field formulas into logical counts."""
+    from .formulas import Formula
+
+    env = dict(variable_items)
+    values: dict[str, int] = {}
+    for field_name, source in counts_items:
+        value = Formula(source)(**env)
+        rounded = round(value)
+        if abs(value - rounded) > 1e-6 or rounded < 0:
+            raise ProgramError(
+                f"formula program field {field_name!r} evaluated to {value!r}; "
+                "counts must be non-negative integers"
+            )
+        values[field_name] = int(rounded)
+    try:
+        return LogicalCounts.from_dict(values)
+    except (TypeError, ValueError) as exc:
+        raise ProgramError(f"invalid formula program counts: {exc}") from exc
+
+
+def _random_counts(
+    seed: int, operations: int, min_qubits: int, backend: str
+) -> LogicalCounts:
+    """Counts of a seeded random circuit through the chosen backend.
+
+    There is no closed form for a random workload, so the ``formula``
+    backend answers via the streaming counting builder — identical counts
+    (asserted by the equality tests), just never materialized.
+    """
+    from .ir.random_circuits import RandomCircuitGenerator
+
+    generator = RandomCircuitGenerator(seed=seed, min_qubits=min_qubits)
+    if backend == "materialize":
+        return generator.generate(operations).logical_counts()
+    from .ir.counting import CountingBuilder
+
+    builder = CountingBuilder("random")
+    generator.emit_onto(builder, operations)
+    return builder.finish().logical_counts()
+
+
+def _inline_counts(counts: LogicalCounts) -> LogicalCounts:
+    return counts
+
+
+# -- the Program abstraction -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Program:
+    """One declarative workload: serializable, hashable, countable.
+
+    Subclasses are frozen dataclasses registered under a ``kind`` string;
+    :meth:`from_body` validates the JSON body eagerly (a typo in a spec
+    or scenario file is a spec error, not a crashed batch worker) and
+    :meth:`counts_factory` returns a *picklable* zero-argument callable
+    resolving :class:`LogicalCounts` through a counting backend.
+    """
+
+    #: Kind string this class is registered under.
+    kind: ClassVar[str]
+    #: Human-readable field summary for unknown-kind error listings.
+    fields_help: ClassVar[str]
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "Program":
+        raise NotImplementedError
+
+    def to_body(self) -> dict[str, Any]:
+        """JSON body (the value under the kind key); lossless round-trip."""
+        raise NotImplementedError
+
+    def canonical_body(self) -> dict[str, Any]:
+        """The body whose JSON keys :meth:`content_hash` (defaults omitted,
+        external references like file paths inlined)."""
+        return self.to_body()
+
+    def counts_factory(self, backend: str) -> Callable[[], LogicalCounts]:
+        raise NotImplementedError
+
+    def counts(self, backend: str = "formula") -> LogicalCounts:
+        """Resolve this program's pre-layout logical counts."""
+        return self.counts_factory(backend)()
+
+    def content_hash(self) -> str:
+        """SHA-256 identity over the schema tag plus the canonical body.
+
+        Two programs producing the same canonical body share one hash —
+        this (plus the backend) keys the persistent counts cache, so a
+        workload is traced once ever per store, not once per process.
+        Memoized by program equality: sweep points re-referencing one
+        workload hash its (possibly large) body once, not once per point.
+        """
+        return _content_hash(self)
+
+    def counts_identity(self) -> str:
+        """The identity under which this program's *traced counts* cache.
+
+        Defaults to :meth:`content_hash`. Kinds whose serialized body
+        omits defaults that resolve to explicit values override this with
+        the normalized form, so equivalent spellings share one trace (in
+        the batch memo and the store's counts namespace) even though
+        their serialized bodies — and thus spec hashes — differ.
+        """
+        return self.content_hash()
+
+
+@lru_cache(maxsize=256)
+def _content_hash(program: Program) -> str:
+    canonical = {"kind": program.kind, "program": program.canonical_body()}
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(f"{PROGRAM_SCHEMA}\n{payload}".encode()).hexdigest()
+
+
+#: Open catalog of program kinds (kind string -> adapter class).
+_KINDS: dict[str, type[Program]] = {}
+
+
+def register_program_kind(cls: type[Program]) -> type[Program]:
+    """Register a :class:`Program` subclass under its ``kind`` (decorator)."""
+    existing = _KINDS.get(cls.kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"program kind {cls.kind!r} is already registered")
+    _KINDS[cls.kind] = cls
+    return cls
+
+
+def program_kinds() -> dict[str, type[Program]]:
+    """The registered kinds (kind string -> adapter class), a copy."""
+    return dict(_KINDS)
+
+
+def program_kind_listing() -> str:
+    """Every registered kind with its fields, for lookup error messages."""
+    return "; ".join(
+        f"{kind} ({cls.fields_help})" for kind, cls in sorted(_KINDS.items())
+    )
+
+
+def make_program(kind: str, body: Any) -> Program:
+    """Build a program of a registered kind from its JSON body.
+
+    Raises :class:`ProgramError` for unknown kinds — listing every
+    registered kind with its required fields — and for invalid bodies.
+    """
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ProgramError(
+            f"unknown program kind {kind!r}; available kinds: "
+            f"{program_kind_listing()}"
+        )
+    if not isinstance(body, Mapping):
+        raise ProgramError(
+            f"a {kind} program body must be a JSON object, got {body!r}"
+        )
+    return cls.from_body(body)
+
+
+def program_from_dict(data: Any) -> Program:
+    """Parse a one-key ``{"<kind>": {...}}`` program document."""
+    if not isinstance(data, Mapping) or len(data) != 1:
+        raise ProgramError(
+            "a program document is an object with exactly one program kind "
+            f"as key — available kinds: {program_kind_listing()} — got {data!r}"
+        )
+    ((kind, body),) = data.items()
+    return make_program(kind, body)
+
+
+@lru_cache(maxsize=128)
+def _factory_cache(program: Program, backend: str) -> Callable[[], LogicalCounts]:
+    """Identity-stable factories: equal (program, backend) pairs share one
+    factory object, so the batch engine's identity deduplication works
+    even before the explicit program memo key."""
+    return program.counts_factory(backend)
+
+
+def cached_counts_factory(
+    program: Program, backend: str
+) -> Callable[[], LogicalCounts]:
+    """The shared factory instance for a (program, backend) pair."""
+    return _factory_cache(program, backend)
+
+
+# -- shipped kinds -----------------------------------------------------------
+
+
+@register_program_kind
+@dataclass(frozen=True)
+class MultiplierProgram(Program):
+    """One of the paper's multipliers (schoolbook / karatsuba / windowed)."""
+
+    algorithm: str
+    bits: int
+
+    kind: ClassVar[str] = "multiplier"
+    fields_help: ClassVar[str] = "algorithm, bits"
+
+    def __post_init__(self) -> None:
+        if not self.algorithm or not isinstance(self.algorithm, str):
+            raise ProgramError("a multiplier program needs an 'algorithm'")
+        from .arithmetic import MULTIPLIER_ALGORITHMS
+
+        if self.algorithm not in MULTIPLIER_ALGORITHMS:
+            # Validate eagerly: counts resolve lazily inside batch
+            # workers, where an unknown name would crash the whole
+            # sweep instead of failing this one spec.
+            raise ProgramError(
+                f"unknown multiplier {self.algorithm!r}; available: "
+                f"{sorted(MULTIPLIER_ALGORITHMS)}"
+            )
+        _int_field("multiplier", "bits", self.bits, 1)
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "MultiplierProgram":
+        _check_fields("multiplier", body, {"algorithm", "bits"}, set())
+        return cls(algorithm=body["algorithm"], bits=body["bits"])
+
+    def to_body(self) -> dict[str, Any]:
+        return {"algorithm": self.algorithm, "bits": self.bits}
+
+    def counts_factory(self, backend: str) -> Callable[[], LogicalCounts]:
+        return partial(_multiplier_counts, self.algorithm, self.bits, backend)
+
+
+@register_program_kind
+@dataclass(frozen=True)
+class ModexpProgram(Program):
+    """n-bit modular exponentiation (the RSA workload, paper Sec. V).
+
+    ``exponent_bits`` defaults to ``2 * bits`` (standard order finding)
+    and ``window`` to the cost-balancing size; defaults are omitted from
+    the serialized and canonical bodies, exactly as the closed
+    ``ProgramRef`` serialized them — stored hashes are unchanged.
+    """
+
+    bits: int
+    exponent_bits: int | None = None
+    window: int | None = None
+
+    kind: ClassVar[str] = "modexp"
+    fields_help: ClassVar[str] = "bits[, exponentBits, window]"
+
+    def __post_init__(self) -> None:
+        _int_field("modexp", "bits", self.bits, 2)
+        if self.exponent_bits is not None:
+            _int_field("modexp", "exponentBits", self.exponent_bits, 1)
+        if self.window is not None:
+            _int_field("modexp", "window", self.window, 0)
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "ModexpProgram":
+        _check_fields("modexp", body, {"bits"}, {"exponentBits", "window"})
+        return cls(
+            bits=body["bits"],
+            exponent_bits=body.get("exponentBits"),
+            window=body.get("window"),
+        )
+
+    def to_body(self) -> dict[str, Any]:
+        body: dict[str, Any] = {"bits": self.bits}
+        if self.exponent_bits is not None:
+            body["exponentBits"] = self.exponent_bits
+        if self.window is not None:
+            body["window"] = self.window
+        return body
+
+    def counts_factory(self, backend: str) -> Callable[[], LogicalCounts]:
+        exponent_bits = (
+            self.exponent_bits if self.exponent_bits is not None else 2 * self.bits
+        )
+        return partial(_modexp_counts, self.bits, exponent_bits, self.window, backend)
+
+    def counts_identity(self) -> str:
+        # `{"bits": n}` and `{"bits": n, "exponentBits": 2n}` are the same
+        # workload: normalize the default so both share one trace, even
+        # though their serialized bodies (and spec hashes) stay distinct.
+        if self.exponent_bits is not None:
+            return self.content_hash()
+        return dataclasses.replace(self, exponent_bits=2 * self.bits).content_hash()
+
+
+@register_program_kind
+@dataclass(frozen=True)
+class QIRProgram(Program):
+    """A QIR program: a ``.ll`` file path or inline QIR ``text``.
+
+    The file is read — and the text parsed — eagerly at construction, so
+    an unreadable path or uninterpretable instruction fails as a spec
+    error, never inside a batch worker. Content addressing always covers
+    the *text* (see :meth:`canonical_body`), so editing a referenced file
+    changes every hash and can never be served stale cached counts.
+    """
+
+    text: str
+    file: str | None = None
+
+    kind: ClassVar[str] = "qir"
+    fields_help: ClassVar[str] = "file or text"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.text, str) or not self.text.strip():
+            raise ProgramError("a qir program needs non-empty QIR text")
+        from .qir import QIRParseError
+
+        try:
+            # Parse eagerly (an uninterpretable instruction must fail the
+            # spec, not a batch worker); counting waits for the factory.
+            _qir_circuit(self.text, self._name())
+        except QIRParseError as exc:
+            raise ProgramError(f"invalid qir program: {exc}") from exc
+
+    def _name(self) -> str:
+        return Path(self.file).stem if self.file else "qir-program"
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "QIRProgram":
+        _check_fields("qir", body, set(), {"file", "text"})
+        file, text = body.get("file"), body.get("text")
+        if (file is None) == (text is None):
+            raise ProgramError("a qir program needs exactly one of 'file' or 'text'")
+        if file is not None:
+            if not isinstance(file, str) or not file:
+                raise ProgramError(f"qir 'file' must be a path string, got {file!r}")
+            if _file_programs_forbidden():
+                raise ProgramError(
+                    "qir 'file' references are not accepted here; inline "
+                    "the program 'text' instead"
+                )
+            try:
+                text = Path(file).read_text()
+            except OSError as exc:
+                raise ProgramError(f"cannot read QIR file {file}: {exc}") from exc
+            return cls(text=text, file=file)
+        if not isinstance(text, str):
+            raise ProgramError(f"qir 'text' must be a string, got {text!r}")
+        return cls(text=text)
+
+    def to_body(self) -> dict[str, Any]:
+        # The file spelling round-trips (from_dict re-reads the path);
+        # clients submitting to a remote service should use 'text'.
+        if self.file is not None:
+            return {"file": self.file}
+        return {"text": self.text}
+
+    def canonical_body(self) -> dict[str, Any]:
+        return {"text": self.text}
+
+    def counts_factory(self, backend: str) -> Callable[[], LogicalCounts]:
+        # The backend is irrelevant: QIR arrives as one explicit
+        # instruction stream, already traced by the parser.
+        return partial(_qir_counts, self.text, self._name())
+
+
+@register_program_kind
+@dataclass(frozen=True)
+class FormulaProgram(Program):
+    """Closed-form counts: one formula per :class:`LogicalCounts` field.
+
+    ``counts`` maps LogicalCounts field names to
+    :class:`repro.formulas.Formula` sources (strings or plain numbers)
+    over the names bound in ``variables`` — the same little language QEC
+    schemes and distillation units use for their model parameters.
+    """
+
+    formulas: tuple[tuple[str, Any], ...]
+    variables: tuple[tuple[str, float], ...] = ()
+
+    kind: ClassVar[str] = "formula"
+    fields_help: ClassVar[str] = "counts[, variables]"
+
+    def __post_init__(self) -> None:
+        from .formulas import Formula, FormulaError
+
+        if not self.formulas:
+            raise ProgramError("a formula program needs a non-empty 'counts' map")
+        bound = {name for name, _ in self.variables}
+        for field_name, source in self.formulas:
+            try:
+                formula = Formula(source)
+            except (FormulaError, TypeError) as exc:
+                raise ProgramError(
+                    f"invalid formula for {field_name!r}: {exc}"
+                ) from exc
+            free = formula.free_variables - bound
+            if free:
+                raise ProgramError(
+                    f"formula for {field_name!r} uses unbound variables "
+                    f"{sorted(free)}; bind them under 'variables'"
+                )
+        # Evaluate once eagerly: negative, fractional, or structurally
+        # invalid counts are spec errors, not batch-worker crashes.
+        _formula_counts(self.formulas, self.variables)
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "FormulaProgram":
+        _check_fields("formula", body, {"counts"}, {"variables"})
+        raw_counts = body["counts"]
+        if not isinstance(raw_counts, Mapping) or not raw_counts:
+            raise ProgramError(
+                "formula 'counts' must be a non-empty object mapping "
+                "LogicalCounts fields to formulas"
+            )
+        raw_variables = body.get("variables") or {}
+        if not isinstance(raw_variables, Mapping):
+            raise ProgramError("formula 'variables' must be an object of numbers")
+        for name, value in raw_variables.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ProgramError(
+                    f"formula variable {name!r} must be a number, got {value!r}"
+                )
+        return cls(
+            formulas=tuple(sorted(raw_counts.items())),
+            variables=tuple(sorted(raw_variables.items())),
+        )
+
+    def to_body(self) -> dict[str, Any]:
+        body: dict[str, Any] = {"counts": dict(self.formulas)}
+        if self.variables:
+            body["variables"] = dict(self.variables)
+        return body
+
+    def counts_factory(self, backend: str) -> Callable[[], LogicalCounts]:
+        # Closed form: every backend evaluates the same formulas.
+        return partial(_formula_counts, self.formulas, self.variables)
+
+
+@register_program_kind
+@dataclass(frozen=True)
+class RandomProgram(Program):
+    """A seeded random-circuit workload (fuzzing / load generation)."""
+
+    operations: int
+    seed: int = 0
+    min_qubits: int = 3
+
+    kind: ClassVar[str] = "random"
+    fields_help: ClassVar[str] = "operations[, seed, minQubits]"
+
+    def __post_init__(self) -> None:
+        _int_field("random", "operations", self.operations, 1)
+        _int_field("random", "seed", self.seed, 0)
+        _int_field("random", "minQubits", self.min_qubits, 1)
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "RandomProgram":
+        _check_fields("random", body, {"operations"}, {"seed", "minQubits"})
+        return cls(
+            operations=body["operations"],
+            seed=body.get("seed", 0),
+            min_qubits=body.get("minQubits", 3),
+        )
+
+    def to_body(self) -> dict[str, Any]:
+        body: dict[str, Any] = {"operations": self.operations}
+        if self.seed != 0:
+            body["seed"] = self.seed
+        if self.min_qubits != 3:
+            body["minQubits"] = self.min_qubits
+        return body
+
+    def counts_factory(self, backend: str) -> Callable[[], LogicalCounts]:
+        return partial(
+            _random_counts, self.seed, self.operations, self.min_qubits, backend
+        )
+
+
+@register_program_kind
+@dataclass(frozen=True)
+class InlineCountsProgram(Program):
+    """Known logical counts registered as a named workload.
+
+    Canonicalizes to the same ``{"counts": {...}}`` shape an inline-counts
+    spec uses, so a spec naming this program and a spec carrying the same
+    literal counts share one resolved hash (and one stored result).
+    """
+
+    logical_counts: LogicalCounts
+
+    kind: ClassVar[str] = "counts"
+    fields_help: ClassVar[str] = "LogicalCounts fields"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.logical_counts, LogicalCounts):
+            raise ProgramError(
+                "a counts program wraps LogicalCounts, got "
+                f"{type(self.logical_counts).__name__}"
+            )
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "InlineCountsProgram":
+        try:
+            return cls(logical_counts=LogicalCounts.from_dict(dict(body)))
+        except (TypeError, ValueError) as exc:
+            raise ProgramError(f"invalid counts program: {exc}") from exc
+
+    def to_body(self) -> dict[str, Any]:
+        return self.logical_counts.to_dict()
+
+    def counts_factory(self, backend: str) -> Callable[[], LogicalCounts]:
+        return partial(_inline_counts, self.logical_counts)

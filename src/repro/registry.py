@@ -25,12 +25,18 @@ Scenario file format (all sections optional; single object or list)::
       "qecSchemes": [{"name": "my_code", "crossingPrefactor": 0.05, ...}],
       "distillationUnits": [{"name": "my_unit", "numInputTs": 15, ...}],
       "factoryDesigners": [{"name": "my_designer", "units": ["my_unit"],
-                            "maxRounds": 3, "maxCodeDistance": 35}]
+                            "maxRounds": 3, "maxCodeDistance": 35}],
+      "programs": [{"name": "shor_1024", "modexp": {"bits": 1024}},
+                   {"name": "my_kernel", "qir": {"file": "kernel.ll"}}]
     }
 
 Sections use the same JSON shapes as the corresponding ``to_dict``
 serializations, so a profile copied out of a result report is a valid
-scenario entry.
+scenario entry. ``programs`` entries declare named workloads — any kind
+in the open program catalog (:mod:`repro.programs`) — that specs, sweep
+axes, the CLI (``--program NAME``), and the service then reference by
+name, exactly like hardware profiles; relative ``qir`` file paths
+resolve against the scenario file's directory.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from .distillation.units import (
     DistillationUnit,
     DistillationUnitError,
 )
+from .programs import ModexpProgram, Program, ProgramError, program_from_dict
 from .qec import QECScheme, QECSchemeError
 from .qec.predefined import PREDEFINED_SCHEMES
 from .qubits import InstructionSet, PhysicalQubitParams
@@ -69,10 +76,17 @@ class RegistryError(KeyError):
     """Raised for unknown registry entries (a :class:`KeyError` subtype)."""
 
 
+#: Named workloads every registry starts with (the RSA benchmarks).
+PREDEFINED_PROGRAMS: dict[str, Program] = {
+    "rsa_1024": ModexpProgram(bits=1024),
+    "rsa_2048": ModexpProgram(bits=2048),
+}
+
+
 class Registry:
     """Named catalogs of every customizable model object.
 
-    Four tables, each seeded with the predefined entries unless
+    Five tables, each seeded with the predefined entries unless
     ``include_predefined=False``:
 
     * **qubit profiles** by name;
@@ -81,7 +95,10 @@ class Registry:
     * **distillation units** by name;
     * **factory designers** by name (``"default"`` is the shared designer
       used by :func:`repro.estimate`, so sweeps that don't customize the
-      search keep hitting its warm factory catalog).
+      search keep hitting its warm factory catalog);
+    * **programs** by name — declarative workloads
+      (:class:`repro.programs.Program`) that specs, sweeps, the CLI, and
+      the service reference via ``{"program": {"name": ...}}``.
     """
 
     def __init__(self, *, include_predefined: bool = True) -> None:
@@ -89,6 +106,7 @@ class Registry:
         self._schemes: dict[str, dict[InstructionSet | None, QECScheme]] = {}
         self._units: dict[str, DistillationUnit] = {}
         self._designers: dict[str, TFactoryDesigner] = {}
+        self._programs: dict[str, Program] = {}
         if include_predefined:
             for params in PREDEFINED_PROFILES.values():
                 self.register_qubit(params)
@@ -96,6 +114,8 @@ class Registry:
                 self.register_scheme(scheme)
             for unit in PREDEFINED_UNITS.values():
                 self.register_unit(unit)
+            for name, program in PREDEFINED_PROGRAMS.items():
+                self.register_program(name, program)
             # Import deferred: stages pulls in the whole estimator package.
             from .estimator.stages import DEFAULT_DESIGNER
 
@@ -136,6 +156,20 @@ class Registry:
             raise ValueError(f"factory designer {name!r} is already registered")
         self._designers[name] = designer
         return designer
+
+    def register_program(
+        self, name: str, program: Program, *, replace: bool = False
+    ) -> Program:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"a program needs a non-empty name, got {name!r}")
+        if not isinstance(program, Program):
+            raise TypeError(
+                f"expected a repro.programs.Program, got {type(program).__name__}"
+            )
+        if not replace and name in self._programs:
+            raise ValueError(f"program {name!r} is already registered")
+        self._programs[name] = program
+        return program
 
     # -- lookup ------------------------------------------------------------
 
@@ -207,6 +241,16 @@ class Registry:
                 f"{sorted(self._designers)}"
             ) from None
 
+    def program(self, name: str) -> Program:
+        """Look up a named workload (spec ``{"program": {"name": ...}}``)."""
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown program {name!r}; available programs: "
+                f"{sorted(self._programs)}"
+            ) from None
+
     # -- introspection -----------------------------------------------------
 
     def qubit_names(self) -> list[str]:
@@ -225,13 +269,25 @@ class Registry:
     def designer_names(self) -> list[str]:
         return sorted(self._designers)
 
+    def program_names(self) -> list[str]:
+        return sorted(self._programs)
+
+    def program_catalog(self) -> dict[str, str]:
+        """Program names mapped to their kinds."""
+        return {
+            name: program.kind
+            for name, program in sorted(self._programs.items())
+        }
+
     def describe(self) -> dict[str, Any]:
-        """JSON summary of the catalogs (served by ``GET /v1/registry``)."""
+        """JSON summary of the catalogs (served by ``GET /v1/registry``
+        and the ``repro registry`` CLI subcommand)."""
         return {
             "qubitParams": self.qubit_names(),
             "qecSchemes": self.scheme_catalog(),
             "distillationUnits": self.unit_names(),
             "factoryDesigners": self.designer_names(),
+            "programs": self.program_catalog(),
         }
 
     def _scheme_listing(self) -> str:
@@ -256,8 +312,10 @@ class Registry:
         Raises :class:`ValueError` for unreadable files, malformed JSON,
         unknown sections, or invalid entry definitions.
         """
+        base_dir: Path | None = None
         if isinstance(source, (str, Path)):
             path = Path(source)
+            base_dir = path.parent
             try:
                 data = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError) as exc:
@@ -272,6 +330,7 @@ class Registry:
             "qecSchemes",
             "distillationUnits",
             "factoryDesigners",
+            "programs",
         }
         unknown = set(data) - known
         if unknown:
@@ -301,7 +360,15 @@ class Registry:
             for entry in _entries(data, "factoryDesigners"):
                 name = self._load_designer(entry, replace=replace)
                 loaded.setdefault("factoryDesigners", []).append(name)
-        except (QECSchemeError, DistillationUnitError, TypeError) as exc:
+            for entry in _entries(data, "programs"):
+                name = self._load_program(entry, replace=replace, base_dir=base_dir)
+                loaded.setdefault("programs", []).append(name)
+        except (
+            QECSchemeError,
+            DistillationUnitError,
+            ProgramError,
+            TypeError,
+        ) as exc:
             raise ValueError(f"invalid scenario entry: {exc}") from exc
         except KeyError as exc:
             # e.g. a designer referencing an unknown unit name; keep the
@@ -335,6 +402,27 @@ class Registry:
             max_code_distance=entry.get("maxCodeDistance", 35),
         )
         self.register_designer(name, designer, replace=replace)
+        return name
+
+    def _load_program(
+        self, entry: dict[str, Any], *, replace: bool, base_dir: Path | None
+    ) -> str:
+        entry = dict(entry)
+        name = entry.pop("name", None)
+        if not isinstance(name, str) or not name:
+            raise ValueError("a program entry needs a non-empty 'name'")
+        qir_body = entry.get("qir")
+        if (
+            base_dir is not None
+            and isinstance(qir_body, dict)
+            and isinstance(qir_body.get("file"), str)
+            and not Path(qir_body["file"]).is_absolute()
+        ):
+            # A scenario file's QIR references are relative to *it*, not
+            # to wherever the process happens to run.
+            entry["qir"] = dict(qir_body, file=str(base_dir / qir_body["file"]))
+        program = program_from_dict(entry)
+        self.register_program(name, program, replace=replace)
         return name
 
 

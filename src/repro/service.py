@@ -42,7 +42,11 @@ Endpoints
     still queued/running, 404 for unknown jobs).
 ``GET /v1/registry``
     Names of the available qubit profiles, QEC schemes, distillation
-    units, and factory designers (including scenario-file entries).
+    units, factory designers, and programs (including scenario-file
+    entries). Specs may reference any listed program by name —
+    ``{"program": {"name": "rsa_2048"}, ...}`` — and the server resolves
+    it through the same registry, so clients never ship workload
+    definitions they can address.
 ``GET /v1/healthz``
     Liveness plus the store location and schema tags.
 
@@ -76,6 +80,7 @@ from .estimator.batch import EstimateCache
 from .estimator.spec import EstimateSpec, run_specs
 from .estimator.store import ResultStore
 from .estimator.sweep import SweepProgress, SweepSpec, run_sweep
+from .programs import forbid_file_programs
 from .registry import Registry, default_registry
 
 __all__ = [
@@ -211,7 +216,11 @@ class EstimationService:
         records: list[dict[str, Any] | None] = [None] * len(raw_specs)
         for index, raw in enumerate(raw_specs):
             try:
-                parsed.append((index, EstimateSpec.from_dict(raw)))
+                # Untrusted payload: programs naming server-local files
+                # are rejected at parse time (see forbid_file_programs) —
+                # the server must never read a client-chosen path.
+                with forbid_file_programs():
+                    parsed.append((index, EstimateSpec.from_dict(raw)))
             except (KeyError, ValueError, TypeError) as exc:
                 # KeyError included as defense in depth: a missing field
                 # in one spec must fail that record, never 500 the batch.
@@ -265,9 +274,13 @@ class EstimationService:
         already stored (by a previous run or a previous server process)
         is immediately ``done`` without recomputing anything.
         """
-        spec = SweepSpec.from_dict(payload)
-        total = len(spec.expand())
-        job_id = spec.content_hash(self.registry)
+        with forbid_file_programs():
+            # Expansion (cached on the frozen spec) happens inside the
+            # guard: axis fragments assembling a qir 'file' reference are
+            # rejected exactly like a literal one in the base document.
+            spec = SweepSpec.from_dict(payload)
+            total = len(spec.expand())
+            job_id = spec.content_hash(self.registry)
         with self._jobs_lock:
             job = self._jobs.get(job_id)
         if job is not None and job.status not in ("failed", "done"):

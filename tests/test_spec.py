@@ -56,10 +56,30 @@ class TestProgramRef:
             ProgramRef(kind="bogus", bits=8)
         with pytest.raises(ValueError, match="algorithm"):
             ProgramRef(kind="multiplier", bits=8)
-        with pytest.raises(ValueError, match="modexp"):
+        with pytest.raises(ValueError, match="unknown multiplier program fields"):
             ProgramRef(kind="multiplier", algorithm="windowed", bits=8, window=2)
         with pytest.raises(ValueError, match="bits"):
             ProgramRef(kind="multiplier", algorithm="windowed", bits=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            ProgramRef(kind="modexp", name="rsa_1024")
+        with pytest.raises(ValueError, match="no body fields"):
+            ProgramRef(name="rsa_1024", bits=8)
+
+    def test_unknown_kind_error_lists_kinds_with_fields(self):
+        # The open catalog's lookup error mirrors the QEC scheme style:
+        # every registered kind appears with its required fields.
+        with pytest.raises(ValueError) as excinfo:
+            ProgramRef(kind="bogus", bits=8)
+        message = str(excinfo.value)
+        for fragment in (
+            "unknown program kind 'bogus'",
+            "multiplier (algorithm, bits)",
+            "modexp (bits[, exponentBits, window])",
+            "qir (file or text)",
+            "formula (counts[, variables])",
+            "random (operations[, seed, minQubits])",
+        ):
+            assert fragment in message
 
     def test_resolution_matches_direct_counts(self):
         ref = ProgramRef(kind="multiplier", algorithm="schoolbook", bits=16)
@@ -67,7 +87,9 @@ class TestProgramRef:
         from repro.arithmetic import multiplier_by_name
 
         assert program() == multiplier_by_name("schoolbook", 16).logical_counts()
-        assert key == ("multiplier", "schoolbook", 16, "formula")
+        # The memo key is the program's content identity plus the backend
+        # — the same address the persistent counts cache uses.
+        assert key == ("program", ref.program.content_hash(), "formula")
 
     def test_resolution_is_identity_stable(self):
         ref = ProgramRef(kind="multiplier", algorithm="schoolbook", bits=16)

@@ -184,7 +184,7 @@ class TestExpansion:
         )
         spec = sweep.expand()[0].spec
         assert spec.program.kind == "multiplier"
-        assert spec.program.bits == 64
+        assert spec.program.program.bits == 64
 
     def test_points_get_auto_labels(self):
         point = small_sweep().expand()[0]
