@@ -63,6 +63,14 @@ baseline, and exposes the count-resolution backend choice::
     python -m repro bench trace --algorithm modexp --bits 2048 \\
         --backend counting --json
 
+``repro bench sweep`` times the same sweep file through the scalar and
+the vectorized estimation kernels and prints points/sec plus the
+speedup (README section "Dense-sweep vectorized kernel"); ``repro
+sweep``/``repro serve`` take ``--kernel {auto,scalar,vectorized}`` to
+pin the execution backend — the choice never changes results or hashes::
+
+    python -m repro bench sweep --sweep sweep.json --json
+
 Both ``batch`` and ``bench trace`` accept ``--backend
 {formula,materialize,counting}``: closed-form tallies, a fully
 materialized instruction stream, or the streaming counting builder
@@ -100,6 +108,7 @@ from .advantage import assess
 from .budget import ErrorBudget
 from .counts import LogicalCounts
 from .estimator import Constraints
+from .estimator.batch import BACKEND_CHOICES as KERNEL_CHOICES
 from .estimator.batch import EstimateCache
 from .estimator.spec import EstimateSpec, ProgramRef, run_specs
 from .estimator.stages import resolve_counts
@@ -590,6 +599,15 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="points evaluated (and persisted) per chunk "
         "(default: the sweep file's chunkSize, else 16)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="estimation kernel: 'vectorized' is the numpy "
+        "struct-of-arrays batch kernel, 'scalar' the per-point solver, "
+        "'auto' picks per chunk size; results are bit-for-bit identical "
+        "(default: auto)",
+    )
     _add_scenario_argument(parser)
     parser.add_argument(
         "--store",
@@ -677,6 +695,7 @@ def _sweep_main(argv: list[str]) -> int:
             store=store,
             max_workers=args.workers,
             chunk_size=args.chunk_size,
+            kernel=args.kernel,
             progress=progress,
         )
     except KeyboardInterrupt:
@@ -742,14 +761,23 @@ def _sweep_main(argv: list[str]) -> int:
 def build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro bench",
-        description="Performance baselines: per-stage timing (build vs "
-        "trace vs estimate) of one workload through a chosen counting "
-        "backend.",
+        description="Performance baselines: 'trace' times one workload "
+        "per stage (build vs trace vs estimate) through a chosen counting "
+        "backend; 'sweep' times a sweep file through the scalar and the "
+        "vectorized estimation kernels and reports points/sec and speedup.",
     )
     parser.add_argument(
         "mode",
-        choices=("trace",),
-        help="benchmark kind (currently only 'trace')",
+        choices=("trace", "sweep"),
+        help="benchmark kind: 'trace' (one workload, per-stage timings) "
+        "or 'sweep' (scalar vs vectorized kernel over a sweep file)",
+    )
+    parser.add_argument(
+        "--sweep",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="sweep mode only: JSON sweep specification file to time",
     )
     parser.add_argument(
         "--algorithm",
@@ -891,8 +919,91 @@ def _bench_counts(
     return counts, built - start, time.perf_counter() - built
 
 
+def _bench_sweep(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> int:
+    """Time one sweep file through both estimation kernels.
+
+    Each kernel runs the full expanded sweep against a fresh in-memory
+    cache (no store), so the two timings pay identical costs — counts
+    resolution, factory catalogs, distance tables — and the speedup is
+    an honest end-to-end number, not a warm-cache artifact.
+    """
+    if args.sweep is None:
+        parser.error("bench sweep requires --sweep FILE")
+    registry = _load_scenarios(args.scenario)
+    try:
+        document = json.loads(args.sweep.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read sweep file: {exc}")
+    try:
+        sweep = SweepSpec.from_dict(document)
+        points = sweep.expand()
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid sweep spec: {exc}")
+    specs = [point.spec for point in points]
+    if not specs:
+        raise SystemExit("error: sweep expands to zero points")
+
+    timings: dict[str, float] = {}
+    failures = 0
+    kernel_stats: dict[str, object] = {}
+    for backend in ("scalar", "vectorized"):
+        cache = EstimateCache()
+        start = time.perf_counter()
+        try:
+            outcomes = run_specs(
+                specs, registry=registry, cache=cache, kernel=backend
+            )
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+        timings[backend] = max(time.perf_counter() - start, 1e-9)
+        if backend == "scalar":
+            failures = sum(1 for outcome in outcomes if not outcome.ok)
+        else:
+            kernel_stats = cache.stats()["kernel"]
+
+    rates = {name: len(specs) / seconds for name, seconds in timings.items()}
+    speedup = timings["scalar"] / timings["vectorized"]
+    if args.json:
+        record = {
+            "mode": "sweep",
+            "sweep": str(args.sweep),
+            "points": len(specs),
+            "infeasiblePoints": failures,
+            "kernels": {
+                name: {
+                    "time_s": timings[name],
+                    "points_per_s": rates[name],
+                }
+                for name in ("scalar", "vectorized")
+            },
+            "speedup": speedup,
+            "kernelStats": kernel_stats,
+        }
+        print(json.dumps(record, indent=2))
+    else:
+        print(f"{args.sweep}: {len(specs)} points per kernel")
+        print(f"{'kernel':<12} {'time[s]':>10} {'points/sec':>12}")
+        print("-" * 36)
+        for name in ("scalar", "vectorized"):
+            print(f"{name:<12} {timings[name]:>10.3f} {rates[name]:>12.1f}")
+        print(f"speedup: {speedup:.1f}x")
+        if failures:
+            print(
+                f"{failures} of {len(specs)} points infeasible",
+                file=sys.stderr,
+            )
+    return 1 if failures else 0
+
+
 def _bench_main(argv: list[str]) -> int:
-    args = build_bench_parser().parse_args(argv)
+    parser = build_bench_parser()
+    args = parser.parse_args(argv)
+    if args.mode == "sweep":
+        return _bench_sweep(parser, args)
+    if args.sweep is not None:
+        parser.error("--sweep only applies to 'repro bench sweep'")
     if args.bits < 1:
         raise SystemExit(f"error: --bits must be >= 1, got {args.bits}")
     registry = _load_scenarios(args.scenario)
@@ -1158,6 +1269,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=2,
         help="async sweep job threads (POST /v1/sweeps; default: 2)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="estimation kernel for submitted batches and sweep jobs "
+        "(bit-for-bit identical results either way; default: auto)",
+    )
     _add_scenario_argument(parser)
     parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -1183,6 +1301,7 @@ def _serve_main(argv: list[str]) -> int:
         store=store,
         max_workers=args.workers,
         sweep_workers=args.sweep_workers,
+        kernel=args.kernel,
     )
     server = make_server(
         args.host, args.port, service=service, verbose=args.verbose

@@ -31,7 +31,14 @@ from .stages import (
     solve_code_distance_fixed_point,
 )
 from .pipeline import estimate
-from .batch import BatchOutcome, EstimateCache, EstimateRequest, estimate_batch
+from .batch import (
+    AUTO_BATCH_THRESHOLD,
+    BACKEND_CHOICES,
+    BatchOutcome,
+    EstimateCache,
+    EstimateRequest,
+    estimate_batch,
+)
 from .frontier import Frontier, FrontierPoint, estimate_frontier
 from .spec import EstimateSpec, ProgramRef, SpecOutcome, run_specs
 from .store import ResultStore
@@ -47,6 +54,8 @@ from .sweep import (
 )
 
 __all__ = [
+    "AUTO_BATCH_THRESHOLD",
+    "BACKEND_CHOICES",
     "BatchOutcome",
     "Constraints",
     "EstimateCache",

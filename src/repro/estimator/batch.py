@@ -61,11 +61,22 @@ from .stages import (
 )
 
 __all__ = [
+    "AUTO_BATCH_THRESHOLD",
+    "BACKEND_CHOICES",
     "BatchOutcome",
     "EstimateCache",
     "EstimateRequest",
     "estimate_batch",
 ]
+
+#: Valid values of ``estimate_batch``'s ``backend`` parameter.
+BACKEND_CHOICES = ("auto", "scalar", "vectorized")
+
+#: Batch size at which ``backend="auto"`` switches from the scalar walk
+#: to the struct-of-arrays kernel. Below this the kernel's per-batch
+#: setup (distance/factory tables, column arrays) outweighs its per-point
+#: savings; small batches also keep their historical cache-stat traces.
+AUTO_BATCH_THRESHOLD = 32
 
 
 @dataclass(frozen=True, eq=False)
@@ -124,6 +135,9 @@ class CacheStats:
     distance_misses: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    kernel_vectorized_points: int = 0
+    kernel_fallback_points: int = 0
+    kernel_scalar_points: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -161,7 +175,26 @@ class EstimateCache:
             "factories": {"hits": s.factory_hits, "misses": s.factory_misses},
             "distances": {"hits": s.distance_hits, "misses": s.distance_misses},
             "store": {"hits": s.store_hits, "misses": s.store_misses},
+            "kernel": {
+                "vectorized": s.kernel_vectorized_points,
+                "scalarFallback": s.kernel_fallback_points,
+                "scalar": s.kernel_scalar_points,
+            },
         }
+
+    def record_kernel_points(
+        self, *, vectorized: int = 0, fallback: int = 0, scalar: int = 0
+    ) -> None:
+        """Count points by the evaluation path that produced them.
+
+        ``vectorized`` points went through the struct-of-arrays kernel,
+        ``fallback`` points were handed back to the scalar path by the
+        kernel (unsupported feature or magnitude guard), and ``scalar``
+        points ran on the scalar path by backend choice.
+        """
+        self._stats.kernel_vectorized_points += vectorized
+        self._stats.kernel_fallback_points += fallback
+        self._stats.kernel_scalar_points += scalar
 
     def record_store_lookup(self, hit: bool) -> None:
         """Count a persistent-store lookup made on behalf of this cache."""
@@ -278,32 +311,61 @@ def _run_request(
     return BatchOutcome(request=request, result=result, error=None)
 
 
+def _load_kernel(required: bool):
+    """Import the numpy kernel lazily (numpy stays a kernel-only import).
+
+    Returns ``None`` when numpy is unavailable and the caller can fall
+    back silently (``backend="auto"``); raises for an explicit request.
+    """
+    try:
+        from . import kernel
+    except ImportError as exc:
+        if required:
+            raise RuntimeError(
+                "backend='vectorized' requires numpy, which is not "
+                "installed; use backend='scalar' or 'auto'"
+            ) from exc
+        return None
+    return kernel
+
+
 def _run_chunk(
-    payload: tuple[int, list[EstimateRequest], TFactoryDesigner | None],
+    payload: tuple[int, list[EstimateRequest], TFactoryDesigner | None, str],
 ) -> tuple[int, list[tuple[PhysicalResourceEstimates | None, str | None]]]:
     """Worker entry point: run one contiguous chunk with the process cache.
 
     ``payload`` carries the parent's custom factory designer (``None`` for
-    the shared default); a custom designer gets a chunk-local cache so
-    parallel results match what the same cache produces serially.
+    the shared default) and the requested kernel backend; a custom
+    designer gets a chunk-local cache so parallel results match what the
+    same cache produces serially.
     """
     global _WORKER_CACHE
-    start, requests, designer = payload
+    start, requests, designer, backend = payload
     if designer is not None:
         cache = EstimateCache(designer=designer)
     else:
         if _WORKER_CACHE is None:
             _WORKER_CACHE = EstimateCache()
         cache = _WORKER_CACHE
-    outcomes = [_run_request(request, cache) for request in requests]
+    outcomes = _run_serial(requests, cache, backend=backend)
     # Ship only (result, error) back; the parent re-attaches its own
     # request objects so callers can match outcomes by identity.
     return start, [(o.result, o.error) for o in outcomes]
 
 
 def _run_serial(
-    requests: Sequence[EstimateRequest], cache: EstimateCache
+    requests: Sequence[EstimateRequest],
+    cache: EstimateCache,
+    backend: str = "scalar",
 ) -> list[BatchOutcome]:
+    kernel = None
+    if backend == "vectorized" or (
+        backend == "auto" and len(requests) >= AUTO_BATCH_THRESHOLD
+    ):
+        kernel = _load_kernel(required=backend == "vectorized")
+    if kernel is not None:
+        return kernel.run_batch_vectorized(list(requests), cache)
+    cache.record_kernel_points(scalar=len(requests))
     return [_run_request(request, cache) for request in requests]
 
 
@@ -328,6 +390,7 @@ def estimate_batch(
     *,
     max_workers: int | None = 1,
     cache: EstimateCache | None = None,
+    backend: str = "auto",
 ) -> list[BatchOutcome]:
     """Evaluate many estimation points, preserving input order.
 
@@ -347,6 +410,16 @@ def estimate_batch(
         Cache to use (and warm) for serial execution; defaults to a
         module-shared instance. Worker processes always use their own
         process-global caches.
+    backend:
+        ``"auto"`` (default) evaluates batches (or, in parallel runs,
+        per-worker chunks) of at least :data:`AUTO_BATCH_THRESHOLD` points
+        through the vectorized struct-of-arrays kernel and smaller ones
+        through the scalar walk; ``"vectorized"`` and ``"scalar"`` force a
+        path. Backends are bit-for-bit interchangeable: the kernel falls
+        back to the scalar path per point for anything it does not model,
+        so outcomes (results *and* error messages) never depend on this
+        choice. ``"auto"`` also degrades silently to scalar when numpy is
+        unavailable; ``"vectorized"`` raises then.
 
     Input validation errors (bad program type, malformed budget or
     constraints) raise immediately — only :class:`EstimationError`
@@ -357,9 +430,13 @@ def estimate_batch(
     cache = cache if cache is not None else _SHARED_CACHE
     if max_workers is not None and max_workers < 1:
         raise ValueError(f"max_workers must be >= 1 or None, got {max_workers}")
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(
+            f"backend must be one of {BACKEND_CHOICES}, got {backend!r}"
+        )
     try:
         if max_workers == 1 or len(requests) <= 1:
-            return _run_serial(requests, cache)
+            return _run_serial(requests, cache, backend=backend)
 
         # One chunk per worker so in-chunk pickling preserves shared
         # program objects (identity deduplication inside each worker).
@@ -368,14 +445,15 @@ def estimate_batch(
         # process-global caches only know the shared default.
         designer = cache.designer if cache.designer is not DEFAULT_DESIGNER else None
         pieces = [
-            (start, chunk, designer) for start, chunk in _chunks(requests, num_workers)
+            (start, chunk, designer, backend)
+            for start, chunk in _chunks(requests, num_workers)
         ]
         try:
             # Probe picklability up front: unpicklable programs (lambdas,
             # open handles) run serially instead of dying in the pool.
             pickle.dumps(pieces)
         except Exception:
-            return _run_serial(requests, cache)
+            return _run_serial(requests, cache, backend=backend)
         try:
             with ProcessPoolExecutor(max_workers=num_workers) as pool:
                 results: list[tuple[PhysicalResourceEstimates | None, str | None]] = (
@@ -387,7 +465,7 @@ def estimate_batch(
         except (OSError, PermissionError, BrokenProcessPool):
             # Sandboxes without process spawning fall back to serial
             # execution; genuine worker exceptions propagate unchanged.
-            return _run_serial(requests, cache)
+            return _run_serial(requests, cache, backend=backend)
         return [
             BatchOutcome(request=request, result=result, error=error)
             for request, (result, error) in zip(requests, results)

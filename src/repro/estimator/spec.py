@@ -518,6 +518,7 @@ def run_specs(
     store: "ResultStore | None" = None,
     cache: EstimateCache | None = None,
     max_workers: int | None = 1,
+    kernel: str = "auto",
 ) -> list[SpecOutcome]:
     """Evaluate declarative specs through the store and the batch engine.
 
@@ -535,6 +536,12 @@ def run_specs(
 
     Store lookups are counted on the cache's :meth:`EstimateCache.stats`
     under ``store``; passing no cache uses the module-shared one.
+
+    ``kernel`` selects the batch evaluation backend (``"auto"``,
+    ``"scalar"``, ``"vectorized"``) — named differently from the specs'
+    own ``backend`` field, which picks the *counts* backend. Backends are
+    bit-for-bit interchangeable, so stored documents and spec hashes do
+    not depend on this choice.
     """
     from ..registry import default_registry
     from .batch import _SHARED_CACHE  # shared instance also used by defaults
@@ -596,6 +603,7 @@ def run_specs(
             [request for _, _, request in to_run],
             max_workers=max_workers,
             cache=cache,
+            backend=kernel,
         )
         for (index, spec_hash, _), outcome in zip(to_run, outcomes):
             if outcome.ok:

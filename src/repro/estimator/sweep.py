@@ -749,6 +749,7 @@ def run_sweep(
     chunk_size: int | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
     lock: Any | None = None,
+    kernel: str = "auto",
 ) -> SweepResult:
     """Execute a sweep in store-backed chunks and reduce its frontiers.
 
@@ -765,6 +766,15 @@ def run_sweep(
     ``lock`` (any context manager) serializes chunk execution with other
     users of a shared cache — the estimation service passes its engine
     lock so sweep jobs interleave fairly with interactive submissions.
+
+    ``kernel`` selects the batch backend (``"auto"``/``"scalar"``/
+    ``"vectorized"``). It is an execution hint like ``max_workers`` —
+    backends are bit-for-bit interchangeable, so it is not part of
+    :class:`SweepSpec` and never affects content hashes or stored
+    documents. Note that under ``"auto"`` the threshold applies per
+    chunk: store-backed sweeps using the default 16-point chunks stay on
+    the scalar path; pass ``kernel="vectorized"`` or a larger
+    ``chunk_size`` to engage the kernel.
     """
     from ..registry import default_registry
 
@@ -791,6 +801,7 @@ def run_sweep(
                 store=store,
                 cache=cache,
                 max_workers=max_workers,
+                kernel=kernel,
             )
         for point, outcome in zip(chunk, chunk_outcomes):
             outcomes.append(

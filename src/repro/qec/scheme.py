@@ -144,6 +144,25 @@ class QECScheme:
             )
         return distance
 
+    def distance_table(
+        self, qubit: PhysicalQubitParams
+    ) -> tuple[tuple[int, float], ...]:
+        """``(distance, logical_error_rate)`` for every supported distance.
+
+        One row per odd distance from 1 through ``max_code_distance``,
+        with the rate computed by :meth:`logical_error_rate` — the exact
+        values :meth:`required_code_distance` compares against. Batch
+        engines tabulate this once per (scheme, qubit) pair and answer
+        each required-error query with a sorted-array lookup; below
+        threshold the rates decrease monotonically in the distance, so
+        the first row at or under the requirement is the distance the
+        scalar search returns.
+        """
+        return tuple(
+            (d, self.logical_error_rate(qubit, d))
+            for d in range(1, self.max_code_distance + 1, 2)
+        )
+
     def cycle_time_ns(self, qubit: PhysicalQubitParams, code_distance: int) -> float:
         """Duration of one logical cycle, in nanoseconds."""
         env = qubit.formula_environment(code_distance)

@@ -36,7 +36,10 @@ Endpoints
 ``GET /v1/jobs/<jobId>``
     Job status: ``queued`` / ``running`` / ``done`` / ``failed`` plus
     cumulative partial-completion counts (``completed``, ``ok``,
-    ``failed``, ``fromStore``).
+    ``failed``, ``fromStore``) and the engine's cache/kernel counters
+    under ``cacheStats`` (memo hit rates plus how many points ran
+    vectorized vs on the scalar path — see
+    :meth:`~repro.estimator.batch.EstimateCache.stats`).
 ``GET /v1/sweeps/<jobId>/result``
     The finished sweep's full result document (409 while the job is
     still queued/running, 404 for unknown jobs).
@@ -121,7 +124,9 @@ class SweepJob:
     error: str | None = None
     result_doc: dict[str, Any] | None = None
 
-    def to_record(self) -> dict[str, Any]:
+    def to_record(
+        self, cache_stats: dict[str, dict[str, int]] | None = None
+    ) -> dict[str, Any]:
         record: dict[str, Any] = {
             "jobId": self.job_id,
             "status": self.status,
@@ -132,6 +137,11 @@ class SweepJob:
             "fromStore": self.from_store,
             "error": self.error,
         }
+        if cache_stats is not None:
+            # Engine-wide counters (the cache is shared across jobs and
+            # interactive submissions), surfaced for observability of the
+            # vectorized/scalar kernel split and memo hit rates.
+            record["cacheStats"] = cache_stats
         if self.status == "done":
             record["resultUrl"] = f"/v1/sweeps/{self.job_id}/result"
         return record
@@ -157,6 +167,12 @@ class EstimationService:
         Size of the async sweep job thread pool. Sweep chunks take the
         same engine lock as interactive submissions, so jobs make
         progress without starving ``POST /v1/estimate``.
+    kernel:
+        Batch evaluation backend (``"auto"``/``"scalar"``/
+        ``"vectorized"``) passed through to the engine for every
+        submission and sweep chunk. Backends are bit-for-bit
+        interchangeable, so responses and stored documents never depend
+        on this choice — only throughput does.
     """
 
     def __init__(
@@ -166,11 +182,13 @@ class EstimationService:
         cache: EstimateCache | None = None,
         max_workers: int | None = 1,
         sweep_workers: int = 2,
+        kernel: str = "auto",
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.store = store
         self.cache = cache if cache is not None else EstimateCache()
         self.max_workers = max_workers
+        self.kernel = kernel
         self._lock = threading.Lock()
         self._jobs: dict[str, SweepJob] = {}
         self._jobs_lock = threading.Lock()
@@ -241,6 +259,7 @@ class EstimationService:
                     store=self.store,
                     cache=self.cache,
                     max_workers=self.max_workers,
+                    kernel=self.kernel,
                 )
             for (index, spec), outcome in zip(parsed, outcomes):
                 records[index] = {
@@ -346,6 +365,7 @@ class EstimationService:
                 max_workers=self.max_workers,
                 progress=on_progress,
                 lock=self._lock,
+                kernel=self.kernel,
             )
             document = result.to_dict()
             persisted = (
@@ -371,13 +391,16 @@ class EstimationService:
 
     def job_record(self, job_id: str) -> dict[str, Any] | None:
         """Status for ``GET /v1/jobs/<id>`` (or ``None`` if unknown)."""
+        stats = self.cache.stats()
         with self._jobs_lock:
             job = self._jobs.get(job_id)
             if job is not None:
-                return job.to_record()
+                return job.to_record(cache_stats=stats)
         stored = self._stored_sweep(job_id)
         if stored is not None:
-            return self._job_from_document(job_id, stored).to_record()
+            return self._job_from_document(job_id, stored).to_record(
+                cache_stats=stats
+            )
         return None
 
     def sweep_result_document(

@@ -17,6 +17,12 @@ refactor must never bend:
 * **Backend agreement** — the counting and materialize backends produce
   bit-for-bit identical logical counts on sampled multipliers (the
   property that justifies excluding ``backend`` from spec hashes).
+* **Kernel agreement** — the scalar walk and the vectorized
+  struct-of-arrays kernel produce bit-for-bit identical sweep documents
+  (result fields, error strings, and content hashes) over random
+  workloads, budgets (including infeasibly tight ones that exercise the
+  kernel's scalar fallback), and constraints — the property that lets
+  ``kernel=`` stay an execution hint outside the spec hash.
 
 All sweeps run through the declarative layer (:class:`SweepSpec` /
 :func:`run_sweep`), the same path as the CLI and the service.
@@ -192,3 +198,66 @@ class TestBackendAgreement:
             for backend in ("formula", "materialize", "counting")
         }
         assert len(hashes) == 1
+
+
+#: Workloads for the kernel-agreement sweep, from degenerate to large:
+#: a zero-operation program (depth clamps to 1, no T factory), a
+#: T-free measurement-only program, the shared small workload with
+#: rotations, and a large deep one (big intermediate products).
+KERNEL_WORKLOADS = (
+    LogicalCounts(num_qubits=1),
+    LogicalCounts(num_qubits=7, measurement_count=900),
+    COUNTS,
+    LogicalCounts(
+        num_qubits=1_200,
+        t_count=10**8,
+        ccz_count=10**7,
+        rotation_count=10_000,
+        rotation_depth=4_000,
+        measurement_count=10**6,
+    ),
+)
+
+#: Budgets for the kernel-agreement sweep. 1e-25 is infeasibly tight for
+#: every predefined factory search space — those points fail with an
+#: EstimationError raised inside the kernel's scalar fallback, so the
+#: error strings are part of what must match.
+KERNEL_BUDGETS = (1e-25, 1e-10, 1e-6, 1e-4, 1e-3, 1e-1)
+
+
+class TestKernelAgreement:
+    """Scalar and vectorized kernels: bit-for-bit identical sweeps."""
+
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    @given(
+        pair=st.sampled_from(PAIRS),
+        workload=st.sampled_from(KERNEL_WORKLOADS),
+        budgets=st.lists(
+            st.sampled_from(KERNEL_BUDGETS), min_size=2, max_size=4, unique=True
+        ).map(sorted),
+        max_t_factories=st.sampled_from((None, 1, 7)),
+        depth_factor=st.sampled_from((1.0, 64.0)),
+    )
+    def test_sweep_documents_identical(
+        self, pair, workload, budgets, max_t_factories, depth_factor
+    ):
+        profile, scheme = pair
+        base: dict = {
+            "program": {"counts": workload.to_dict()},
+            "scheme": {"name": scheme},
+            "constraints": {"logicalDepthFactor": depth_factor},
+        }
+        if max_t_factories is not None:
+            base["constraints"]["maxTFactories"] = max_t_factories
+        sweep = SweepSpec(
+            base=base,
+            axes=(
+                SweepAxis("budget", tuple(budgets)),
+                SweepAxis("qubit", (profile,)),
+            ),
+        )
+        scalar = run_sweep(sweep, kernel="scalar")
+        vectorized = run_sweep(sweep, kernel="vectorized")
+        # Full documents: results, per-point error strings, and the
+        # content hashes every point is stored under.
+        assert scalar.to_dict() == vectorized.to_dict(), (profile, scheme)

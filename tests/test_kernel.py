@@ -1,0 +1,210 @@
+"""Tests for the vectorized struct-of-arrays estimation kernel.
+
+The kernel's contract is bit-for-bit equality with the scalar pipeline
+(results *and* error messages), so most coverage here is about the
+dispatch machinery around it: backend validation, the ``auto`` batch-size
+threshold, the per-batch kernel counters, graceful degradation when
+numpy is missing, and the ``distance_table`` the kernel tabulates from.
+The property-based equality sweep lives in ``test_invariants.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro import Constraints, LogicalCounts, qubit_params
+from repro.estimator.batch import (
+    AUTO_BATCH_THRESHOLD,
+    BACKEND_CHOICES,
+    EstimateCache,
+    EstimateRequest,
+    estimate_batch,
+)
+from repro.qec import PREDEFINED_SCHEMES
+
+WORKLOAD = LogicalCounts(
+    num_qubits=50, t_count=50_000, ccz_count=10_000, measurement_count=2_000
+)
+MAJ = qubit_params("qubit_maj_ns_e4")
+GATE = qubit_params("qubit_gate_ns_e3")
+
+
+def request_ladder(n: int) -> list[EstimateRequest]:
+    """``n`` distinct feasible points (budget ladder over two profiles)."""
+    return [
+        EstimateRequest(
+            program=WORKLOAD,
+            qubit=MAJ if i % 2 else GATE,
+            budget=10.0 ** (-3 - (i % 7)),
+            label=f"point-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def kernel_stats(cache: EstimateCache) -> dict[str, int]:
+    return cache.stats()["kernel"]
+
+
+class TestBackendDispatch:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            estimate_batch(request_ladder(1), backend="turbo")
+
+    def test_backend_choices_exported(self):
+        assert BACKEND_CHOICES == ("auto", "scalar", "vectorized")
+
+    def test_auto_small_batch_runs_scalar(self):
+        cache = EstimateCache()
+        n = AUTO_BATCH_THRESHOLD - 1
+        outcomes = estimate_batch(request_ladder(n), cache=cache, backend="auto")
+        assert all(o.ok for o in outcomes)
+        assert kernel_stats(cache) == {
+            "vectorized": 0,
+            "scalarFallback": 0,
+            "scalar": n,
+        }
+
+    def test_auto_large_batch_runs_vectorized(self):
+        cache = EstimateCache()
+        n = AUTO_BATCH_THRESHOLD
+        outcomes = estimate_batch(request_ladder(n), cache=cache, backend="auto")
+        assert all(o.ok for o in outcomes)
+        stats = kernel_stats(cache)
+        assert stats["scalar"] == 0
+        assert stats["vectorized"] + stats["scalarFallback"] == n
+
+    def test_explicit_vectorized_ignores_threshold(self):
+        cache = EstimateCache()
+        outcomes = estimate_batch(
+            request_ladder(2), cache=cache, backend="vectorized"
+        )
+        assert all(o.ok for o in outcomes)
+        assert kernel_stats(cache)["vectorized"] == 2
+
+    def test_explicit_scalar_ignores_threshold(self):
+        cache = EstimateCache()
+        n = AUTO_BATCH_THRESHOLD + 8
+        estimate_batch(request_ladder(n), cache=cache, backend="scalar")
+        assert kernel_stats(cache) == {
+            "vectorized": 0,
+            "scalarFallback": 0,
+            "scalar": n,
+        }
+
+    def test_counter_accumulates_across_batches(self):
+        cache = EstimateCache()
+        estimate_batch(request_ladder(3), cache=cache, backend="vectorized")
+        estimate_batch(request_ladder(2), cache=cache, backend="scalar")
+        stats = kernel_stats(cache)
+        assert stats["vectorized"] == 3
+        assert stats["scalar"] == 2
+
+
+class TestMissingNumpy:
+    """`from . import kernel` failing must degrade exactly one way."""
+
+    @pytest.fixture(autouse=True)
+    def hide_kernel_module(self, monkeypatch):
+        # A previously-imported kernel would satisfy `from . import
+        # kernel` via the package attribute; drop both lookup paths.
+        import repro.estimator as estimator_pkg
+
+        monkeypatch.delattr(estimator_pkg, "kernel", raising=False)
+        monkeypatch.setitem(sys.modules, "repro.estimator.kernel", None)
+
+    def test_auto_falls_back_to_scalar(self):
+        cache = EstimateCache()
+        n = AUTO_BATCH_THRESHOLD
+        outcomes = estimate_batch(request_ladder(n), cache=cache, backend="auto")
+        assert all(o.ok for o in outcomes)
+        assert kernel_stats(cache)["scalar"] == n
+
+    def test_explicit_vectorized_raises(self):
+        with pytest.raises(RuntimeError, match="requires numpy"):
+            estimate_batch(request_ladder(1), backend="vectorized")
+
+
+class TestDistanceTable:
+    @pytest.mark.parametrize("name", sorted(PREDEFINED_SCHEMES))
+    def test_matches_point_queries_and_decreases(self, name):
+        scheme = PREDEFINED_SCHEMES[name]
+        for qubit in (MAJ, GATE):
+            table = scheme.distance_table(qubit)
+            distances = [d for d, _ in table]
+            assert distances == list(
+                range(1, scheme.max_code_distance + 1, 2)
+            )
+            for d, rate in table:
+                assert rate == scheme.logical_error_rate(qubit, d)
+            rates = [rate for _, rate in table]
+            assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+class TestBitForBitSpotChecks:
+    """Fixed mixed batches: results, errors, and order match the scalar path.
+
+    (The randomized version of this invariant is the hypothesis suite in
+    ``test_invariants.py``; these are the deliberate corner points.)
+    """
+
+    def mixed_requests(self) -> list[EstimateRequest]:
+        return [
+            # Plain feasible point.
+            EstimateRequest(program=WORKLOAD, qubit=MAJ, budget=1e-4),
+            # Budget so tight no factory reaches it -> EstimationError.
+            EstimateRequest(program=WORKLOAD, qubit=GATE, budget=1e-25),
+            # Capped factory copies (exercises the capped-copies branch).
+            EstimateRequest(
+                program=WORKLOAD,
+                qubit=MAJ,
+                budget=1e-4,
+                constraints=Constraints(max_t_factories=1),
+            ),
+            # Constraint violations -> exact error strings must match.
+            EstimateRequest(
+                program=WORKLOAD,
+                qubit=GATE,
+                budget=1e-4,
+                constraints=Constraints(max_physical_qubits=10),
+            ),
+            EstimateRequest(
+                program=WORKLOAD,
+                qubit=GATE,
+                budget=1e-4,
+                constraints=Constraints(max_duration_ns=1.0),
+            ),
+            # Depth stretch via the slowdown factor.
+            EstimateRequest(
+                program=WORKLOAD,
+                qubit=MAJ,
+                budget=1e-3,
+                constraints=Constraints(logical_depth_factor=64.0),
+            ),
+        ]
+
+    def test_scalar_and_vectorized_agree(self):
+        scalar = estimate_batch(
+            self.mixed_requests(), cache=EstimateCache(), backend="scalar"
+        )
+        vectorized = estimate_batch(
+            self.mixed_requests(), cache=EstimateCache(), backend="vectorized"
+        )
+        assert len(scalar) == len(vectorized)
+        for s, v in zip(scalar, vectorized):
+            assert s.ok == v.ok
+            assert s.error == v.error
+            if s.ok:
+                assert s.result.to_dict() == v.result.to_dict()
+
+    def test_fallback_points_are_counted(self):
+        cache = EstimateCache()
+        estimate_batch(
+            self.mixed_requests(), cache=cache, backend="vectorized"
+        )
+        stats = kernel_stats(cache)
+        assert stats["vectorized"] + stats["scalarFallback"] == 6
+        # The infeasible-factory point at least is replayed scalar-side.
+        assert stats["scalarFallback"] >= 1

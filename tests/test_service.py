@@ -567,3 +567,55 @@ class TestSweepJobs:
         assert document["counts"] == {"total": 4, "ok": 2, "failed": 2}
         errors = [p["error"] for p in document["points"] if not p["ok"]]
         assert all("no_such_profile" in e for e in errors)
+
+
+class TestKernelByteIdentity:
+    """A sweep served with either estimation kernel persists identically.
+
+    The ``kernel=`` choice is an execution hint: results, spec hashes,
+    and therefore every byte the store writes (result documents, the
+    sweep document, the counts cache) must not depend on it. The job
+    status document's ``cacheStats.kernel`` counters are where the
+    choice *is* allowed to show.
+    """
+
+    def _run_sweep_service(self, store_root, kernel):
+        service = EstimationService(
+            registry=Registry(), store=ResultStore(store_root), kernel=kernel
+        )
+        try:
+            job_id = service.submit_sweep(SWEEP_DOC)["jobId"]
+            deadline = time.monotonic() + 120
+            while service.job_record(job_id)["status"] not in ("done", "failed"):
+                assert time.monotonic() < deadline, "sweep job did not finish"
+                time.sleep(0.02)
+            status = service.job_record(job_id)
+            assert status["status"] == "done", status.get("error")
+            return status
+        finally:
+            service.close()
+
+    def test_store_entries_byte_identical_across_kernels(self, tmp_path):
+        scalar_root = tmp_path / "scalar"
+        vector_root = tmp_path / "vectorized"
+        scalar_status = self._run_sweep_service(scalar_root, "scalar")
+        vector_status = self._run_sweep_service(vector_root, "vectorized")
+
+        scalar_files = {
+            path.relative_to(scalar_root): path.read_bytes()
+            for path in scalar_root.rglob("*.json")
+        }
+        vector_files = {
+            path.relative_to(vector_root): path.read_bytes()
+            for path in vector_root.rglob("*.json")
+        }
+        assert scalar_files.keys() == vector_files.keys()
+        assert scalar_files == vector_files
+        assert len(scalar_files) > 0
+
+        # The kernel counters on the job status tell the two runs apart.
+        assert scalar_status["cacheStats"]["kernel"]["vectorized"] == 0
+        assert scalar_status["cacheStats"]["kernel"]["scalar"] == 4
+        vector_kernel = vector_status["cacheStats"]["kernel"]
+        assert vector_kernel["scalar"] == 0
+        assert vector_kernel["vectorized"] + vector_kernel["scalarFallback"] == 4
