@@ -53,6 +53,7 @@ from .estimator import (
     SpecOutcome,
     SweepAxis,
     SweepPointOutcome,
+    SweepQueue,
     SweepResult,
     SweepSpec,
     estimate,
@@ -60,6 +61,7 @@ from .estimator import (
     estimate_frontier,
     run_specs,
     run_sweep,
+    run_worker,
 )
 from .formulas import Formula
 from .layout import layout_resources, logical_qubits_after_layout
@@ -122,6 +124,7 @@ __all__ = [
     "SURFACE_CODE_MAJORANA",
     "SweepAxis",
     "SweepPointOutcome",
+    "SweepQueue",
     "SweepResult",
     "SweepSpec",
     "TFactory",
@@ -143,4 +146,5 @@ __all__ = [
     "render_report",
     "run_specs",
     "run_sweep",
+    "run_worker",
 ]

@@ -608,6 +608,31 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "'auto' picks per chunk size; results are bit-for-bit identical "
         "(default: auto)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("local", "queue"),
+        default="local",
+        help="'local' runs chunks in this process; 'queue' journals the "
+        "sweep in the store's crash-safe work queue and drains it as "
+        "--workers cooperating worker processes (requires --store; "
+        "identical results; see 'repro work' and the README section "
+        "'Fault tolerance and multi-process execution')",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="queue executor only: lease time-to-live — how long a dead "
+        "worker's chunk stays unclaimable (default: 30)",
+    )
+    parser.add_argument(
+        "--enqueue-only",
+        action="store_true",
+        help="queue executor only: journal the sweep and print its job id "
+        "as JSON without evaluating anything; start 'repro work' "
+        "processes to drain it",
+    )
     _add_scenario_argument(parser)
     parser.add_argument(
         "--store",
@@ -653,6 +678,12 @@ def _sweep_main(argv: list[str]) -> int:
         parser.error(f"--chunk-size must be >= 1, got {args.chunk_size}")
     if args.resume and not args.store:
         parser.error("--resume requires --store (that is where points resume from)")
+    if args.executor == "queue" and not args.store:
+        parser.error("--executor queue requires --store (the queue lives there)")
+    if args.enqueue_only and args.executor != "queue":
+        parser.error("--enqueue-only requires --executor queue")
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        parser.error(f"--lease-ttl must be > 0, got {args.lease_ttl}")
     registry = _load_scenarios(args.scenario)
     try:
         document = json.loads(args.sweep.read_text())
@@ -688,15 +719,63 @@ def _sweep_main(argv: list[str]) -> int:
                 file=sys.stderr,
             )
 
+    helper_procs: list = []
+    if args.executor == "queue":
+        from .estimator.queue import SweepQueue
+
+        job = SweepQueue(store).enqueue(
+            sweep, registry=registry, chunk_size=args.chunk_size
+        )
+        if args.enqueue_only:
+            print(
+                json.dumps(
+                    {
+                        "jobId": job.job_id,
+                        "numChunks": job.num_chunks,
+                        "totalPoints": job.total_points,
+                        "status": job.status,
+                    }
+                )
+            )
+            return 0
+        # --workers N on the queue executor means N cooperating worker
+        # *processes*: N-1 spawned `repro work` helpers plus this process
+        # draining the same job (each evaluating chunks serially — chunk
+        # claims are the parallelism unit, not per-chunk fan-out).
+        if args.workers > 1:
+            import subprocess
+
+            helper_cmd = [
+                sys.executable,
+                "-m",
+                "repro",
+                "work",
+                str(args.store),
+                "--job",
+                job.job_id,
+                "--kernel",
+                args.kernel,
+                "--quiet",
+            ]
+            if args.lease_ttl is not None:
+                helper_cmd += ["--ttl", str(args.lease_ttl)]
+            for path in args.scenario or ():
+                helper_cmd += ["--scenario", str(path)]
+            helper_procs = [
+                subprocess.Popen(helper_cmd) for _ in range(args.workers - 1)
+            ]
+
     try:
         result = run_sweep(
             sweep,
             registry=registry,
             store=store,
-            max_workers=args.workers,
+            max_workers=1 if args.executor == "queue" else args.workers,
             chunk_size=args.chunk_size,
             kernel=args.kernel,
             progress=progress,
+            executor=args.executor,
+            lease_ttl=args.lease_ttl,
         )
     except KeyboardInterrupt:
         print(
@@ -705,6 +784,14 @@ def _sweep_main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 130
+    finally:
+        for proc in helper_procs:
+            # Workers on a finished job exit on their own; the timeout
+            # only guards against a wedged helper holding the exit.
+            try:
+                proc.wait(timeout=60)
+            except Exception:
+                proc.kill()
 
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -756,6 +843,128 @@ def _sweep_main(argv: list[str]) -> int:
             file=sys.stderr,
         )
     return 1 if result.num_failed else 0
+
+
+def build_work_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro work",
+        description="Run one sweep-queue worker process against a shared "
+        "store directory: claim leased chunks of journaled sweep jobs "
+        "(enqueued by 'repro sweep --executor queue', 'repro sweep "
+        "--enqueue-only', or a 'repro serve' replica), evaluate them, and "
+        "persist the outcomes. Start N of these on one store to drain a "
+        "sweep cooperatively; kill any of them at any time — an expired "
+        "lease is reclaimed by the survivors and the final result is "
+        "bit-for-bit identical.",
+    )
+    parser.add_argument(
+        "dir", type=Path, metavar="DIR", help="shared store directory"
+    )
+    parser.add_argument(
+        "--job",
+        default=None,
+        metavar="HASH",
+        help="work this sweep job (content hash) until its result document "
+        "exists, waiting out other workers' leases; default: one pass over "
+        "every pending journaled job, exiting when nothing is claimable",
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease time-to-live: how long this worker's chunk stays "
+        "unclaimable if it dies (heartbeats renew it while alive; "
+        "default: 30)",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="idle poll interval while other workers hold the remaining "
+        "chunks (default: 0.05)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up (leaving the job resumable) after this long",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="estimation kernel (bit-for-bit identical results; default: auto)",
+    )
+    _add_scenario_argument(parser)
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-chunk progress lines on stderr",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the worker report (chunks evaluated/observed, jobs "
+        "finalized) as JSON",
+    )
+    return parser
+
+
+def _work_main(argv: list[str]) -> int:
+    from .estimator.queue import (
+        DEFAULT_LEASE_TTL,
+        DEFAULT_POLL_INTERVAL,
+        run_worker,
+    )
+
+    parser = build_work_parser()
+    args = parser.parse_args(argv)
+    if args.ttl is not None and args.ttl <= 0:
+        parser.error(f"--ttl must be > 0, got {args.ttl}")
+    if args.poll is not None and args.poll <= 0:
+        parser.error(f"--poll must be > 0, got {args.poll}")
+    registry = _load_scenarios(args.scenario)
+    store = ResultStore(args.dir)
+
+    def progress(event) -> None:
+        if not args.quiet:
+            print(
+                f"[{event.chunk}/{event.num_chunks} chunks] "
+                f"{event.completed}/{event.total} points "
+                f"({event.from_store} from store, {event.failed} failed)",
+                file=sys.stderr,
+            )
+
+    try:
+        report = run_worker(
+            store,
+            job_id=args.job,
+            registry=registry,
+            kernel=args.kernel,
+            ttl=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL,
+            poll=args.poll if args.poll is not None else DEFAULT_POLL_INTERVAL,
+            deadline_s=args.deadline,
+            progress=progress,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    elif not args.quiet:
+        print(
+            f"worker {report.owner}: {report.chunks_evaluated} chunks "
+            f"evaluated, {report.chunks_observed} observed, "
+            f"{report.jobs_finalized}/{report.jobs_seen} jobs finalized",
+            file=sys.stderr,
+        )
+    # A targeted job left unfinished (deadline, unwritable store) is a
+    # failure; an idle pass over pending jobs blocked by live leases is not.
+    if args.job is not None and report.incomplete_jobs:
+        return 1
+    return 0
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -1139,6 +1348,8 @@ def main(argv: list[str] | None = None) -> int:
         return _registry_main(raw[1:])
     if raw and raw[0] == "store":
         return _store_main(raw[1:])
+    if raw and raw[0] == "work":
+        return _work_main(raw[1:])
     args = build_parser().parse_args(raw)
     registry = _load_scenarios(args.scenario)
     _resolve_profile(registry, args.profile)
@@ -1205,9 +1416,12 @@ def build_store_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "action",
-        choices=("stats",),
+        choices=("stats", "gc"),
         help="'stats' reports per-namespace document counts and bytes "
-        "(results, sweeps, and the logical-counts cache) as JSON",
+        "(results, sweeps, the counts cache, the sweep queue, and the job "
+        "journal) plus the orphaned-file tally as JSON; 'gc' removes "
+        "orphaned .tmp files and expired lease files older than "
+        "--older-than and reports the bytes reclaimed",
     )
     parser.add_argument(
         "--store",
@@ -1217,13 +1431,28 @@ def build_store_parser() -> argparse.ArgumentParser:
         help=f"store directory (default: $REPRO_STORE_DIR or "
         f"{Path('~') / '.cache' / 'repro' / 'store'})",
     )
+    parser.add_argument(
+        "--older-than",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="gc only: leave files younger than this alone — in-flight "
+        "writes and live leases (heartbeats keep their mtime fresh) must "
+        "never be collected (default: 3600)",
+    )
     return parser
 
 
 def _store_main(argv: list[str]) -> int:
-    args = build_store_parser().parse_args(argv)
+    parser = build_store_parser()
+    args = parser.parse_args(argv)
+    if args.older_than < 0:
+        parser.error(f"--older-than must be >= 0, got {args.older_than}")
     store = ResultStore(args.store or default_store_root())
-    print(json.dumps(store.stats(), indent=2))
+    if args.action == "gc":
+        print(json.dumps(store.gc(older_than_s=args.older_than), indent=2))
+    else:
+        print(json.dumps(store.stats(), indent=2))
     return 0
 
 
@@ -1276,6 +1505,32 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="estimation kernel for submitted batches and sweep jobs "
         "(bit-for-bit identical results either way; default: auto)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("auto", "local", "queue"),
+        default="auto",
+        help="sweep job execution: 'queue' journals jobs in the store's "
+        "crash-safe work queue (replicas sharing the store drain sweeps "
+        "cooperatively and a restart resumes in-flight jobs), 'local' "
+        "keeps the in-process chunk loop, 'auto' picks queue whenever a "
+        "store is configured (default: auto)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="queue executor only: lease time-to-live — crash-detection "
+        "latency for dead workers (default: 30)",
+    )
+    parser.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject request bodies over N bytes with 413 "
+        "(default: 16 MiB)",
+    )
     _add_scenario_argument(parser)
     parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -1284,7 +1539,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 
 def _serve_main(argv: list[str]) -> int:
-    from .service import EstimationService, make_server
+    from .service import MAX_BODY_BYTES, EstimationService, make_server
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
@@ -1294,6 +1549,12 @@ def _serve_main(argv: list[str]) -> int:
         parser.error(f"--sweep-workers must be >= 1, got {args.sweep_workers}")
     if args.no_store and args.store:
         parser.error("--store and --no-store are mutually exclusive")
+    if args.executor == "queue" and args.no_store:
+        parser.error("--executor queue requires a store")
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        parser.error(f"--lease-ttl must be > 0, got {args.lease_ttl}")
+    if args.max_body_bytes is not None and args.max_body_bytes < 1:
+        parser.error(f"--max-body-bytes must be >= 1, got {args.max_body_bytes}")
     registry = _load_scenarios(args.scenario)
     store = None if args.no_store else ResultStore(args.store or default_store_root())
     service = EstimationService(
@@ -1302,9 +1563,17 @@ def _serve_main(argv: list[str]) -> int:
         max_workers=args.workers,
         sweep_workers=args.sweep_workers,
         kernel=args.kernel,
+        executor=args.executor,
+        lease_ttl=args.lease_ttl,
     )
     server = make_server(
-        args.host, args.port, service=service, verbose=args.verbose
+        args.host,
+        args.port,
+        service=service,
+        verbose=args.verbose,
+        max_body_bytes=(
+            args.max_body_bytes if args.max_body_bytes is not None else MAX_BODY_BYTES
+        ),
     )
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}", flush=True)

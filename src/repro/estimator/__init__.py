@@ -40,6 +40,7 @@ from .batch import (
     estimate_batch,
 )
 from .frontier import Frontier, FrontierPoint, estimate_frontier
+from .queue import Lease, QueueJob, SweepQueue, WorkerReport, run_worker
 from .spec import EstimateSpec, ProgramRef, SpecOutcome, run_specs
 from .store import ResultStore
 from .sweep import (
@@ -68,22 +69,27 @@ __all__ = [
     "FrontierGroup",
     "FrontierPoint",
     "FrontierSpec",
+    "Lease",
     "PhysicalCounts",
     "PhysicalResourceEstimates",
     "ProgramRef",
+    "QueueJob",
     "ResourceBreakdown",
     "ResultStore",
     "SpecOutcome",
     "SweepAxis",
     "SweepPointOutcome",
     "SweepProgress",
+    "SweepQueue",
     "SweepResult",
     "SweepSpec",
     "TFactoryUsage",
+    "WorkerReport",
     "estimate",
     "estimate_batch",
     "estimate_frontier",
     "run_specs",
     "run_sweep",
+    "run_worker",
     "solve_code_distance_fixed_point",
 ]

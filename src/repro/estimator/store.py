@@ -50,6 +50,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -58,10 +59,14 @@ from .result import PhysicalResourceEstimates
 
 __all__ = [
     "COUNTS_SCHEMA",
+    "JOBS_SCHEMA",
+    "QUEUE_SCHEMA",
     "RESULT_SCHEMA",
     "SWEEP_DOC_SCHEMA",
     "ResultStore",
     "default_store_root",
+    "read_document",
+    "write_document",
 ]
 
 #: Version tag of the stored result document format. Bump when the
@@ -81,6 +86,17 @@ SWEEP_DOC_SCHEMA = "repro-sweep-result-v1"
 #: submissions is traced once ever per store.
 COUNTS_SCHEMA = "repro-counts-v1"
 
+#: Version tag (and namespace) of the sweep work queue: per-sweep chunk
+#: records, lease files, and per-chunk outcome documents that let N
+#: worker processes drain one sweep cooperatively (see
+#: :mod:`repro.estimator.queue`).
+QUEUE_SCHEMA = "repro-queue-v1"
+
+#: Version tag (and namespace) of the persistent job journal: one
+#: document per submitted sweep job, so in-flight sweeps are
+#: rediscovered (and resumed) after a worker or service restart.
+JOBS_SCHEMA = "repro-jobs-v1"
+
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE_DIR"
 
@@ -98,6 +114,27 @@ def _digest(document: dict[str, Any]) -> str:
     body = {key: value for key, value in document.items() if key != "digest"}
     payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def read_document(path: Path) -> dict[str, Any] | None:
+    """Parse and integrity-check one store document (miss on failure).
+
+    The store's document envelope — digest-verified, corrupt-reads-as-
+    miss — exposed for sibling namespaces (the sweep work queue and the
+    job journal) that persist documents under the same root with the
+    same durability contract.
+    """
+    return ResultStore._read_document(path)
+
+
+def write_document(path: Path, document: dict[str, Any]) -> bool:
+    """Atomically persist a document with its digest; returns success.
+
+    Same tmp+\\ :func:`os.replace` discipline as every store write:
+    concurrent writers and crashes can never leave a torn document, and
+    rewriting identical content is idempotent.
+    """
+    return ResultStore._write_document(path, document)
 
 
 class ResultStore:
@@ -339,17 +376,20 @@ class ResultStore:
     def stats(self) -> dict[str, Any]:
         """Per-namespace document counts and bytes (operator visibility).
 
-        Covers the three namespaces this store reads and writes —
-        results (under the configured schema tag), sweep results, and
-        the logical-counts cache — without parsing any documents, so it
-        is cheap even on large stores.
+        Covers the five namespaces this store reads and writes — results
+        (under the configured schema tag), sweep results, the
+        logical-counts cache, the sweep work queue, and the job journal —
+        plus the orphaned-file tally (leftover ``.tmp`` files from
+        crashed writers and ``.lease`` files from dead workers, the
+        population ``gc`` reclaims) — without parsing any documents, so
+        it is cheap even on large stores.
         """
 
         def scan(base: Path, schema: str) -> dict[str, Any]:
             documents = 0
             size = 0
             if base.is_dir():
-                for path in base.glob("*/*.json"):
+                for path in base.rglob("*.json"):
                     try:
                         size += path.stat().st_size
                     except OSError:
@@ -357,11 +397,72 @@ class ResultStore:
                     documents += 1
             return {"schema": schema, "documents": documents, "bytes": size}
 
+        orphan_files = 0
+        orphan_bytes = 0
+        for path in self._orphan_candidates():
+            try:
+                orphan_bytes += path.stat().st_size
+            except OSError:
+                continue
+            orphan_files += 1
+
         return {
             "root": str(self.root),
             "namespaces": {
                 "results": scan(self._base, self.schema),
                 "sweeps": scan(self.root / SWEEP_DOC_SCHEMA, SWEEP_DOC_SCHEMA),
                 "counts": scan(self.root / COUNTS_SCHEMA, COUNTS_SCHEMA),
+                "queue": scan(self.root / QUEUE_SCHEMA, QUEUE_SCHEMA),
+                "jobs": scan(self.root / JOBS_SCHEMA, JOBS_SCHEMA),
             },
+            "orphans": {"files": orphan_files, "bytes": orphan_bytes},
+        }
+
+    # -- garbage collection ------------------------------------------------
+
+    def _orphan_candidates(self) -> Iterator[Path]:
+        """Files eligible for ``gc``: writer leftovers and lease litter.
+
+        ``.tmp`` files are atomic-write staging that a crash stranded
+        (a live writer's tmp file exists only for the microseconds
+        between ``mkstemp`` and ``os.replace``); ``.lease`` files under
+        the queue namespace belong to workers that stopped heartbeating;
+        ``.stale-*`` are lease-takeover tombstones. None of them is ever
+        read as data, so removing old ones can only reclaim disk.
+        """
+        if not self.root.is_dir():
+            return
+        yield from self.root.rglob("*.tmp")
+        queue_base = self.root / QUEUE_SCHEMA
+        if queue_base.is_dir():
+            yield from queue_base.rglob("*.lease")
+            yield from queue_base.rglob(".*.stale-*")
+
+    def gc(self, *, older_than_s: float = 3600.0) -> dict[str, Any]:
+        """Remove orphaned ``.tmp`` and expired lease files; report bytes.
+
+        Only files whose mtime is at least ``older_than_s`` seconds old
+        are touched, so in-flight writes and live leases (which are
+        rewritten on every heartbeat, keeping their mtime fresh) are
+        never collected. Returns ``{"removedFiles", "reclaimedBytes"}``;
+        an unremovable file is skipped, never an error — gc on a shared
+        store must be safe to run at any time, from any process.
+        """
+        cutoff = time.time() - max(older_than_s, 0.0)
+        removed = 0
+        reclaimed = 0
+        for path in list(self._orphan_candidates()):
+            try:
+                stat = path.stat()
+                if stat.st_mtime > cutoff:
+                    continue  # too fresh: possibly a live writer/worker
+                path.unlink()
+            except OSError:
+                continue  # vanished or unremovable; skip
+            removed += 1
+            reclaimed += stat.st_size
+        return {
+            "removedFiles": removed,
+            "reclaimedBytes": reclaimed,
+            "olderThanSeconds": older_than_s,
         }

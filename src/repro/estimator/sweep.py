@@ -523,6 +523,31 @@ class SweepPointOutcome:
         }
 
 
+def _outcome_from_dict(
+    entry: dict[str, Any], fields: list[str]
+) -> SweepPointOutcome:
+    """Rebuild one point outcome from its serialized form.
+
+    Shared by :meth:`SweepResult.from_dict` and the work queue's chunk
+    assembly — one parser, so both paths reconstruct identical objects
+    from identical bytes.
+    """
+    return SweepPointOutcome(
+        index=entry["index"],
+        coords=tuple(
+            (field_path, entry["coords"][field_path]) for field_path in fields
+        ),
+        label=entry.get("label"),
+        spec_hash=entry["specHash"],
+        result=(
+            PhysicalResourceEstimates.from_dict(entry["result"])
+            if entry.get("result") is not None
+            else None
+        ),
+        error=entry.get("error"),
+    )
+
+
 @dataclass(frozen=True, eq=False)
 class FrontierGroup:
     """One frontier: the group's coordinates and its point indices.
@@ -593,24 +618,7 @@ class SweepResult:
             raise ValueError(f"not a {SWEEP_SCHEMA} sweep result document")
         spec = SweepSpec.from_dict(data["sweep"])
         fields = [axis.field for axis in spec.axes]
-        points = [
-            SweepPointOutcome(
-                index=entry["index"],
-                coords=tuple(
-                    (field_path, entry["coords"][field_path])
-                    for field_path in fields
-                ),
-                label=entry.get("label"),
-                spec_hash=entry["specHash"],
-                result=(
-                    PhysicalResourceEstimates.from_dict(entry["result"])
-                    if entry.get("result") is not None
-                    else None
-                ),
-                error=entry.get("error"),
-            )
-            for entry in data["points"]
-        ]
+        points = [_outcome_from_dict(entry, fields) for entry in data["points"]]
         raw_frontiers = data.get("frontiers")
         frontiers = None
         if raw_frontiers is not None:
@@ -750,6 +758,8 @@ def run_sweep(
     progress: Callable[[SweepProgress], None] | None = None,
     lock: Any | None = None,
     kernel: str = "auto",
+    executor: str = "local",
+    lease_ttl: float | None = None,
 ) -> SweepResult:
     """Execute a sweep in store-backed chunks and reduce its frontiers.
 
@@ -775,10 +785,54 @@ def run_sweep(
     chunk: store-backed sweeps using the default 16-point chunks stay on
     the scalar path; pass ``kernel="vectorized"`` or a larger
     ``chunk_size`` to engage the kernel.
+
+    ``executor`` selects how chunks run. ``"local"`` (default) iterates
+    them in this call, as above. ``"queue"`` requires a ``store`` and
+    routes through the crash-safe work queue
+    (:mod:`repro.estimator.queue`): the sweep is journaled, chunks are
+    leased, and this call drains them as one cooperating worker —
+    other worker processes (``repro work DIR``) or service replicas
+    sharing the store directory pick up chunks concurrently, and the
+    journal survives a crash for a later worker to resume. Both
+    executors produce bit-for-bit identical results; ``lease_ttl``
+    (queue only) tunes crash-detection latency.
     """
     from ..registry import default_registry
 
     resolved_registry = registry if registry is not None else default_registry()
+    if executor not in ("local", "queue"):
+        raise ValueError(f"unknown executor {executor!r}: use 'local' or 'queue'")
+    if executor == "queue":
+        if store is None:
+            raise ValueError("executor='queue' requires a result store")
+        from .queue import DEFAULT_LEASE_TTL, SweepQueue, run_worker
+
+        queue = SweepQueue(store, ttl=lease_ttl or DEFAULT_LEASE_TTL)
+        job = queue.enqueue(spec, registry=resolved_registry, chunk_size=chunk_size)
+        if store.get_sweep(job.job_id) is None:
+            run_worker(
+                store,
+                job_id=job.job_id,
+                registry=resolved_registry,
+                cache=cache,
+                max_workers=max_workers,
+                kernel=kernel,
+                ttl=lease_ttl or DEFAULT_LEASE_TTL,
+                progress=progress,
+                lock=lock,
+            )
+        document = store.get_sweep(job.job_id)
+        if document is not None:
+            return SweepResult.from_dict(document)
+        # Store went read-only under us: fall back to assembling the
+        # result straight from whatever chunk markers were persisted.
+        assembled = queue.assemble(job)
+        if assembled is None:
+            raise RuntimeError(
+                f"queue executor could not complete sweep {job.job_id}: "
+                f"store {store.root} is not writable"
+            )
+        return assembled
     points = spec.expand()
     sweep_hash = spec.content_hash(resolved_registry)
     # Chunking exists to bound the work lost on a kill between persisted

@@ -70,6 +70,7 @@ share one warm :class:`~repro.estimator.batch.EstimateCache`.
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -94,7 +95,10 @@ __all__ = [
     "make_server",
 ]
 
-#: Cap on request body size (a batch of ~10k inline-counts specs).
+#: Default cap on request body size (a batch of ~10k inline-counts
+#: specs); configurable per server via ``make_server(max_body_bytes=)``.
+#: Oversized bodies are rejected with ``413 Payload Too Large`` before
+#: a single body byte is read.
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
@@ -173,6 +177,22 @@ class EstimationService:
         submission and sweep chunk. Backends are bit-for-bit
         interchangeable, so responses and stored documents never depend
         on this choice — only throughput does.
+    executor:
+        How sweep jobs execute their chunks. ``"queue"`` routes them
+        through the store-backed lease queue
+        (:mod:`repro.estimator.queue`): jobs are journaled (so a
+        restarted server resumes in-flight sweeps, not just finished
+        ones) and chunks are leased, so N ``repro serve`` replicas —
+        or external ``repro work`` processes — sharing one store
+        directory drain each sweep cooperatively. ``"local"`` keeps
+        the in-process chunk loop. ``"auto"`` (default) picks
+        ``"queue"`` when a store is configured. All three produce
+        bit-for-bit identical results.
+    lease_ttl:
+        Queue-executor lease time-to-live (crash-detection latency).
+    recover:
+        Replay unfinished journaled jobs at startup (queue executor
+        only). On by default; tests disable it to script recovery.
     """
 
     def __init__(
@@ -183,12 +203,23 @@ class EstimationService:
         max_workers: int | None = 1,
         sweep_workers: int = 2,
         kernel: str = "auto",
+        executor: str = "auto",
+        lease_ttl: float | None = None,
+        recover: bool = True,
     ) -> None:
+        if executor not in ("auto", "local", "queue"):
+            raise ValueError(
+                f"unknown executor {executor!r}: use 'auto', 'local' or 'queue'"
+            )
+        if executor == "queue" and store is None:
+            raise ValueError("executor='queue' requires a result store")
         self.registry = registry if registry is not None else default_registry()
         self.store = store
         self.cache = cache if cache is not None else EstimateCache()
         self.max_workers = max_workers
         self.kernel = kernel
+        self.executor = executor
+        self.lease_ttl = lease_ttl
         self._lock = threading.Lock()
         self._jobs: dict[str, SweepJob] = {}
         self._jobs_lock = threading.Lock()
@@ -196,6 +227,49 @@ class EstimationService:
         self._sweep_pool = ThreadPoolExecutor(
             max_workers=max(1, sweep_workers), thread_name_prefix="repro-sweep"
         )
+        if recover and self.sweep_executor == "queue":
+            self.recover_jobs()
+
+    @property
+    def sweep_executor(self) -> str:
+        """The resolved sweep executor (``"auto"`` decided by the store)."""
+        if self.executor == "auto":
+            return "queue" if self.store is not None else "local"
+        return self.executor
+
+    def recover_jobs(self) -> int:
+        """Resume journaled sweeps that were in flight at the last shutdown.
+
+        Scans the job journal for entries not marked finished and
+        requeues them on the sweep pool, so a restarted (or replacement)
+        server picks up exactly where the dead one stopped — completed
+        chunks are served from their persisted outcome documents, only
+        the remainder recomputes. A journaled job whose result document
+        already exists is just marked finished. Returns the number of
+        jobs requeued.
+        """
+        if self.store is None:
+            return 0
+        from .estimator.queue import SweepQueue
+
+        queue = SweepQueue(self.store)
+        requeued = 0
+        for queued_job in queue.pending_jobs():
+            if self.store.get_sweep(queued_job.job_id) is not None:
+                queue.mark_finished(queued_job)
+                continue
+            with self._jobs_lock:
+                if queued_job.job_id in self._jobs:
+                    continue
+                job = SweepJob(
+                    job_id=queued_job.job_id,
+                    status="queued",
+                    total=queued_job.total_points,
+                )
+                self._jobs[queued_job.job_id] = job
+            self._sweep_pool.submit(self._run_sweep_job, job, queued_job.spec)
+            requeued += 1
+        return requeued
 
     def close(self, *, wait: bool = False) -> None:
         """Shut the sweep workers down.
@@ -366,6 +440,8 @@ class EstimationService:
                 progress=on_progress,
                 lock=self._lock,
                 kernel=self.kernel,
+                executor=self.sweep_executor,
+                lease_ttl=self.lease_ttl,
             )
             document = result.to_dict()
             persisted = (
@@ -438,6 +514,7 @@ class EstimationService:
             "specSchema": SPEC_SCHEMA,
             "resultSchema": RESULT_SCHEMA,
             "store": str(self.store.root) if self.store is not None else None,
+            "executor": self.sweep_executor,
         }
 
 
@@ -522,9 +599,19 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             self._send_error_json("invalid Content-Length", 400, close=True)
             return
-        if length <= 0 or length > MAX_BODY_BYTES:
+        limit = self.server.max_body_bytes
+        if length > limit:
+            # 413 before reading a byte: the limit exists to bound memory,
+            # so the body must never be buffered just to reject it.
             self._send_error_json(
-                f"request body must be 1..{MAX_BODY_BYTES} bytes",
+                f"request body of {length} bytes exceeds the {limit} byte limit",
+                413,
+                close=True,
+            )
+            return
+        if length <= 0:
+            self._send_error_json(
+                "request body must be a non-empty JSON document",
                 400,
                 close=True,
             )
@@ -557,9 +644,11 @@ class _Server(ThreadingHTTPServer):
         address: tuple[str, int],
         service: EstimationService,
         verbose: bool = False,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
         self.service = service
         self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
         super().__init__(address, _Handler)
 
 
@@ -569,15 +658,19 @@ def make_server(
     *,
     service: EstimationService | None = None,
     verbose: bool = False,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> _Server:
     """Bind the service to a socket (``port=0`` picks a free port).
 
     Returns the server; callers drive it with ``serve_forever()`` (or
     ``handle_request()``) and read the bound port from
     ``server.server_address[1]``. The tests run it on a daemon thread.
+    ``max_body_bytes`` caps request bodies (413 beyond it).
     """
     service = service if service is not None else EstimationService()
-    return _Server((host, port), service, verbose=verbose)
+    return _Server(
+        (host, port), service, verbose=verbose, max_body_bytes=max_body_bytes
+    )
 
 
 class ServiceClient:
@@ -587,11 +680,45 @@ class ServiceClient:
     >>> record = client.submit(spec)          # EstimateSpec or spec dict
     >>> records = client.submit_batch(specs)  # one record per spec
     >>> client.result(record["specHash"])     # stored document or None
+
+    Transient failures — connection errors and 5xx responses — are
+    retried up to ``retries`` times with exponential backoff plus
+    jitter (``backoff * 2^attempt`` seconds, capped at ``max_backoff``,
+    each delay scaled by a random factor in [0.5, 1.0) so a fleet of
+    recovering clients does not stampede the server). ``retries=0``
+    opts out. Retrying submissions is safe because the service is
+    idempotent by construction: results are content-addressed and sweep
+    resubmissions join the existing job by content hash, so a retry of
+    a request whose first attempt actually landed returns the same
+    record instead of duplicating work. 4xx responses are never
+    retried — the request itself is wrong.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 300.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        max_backoff: float = 2.0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+
+    def _open(self, request: urllib_request.Request) -> Any:
+        """One HTTP attempt (separated so tests can count/fail attempts)."""
+        with urllib_request.urlopen(request, timeout=self.timeout) as response:
+            return json.loads(response.read())
+
+    def _retry_delay(self, attempt: int) -> float:
+        base = min(self.backoff * (2.0**attempt), self.max_backoff)
+        return base * (0.5 + random.random() / 2.0)
 
     def _request(self, path: str, payload: Any | None = None) -> Any:
         url = f"{self.base_url}{path}"
@@ -602,17 +729,25 @@ class ServiceClient:
             headers={"Content-Type": "application/json"} if data else {},
             method="POST" if data is not None else "GET",
         )
-        try:
-            with urllib_request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib_error.HTTPError as exc:
+        for attempt in range(self.retries + 1):
             try:
-                message = json.loads(exc.read()).get("error", str(exc))
-            except Exception:
-                message = str(exc)
-            raise ServiceError(message, status=exc.code) from exc
-        except urllib_error.URLError as exc:
-            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+                return self._open(request)
+            except urllib_error.HTTPError as exc:
+                try:
+                    message = json.loads(exc.read()).get("error", str(exc))
+                except Exception:
+                    message = str(exc)
+                # 5xx may be transient (worker crash mid-request, replica
+                # restarting behind a balancer); 4xx never is.
+                if exc.code < 500 or attempt >= self.retries:
+                    raise ServiceError(message, status=exc.code) from exc
+                error: ServiceError = ServiceError(message, status=exc.code)
+            except urllib_error.URLError as exc:
+                if attempt >= self.retries:
+                    raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+                error = ServiceError(f"cannot reach {url}: {exc.reason}")
+            time.sleep(self._retry_delay(attempt))
+        raise error  # unreachable: the last attempt raised above
 
     @staticmethod
     def _spec_dict(spec: EstimateSpec | dict[str, Any]) -> dict[str, Any]:

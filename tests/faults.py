@@ -1,0 +1,136 @@
+"""Fault-injection harness for the crash-safety tests.
+
+Drives real ``repro work`` *subprocesses* against a shared store with
+deterministic kill-points armed through the ``REPRO_QUEUE_FAULT``
+environment variable (see :mod:`repro.estimator.queue`): a clause like
+``"evaluated:1"`` makes the worker call ``os._exit`` right after
+evaluating chunk 1, before persisting it — the closest stdlib
+approximation of SIGKILL, exercising exactly the recovery paths a power
+loss or OOM kill would.
+
+The helpers here are plain functions (no pytest dependency) so both the
+test suite and ad-hoc chaos scripts can use them.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.estimator.queue import FAULT_ENV, FAULT_EXIT_CODE, FAULT_STAGES
+
+#: The repo's ``src`` directory — workers must import the same code
+#: under test regardless of how pytest was launched.
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def worker_command(
+    store_dir: Path | str,
+    *,
+    job_id: str | None = None,
+    ttl: float | None = None,
+    poll: float | None = None,
+    deadline: float | None = None,
+    json_report: bool = False,
+) -> list[str]:
+    """The ``repro work`` invocation for one worker subprocess."""
+    command = [sys.executable, "-m", "repro", "work", str(store_dir), "--quiet"]
+    if job_id is not None:
+        command += ["--job", job_id]
+    if ttl is not None:
+        command += ["--ttl", str(ttl)]
+    if poll is not None:
+        command += ["--poll", str(poll)]
+    if deadline is not None:
+        command += ["--deadline", str(deadline)]
+    if json_report:
+        command += ["--json"]
+    return command
+
+
+def worker_env(fault: str | None = None) -> dict[str, str]:
+    """A subprocess environment with the kill-point clause armed (or not)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if fault:
+        env[FAULT_ENV] = fault
+    else:
+        env.pop(FAULT_ENV, None)
+    return env
+
+
+def run_worker_process(
+    store_dir: Path | str,
+    *,
+    job_id: str | None = None,
+    fault: str | None = None,
+    ttl: float | None = None,
+    poll: float | None = None,
+    deadline: float | None = None,
+    timeout: float = 120.0,
+    json_report: bool = False,
+) -> subprocess.CompletedProcess:
+    """Run one worker subprocess to completion (or to its kill-point).
+
+    Returns the completed process; a worker that hit an armed kill-point
+    exits with :data:`FAULT_EXIT_CODE`, a worker that drained (or found
+    nothing claimable) exits 0.
+    """
+    return subprocess.run(
+        worker_command(
+            store_dir,
+            job_id=job_id,
+            ttl=ttl,
+            poll=poll,
+            deadline=deadline,
+            json_report=json_report,
+        ),
+        env=worker_env(fault),
+        timeout=timeout,
+        capture_output=True,
+        text=True,
+    )
+
+
+def spawn_worker_process(
+    store_dir: Path | str,
+    *,
+    job_id: str | None = None,
+    fault: str | None = None,
+    ttl: float | None = None,
+    poll: float | None = None,
+    deadline: float | None = None,
+    json_report: bool = False,
+) -> subprocess.Popen:
+    """Start a worker subprocess without waiting (concurrent-worker tests)."""
+    return subprocess.Popen(
+        worker_command(
+            store_dir,
+            job_id=job_id,
+            ttl=ttl,
+            poll=poll,
+            deadline=deadline,
+            json_report=json_report,
+        ),
+        env=worker_env(fault),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def random_fault(rng: random.Random, num_chunks: int) -> str:
+    """One random kill-point clause: a stage, optionally pinned to a chunk."""
+    stage = rng.choice(FAULT_STAGES)
+    if rng.random() < 0.5:
+        return stage  # die at the first chunk reaching this stage
+    return f"{stage}:{rng.randrange(num_chunks)}"
+
+
+def was_fault_kill(process: subprocess.CompletedProcess) -> bool:
+    return process.returncode == FAULT_EXIT_CODE

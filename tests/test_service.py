@@ -8,6 +8,7 @@ this against a real ``repro serve`` process.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
@@ -57,7 +58,19 @@ def service(tmp_path):
 
 @pytest.fixture()
 def client(service):
-    server = make_server("127.0.0.1", 0, service=service)
+    with service_server(service) as served:
+        yield served
+
+
+@contextlib.contextmanager
+def service_server(service=None, **server_kwargs):
+    """A live server (on a free port) wrapped in a ServiceClient."""
+    service = (
+        service
+        if service is not None
+        else EstimationService(registry=Registry(), store=None)
+    )
+    server = make_server("127.0.0.1", 0, service=service, **server_kwargs)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     port = server.server_address[1]
@@ -223,8 +236,8 @@ class TestProtocolErrors:
             client._request("/v1/bogus")
         assert excinfo.value.status == 404
 
-    def test_oversized_body_is_400_and_closes_connection(self, client):
-        # Regression: an early 400 leaves the (unread) body on the
+    def test_oversized_body_is_413_and_closes_connection(self, client):
+        # Regression: an early rejection leaves the (unread) body on the
         # socket; on keep-alive the server must close the connection so
         # the leftover bytes are never parsed as the next request.
         import http.client
@@ -240,15 +253,120 @@ class TestProtocolErrors:
                 headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
             )
             response = connection.getresponse()
-            assert response.status == 400
+            assert response.status == 413
             assert response.headers.get("Connection") == "close"
         finally:
             connection.close()
 
+    def test_body_limit_is_configurable(self):
+        with service_server(max_body_bytes=64) as client:
+            # Under the configured limit: handled normally (the invalid
+            # envelope fails at parse time, not at the size gate).
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("/v1/estimate", ["not-a-spec"])
+            assert excinfo.value.status == 400
+            # Over it: 413 before the body is even read.
+            oversized = {"label": "x" * 200}
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("/v1/estimate", oversized)
+            assert excinfo.value.status == 413
+            assert "exceeds" in str(excinfo.value)
+
     def test_unreachable_server(self):
-        client = ServiceClient("http://127.0.0.1:1", timeout=2)
+        client = ServiceClient("http://127.0.0.1:1", timeout=2, backoff=0.001)
         with pytest.raises(ServiceError, match="cannot reach"):
             client.health()
+
+
+class TestClientRetries:
+    """ServiceClient retry policy: transient failures only, bounded, jittered.
+
+    Attempts are counted by stubbing ``_open`` (the single-HTTP-attempt
+    seam); no server is needed.
+    """
+
+    @staticmethod
+    def _client(**kwargs):
+        kwargs.setdefault("backoff", 0.001)  # keep the suite fast
+        return ServiceClient("http://stub.invalid", **kwargs)
+
+    @staticmethod
+    def _http_error(code: int):
+        import io
+        import urllib.error
+
+        return urllib.error.HTTPError(
+            "http://stub.invalid/v1/estimate",
+            code,
+            "boom",
+            hdrs=None,
+            fp=io.BytesIO(json.dumps({"error": f"status {code}"}).encode()),
+        )
+
+    def _stub(self, client, failures):
+        """Make ``_open`` raise each exception in ``failures`` in turn,
+        then succeed; returns the attempt log."""
+        attempts = []
+
+        def fake_open(request):
+            attempts.append(request.full_url)
+            if len(attempts) <= len(failures):
+                raise failures[len(attempts) - 1]
+            return {"ok": True}
+
+        client._open = fake_open
+        return attempts
+
+    def test_connection_errors_are_retried_until_success(self):
+        import urllib.error
+
+        client = self._client(retries=3)
+        attempts = self._stub(client, [urllib.error.URLError("refused")] * 2)
+        assert client._request("/v1/healthz") == {"ok": True}
+        assert len(attempts) == 3
+
+    def test_5xx_is_retried_until_success(self):
+        client = self._client(retries=2)
+        attempts = self._stub(client, [self._http_error(503)])
+        assert client._request("/v1/healthz") == {"ok": True}
+        assert len(attempts) == 2
+
+    def test_4xx_is_never_retried(self):
+        client = self._client(retries=5)
+        attempts = self._stub(client, [self._http_error(404) for _ in range(6)])
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/v1/healthz")
+        assert excinfo.value.status == 404
+        assert len(attempts) == 1
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        client = self._client(retries=2)
+        attempts = self._stub(client, [self._http_error(500) for _ in range(3)])
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/v1/healthz")
+        assert excinfo.value.status == 500
+        assert "status 500" in str(excinfo.value)
+        assert len(attempts) == 3  # 1 + retries
+
+    def test_retries_zero_opts_out(self):
+        import urllib.error
+
+        client = self._client(retries=0)
+        attempts = self._stub(client, [urllib.error.URLError("refused")])
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client._request("/v1/healthz")
+        assert len(attempts) == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServiceClient("http://stub.invalid", retries=-1)
+
+    def test_backoff_grows_exponentially_with_jitter_and_cap(self):
+        client = self._client(backoff=0.1, max_backoff=0.4)
+        for attempt, ceiling in ((0, 0.1), (1, 0.2), (2, 0.4), (5, 0.4)):
+            delays = {client._retry_delay(attempt) for _ in range(50)}
+            assert all(ceiling / 2 <= delay < ceiling for delay in delays)
+            assert len(delays) > 1  # jittered, not constant
 
 
 class TestServiceWithoutStore:

@@ -212,6 +212,74 @@ class TestCorruptionFuzz:
         assert store.get_raw(outcome.spec_hash) is None
 
 
+class TestStatsAndGc:
+    """Operator visibility (`stats`) and litter reclamation (`gc`)."""
+
+    @pytest.fixture()
+    def store(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        return store
+
+    def _plant_orphans(self, store, *, age_s=0.0):
+        """Strand a writer tmp file, a lease, and a takeover tombstone."""
+        from repro.estimator.store import QUEUE_SCHEMA
+
+        lease_dir = store.root / QUEUE_SCHEMA / HASH_A / "leases"
+        lease_dir.mkdir(parents=True, exist_ok=True)
+        orphans = [
+            store.root / RESULT_SCHEMA / ".deadbeef-crashed.tmp",
+            lease_dir / "000000.lease",
+            lease_dir / ".000000.lease.stale-pid1-feedf00d",
+        ]
+        for path in orphans:
+            path.write_text('{"owner":"dead","deadline":0.0}')
+        if age_s:
+            import os
+            import time
+
+            stale = time.time() - age_s
+            for path in orphans:
+                os.utime(path, (stale, stale))
+        return orphans
+
+    def test_stats_counts_namespaces_and_orphans(self, store):
+        orphans = self._plant_orphans(store)
+        stats = store.stats()
+        assert stats["namespaces"]["results"]["documents"] == 1
+        assert stats["namespaces"]["results"]["bytes"] > 0
+        for name in ("sweeps", "counts", "queue", "jobs"):
+            assert stats["namespaces"][name]["documents"] == 0
+        assert stats["orphans"]["files"] == len(orphans)
+        assert stats["orphans"]["bytes"] == sum(
+            path.stat().st_size for path in orphans
+        )
+
+    def test_gc_spares_fresh_files(self, store):
+        self._plant_orphans(store)  # mtime = now: could be live
+        report = store.gc(older_than_s=3600.0)
+        assert report["removedFiles"] == 0
+        assert report["reclaimedBytes"] == 0
+        assert store.stats()["orphans"]["files"] == 3
+
+    def test_gc_reclaims_expired_litter_and_reports_bytes(self, store, result):
+        orphans = self._plant_orphans(store, age_s=7200.0)
+        expected = sum(path.stat().st_size for path in orphans)
+        report = store.gc(older_than_s=3600.0)
+        assert report["removedFiles"] == len(orphans)
+        assert report["reclaimedBytes"] == expected
+        assert not any(path.exists() for path in orphans)
+        # Documents are never gc candidates.
+        assert store.get(HASH_A) == result
+        assert store.stats()["orphans"]["files"] == 0
+
+    def test_gc_zero_cutoff_takes_everything_orphaned(self, store):
+        self._plant_orphans(store)
+        report = store.gc(older_than_s=0.0)
+        assert report["removedFiles"] == 3
+        assert store.stats()["orphans"]["files"] == 0
+
+
 class TestDefaultRoot:
     def test_env_var_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "custom"))
