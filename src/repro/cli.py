@@ -56,6 +56,19 @@ frontiers"). The same sweep documents drive the service's async job API
 (``POST /v1/sweeps`` -> 202 + job id, ``GET /v1/jobs/<id>`` to poll,
 ``GET /v1/sweeps/<id>/result`` when done).
 
+``repro optimize`` answers the *inverse* question — "cheapest
+configuration with runtime <= 1 day" — adaptively over the same axes
+vocabulary instead of densely gridding it::
+
+    python -m repro optimize optimize.json --store /var/cache/repro
+
+Monotone axes (error budget; ``constraints.logicalDepthFactor``) are
+bisected to the feasibility boundary and objective plateau, other axes
+fall back to bounded refinement; every probe batch reuses the store, so
+re-running a finished question answers from its stored probe trace with
+zero engine evaluations. The same documents drive ``POST /v1/optimize``
+async jobs (README section "Inverse design (`repro optimize`)").
+
 ``repro bench trace`` prints per-stage timings (build vs trace vs
 estimate) for one workload so performance work has a one-command
 baseline, and exposes the count-resolution backend choice::
@@ -110,6 +123,7 @@ from .counts import LogicalCounts
 from .estimator import Constraints
 from .estimator.batch import BACKEND_CHOICES as KERNEL_CHOICES
 from .estimator.batch import EstimateCache
+from .estimator.optimize import OptimizeSpec, run_optimize
 from .estimator.spec import EstimateSpec, ProgramRef, run_specs
 from .estimator.stages import resolve_counts
 from .estimator.store import ResultStore, default_store_root
@@ -845,6 +859,172 @@ def _sweep_main(argv: list[str]) -> int:
     return 1 if result.num_failed else 0
 
 
+def build_optimize_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro optimize",
+        description="Answer an inverse-design question (objective + "
+        "constraints over one or two spec axes) adaptively: bisection on "
+        "monotone axes and bounded refinement elsewhere reach the dense "
+        "grid's answer in a fraction of its evaluations; the probe trace "
+        "persists in the store, so interrupted searches resume and "
+        "equivalent re-runs answer with zero evaluations.",
+    )
+    parser.add_argument(
+        "optimize", type=Path, help="JSON optimize specification file"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per probe batch (1 = serial; default: 1)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="estimation kernel for probe batches (bit-for-bit identical "
+        "results; default: auto)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("local", "queue"),
+        default="local",
+        help="'local' evaluates probe batches in this process; 'queue' "
+        "dispatches each batch through the store's crash-safe work queue "
+        "(requires --store; identical results)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="queue executor only: lease time-to-live (default: 30)",
+    )
+    _add_scenario_argument(parser)
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store directory; probes persist "
+        "there and the probe trace is journaled under repro-optimize-v1, "
+        "so a killed optimize resumes and a finished one re-answers free",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="report the stored probe trace (probes already taken, "
+        "status) before running (requires --store)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-round progress lines on stderr",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full optimize answer document as JSON",
+    )
+    return parser
+
+
+def _optimize_main(argv: list[str]) -> int:
+    parser = build_optimize_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.resume and not args.store:
+        parser.error("--resume requires --store (that is where the trace lives)")
+    if args.executor == "queue" and not args.store:
+        parser.error("--executor queue requires --store (the queue lives there)")
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        parser.error(f"--lease-ttl must be > 0, got {args.lease_ttl}")
+    registry = _load_scenarios(args.scenario)
+    try:
+        document = json.loads(args.optimize.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read optimize file: {exc}")
+    try:
+        spec = OptimizeSpec.from_dict(document)
+        optimize_hash = spec.content_hash(registry)
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid optimize spec: {exc}")
+
+    store = ResultStore(args.store) if args.store else None
+    if args.resume and store is not None:
+        trace = store.get_optimize(optimize_hash)
+        if trace is None:
+            print("resume: no stored probe trace", file=sys.stderr)
+        else:
+            print(
+                f"resume: stored trace is {trace.get('status')!r} with "
+                f"{len(trace.get('probes') or ())} probes",
+                file=sys.stderr,
+            )
+
+    def progress(event) -> None:
+        if not args.quiet:
+            print(
+                f"[round {event.round}] {event.probes} probes "
+                f"({event.evaluations} evaluations, {event.from_store} from "
+                f"store, {event.feasible} feasible)",
+                file=sys.stderr,
+            )
+
+    try:
+        result = run_optimize(
+            spec,
+            registry=registry,
+            store=store,
+            max_workers=args.workers,
+            kernel=args.kernel,
+            executor=args.executor,
+            lease_ttl=args.lease_ttl,
+            progress=progress,
+        )
+    except KeyboardInterrupt:
+        print(
+            "interrupted; probed points are stored — re-run to pick up "
+            "where this left off",
+            file=sys.stderr,
+        )
+        return 130
+    if result.from_trace:
+        print(
+            "answered from stored trace (0 evaluations)",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        grid = spec.num_points()
+        print(
+            f"objective {spec.objective}: probed {len(result.probes)} of "
+            f"{grid} grid points ({result.num_evaluations} engine "
+            f"evaluations)"
+        )
+        answers = result.answer_probes()
+        if not answers:
+            print("no feasible point satisfies the constraints")
+        else:
+            header = (
+                f"{'answer point':<44} {'phys qubits':>12} "
+                f"{'runtime[s]':>11} {'d':>3}"
+            )
+            print(header)
+            print("-" * len(header))
+            for probe in answers:
+                label = (probe.label or probe.spec_hash)[:44]
+                r = probe.result
+                print(
+                    f"{label:<44} {r.physical_qubits:>12,} "
+                    f"{r.runtime_seconds:>11.3g} {r.code_distance:>3}"
+                )
+    return 0 if result.answer else 1
+
+
 def build_work_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro work",
@@ -1338,6 +1518,8 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_main(raw[1:])
     if raw and raw[0] == "sweep":
         return _sweep_main(raw[1:])
+    if raw and raw[0] == "optimize":
+        return _optimize_main(raw[1:])
     if raw and raw[0] == "bench":
         return _bench_main(raw[1:])
     if raw and raw[0] == "serve":

@@ -40,6 +40,15 @@ from .batch import (
     estimate_batch,
 )
 from .frontier import Frontier, FrontierPoint, estimate_frontier
+from .optimize import (
+    OptimizeConstraints,
+    OptimizeProbe,
+    OptimizeProgress,
+    OptimizeResult,
+    OptimizeSpec,
+    reduce_answer,
+    run_optimize,
+)
 from .queue import Lease, QueueJob, SweepQueue, WorkerReport, run_worker
 from .spec import EstimateSpec, ProgramRef, SpecOutcome, run_specs
 from .store import ResultStore
@@ -70,6 +79,11 @@ __all__ = [
     "FrontierPoint",
     "FrontierSpec",
     "Lease",
+    "OptimizeConstraints",
+    "OptimizeProbe",
+    "OptimizeProgress",
+    "OptimizeResult",
+    "OptimizeSpec",
     "PhysicalCounts",
     "PhysicalResourceEstimates",
     "ProgramRef",
@@ -88,6 +102,8 @@ __all__ = [
     "estimate",
     "estimate_batch",
     "estimate_frontier",
+    "reduce_answer",
+    "run_optimize",
     "run_specs",
     "run_sweep",
     "run_worker",

@@ -50,7 +50,9 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -59,7 +61,9 @@ from .result import PhysicalResourceEstimates
 
 __all__ = [
     "COUNTS_SCHEMA",
+    "DEFAULT_MEMORY_CACHE_SIZE",
     "JOBS_SCHEMA",
+    "OPTIMIZE_DOC_SCHEMA",
     "QUEUE_SCHEMA",
     "RESULT_SCHEMA",
     "SWEEP_DOC_SCHEMA",
@@ -96,6 +100,23 @@ QUEUE_SCHEMA = "repro-queue-v1"
 #: document per submitted sweep job, so in-flight sweeps are
 #: rediscovered (and resumed) after a worker or service restart.
 JOBS_SCHEMA = "repro-jobs-v1"
+
+#: Version tag (and namespace) of optimize probe-trace documents: one
+#: per :class:`~repro.estimator.optimize.OptimizeSpec` content hash,
+#: recording every probed spec hash and its verdict, so an interrupted
+#: adaptive search resumes bit-for-bit and an equivalent re-submission
+#: answers from the store with zero evaluations (see
+#: :mod:`repro.estimator.optimize`).
+OPTIMIZE_DOC_SCHEMA = "repro-optimize-v1"
+
+#: Default capacity of the in-process read-through LRU in front of
+#: :meth:`ResultStore.get` and :meth:`ResultStore.get_counts`. Adaptive
+#: searches re-probe neighboring points many times within one process;
+#: the memory cache stops them re-reading and re-parsing the same JSON
+#: documents from disk. Entries are content-addressed and immutable, so
+#: a cached document can never go stale; only documents that passed the
+#: integrity digest on a real disk read are ever cached.
+DEFAULT_MEMORY_CACHE_SIZE = 256
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE_DIR"
@@ -137,6 +158,58 @@ def write_document(path: Path, document: dict[str, Any]) -> bool:
     return ResultStore._write_document(path, document)
 
 
+class _MemoryCache:
+    """Bounded thread-safe LRU of parsed documents with hit counters.
+
+    Populated only from *successful disk reads* — never from writes — so
+    every cached value passed the integrity digest at least once in this
+    process, and the corruption contract (a damaged file reads as a
+    miss) is preserved for entries that were never read back. Cached
+    values are frozen dataclasses (:class:`PhysicalResourceEstimates`,
+    :class:`LogicalCounts`), safe to hand out shared.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries", "_lock")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(int(capacity), 0)
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
+
+
 class ResultStore:
     """Spec-hash -> result-JSON mapping persisted on disk.
 
@@ -149,13 +222,23 @@ class ResultStore:
     schema:
         Result-document schema tag; entries written under a different tag
         are invisible. Override only in tests.
+    cache_size:
+        Capacity of the in-process read-through LRU in front of
+        :meth:`get` and :meth:`get_counts` (per namespace). ``0``
+        disables memory caching; every read goes to disk.
     """
 
     def __init__(
-        self, root: str | Path | None = None, *, schema: str = RESULT_SCHEMA
+        self,
+        root: str | Path | None = None,
+        *,
+        schema: str = RESULT_SCHEMA,
+        cache_size: int = DEFAULT_MEMORY_CACHE_SIZE,
     ) -> None:
         self.root = Path(root) if root is not None else default_store_root()
         self.schema = schema
+        self._result_cache = _MemoryCache(cache_size)
+        self._counts_cache = _MemoryCache(cache_size)
 
     # -- paths -------------------------------------------------------------
 
@@ -183,6 +266,16 @@ class ResultStore:
         """Where the logical-counts document for ``counts_key`` lives."""
         self._check_hash(counts_key)
         return self.root / COUNTS_SCHEMA / counts_key[:2] / f"{counts_key}.json"
+
+    def optimize_path_for(self, optimize_hash: str) -> Path:
+        """Where the probe-trace document for ``optimize_hash`` lives."""
+        self._check_hash(optimize_hash)
+        return (
+            self.root
+            / OPTIMIZE_DOC_SCHEMA
+            / optimize_hash[:2]
+            / f"{optimize_hash}.json"
+        )
 
     # -- document plumbing -------------------------------------------------
 
@@ -248,14 +341,26 @@ class ResultStore:
         return document
 
     def get(self, spec_hash: str) -> PhysicalResourceEstimates | None:
-        """The stored result for a hash, deserialized, or ``None``."""
+        """The stored result for a hash, deserialized, or ``None``.
+
+        Repeated reads of one hash within a process answer from the
+        bounded in-memory LRU (populated only by verified disk reads —
+        see :class:`_MemoryCache`); hit counts appear under
+        ``memoryCache`` in :meth:`stats`.
+        """
+        self._check_hash(spec_hash)
+        cached = self._result_cache.get(spec_hash)
+        if cached is not None:
+            return cached
         document = self.get_raw(spec_hash)
         if document is None:
             return None
         try:
-            return PhysicalResourceEstimates.from_dict(document["result"])
+            result = PhysicalResourceEstimates.from_dict(document["result"])
         except (KeyError, TypeError, ValueError):
             return None  # written by an incompatible (future) build
+        self._result_cache.put(spec_hash, result)
+        return result
 
     def __contains__(self, spec_hash: str) -> bool:
         return self.get_raw(spec_hash) is not None
@@ -304,6 +409,7 @@ class ResultStore:
                 removed += 1
             except OSError:
                 pass
+        self._result_cache.clear()
         return removed
 
     # -- sweep results -----------------------------------------------------
@@ -357,7 +463,16 @@ class ResultStore:
         return self._write_document(self.counts_path_for(counts_key), document)
 
     def get_counts(self, counts_key: str) -> LogicalCounts | None:
-        """Stored counts for a key, or ``None`` (missing/corrupt)."""
+        """Stored counts for a key, or ``None`` (missing/corrupt).
+
+        Read-through cached like :meth:`get`: repeated lookups of one
+        workload's counts within a process skip the disk after the
+        first verified read.
+        """
+        self._check_hash(counts_key)
+        cached = self._counts_cache.get(counts_key)
+        if cached is not None:
+            return cached
         document = self._read_document(self.counts_path_for(counts_key))
         if (
             document is None
@@ -367,22 +482,60 @@ class ResultStore:
         ):
             return None
         try:
-            return LogicalCounts.from_dict(document["counts"])
+            counts = LogicalCounts.from_dict(document["counts"])
         except (TypeError, ValueError):
             return None  # written by an incompatible (future) build
+        self._counts_cache.put(counts_key, counts)
+        return counts
+
+    # -- optimize probe traces ---------------------------------------------
+
+    def put_optimize(self, optimize_hash: str, trace: dict[str, Any]) -> bool:
+        """Persist an adaptive search's probe-trace document.
+
+        ``trace`` is the :mod:`repro.estimator.optimize` trace document
+        (probed spec hashes + verdicts, and the answer once the search
+        finishes), keyed by the
+        :meth:`~repro.estimator.optimize.OptimizeSpec.content_hash` — an
+        equivalent re-submission answers from this namespace without a
+        single engine evaluation.
+        """
+        document = {
+            "schema": OPTIMIZE_DOC_SCHEMA,
+            "optimizeHash": optimize_hash,
+            "trace": trace,
+        }
+        return self._write_document(
+            self.optimize_path_for(optimize_hash), document
+        )
+
+    def get_optimize(self, optimize_hash: str) -> dict[str, Any] | None:
+        """A stored probe-trace document, or ``None`` (missing/corrupt)."""
+        document = self._read_document(self.optimize_path_for(optimize_hash))
+        if (
+            document is None
+            or document.get("schema") != OPTIMIZE_DOC_SCHEMA
+            or document.get("optimizeHash") != optimize_hash
+            or not isinstance(document.get("trace"), dict)
+        ):
+            return None
+        return document["trace"]
 
     # -- observability -----------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
         """Per-namespace document counts and bytes (operator visibility).
 
-        Covers the five namespaces this store reads and writes — results
+        Covers the six namespaces this store reads and writes — results
         (under the configured schema tag), sweep results, the
-        logical-counts cache, the sweep work queue, and the job journal —
-        plus the orphaned-file tally (leftover ``.tmp`` files from
-        crashed writers and ``.lease`` files from dead workers, the
-        population ``gc`` reclaims) — without parsing any documents, so
-        it is cheap even on large stores.
+        logical-counts cache, the sweep work queue, the job journal, and
+        optimize probe traces — plus the orphaned-file tally (leftover
+        ``.tmp`` files from crashed writers and ``.lease`` files from
+        dead workers, the population ``gc`` reclaims) — without parsing
+        any documents, so it is cheap even on large stores. The
+        ``memoryCache`` section reports this process's read-through LRU
+        (hits, misses, resident entries per namespace); see
+        :meth:`memory_cache_stats`.
         """
 
         def scan(base: Path, schema: str) -> dict[str, Any]:
@@ -414,8 +567,26 @@ class ResultStore:
                 "counts": scan(self.root / COUNTS_SCHEMA, COUNTS_SCHEMA),
                 "queue": scan(self.root / QUEUE_SCHEMA, QUEUE_SCHEMA),
                 "jobs": scan(self.root / JOBS_SCHEMA, JOBS_SCHEMA),
+                "optimize": scan(
+                    self.root / OPTIMIZE_DOC_SCHEMA, OPTIMIZE_DOC_SCHEMA
+                ),
             },
             "orphans": {"files": orphan_files, "bytes": orphan_bytes},
+            "memoryCache": self.memory_cache_stats(),
+        }
+
+    def memory_cache_stats(self) -> dict[str, Any]:
+        """This process's read-through LRU counters (satellite visibility).
+
+        ``hits``/``misses`` count :meth:`get` / :meth:`get_counts` calls
+        answered from (respectively, falling through) the in-memory
+        cache; ``entries`` is the current resident population. Counters
+        are per-``ResultStore`` instance, not persisted.
+        """
+        return {
+            "capacity": self._result_cache.capacity,
+            "results": self._result_cache.stats(),
+            "counts": self._counts_cache.stats(),
         }
 
     # -- garbage collection ------------------------------------------------

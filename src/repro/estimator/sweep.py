@@ -104,9 +104,12 @@ def pareto_min_indices(values: Sequence[tuple[float, float]]) -> list[int]:
     Sorting by (first, second) makes the kept second coordinates strictly
     decreasing, so a single running minimum replaces the quadratic
     all-pairs dominance check; returned indices are ordered by increasing
-    first coordinate. Exact ties keep the earliest input point.
+    first coordinate. Ties are broken explicitly by input index — among
+    duplicate (x, y) points exactly the lowest-index one is kept, so the
+    frontier over equal-cost points is deterministic and the kept value
+    set is stable under any permutation of the input.
     """
-    order = sorted(range(len(values)), key=lambda i: values[i])
+    order = sorted(range(len(values)), key=lambda i: (values[i][0], values[i][1], i))
     keep: list[int] = []
     best: float | None = None
     for i in order:

@@ -43,6 +43,17 @@ Endpoints
 ``GET /v1/sweeps/<jobId>/result``
     The finished sweep's full result document (409 while the job is
     still queued/running, 404 for unknown jobs).
+``POST /v1/optimize``
+    Body: an optimize document (see
+    :meth:`repro.estimator.optimize.OptimizeSpec.to_dict`). Responds
+    **202** with a job record exactly like sweeps (``kind`` is
+    ``"optimize"``; ``evaluations`` counts actual engine evaluations —
+    the number the adaptive search minimizes). The job id is the
+    question's content hash: equivalent resubmissions join the running
+    job, and a question whose probe trace is already stored answers
+    immediately with zero evaluations.
+``GET /v1/optimize/<jobId>/result``
+    The finished optimize's answer document (409 / 404 like sweeps).
 ``GET /v1/registry``
     Names of the available qubit profiles, QEC schemes, distillation
     units, factory designers, and programs (including scenario-file
@@ -51,7 +62,10 @@ Endpoints
     it through the same registry, so clients never ship workload
     definitions they can address.
 ``GET /v1/healthz``
-    Liveness plus the store location and schema tags.
+    Liveness plus the store location, schema tags, and the full
+    ``cacheStats`` block — engine memo/kernel counters, optimizer
+    probe/evaluation totals, the store's in-process read-through LRU
+    hit counts, and the sweep queue depth.
 
 Run it with ``python -m repro serve`` (see the README section "Running
 as a service") and talk to it with :class:`ServiceClient`, the thin
@@ -81,6 +95,11 @@ from urllib import error as urllib_error
 from urllib import request as urllib_request
 
 from .estimator.batch import EstimateCache
+from .estimator.optimize import (
+    OptimizeProgress,
+    OptimizeSpec,
+    run_optimize,
+)
 from .estimator.spec import EstimateSpec, run_specs
 from .estimator.store import ResultStore
 from .estimator.sweep import SweepProgress, SweepSpec, run_sweep
@@ -116,7 +135,14 @@ class _ServiceStopping(Exception):
 
 @dataclass(eq=False)
 class SweepJob:
-    """In-memory state of one async sweep job (id = sweep content hash)."""
+    """In-memory state of one async job (id = the spec's content hash).
+
+    Shared by sweep jobs (``kind="sweep"``: total/completed count grid
+    points) and optimize jobs (``kind="optimize"``: ``total`` is the
+    search grid size, ``completed`` probes evaluated so far, ``ok``
+    feasible probes, and ``evaluations`` actual engine evaluations —
+    the number the adaptive search exists to minimize).
+    """
 
     job_id: str
     status: str  # "queued" | "running" | "done" | "failed"
@@ -127,12 +153,15 @@ class SweepJob:
     from_store: int = 0
     error: str | None = None
     result_doc: dict[str, Any] | None = None
+    kind: str = "sweep"
+    evaluations: int | None = None
 
     def to_record(
-        self, cache_stats: dict[str, dict[str, int]] | None = None
+        self, cache_stats: dict[str, Any] | None = None
     ) -> dict[str, Any]:
         record: dict[str, Any] = {
             "jobId": self.job_id,
+            "kind": self.kind,
             "status": self.status,
             "total": self.total,
             "completed": self.completed,
@@ -141,13 +170,16 @@ class SweepJob:
             "fromStore": self.from_store,
             "error": self.error,
         }
+        if self.evaluations is not None:
+            record["evaluations"] = self.evaluations
         if cache_stats is not None:
             # Engine-wide counters (the cache is shared across jobs and
             # interactive submissions), surfaced for observability of the
             # vectorized/scalar kernel split and memo hit rates.
             record["cacheStats"] = cache_stats
         if self.status == "done":
-            record["resultUrl"] = f"/v1/sweeps/{self.job_id}/result"
+            prefix = "optimize" if self.kind == "optimize" else "sweeps"
+            record["resultUrl"] = f"/v1/{prefix}/{self.job_id}/result"
         return record
 
 
@@ -223,6 +255,9 @@ class EstimationService:
         self._lock = threading.Lock()
         self._jobs: dict[str, SweepJob] = {}
         self._jobs_lock = threading.Lock()
+        # Service-lifetime optimizer counters (probes requested, engine
+        # evaluations actually performed), surfaced in cacheStats.
+        self._optimize_counters = {"probes": 0, "evaluations": 0}
         self._stopping = threading.Event()
         self._sweep_pool = ThreadPoolExecutor(
             max_workers=max(1, sweep_workers), thread_name_prefix="repro-sweep"
@@ -465,9 +500,170 @@ class EstimationService:
                 job.status = "failed"
                 job.error = str(exc)
 
+    # -- async optimize jobs -----------------------------------------------
+
+    def submit_optimize(self, payload: Any) -> dict[str, Any]:
+        """Handle a ``POST /v1/optimize`` body; returns the job record.
+
+        Mirrors :meth:`submit_sweep`: eager parsing (malformed documents
+        are 400s, not failed jobs), the job id is the optimize spec's
+        resolved content hash, equivalent resubmissions join the running
+        job, and a question whose probe trace is already finished in the
+        store is immediately ``done`` with zero evaluations.
+        """
+        with forbid_file_programs():
+            spec = OptimizeSpec.from_dict(payload)
+            total = spec.num_points()
+            job_id = spec.content_hash(self.registry)
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is not None and job.status not in ("failed", "done"):
+            return job.to_record()
+        if job is not None and job.status == "done":
+            if self._stored_optimize(job_id) is not None:
+                return job.to_record()
+        stored = self._stored_optimize(job_id)  # disk I/O outside the lock
+        with self._jobs_lock:
+            current = self._jobs.get(job_id)
+            if current is not None and current is not job:
+                return current.to_record()  # raced with another submitter
+            if stored is not None:
+                fresh = self._job_from_optimize_document(job_id, stored)
+                self._jobs[job_id] = fresh
+                return fresh.to_record()
+            fresh = SweepJob(
+                job_id=job_id, status="queued", total=total, kind="optimize"
+            )
+            self._jobs[job_id] = fresh
+        self._sweep_pool.submit(self._run_optimize_job, fresh, spec)
+        return fresh.to_record()
+
+    @staticmethod
+    def _job_from_optimize_document(
+        job_id: str, document: dict[str, Any]
+    ) -> SweepJob:
+        """A ``done`` optimize job reconstructed from its stored answer."""
+        counts = document.get("counts", {})
+        return SweepJob(
+            job_id=job_id,
+            status="done",
+            total=int(counts.get("grid", 0)),
+            completed=int(counts.get("probes", 0)),
+            ok=int(counts.get("feasible", 0)),
+            kind="optimize",
+            evaluations=0,  # answered from the stored trace
+        )
+
+    def _run_optimize_job(self, job: SweepJob, spec: OptimizeSpec) -> None:
+        last = {"probes": 0, "evaluations": 0}
+
+        def on_progress(event: OptimizeProgress) -> None:
+            if self._stopping.is_set():
+                raise _ServiceStopping()
+            with self._jobs_lock:
+                job.completed = event.probes
+                job.ok = event.feasible
+                job.from_store = event.from_store
+                job.evaluations = event.evaluations
+                self._optimize_counters["probes"] += event.probes - last["probes"]
+                self._optimize_counters["evaluations"] += (
+                    event.evaluations - last["evaluations"]
+                )
+                last["probes"] = event.probes
+                last["evaluations"] = event.evaluations
+
+        try:
+            with self._jobs_lock:
+                job.status = "running"
+            result = run_optimize(
+                spec,
+                registry=self.registry,
+                store=self.store,
+                cache=self.cache,
+                max_workers=self.max_workers,
+                progress=on_progress,
+                lock=self._lock,
+                kernel=self.kernel,
+                executor=self.sweep_executor,
+                lease_ttl=self.lease_ttl,
+            )
+            document = result.to_dict()
+            with self._jobs_lock:
+                # The answer document persists inside the probe-trace
+                # store entry (run_optimize wrote it); pin it in memory
+                # only when there is no store to read it back from.
+                job.result_doc = None if self.store is not None else document
+                job.completed = len(result.probes)
+                job.ok = result.num_feasible
+                job.evaluations = result.num_evaluations
+                job.status = "done"
+        except _ServiceStopping:
+            with self._jobs_lock:
+                job.status = "failed"
+                job.error = "aborted: service shutting down"
+        except Exception as exc:  # a failed job must be reportable, not lost
+            with self._jobs_lock:
+                job.status = "failed"
+                job.error = str(exc)
+
+    def optimize_result_document(
+        self, job_id: str
+    ) -> tuple[dict[str, Any] | None, str | None]:
+        """(answer document, status) for ``GET /v1/optimize/<id>/result``."""
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job.status == "done" and job.result_doc:
+                return job.result_doc, "done"
+            status = job.status if job is not None else None
+        stored = self._stored_optimize(job_id)
+        if stored is not None:
+            return stored, "done"
+        return None, status
+
+    def _stored_optimize(self, job_id: str) -> dict[str, Any] | None:
+        """A finished optimize answer from the store's probe-trace doc."""
+        if self.store is None:
+            return None
+        try:
+            trace = self.store.get_optimize(job_id)
+        except ValueError:
+            return None  # malformed hash in the URL
+        if (
+            isinstance(trace, dict)
+            and trace.get("status") == "done"
+            and isinstance(trace.get("result"), dict)
+        ):
+            return trace["result"]
+        return None
+
+    # -- job status and observability --------------------------------------
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Engine + store + queue counters for job records and healthz.
+
+        Extends :meth:`EstimateCache.stats` with the optimizer's
+        probe/evaluation totals, the store's in-process read-through LRU
+        counters, and the sweep work queue's current depth (journaled
+        jobs not yet finished) — the numbers an operator watches to see
+        whether adaptive searches are warm and whether workers keep up.
+        """
+        stats: dict[str, Any] = self.cache.stats()
+        with self._jobs_lock:
+            stats["optimize"] = dict(self._optimize_counters)
+        queue_depth = 0
+        if self.store is not None:
+            stats["storeMemory"] = self.store.memory_cache_stats()
+            from .estimator.queue import SweepQueue
+
+            queue_depth = len(SweepQueue(self.store).pending_jobs())
+        else:
+            stats["storeMemory"] = None
+        stats["queueDepth"] = queue_depth
+        return stats
+
     def job_record(self, job_id: str) -> dict[str, Any] | None:
         """Status for ``GET /v1/jobs/<id>`` (or ``None`` if unknown)."""
-        stats = self.cache.stats()
+        stats = self.cache_stats()
         with self._jobs_lock:
             job = self._jobs.get(job_id)
             if job is not None:
@@ -477,6 +673,11 @@ class EstimationService:
             return self._job_from_document(job_id, stored).to_record(
                 cache_stats=stats
             )
+        stored_optimize = self._stored_optimize(job_id)
+        if stored_optimize is not None:
+            return self._job_from_optimize_document(
+                job_id, stored_optimize
+            ).to_record(cache_stats=stats)
         return None
 
     def sweep_result_document(
@@ -515,6 +716,7 @@ class EstimationService:
             "resultSchema": RESULT_SCHEMA,
             "store": str(self.store.root) if self.store is not None else None,
             "executor": self.sweep_executor,
+            "cacheStats": self.cache_stats(),
         }
 
 
@@ -586,12 +788,23 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_error_json(f"unknown sweep job {job_id!r}", 404)
+        elif path.startswith("/v1/optimize/") and path.endswith("/result"):
+            job_id = path[len("/v1/optimize/") : -len("/result")]
+            document, status = service.optimize_result_document(job_id)
+            if document is not None:
+                self._send_json(document)
+            elif status is not None:
+                self._send_error_json(
+                    f"optimize job {job_id!r} is {status}, not done", 409
+                )
+            else:
+                self._send_error_json(f"unknown optimize job {job_id!r}", 404)
         else:
             self._send_error_json(f"unknown route {self.path!r}", 404)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         route = self.path.rstrip("/")
-        if route not in ("/v1/estimate", "/v1/sweeps"):
+        if route not in ("/v1/estimate", "/v1/sweeps", "/v1/optimize"):
             self._send_error_json(f"unknown route {self.path!r}", 404)
             return
         try:
@@ -624,6 +837,10 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if route == "/v1/sweeps":
                 response = self.server.service.submit_sweep(payload)
+                self._send_json(response, status=202)
+                return
+            if route == "/v1/optimize":
+                response = self.server.service.submit_optimize(payload)
                 self._send_json(response, status=202)
                 return
             response = self.server.service.submit(payload)
@@ -829,6 +1046,57 @@ class ServiceClient:
             if time.monotonic() >= deadline:
                 raise ServiceError(
                     f"sweep job {job_id!r} still {record['status']} after "
+                    f"{timeout:g} s"
+                )
+            time.sleep(poll)
+
+    # -- async optimize jobs -----------------------------------------------
+
+    def submit_optimize(
+        self, optimize: "OptimizeSpec | dict[str, Any]"
+    ) -> dict[str, Any]:
+        """POST an optimize question; returns the job record."""
+        payload = (
+            optimize.to_dict() if isinstance(optimize, OptimizeSpec) else optimize
+        )
+        return self._request("/v1/optimize", payload)
+
+    def optimize_result(self, job_id: str) -> dict[str, Any] | None:
+        """A finished optimize's answer document.
+
+        ``None`` for unknown jobs; raises :class:`ServiceError` (409)
+        while the job is still queued or running.
+        """
+        try:
+            return self._request(f"/v1/optimize/{job_id}/result")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def wait_for_optimize(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll an optimize job until done; returns its answer document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record is None:
+                raise ServiceError(f"optimize job {job_id!r} is unknown")
+            if record["status"] == "done":
+                document = self.optimize_result(job_id)
+                if document is None:
+                    raise ServiceError(
+                        f"optimize job {job_id!r} finished but has no result"
+                    )
+                return document
+            if record["status"] == "failed":
+                raise ServiceError(
+                    f"optimize job {job_id!r} failed: {record.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"optimize job {job_id!r} still {record['status']} after "
                     f"{timeout:g} s"
                 )
             time.sleep(poll)

@@ -737,3 +737,115 @@ class TestKernelByteIdentity:
         vector_kernel = vector_status["cacheStats"]["kernel"]
         assert vector_kernel["scalar"] == 0
         assert vector_kernel["vectorized"] + vector_kernel["scalarFallback"] == 4
+
+
+OPTIMIZE_DOC = {
+    "base": {
+        "program": {"counts": None},  # counts filled in below
+        "qubit": {"profile": "qubit_gate_ns_e3"},
+        "constraints": {"maxTFactories": 1},
+    },
+    "axes": [
+        {"field": "budget", "geom": {"start": 1e-9, "factor": 1.7, "count": 24}}
+    ],
+    "objective": "min-qubits",
+    "constraints": {"maxPhysicalQubits": 2_000_000},
+}
+OPTIMIZE_DOC["base"]["program"]["counts"] = COUNTS.to_dict()
+
+
+class TestOptimizeJobs:
+    def test_job_lifecycle_over_http(self, client):
+        record = client.submit_optimize(OPTIMIZE_DOC)
+        assert record["kind"] == "optimize"
+        assert record["total"] == 24
+        job_id = record["jobId"]
+
+        document = client.wait_for_optimize(job_id, timeout=120)
+        assert document["optimizeHash"] == job_id
+        assert document["answer"]["objective"] == "min-qubits"
+        assert document["answer"]["points"]
+        assert document["counts"]["probes"] < 24, "the search must be adaptive"
+
+        status = client.job(job_id)
+        assert status["status"] == "done"
+        assert status["kind"] == "optimize"
+        assert status["evaluations"] <= document["counts"]["probes"]
+        assert status["resultUrl"] == f"/v1/optimize/{job_id}/result"
+
+    def test_resubmission_joins_and_reserves_the_answer(self, client):
+        first = client.submit_optimize(OPTIMIZE_DOC)
+        document = client.wait_for_optimize(first["jobId"], timeout=120)
+        again = client.submit_optimize(OPTIMIZE_DOC)
+        assert again["jobId"] == first["jobId"]
+        assert again["status"] == "done"
+        assert client.optimize_result(first["jobId"]) == document
+
+    def test_unknown_job_is_404(self, client):
+        assert client.optimize_result("ab" * 32) is None
+
+    def test_result_while_running_is_409(self, service, client):
+        from repro.service import SweepJob
+
+        job_id = "0d" * 32
+        with service._jobs_lock:
+            service._jobs[job_id] = SweepJob(
+                job_id=job_id, status="running", total=24, kind="optimize"
+            )
+        with pytest.raises(ServiceError) as excinfo:
+            client.optimize_result(job_id)
+        assert excinfo.value.status == 409
+
+    def test_malformed_optimize_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_optimize({"axes": []})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_optimize({**OPTIMIZE_DOC, "bogus": 1})
+        assert excinfo.value.status == 400
+
+    def test_restarted_server_reserves_finished_optimize(self, tmp_path):
+        """The probe trace survives via the store across processes."""
+        store_root = tmp_path / "store"
+        first = EstimationService(registry=Registry(), store=ResultStore(store_root))
+        record = first.submit_optimize(OPTIMIZE_DOC)
+        job_id = record["jobId"]
+        deadline = time.monotonic() + 120
+        while first.job_record(job_id)["status"] not in ("done", "failed"):
+            assert time.monotonic() < deadline, "optimize job did not finish"
+            time.sleep(0.02)
+        document, status = first.optimize_result_document(job_id)
+        assert status == "done"
+        first.close()
+
+        second = EstimationService(registry=Registry(), store=ResultStore(store_root))
+        try:
+            redocument, restatus = second.optimize_result_document(job_id)
+            assert restatus == "done"
+            assert redocument == document
+            assert second.job_record(job_id)["status"] == "done"
+            resubmitted = second.submit_optimize(OPTIMIZE_DOC)
+            assert resubmitted["jobId"] == job_id
+            assert resubmitted["status"] == "done"
+            assert resubmitted["evaluations"] == 0, "answered from the store"
+        finally:
+            second.close()
+
+    def test_observability_counters(self, service, client):
+        # Before any job: the full cacheStats block is on /v1/healthz.
+        health = client.health()
+        stats = health["cacheStats"]
+        for key in ("kernel", "optimize", "queueDepth", "storeMemory"):
+            assert key in stats, key
+        assert stats["optimize"] == {"probes": 0, "evaluations": 0}
+        assert stats["queueDepth"] == 0
+        assert set(stats["storeMemory"]) == {"capacity", "results", "counts"}
+
+        record = client.submit_optimize(OPTIMIZE_DOC)
+        client.wait_for_optimize(record["jobId"], timeout=120)
+        after = client.health()["cacheStats"]["optimize"]
+        assert after["probes"] > 0
+        assert 0 < after["evaluations"] <= after["probes"]
+        # The job status document carries the same counters.
+        job_stats = client.job(record["jobId"])["cacheStats"]
+        assert job_stats["optimize"] == after

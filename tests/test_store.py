@@ -291,3 +291,118 @@ class TestDefaultRoot:
         root = default_store_root()
         assert root.name == "store"
         assert "repro" in str(root)
+
+
+class TestMemoryCache:
+    """The bounded in-process read-through LRU in front of get()."""
+
+    def test_put_never_populates_the_cache(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        assert store.memory_cache_stats()["results"]["entries"] == 0
+
+    def test_second_read_is_a_memory_hit(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        assert store.get(HASH_A) == result  # disk read, then cached
+        assert store.get(HASH_A) == result  # served from memory
+        assert store.memory_cache_stats()["results"] == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+        }
+
+    def test_cached_entry_outlives_disk_corruption(self, tmp_path, result):
+        # Documents are immutable (same hash, same bytes), so a value
+        # that passed the integrity digest once may be served from
+        # memory even after the file is damaged behind our back.
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        assert store.get(HASH_A) == result
+        store.path_for(HASH_A).write_text("{not json")
+        assert store.get(HASH_A) == result
+        # A fresh store (fresh cache) sees the corruption as a miss.
+        assert ResultStore(tmp_path).get(HASH_A) is None
+
+    def test_eviction_respects_capacity(self, tmp_path, result):
+        store = ResultStore(tmp_path, cache_size=1)
+        store.put(HASH_A, result)
+        store.put(HASH_B, result)
+        assert store.get(HASH_A) is not None
+        assert store.get(HASH_B) is not None  # evicts HASH_A
+        stats = store.memory_cache_stats()
+        assert stats["capacity"] == 1
+        assert stats["results"]["entries"] == 1
+        assert store.get(HASH_A) is not None  # re-read from disk
+        assert store.memory_cache_stats()["results"]["hits"] == 0
+
+    def test_zero_capacity_disables_memory_caching(self, tmp_path, result):
+        store = ResultStore(tmp_path, cache_size=0)
+        store.put(HASH_A, result)
+        assert store.get(HASH_A) == result
+        assert store.get(HASH_A) == result
+        assert store.memory_cache_stats()["results"]["entries"] == 0
+        assert store.memory_cache_stats()["results"]["hits"] == 0
+
+    def test_clear_drops_the_memory_cache_too(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        assert store.get(HASH_A) == result
+        assert store.clear() == 1
+        assert store.get(HASH_A) is None
+
+    def test_counts_namespace_is_cached_independently(self, tmp_path):
+        store = ResultStore(tmp_path)
+        counts = LogicalCounts(num_qubits=3, t_count=10)
+        store.put_counts(HASH_A, counts, backend="counting")
+        assert store.get_counts(HASH_A) == counts
+        assert store.get_counts(HASH_A) == counts
+        stats = store.memory_cache_stats()
+        assert stats["counts"] == {"hits": 1, "misses": 1, "entries": 1}
+        assert stats["results"]["entries"] == 0
+
+    def test_store_stats_embeds_memory_cache_block(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        store.get(HASH_A)
+        block = store.stats()["memoryCache"]
+        assert set(block) == {"capacity", "results", "counts"}
+        assert block["results"]["entries"] == 1
+
+
+class TestOptimizeNamespace:
+    TRACE = {"status": "running", "rounds": [], "probes": [], "result": None}
+
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.put_optimize(HASH_A, self.TRACE)
+        assert store.get_optimize(HASH_A) == self.TRACE
+        assert store.get_optimize(HASH_B) is None
+        # Invisible to the result namespace.
+        assert store.get(HASH_A) is None
+        assert len(store) == 0
+
+    def test_overwrite_updates_the_trace(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_optimize(HASH_A, self.TRACE)
+        done = {**self.TRACE, "status": "done", "result": {"answer": {}}}
+        assert store.put_optimize(HASH_A, done)
+        assert store.get_optimize(HASH_A)["status"] == "done"
+
+    def test_malformed_hash_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="malformed"):
+            store.optimize_path_for("../evil")
+
+    def test_corrupt_trace_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_optimize(HASH_A, self.TRACE)
+        store.optimize_path_for(HASH_A).write_text("{not json")
+        assert store.get_optimize(HASH_A) is None
+
+    def test_stats_counts_the_namespace(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_optimize(HASH_A, self.TRACE)
+        stats = store.stats()
+        assert stats["namespaces"]["optimize"]["documents"] == 1
+        assert stats["namespaces"]["optimize"]["bytes"] > 0

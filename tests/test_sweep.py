@@ -293,6 +293,30 @@ class TestParetoMinIndices:
     def test_empty(self):
         assert pareto_min_indices([]) == []
 
+    def test_duplicate_points_stable_under_permutation(self):
+        # Regression: among duplicate (x, y) points exactly one survives
+        # (the lowest input index), and the *value set* of the frontier
+        # is identical no matter how the input is ordered.
+        import itertools
+
+        values = [(2.0, 1.0), (1.0, 2.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.5)]
+        reference = None
+        for perm in itertools.permutations(range(len(values))):
+            permuted = [values[i] for i in perm]
+            kept = pareto_min_indices(permuted)
+            # Exactly one representative per duplicate group.
+            assert len(kept) == len({permuted[i] for i in kept})
+            # Each duplicate group is represented by its earliest copy.
+            for i in kept:
+                first = min(
+                    j for j, v in enumerate(permuted) if v == permuted[i]
+                )
+                assert i == first, (perm, kept)
+            frontier_values = sorted(permuted[i] for i in kept)
+            if reference is None:
+                reference = frontier_values
+            assert frontier_values == reference, perm
+
 
 class TestRunSweep:
     def test_matches_run_specs_bit_for_bit(self):
