@@ -1090,6 +1090,13 @@ def build_work_parser() -> argparse.ArgumentParser:
         help="print the worker report (chunks evaluated/observed, jobs "
         "finalized) as JSON",
     )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log records (worker.start, worker.chunk "
+        "with the job id, worker.done) on stderr, joinable with 'repro "
+        "serve' request/job records on jobId",
+    )
     return parser
 
 
@@ -1108,6 +1115,11 @@ def _work_main(argv: list[str]) -> int:
         parser.error(f"--poll must be > 0, got {args.poll}")
     registry = _load_scenarios(args.scenario)
     store = ResultStore(args.dir)
+    log = None
+    if args.log_json:
+        from .jsonlog import StructuredLogger
+
+        log = StructuredLogger(sys.stderr)
 
     def progress(event) -> None:
         if not args.quiet:
@@ -1128,6 +1140,7 @@ def _work_main(argv: list[str]) -> int:
             poll=args.poll if args.poll is not None else DEFAULT_POLL_INTERVAL,
             deadline_s=args.deadline,
             progress=progress,
+            log=log,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -1598,12 +1611,16 @@ def build_store_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "action",
-        choices=("stats", "gc"),
+        choices=("stats", "gc", "evict"),
         help="'stats' reports per-namespace document counts and bytes "
         "(results, sweeps, the counts cache, the sweep queue, and the job "
         "journal) plus the orphaned-file tally as JSON; 'gc' removes "
         "orphaned .tmp files and expired lease files older than "
-        "--older-than and reports the bytes reclaimed",
+        "--older-than and reports the bytes reclaimed; 'evict' prunes "
+        "result/sweep/counts/optimize documents oldest-first until the "
+        "store fits --max-bytes (live queue chunks, leases, and journal "
+        "entries are never touched — evicted documents are future cache "
+        "misses that heal by recomputation)",
     )
     parser.add_argument(
         "--store",
@@ -1622,6 +1639,14 @@ def build_store_parser() -> argparse.ArgumentParser:
         "writes and live leases (heartbeats keep their mtime fresh) must "
         "never be collected (default: 3600)",
     )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict only: the byte budget to prune the document "
+        "namespaces down to (required for 'evict')",
+    )
     return parser
 
 
@@ -1633,6 +1658,12 @@ def _store_main(argv: list[str]) -> int:
     store = ResultStore(args.store or default_store_root())
     if args.action == "gc":
         print(json.dumps(store.gc(older_than_s=args.older_than), indent=2))
+    elif args.action == "evict":
+        if args.max_bytes is None:
+            parser.error("'evict' requires --max-bytes")
+        if args.max_bytes < 0:
+            parser.error(f"--max-bytes must be >= 0, got {args.max_bytes}")
+        print(json.dumps(store.evict(max_bytes=args.max_bytes), indent=2))
     else:
         print(json.dumps(store.stats(), indent=2))
     return 0
@@ -1646,13 +1677,19 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "over the shared batch engine with the persistent result store "
         "behind it.",
     )
+    # Flags absorbed by ServerSettings default to None so "the user
+    # typed it" is distinguishable from "defaulted": precedence is
+    # CLI flag > scenario 'server' section > ServerSettings default
+    # (see repro.settings).
     parser.add_argument(
-        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+        "--host",
+        default=None,
+        help="bind address (default: 127.0.0.1)",
     )
     parser.add_argument(
         "--port",
         type=int,
-        default=8000,
+        default=None,
         help="bind port; 0 picks a free one, printed on startup (default: 8000)",
     )
     parser.add_argument(
@@ -1671,26 +1708,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=None,
         help="worker processes per submitted batch (1 = serial; default: 1)",
     )
     parser.add_argument(
         "--sweep-workers",
         type=int,
-        default=2,
+        default=None,
         help="async sweep job threads (POST /v1/sweeps; default: 2)",
     )
     parser.add_argument(
         "--kernel",
         choices=KERNEL_CHOICES,
-        default="auto",
+        default=None,
         help="estimation kernel for submitted batches and sweep jobs "
         "(bit-for-bit identical results either way; default: auto)",
     )
     parser.add_argument(
         "--executor",
         choices=("auto", "local", "queue"),
-        default="auto",
+        default=None,
         help="sweep job execution: 'queue' journals jobs in the store's "
         "crash-safe work queue (replicas sharing the store drain sweeps "
         "cooperatively and a restart resumes in-flight jobs), 'local' "
@@ -1713,50 +1750,87 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="reject request bodies over N bytes with 413 "
         "(default: 16 MiB)",
     )
+    parser.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the store's document namespaces to ~N bytes on disk by "
+        "LRU eviction (oldest results/sweeps/counts/optimize documents "
+        "removed first; queue and journal entries never touched; "
+        "default: unbounded)",
+    )
+    parser.add_argument(
+        "--metrics-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh interval for the disk-walking /v1/metrics gauges — "
+        "scrapes inside the TTL do zero filesystem work (default: 10)",
+    )
     _add_scenario_argument(parser)
     parser.add_argument(
-        "--verbose", action="store_true", help="log every HTTP request"
+        "--log-json",
+        action="store_true",
+        help="emit one structured JSON log record per request and job "
+        "transition on stderr (requestId/jobId/route/status/duration)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_const",
+        const=True,
+        default=None,
+        help="log every HTTP request in the classic access-log format",
     )
     return parser
 
 
 def _serve_main(argv: list[str]) -> int:
-    from .service import MAX_BODY_BYTES, EstimationService, make_server
+    from .jsonlog import StructuredLogger
+    from .service import EstimationService, make_server
+    from .settings import load_server_settings
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
-    if args.workers < 1:
-        parser.error(f"--workers must be >= 1, got {args.workers}")
-    if args.sweep_workers < 1:
-        parser.error(f"--sweep-workers must be >= 1, got {args.sweep_workers}")
     if args.no_store and args.store:
         parser.error("--store and --no-store are mutually exclusive")
     if args.executor == "queue" and args.no_store:
         parser.error("--executor queue requires a store")
-    if args.lease_ttl is not None and args.lease_ttl <= 0:
-        parser.error(f"--lease-ttl must be > 0, got {args.lease_ttl}")
-    if args.max_body_bytes is not None and args.max_body_bytes < 1:
-        parser.error(f"--max-body-bytes must be >= 1, got {args.max_body_bytes}")
+    try:
+        # Precedence: CLI flag > scenario 'server' section > default.
+        # None-valued args are flags the user did not type.
+        settings = load_server_settings(
+            args.scenario or (),
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            sweep_workers=args.sweep_workers,
+            kernel=args.kernel,
+            executor=args.executor,
+            lease_ttl=args.lease_ttl,
+            max_body_bytes=args.max_body_bytes,
+            store_max_bytes=args.store_max_bytes,
+            metrics_ttl=args.metrics_ttl,
+            verbose=args.verbose,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if settings.executor == "queue" and args.no_store:
+        parser.error("a scenario requesting executor 'queue' needs a store")
     registry = _load_scenarios(args.scenario)
-    store = None if args.no_store else ResultStore(args.store or default_store_root())
-    service = EstimationService(
-        registry=registry,
-        store=store,
-        max_workers=args.workers,
-        sweep_workers=args.sweep_workers,
-        kernel=args.kernel,
-        executor=args.executor,
-        lease_ttl=args.lease_ttl,
+    store = (
+        None
+        if args.no_store
+        else ResultStore(
+            args.store or default_store_root(),
+            max_bytes=settings.store_max_bytes,
+        )
     )
-    server = make_server(
-        args.host,
-        args.port,
-        service=service,
-        verbose=args.verbose,
-        max_body_bytes=(
-            args.max_body_bytes if args.max_body_bytes is not None else MAX_BODY_BYTES
-        ),
+    log = StructuredLogger(sys.stderr) if args.log_json else None
+    service = EstimationService.from_settings(
+        settings, registry=registry, store=store, log=log
     )
+    server = make_server(service=service, settings=settings)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}", flush=True)
     print(

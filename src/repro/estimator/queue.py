@@ -97,6 +97,7 @@ from .sweep import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..jsonlog import StructuredLogger
     from ..registry import Registry
     from .batch import EstimateCache
 
@@ -690,6 +691,7 @@ def run_worker(
     wait: bool | None = None,
     deadline_s: float | None = None,
     heartbeat: bool = True,
+    log: "StructuredLogger | None" = None,
 ) -> WorkerReport:
     """Drain queued sweep chunks from a shared store; one worker process.
 
@@ -712,13 +714,21 @@ def run_worker(
     Raising from ``progress`` aborts cleanly between chunks (leases
     released, completed work persisted) — the estimation service uses
     this for shutdown, and a later worker resumes from the markers.
+
+    ``log`` (a :class:`~repro.jsonlog.StructuredLogger`) emits one JSON
+    record per lifecycle step — ``worker.start``, ``worker.chunk`` (per
+    chunk evaluated or observed, with the job id), ``worker.done`` —
+    so ``repro work`` output joins the service's request/job records on
+    ``jobId``. Defaults to disabled.
     """
+    from ..jsonlog import StructuredLogger
     from ..registry import default_registry
 
     resolved_registry = registry if registry is not None else default_registry()
     queue = SweepQueue(store, owner=owner, ttl=ttl, clock=clock)
     report = WorkerReport(owner=queue.owner)
     guard = lock if lock is not None else nullcontext()
+    logger = log if log is not None else StructuredLogger.disabled()
     started = time.monotonic()
 
     def out_of_time() -> bool:
@@ -734,6 +744,13 @@ def run_worker(
         jobs = queue.pending_jobs()
         wait_for_others = False if wait is None else wait
 
+    logger.event(
+        "worker.start",
+        owner=queue.owner,
+        store=str(store.root),
+        jobs=len(jobs),
+        jobId=job_id,
+    )
     for job in jobs:
         report.jobs_seen += 1
         done = _drain_job(
@@ -750,9 +767,20 @@ def run_worker(
             poll=poll,
             out_of_time=out_of_time,
             heartbeat=heartbeat,
+            log=logger,
         )
         if not done:
             report.incomplete_jobs.append(job.job_id)
+    logger.event(
+        "worker.done",
+        owner=queue.owner,
+        duration_s=round(time.monotonic() - started, 6),
+        **{
+            key: value
+            for key, value in report.to_dict().items()
+            if key != "owner"
+        },
+    )
     return report
 
 
@@ -771,6 +799,7 @@ def _drain_job(
     poll: float,
     out_of_time: Callable[[], bool],
     heartbeat: bool,
+    log: "StructuredLogger | None" = None,
 ) -> bool:
     """Work one job to completion (or until blocked); True when finished."""
     if queue.store.get_sweep(job.job_id) is not None:
@@ -863,6 +892,15 @@ def _drain_job(
                     )
                     report.chunks_evaluated += 1
                     report.points_evaluated += len(outcome_objs)
+                    if log is not None:
+                        log.event(
+                            "worker.chunk",
+                            jobId=job.job_id,
+                            chunk=index,
+                            points=len(outcome_objs),
+                            ok=ok,
+                            mode="evaluated",
+                        )
                 else:
                     entries = marker["outcomes"]
                     ok = sum(1 for entry in entries if entry.get("ok"))

@@ -33,7 +33,23 @@ resolved program content hash plus backend — under :data:`COUNTS_SCHEMA`
 (the cross-run counts cache layered under
 :func:`~repro.estimator.spec.run_specs`). :meth:`ResultStore.stats`
 reports per-namespace document counts and bytes (the ``repro store
-stats`` CLI subcommand).
+stats`` CLI subcommand), TTL-cached so operators and the service's
+``/v1/metrics`` endpoint can poll it without paying a directory walk
+per call.
+
+Bounded disk
+------------
+A store grows without bound by default — every distinct spec hash adds
+a document. :meth:`ResultStore.evict` (the ``repro store evict`` CLI)
+prunes the *document* namespaces — results, sweep results, counts,
+optimize traces — oldest mtime first until they fit a byte budget,
+and a store constructed with ``max_bytes=`` enforces that budget
+automatically as it writes. Eviction never touches live coordination
+state: queue chunk records, leases, and journal entries are not
+documents of record, they are the crash-safety substrate — evicting
+them could orphan a running sweep. An evicted document is simply a
+future cache miss: the store heals by recomputation, exactly like a
+corrupt file.
 
 Writes go through a temporary file in the destination directory followed
 by :func:`os.replace`, so concurrent writers and crashes can never leave
@@ -118,6 +134,21 @@ OPTIMIZE_DOC_SCHEMA = "repro-optimize-v1"
 #: integrity digest on a real disk read are ever cached.
 DEFAULT_MEMORY_CACHE_SIZE = 256
 
+#: Default time-to-live of the cached :meth:`ResultStore.stats` disk
+#: scan. Within the TTL, repeated ``stats()`` calls (metrics scrapes,
+#: ``repro store stats``) answer from the cached snapshot without
+#: walking a single directory; in-process writes invalidate it, so the
+#: cache can only hide *other* processes' writes, never this one's.
+DEFAULT_STATS_TTL = 5.0
+
+#: Default tolerance for file mtimes in the *future* during ``gc``: up
+#: to this far ahead of the local clock a file is treated as fresh
+#: (tolerable writer/collector clock skew on a shared or NFS store);
+#: beyond it no live writer can plausibly have produced the timestamp,
+#: so the file is clock-skew litter and is collected rather than left
+#: immortal.
+DEFAULT_GC_FUTURE_SKEW = 3600.0
+
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE_DIR"
 
@@ -197,6 +228,11 @@ class _MemoryCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
+    def remove(self, key: str) -> None:
+        """Drop one entry if resident (eviction coherence; benign miss)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -226,6 +262,15 @@ class ResultStore:
         Capacity of the in-process read-through LRU in front of
         :meth:`get` and :meth:`get_counts` (per namespace). ``0``
         disables memory caching; every read goes to disk.
+    max_bytes:
+        Disk budget for the evictable document namespaces (results,
+        sweeps, counts, optimize traces). When set, every write checks a
+        running byte estimate and triggers :meth:`evict` past the
+        budget, so the store stays bounded across arbitrarily large
+        sweeps. ``None`` (default) disables automatic eviction.
+    stats_ttl:
+        How long one :meth:`stats` disk scan stays authoritative, in
+        seconds. ``0`` re-walks on every call (the pre-PR-9 behavior).
     """
 
     def __init__(
@@ -234,11 +279,31 @@ class ResultStore:
         *,
         schema: str = RESULT_SCHEMA,
         cache_size: int = DEFAULT_MEMORY_CACHE_SIZE,
+        max_bytes: int | None = None,
+        stats_ttl: float = DEFAULT_STATS_TTL,
     ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if stats_ttl < 0:
+            raise ValueError(f"stats_ttl must be >= 0, got {stats_ttl}")
         self.root = Path(root) if root is not None else default_store_root()
         self.schema = schema
+        self.max_bytes = max_bytes
+        self.stats_ttl = float(stats_ttl)
         self._result_cache = _MemoryCache(cache_size)
         self._counts_cache = _MemoryCache(cache_size)
+        #: Directory walks performed by :meth:`stats` — a test/observability
+        #: hook asserting the TTL cache really skips the walk.
+        self.stats_walks = 0
+        self._stats_lock = threading.Lock()
+        self._stats_snapshot: dict[str, Any] | None = None
+        self._stats_taken = 0.0
+        self._evictions = {"files": 0, "bytes": 0}
+        # Running byte total of the evictable namespaces; None until the
+        # first budget check scans it. Writes add their sizes (an upper
+        # bound — idempotent rewrites double-count, which only makes the
+        # next evict() run early; evict() recomputes the exact total).
+        self._evictable_bytes: int | None = None
 
     # -- paths -------------------------------------------------------------
 
@@ -398,7 +463,10 @@ class ResultStore:
             "spec": spec,
             "result": result.to_dict(),
         }
-        return self._write_document(path, document)
+        ok = self._write_document(path, document)
+        if ok:
+            self._note_document_written(path)
+        return ok
 
     def clear(self) -> int:
         """Remove every entry under this schema tag; returns the count."""
@@ -410,6 +478,7 @@ class ResultStore:
             except OSError:
                 pass
         self._result_cache.clear()
+        self._invalidate_stats()
         return removed
 
     # -- sweep results -----------------------------------------------------
@@ -426,7 +495,11 @@ class ResultStore:
             "sweepHash": sweep_hash,
             "result": result,
         }
-        return self._write_document(self.sweep_path_for(sweep_hash), document)
+        path = self.sweep_path_for(sweep_hash)
+        ok = self._write_document(path, document)
+        if ok:
+            self._note_document_written(path)
+        return ok
 
     def get_sweep(self, sweep_hash: str) -> dict[str, Any] | None:
         """A stored sweep result document, or ``None`` (missing/corrupt)."""
@@ -460,7 +533,11 @@ class ResultStore:
             "backend": backend,
             "counts": counts.to_dict(),
         }
-        return self._write_document(self.counts_path_for(counts_key), document)
+        path = self.counts_path_for(counts_key)
+        ok = self._write_document(path, document)
+        if ok:
+            self._note_document_written(path)
+        return ok
 
     def get_counts(self, counts_key: str) -> LogicalCounts | None:
         """Stored counts for a key, or ``None`` (missing/corrupt).
@@ -505,9 +582,11 @@ class ResultStore:
             "optimizeHash": optimize_hash,
             "trace": trace,
         }
-        return self._write_document(
-            self.optimize_path_for(optimize_hash), document
-        )
+        path = self.optimize_path_for(optimize_hash)
+        ok = self._write_document(path, document)
+        if ok:
+            self._note_document_written(path)
+        return ok
 
     def get_optimize(self, optimize_hash: str) -> dict[str, Any] | None:
         """A stored probe-trace document, or ``None`` (missing/corrupt)."""
@@ -523,22 +602,27 @@ class ResultStore:
 
     # -- observability -----------------------------------------------------
 
-    def stats(self) -> dict[str, Any]:
-        """Per-namespace document counts and bytes (operator visibility).
+    def _namespace_bases(self) -> tuple[tuple[str, str, Path], ...]:
+        """(key, schema tag, base directory) for every store namespace."""
+        return (
+            ("results", self.schema, self._base),
+            ("sweeps", SWEEP_DOC_SCHEMA, self.root / SWEEP_DOC_SCHEMA),
+            ("counts", COUNTS_SCHEMA, self.root / COUNTS_SCHEMA),
+            ("queue", QUEUE_SCHEMA, self.root / QUEUE_SCHEMA),
+            ("jobs", JOBS_SCHEMA, self.root / JOBS_SCHEMA),
+            ("optimize", OPTIMIZE_DOC_SCHEMA, self.root / OPTIMIZE_DOC_SCHEMA),
+        )
 
-        Covers the six namespaces this store reads and writes — results
-        (under the configured schema tag), sweep results, the
-        logical-counts cache, the sweep work queue, the job journal, and
-        optimize probe traces — plus the orphaned-file tally (leftover
-        ``.tmp`` files from crashed writers and ``.lease`` files from
-        dead workers, the population ``gc`` reclaims) — without parsing
-        any documents, so it is cheap even on large stores. The
-        ``memoryCache`` section reports this process's read-through LRU
-        (hits, misses, resident entries per namespace); see
-        :meth:`memory_cache_stats`.
+    def _scan_disk(self) -> dict[str, Any]:
+        """One full directory walk: per-namespace tallies plus orphans.
+
+        The only place ``stats`` touches the filesystem; callers go
+        through the TTL cache. Increments :attr:`stats_walks` so tests
+        (and operators) can assert the cache is doing its job.
         """
-
-        def scan(base: Path, schema: str) -> dict[str, Any]:
+        self.stats_walks += 1
+        namespaces: dict[str, Any] = {}
+        for key, schema, base in self._namespace_bases():
             documents = 0
             size = 0
             if base.is_dir():
@@ -548,8 +632,11 @@ class ResultStore:
                     except OSError:
                         continue  # deleted underneath us; skip
                     documents += 1
-            return {"schema": schema, "documents": documents, "bytes": size}
-
+            namespaces[key] = {
+                "schema": schema,
+                "documents": documents,
+                "bytes": size,
+            }
         orphan_files = 0
         orphan_bytes = 0
         for path in self._orphan_candidates():
@@ -558,20 +645,53 @@ class ResultStore:
             except OSError:
                 continue
             orphan_files += 1
+        return {
+            "namespaces": namespaces,
+            "orphans": {"files": orphan_files, "bytes": orphan_bytes},
+        }
 
+    def _invalidate_stats(self) -> None:
+        """Drop the cached disk snapshot (this process changed the disk)."""
+        with self._stats_lock:
+            self._stats_snapshot = None
+
+    def stats(self, *, refresh: bool = False) -> dict[str, Any]:
+        """Per-namespace document counts and bytes (operator visibility).
+
+        Covers the six namespaces this store reads and writes — results
+        (under the configured schema tag), sweep results, the
+        logical-counts cache, the sweep work queue, the job journal, and
+        optimize probe traces — plus the orphaned-file tally (leftover
+        ``.tmp`` files from crashed writers and ``.lease`` files from
+        dead workers, the population ``gc`` reclaims). The underlying
+        directory walk is O(files), so the scan is cached for
+        ``stats_ttl`` seconds: within the TTL, repeated calls (metrics
+        scrapes, health probes) do no filesystem work at all. Writes,
+        eviction, and gc from *this* process invalidate the cache, so
+        the only staleness the TTL can hide is other processes' writes;
+        pass ``refresh=True`` to force a walk. The ``memoryCache`` and
+        ``evictions`` sections are this process's in-memory counters,
+        always current.
+        """
+        now = time.monotonic()
+        with self._stats_lock:
+            disk = self._stats_snapshot
+            if (
+                refresh
+                or disk is None
+                or now - self._stats_taken >= self.stats_ttl
+            ):
+                disk = self._scan_disk()
+                self._stats_snapshot = disk
+                self._stats_taken = now
+            evictions = dict(self._evictions)
         return {
             "root": str(self.root),
             "namespaces": {
-                "results": scan(self._base, self.schema),
-                "sweeps": scan(self.root / SWEEP_DOC_SCHEMA, SWEEP_DOC_SCHEMA),
-                "counts": scan(self.root / COUNTS_SCHEMA, COUNTS_SCHEMA),
-                "queue": scan(self.root / QUEUE_SCHEMA, QUEUE_SCHEMA),
-                "jobs": scan(self.root / JOBS_SCHEMA, JOBS_SCHEMA),
-                "optimize": scan(
-                    self.root / OPTIMIZE_DOC_SCHEMA, OPTIMIZE_DOC_SCHEMA
-                ),
+                key: dict(value) for key, value in disk["namespaces"].items()
             },
-            "orphans": {"files": orphan_files, "bytes": orphan_bytes},
+            "orphans": dict(disk["orphans"]),
+            "evictions": evictions,
             "memoryCache": self.memory_cache_stats(),
         }
 
@@ -588,6 +708,11 @@ class ResultStore:
             "results": self._result_cache.stats(),
             "counts": self._counts_cache.stats(),
         }
+
+    def eviction_stats(self) -> dict[str, int]:
+        """Cumulative eviction tallies (cheap: counters, never a walk)."""
+        with self._stats_lock:
+            return dict(self._evictions)
 
     # -- garbage collection ------------------------------------------------
 
@@ -609,31 +734,171 @@ class ResultStore:
             yield from queue_base.rglob("*.lease")
             yield from queue_base.rglob(".*.stale-*")
 
-    def gc(self, *, older_than_s: float = 3600.0) -> dict[str, Any]:
+    def gc(
+        self,
+        *,
+        older_than_s: float = 3600.0,
+        future_skew_s: float = DEFAULT_GC_FUTURE_SKEW,
+    ) -> dict[str, Any]:
         """Remove orphaned ``.tmp`` and expired lease files; report bytes.
 
-        Only files whose mtime is at least ``older_than_s`` seconds old
-        are touched, so in-flight writes and live leases (which are
-        rewritten on every heartbeat, keeping their mtime fresh) are
-        never collected. Returns ``{"removedFiles", "reclaimedBytes"}``;
-        an unremovable file is skipped, never an error — gc on a shared
-        store must be safe to run at any time, from any process.
+        Only files aged at least ``older_than_s`` seconds are touched,
+        so in-flight writes and live leases (which are rewritten on
+        every heartbeat, keeping their mtime fresh) are never collected.
+
+        Clock contract: age is the local wall clock minus the file's
+        mtime, which on a shared (or NFS) store may have been stamped by
+        a machine whose clock disagrees with ours. Two protections make
+        the comparison skew-tolerant rather than trusting raw wall time:
+
+        * a file whose mtime is *ahead* of our clock by up to
+          ``future_skew_s`` is treated as fresh and spared — a writer
+          running slightly ahead (or our clock stepping backwards
+          between its write and this gc) must not get its live files
+          reaped;
+        * a file whose mtime is ahead by *more* than ``future_skew_s``
+          cannot be live work (no writer runs that far in the future) —
+          it is clock-skew litter, collected like any expired orphan
+          instead of being immortal (the raw ``now - older_than``
+          cutoff would never reach it).
+
+        Files whose mtime appears *old* are indistinguishable from
+        genuinely old ones, so the residual contract is on the caller:
+        keep ``older_than_s`` larger than the worst clock disagreement
+        between writers sharing the store (the 3600 s default dwarfs
+        realistic NTP drift). Returns ``{"removedFiles",
+        "reclaimedBytes"}``; an unremovable file is skipped, never an
+        error — gc on a shared store must be safe to run at any time,
+        from any process. Documents are never gc candidates, so the
+        read-through memory caches stay coherent by construction.
         """
-        cutoff = time.time() - max(older_than_s, 0.0)
+        now = time.time()
+        older = max(older_than_s, 0.0)
+        skew = max(future_skew_s, 0.0)
         removed = 0
         reclaimed = 0
         for path in list(self._orphan_candidates()):
             try:
                 stat = path.stat()
-                if stat.st_mtime > cutoff:
-                    continue  # too fresh: possibly a live writer/worker
+                age = now - stat.st_mtime
+                if -skew <= age < older:
+                    continue  # fresh (within tolerated skew): possibly live
                 path.unlink()
             except OSError:
                 continue  # vanished or unremovable; skip
             removed += 1
             reclaimed += stat.st_size
+        if removed:
+            self._invalidate_stats()
         return {
             "removedFiles": removed,
             "reclaimedBytes": reclaimed,
             "olderThanSeconds": older_than_s,
+        }
+
+    # -- eviction (bounded disk) -------------------------------------------
+
+    #: Namespace keys :meth:`evict` may prune. Queue chunk records,
+    #: leases, and journal entries are deliberately absent: they are
+    #: live coordination state for in-flight sweeps, not re-derivable
+    #: cache documents — evicting them would orphan running work rather
+    #: than reclaim disk.
+    EVICTABLE_NAMESPACES = ("results", "sweeps", "counts", "optimize")
+
+    def _note_document_written(self, path: Path) -> None:
+        """Bookkeeping after a successful document write.
+
+        Invalidates the cached stats snapshot and, when a ``max_bytes``
+        budget is configured, grows the running byte estimate and
+        triggers eviction past the budget. The estimate is an upper
+        bound (idempotent rewrites double-count), which only makes
+        eviction run early; :meth:`evict` recomputes the exact total.
+        """
+        self._invalidate_stats()
+        if self.max_bytes is None:
+            return
+        if self._evictable_bytes is None:
+            self.evict()  # first write under a budget: measure and prune
+            return
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        with self._stats_lock:
+            self._evictable_bytes += size
+            over = self._evictable_bytes > self.max_bytes
+        if over:
+            self.evict()
+
+    def evict(self, *, max_bytes: int | None = None) -> dict[str, Any]:
+        """Prune document namespaces, oldest mtime first, to a byte budget.
+
+        ``max_bytes`` defaults to the store's configured budget. The
+        evictable population is every document under
+        :data:`EVICTABLE_NAMESPACES`; queue chunks, leases, and journal
+        entries are never touched (see ``EVICTABLE_NAMESPACES``). The
+        LRU order is mtime — documents are immutable, so mtime is the
+        write time: the policy drops the longest-stored documents first.
+        Matching read-through memory-cache entries are invalidated, so a
+        ``get`` after eviction misses and recomputes instead of serving
+        a document the disk no longer has. Safe and idempotent on a
+        shared store: an unremovable (or concurrently removed) file is
+        skipped, and every removal is an ordinary cache miss to other
+        processes. Returns ``{"evictedFiles", "evictedBytes",
+        "totalBytes", "remainingBytes", "maxBytes"}``; cumulative
+        tallies appear under ``evictions`` in :meth:`stats`.
+        """
+        limit = max_bytes if max_bytes is not None else self.max_bytes
+        if limit is None:
+            raise ValueError(
+                "evict() needs a byte budget: pass max_bytes or construct "
+                "the store with max_bytes="
+            )
+        if limit < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {limit}")
+        entries: list[tuple[float, int, Path, str]] = []
+        total = 0
+        for key, _, base in self._namespace_bases():
+            if key not in self.EVICTABLE_NAMESPACES or not base.is_dir():
+                continue
+            for path in base.rglob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # removed underneath us
+                entries.append((stat.st_mtime, stat.st_size, path, key))
+                total += stat.st_size
+        before = total
+        evicted_files = 0
+        evicted_bytes = 0
+        if total > limit:
+            # Deterministic order: oldest first, path as the tiebreak so
+            # concurrent evictors on one store agree on the victims.
+            entries.sort(key=lambda entry: (entry[0], str(entry[2])))
+            for _, size, path, key in entries:
+                if total <= limit:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue  # vanished or unremovable; skip
+                total -= size
+                evicted_files += 1
+                evicted_bytes += size
+                if key == "results":
+                    self._result_cache.remove(path.stem)
+                elif key == "counts":
+                    self._counts_cache.remove(path.stem)
+        with self._stats_lock:
+            self._evictions["files"] += evicted_files
+            self._evictions["bytes"] += evicted_bytes
+            self._evictable_bytes = total
+            if evicted_files:
+                self._stats_snapshot = None
+        return {
+            "evictedFiles": evicted_files,
+            "evictedBytes": evicted_bytes,
+            "totalBytes": before,
+            "remainingBytes": total,
+            "maxBytes": limit,
         }

@@ -331,6 +331,9 @@ class Registry:
             "distillationUnits",
             "factoryDesigners",
             "programs",
+            # Parsed by repro.settings.load_server_settings, not here —
+            # a scenario may configure the server alongside its physics.
+            "server",
         }
         unknown = set(data) - known
         if unknown:

@@ -66,6 +66,20 @@ Endpoints
     ``cacheStats`` block — engine memo/kernel counters, optimizer
     probe/evaluation totals, the store's in-process read-through LRU
     hit counts, and the sweep queue depth.
+``GET /v1/metrics``
+    Operator metrics: per-route request counts and latency histograms,
+    per-namespace store document/byte gauges and cache hit counters,
+    queue depth, jobs by state, kernel path counters, and store
+    eviction tallies. Prometheus text exposition by default;
+    ``?format=json`` (or ``Accept: application/json``) returns the same
+    snapshot as JSON. Expensive gauges (anything walking the store on
+    disk) refresh on a TTL (``metrics_ttl``), never per scrape — see
+    :mod:`repro.metrics`.
+
+Requests and job transitions emit structured JSON log records (one
+object per line, with request/job ids — see :mod:`repro.jsonlog`) when
+the service is given an enabled :class:`~repro.jsonlog.StructuredLogger`;
+``repro serve`` wires one up, tests get the silent default.
 
 Run it with ``python -m repro serve`` (see the README section "Running
 as a service") and talk to it with :class:`ServiceClient`, the thin
@@ -90,7 +104,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Callable
 from urllib import error as urllib_error
 from urllib import request as urllib_request
 
@@ -103,8 +117,11 @@ from .estimator.optimize import (
 from .estimator.spec import EstimateSpec, run_specs
 from .estimator.store import ResultStore
 from .estimator.sweep import SweepProgress, SweepSpec, run_sweep
+from .jsonlog import StructuredLogger, new_request_id
+from .metrics import MetricsRegistry, normalize_route
 from .programs import forbid_file_programs
 from .registry import Registry, default_registry
+from .settings import DEFAULT_MAX_BODY_BYTES, ServerSettings
 
 __all__ = [
     "EstimationService",
@@ -114,11 +131,12 @@ __all__ = [
     "make_server",
 ]
 
-#: Default cap on request body size (a batch of ~10k inline-counts
-#: specs); configurable per server via ``make_server(max_body_bytes=)``.
+#: Default cap on request body size; configurable per server via
+#: ``make_server(max_body_bytes=)`` or :class:`ServerSettings`.
 #: Oversized bodies are rejected with ``413 Payload Too Large`` before
-#: a single body byte is read.
-MAX_BODY_BYTES = 16 * 1024 * 1024
+#: a single body byte is read. (Kept as an alias of the settings-module
+#: default for back compatibility.)
+MAX_BODY_BYTES = DEFAULT_MAX_BODY_BYTES
 
 
 class ServiceError(RuntimeError):
@@ -225,6 +243,19 @@ class EstimationService:
     recover:
         Replay unfinished journaled jobs at startup (queue executor
         only). On by default; tests disable it to script recovery.
+    metrics:
+        The :class:`~repro.metrics.MetricsRegistry` behind
+        ``GET /v1/metrics`` (one is created when omitted). Request
+        counters are recorded by the HTTP layer; this service registers
+        gauge providers for everything else (jobs by state, cache and
+        kernel counters, store namespaces, queue depth).
+    metrics_ttl:
+        Refresh interval for the *expensive* metric gauges — the ones
+        that walk the store on disk. A scrape inside the TTL does zero
+        filesystem work.
+    log:
+        Structured JSON logger for job lifecycle records; defaults to
+        the silent :meth:`StructuredLogger.disabled`.
     """
 
     def __init__(
@@ -238,6 +269,9 @@ class EstimationService:
         executor: str = "auto",
         lease_ttl: float | None = None,
         recover: bool = True,
+        metrics: MetricsRegistry | None = None,
+        metrics_ttl: float = 10.0,
+        log: StructuredLogger | None = None,
     ) -> None:
         if executor not in ("auto", "local", "queue"):
             raise ValueError(
@@ -252,6 +286,8 @@ class EstimationService:
         self.kernel = kernel
         self.executor = executor
         self.lease_ttl = lease_ttl
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.log = log if log is not None else StructuredLogger.disabled()
         self._lock = threading.Lock()
         self._jobs: dict[str, SweepJob] = {}
         self._jobs_lock = threading.Lock()
@@ -262,8 +298,190 @@ class EstimationService:
         self._sweep_pool = ThreadPoolExecutor(
             max_workers=max(1, sweep_workers), thread_name_prefix="repro-sweep"
         )
+        self._register_metrics(metrics_ttl)
         if recover and self.sweep_executor == "queue":
             self.recover_jobs()
+
+    @classmethod
+    def from_settings(
+        cls,
+        settings: ServerSettings,
+        *,
+        registry: Registry | None = None,
+        store: ResultStore | None = None,
+        cache: EstimateCache | None = None,
+        recover: bool = True,
+        metrics: MetricsRegistry | None = None,
+        log: StructuredLogger | None = None,
+    ) -> "EstimationService":
+        """A service configured by a :class:`ServerSettings` (see
+        :mod:`repro.settings` for the CLI > scenario > default layering
+        that produces one)."""
+        return cls(
+            registry=registry,
+            store=store,
+            cache=cache,
+            max_workers=settings.workers,
+            sweep_workers=settings.sweep_workers,
+            kernel=settings.kernel,
+            executor=settings.executor,
+            lease_ttl=settings.lease_ttl,
+            recover=recover,
+            metrics=metrics,
+            metrics_ttl=settings.metrics_ttl,
+            log=log,
+        )
+
+    # -- metrics providers --------------------------------------------------
+
+    def _register_metrics(self, metrics_ttl: float) -> None:
+        metrics = self.metrics
+        metrics.describe(
+            "repro_requests_total",
+            "counter",
+            "HTTP requests handled, by method, route template, and status.",
+        )
+        metrics.describe(
+            "repro_request_seconds",
+            "histogram",
+            "HTTP request latency in seconds, by method and route template.",
+        )
+        metrics.describe(
+            "repro_jobs", "gauge", "In-memory async jobs by kind and state."
+        )
+        metrics.describe(
+            "repro_cache_events_total",
+            "counter",
+            "Engine memo and store lookups by cache layer and outcome.",
+        )
+        metrics.describe(
+            "repro_kernel_points_total",
+            "counter",
+            "Points evaluated, by kernel path (vectorized/scalarFallback/scalar).",
+        )
+        metrics.describe(
+            "repro_optimize_probes_total",
+            "counter",
+            "Optimizer probes requested across all optimize jobs.",
+        )
+        metrics.describe(
+            "repro_optimize_evaluations_total",
+            "counter",
+            "Engine evaluations actually performed for optimize jobs.",
+        )
+        metrics.describe(
+            "repro_store_memory_events_total",
+            "counter",
+            "Store read-through memory-cache lookups by namespace and outcome.",
+        )
+        metrics.describe(
+            "repro_store_evicted_total",
+            "counter",
+            "Documents evicted from the bounded store, by unit (files/bytes).",
+        )
+        metrics.describe(
+            "repro_store_documents",
+            "gauge",
+            "Documents on disk per store namespace (TTL-cached walk).",
+        )
+        metrics.describe(
+            "repro_store_bytes",
+            "gauge",
+            "Bytes on disk per store namespace (TTL-cached walk).",
+        )
+        metrics.describe(
+            "repro_store_orphans",
+            "gauge",
+            "Orphaned tmp/lease files awaiting gc, by unit (TTL-cached walk).",
+        )
+        metrics.describe(
+            "repro_queue_depth",
+            "gauge",
+            "Journaled sweep/optimize jobs not yet finished (TTL-cached).",
+        )
+        # Cheap in-memory counters refresh on every scrape; anything
+        # that touches the disk sits behind the TTL so a scrape never
+        # pays a directory walk.
+        metrics.register_provider(self._cheap_metric_samples, ttl=0.0)
+        metrics.register_provider(self._disk_metric_samples, ttl=metrics_ttl)
+
+    def _cheap_metric_samples(self) -> list[tuple[str, dict[str, str] | None, float]]:
+        samples: list[tuple[str, dict[str, str] | None, float]] = []
+        stats = self.cache.stats()
+        for layer in ("counts", "factories", "distances", "store"):
+            for outcome in ("hits", "misses"):
+                samples.append(
+                    (
+                        "repro_cache_events_total",
+                        {"cache": layer, "outcome": outcome},
+                        stats[layer][outcome],
+                    )
+                )
+        for path_name, value in stats["kernel"].items():
+            samples.append(
+                ("repro_kernel_points_total", {"path": path_name}, value)
+            )
+        with self._jobs_lock:
+            job_counts: dict[tuple[str, str], int] = {}
+            for job in self._jobs.values():
+                key = (job.kind, job.status)
+                job_counts[key] = job_counts.get(key, 0) + 1
+            probes = self._optimize_counters["probes"]
+            evaluations = self._optimize_counters["evaluations"]
+        for kind in ("sweep", "optimize"):
+            for state in ("queued", "running", "done", "failed"):
+                samples.append(
+                    (
+                        "repro_jobs",
+                        {"kind": kind, "state": state},
+                        job_counts.get((kind, state), 0),
+                    )
+                )
+        samples.append(("repro_optimize_probes_total", None, probes))
+        samples.append(("repro_optimize_evaluations_total", None, evaluations))
+        if self.store is not None:
+            memory = self.store.memory_cache_stats()
+            for namespace in ("results", "counts"):
+                for outcome in ("hits", "misses"):
+                    samples.append(
+                        (
+                            "repro_store_memory_events_total",
+                            {"namespace": namespace, "outcome": outcome},
+                            memory[namespace][outcome],
+                        )
+                    )
+            evictions = self.store.eviction_stats()
+            for unit in ("files", "bytes"):
+                samples.append(
+                    ("repro_store_evicted_total", {"unit": unit}, evictions[unit])
+                )
+        return samples
+
+    def _disk_metric_samples(self) -> list[tuple[str, dict[str, str] | None, float]]:
+        samples: list[tuple[str, dict[str, str] | None, float]] = []
+        depth = 0
+        if self.store is not None:
+            stats = self.store.stats()
+            for namespace, info in stats["namespaces"].items():
+                samples.append(
+                    (
+                        "repro_store_documents",
+                        {"namespace": namespace},
+                        info["documents"],
+                    )
+                )
+                samples.append(
+                    ("repro_store_bytes", {"namespace": namespace}, info["bytes"])
+                )
+            for unit in ("files", "bytes"):
+                samples.append(
+                    ("repro_store_orphans", {"unit": unit}, stats["orphans"][unit])
+                )
+            from .estimator.queue import SweepQueue
+
+            depth = len(SweepQueue(self.store).pending_jobs())
+        samples.append(("repro_queue_depth", None, depth))
+        return samples
 
     @property
     def sweep_executor(self) -> str:
@@ -432,6 +650,7 @@ class EstimationService:
                 return fresh.to_record()
             fresh = SweepJob(job_id=job_id, status="queued", total=total)
             self._jobs[job_id] = fresh
+        self.log.event("job.queued", jobId=job_id, kind="sweep", total=total)
         self._sweep_pool.submit(self._run_sweep_job, fresh, spec)
         return fresh.to_record()
 
@@ -454,6 +673,8 @@ class EstimationService:
         )
 
     def _run_sweep_job(self, job: SweepJob, spec: SweepSpec) -> None:
+        started = time.monotonic()
+
         def on_progress(event: SweepProgress) -> None:
             if self._stopping.is_set():
                 raise _ServiceStopping()
@@ -466,6 +687,7 @@ class EstimationService:
         try:
             with self._jobs_lock:
                 job.status = "running"
+            self.log.event("job.running", jobId=job.job_id, kind="sweep")
             result = run_sweep(
                 spec,
                 registry=self.registry,
@@ -491,14 +713,30 @@ class EstimationService:
                 # store's copy.
                 job.result_doc = None if persisted else document
                 job.status = "done"
+            self.log.event(
+                "job.done",
+                jobId=job.job_id,
+                kind="sweep",
+                completed=job.completed,
+                ok=job.ok,
+                failed=job.failed,
+                fromStore=job.from_store,
+                duration_s=round(time.monotonic() - started, 6),
+            )
         except _ServiceStopping:
             with self._jobs_lock:
                 job.status = "failed"
                 job.error = "aborted: service shutting down"
+            self.log.event(
+                "job.failed", jobId=job.job_id, kind="sweep", error=job.error
+            )
         except Exception as exc:  # a failed job must be reportable, not lost
             with self._jobs_lock:
                 job.status = "failed"
                 job.error = str(exc)
+            self.log.event(
+                "job.failed", jobId=job.job_id, kind="sweep", error=str(exc)
+            )
 
     # -- async optimize jobs -----------------------------------------------
 
@@ -535,6 +773,7 @@ class EstimationService:
                 job_id=job_id, status="queued", total=total, kind="optimize"
             )
             self._jobs[job_id] = fresh
+        self.log.event("job.queued", jobId=job_id, kind="optimize", total=total)
         self._sweep_pool.submit(self._run_optimize_job, fresh, spec)
         return fresh.to_record()
 
@@ -555,6 +794,7 @@ class EstimationService:
         )
 
     def _run_optimize_job(self, job: SweepJob, spec: OptimizeSpec) -> None:
+        started = time.monotonic()
         last = {"probes": 0, "evaluations": 0}
 
         def on_progress(event: OptimizeProgress) -> None:
@@ -575,6 +815,7 @@ class EstimationService:
         try:
             with self._jobs_lock:
                 job.status = "running"
+            self.log.event("job.running", jobId=job.job_id, kind="optimize")
             result = run_optimize(
                 spec,
                 registry=self.registry,
@@ -597,14 +838,29 @@ class EstimationService:
                 job.ok = result.num_feasible
                 job.evaluations = result.num_evaluations
                 job.status = "done"
+            self.log.event(
+                "job.done",
+                jobId=job.job_id,
+                kind="optimize",
+                completed=job.completed,
+                ok=job.ok,
+                evaluations=job.evaluations,
+                duration_s=round(time.monotonic() - started, 6),
+            )
         except _ServiceStopping:
             with self._jobs_lock:
                 job.status = "failed"
                 job.error = "aborted: service shutting down"
+            self.log.event(
+                "job.failed", jobId=job.job_id, kind="optimize", error=job.error
+            )
         except Exception as exc:  # a failed job must be reportable, not lost
             with self._jobs_lock:
                 job.status = "failed"
                 job.error = str(exc)
+            self.log.event(
+                "job.failed", jobId=job.job_id, kind="optimize", error=str(exc)
+            )
 
     def optimize_result_document(
         self, job_id: str
@@ -729,8 +985,68 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        # The structured `request` record (see _instrumented) replaces
+        # the default access-log line; --verbose adds it back for quick
+        # local debugging.
         if self.server.verbose:
             super().log_message(format, *args)
+
+    # Only requests routed through _instrumented record metrics; the
+    # class-level default keeps send_response safe for http.server's own
+    # early error paths (malformed request line, unsupported method).
+    _recorded = True
+    _request_method = "?"
+    _request_started = 0.0
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        # Record *before* any response byte can reach the socket: a
+        # client that has read its response (and immediately scrapes
+        # /v1/metrics on another connection) must already see this
+        # request counted — the books balance at every instant.
+        self._record_request(code)
+        super().send_response(code, message)
+
+    def _record_request(self, status: int) -> None:
+        if self._recorded:
+            return
+        self._recorded = True
+        service = self.server.service
+        duration = time.monotonic() - self._request_started
+        route = normalize_route(self.path)
+        method = self._request_method
+        service.metrics.inc(
+            "repro_requests_total",
+            {"method": method, "route": route, "status": str(status)},
+        )
+        service.metrics.observe(
+            "repro_request_seconds",
+            duration,
+            {"method": method, "route": route},
+        )
+        service.log.event(
+            "request",
+            requestId=new_request_id(),
+            method=method,
+            route=route,
+            status=status,
+            duration_s=round(duration, 6),
+        )
+
+    def _instrumented(self, method: str, handler: "Callable[[], None]") -> None:
+        """Run a route handler; record metrics and one request log line.
+
+        Counts and timings key on the *normalized* route (bounded label
+        cardinality) and the status actually sent (recorded at
+        ``send_response`` time); a handler that dies before sending
+        anything records a 500.
+        """
+        self._recorded = False
+        self._request_method = method
+        self._request_started = time.monotonic()
+        try:
+            handler()
+        finally:
+            self._record_request(500)  # no-op unless nothing was sent
 
     def _send_json(self, payload: Any, status: int = 200) -> None:
         body = json.dumps(payload).encode()
@@ -755,9 +1071,35 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._instrumented("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._instrumented("POST", self._handle_post)
+
+    def _send_metrics(self) -> None:
+        registry = self.server.service.metrics
+        query = self.path.partition("?")[2]
+        accept = self.headers.get("Accept", "")
+        if "format=json" in query or "application/json" in accept:
+            self._send_json(registry.render_json())
+            return
+        body = registry.render_prometheus().encode()
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle_get(self) -> None:
         service = self.server.service
-        path = self.path.rstrip("/")
-        if path == "/v1/healthz":
+        path = self.path.partition("?")[0].rstrip("/")
+        if path == "/v1/metrics":
+            self._send_metrics()
+        elif path == "/v1/healthz":
             self._send_json(service.health())
         elif path == "/v1/registry":
             self._send_json(service.registry.describe())
@@ -802,8 +1144,8 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(f"unknown route {self.path!r}", 404)
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        route = self.path.rstrip("/")
+    def _handle_post(self) -> None:
+        route = self.path.partition("?")[0].rstrip("/")
         if route not in ("/v1/estimate", "/v1/sweeps", "/v1/optimize"):
             self._send_error_json(f"unknown route {self.path!r}", 404)
             return
@@ -870,12 +1212,13 @@ class _Server(ThreadingHTTPServer):
 
 
 def make_server(
-    host: str = "127.0.0.1",
-    port: int = 8000,
+    host: str | None = None,
+    port: int | None = None,
     *,
     service: EstimationService | None = None,
-    verbose: bool = False,
-    max_body_bytes: int = MAX_BODY_BYTES,
+    verbose: bool | None = None,
+    max_body_bytes: int | None = None,
+    settings: ServerSettings | None = None,
 ) -> _Server:
     """Bind the service to a socket (``port=0`` picks a free port).
 
@@ -883,10 +1226,30 @@ def make_server(
     ``handle_request()``) and read the bound port from
     ``server.server_address[1]``. The tests run it on a daemon thread.
     ``max_body_bytes`` caps request bodies (413 beyond it).
+
+    Transport configuration layers like everything else: an explicit
+    keyword beats ``settings``, which beats the
+    :class:`ServerSettings` defaults (host 127.0.0.1, port 8000,
+    16 MiB bodies, quiet).
     """
-    service = service if service is not None else EstimationService()
+    settings = settings if settings is not None else ServerSettings()
+    service = (
+        service
+        if service is not None
+        else EstimationService.from_settings(settings)
+    )
     return _Server(
-        (host, port), service, verbose=verbose, max_body_bytes=max_body_bytes
+        (
+            host if host is not None else settings.host,
+            port if port is not None else settings.port,
+        ),
+        service,
+        verbose=verbose if verbose is not None else settings.verbose,
+        max_body_bytes=(
+            max_body_bytes
+            if max_body_bytes is not None
+            else settings.max_body_bytes
+        ),
     )
 
 

@@ -280,6 +280,212 @@ class TestStatsAndGc:
         assert store.stats()["orphans"]["files"] == 0
 
 
+class TestStatsTTLCache:
+    """`stats()` is O(files) only on cache misses: the walk is TTL-cached."""
+
+    def test_second_stats_within_ttl_does_no_walk(self, tmp_path, result):
+        store = ResultStore(tmp_path, stats_ttl=3600.0)
+        store.put(HASH_A, result)
+        first = store.stats()
+        walks = store.stats_walks
+        second = store.stats()
+        assert store.stats_walks == walks  # served from the snapshot
+        assert second["namespaces"] == first["namespaces"]
+        assert second["orphans"] == first["orphans"]
+
+    def test_in_process_writes_invalidate_the_snapshot(self, tmp_path, result):
+        store = ResultStore(tmp_path, stats_ttl=3600.0)
+        store.put(HASH_A, result)
+        assert store.stats()["namespaces"]["results"]["documents"] == 1
+        store.put(HASH_B, result)
+        # The TTL has not expired, but this process changed the disk —
+        # the count must be current, not an hour stale.
+        assert store.stats()["namespaces"]["results"]["documents"] == 2
+
+    def test_refresh_forces_a_walk(self, tmp_path, result):
+        store = ResultStore(tmp_path, stats_ttl=3600.0)
+        store.put(HASH_A, result)
+        store.stats()
+        walks = store.stats_walks
+        store.stats(refresh=True)
+        assert store.stats_walks == walks + 1
+
+    def test_zero_ttl_walks_every_call(self, tmp_path):
+        store = ResultStore(tmp_path, stats_ttl=0.0)
+        store.stats()
+        walks = store.stats_walks
+        store.stats()
+        assert store.stats_walks == walks + 1
+
+    def test_other_process_writes_hidden_only_until_refresh(
+        self, tmp_path, result
+    ):
+        ours = ResultStore(tmp_path, stats_ttl=3600.0)
+        assert ours.stats()["namespaces"]["results"]["documents"] == 0
+        ResultStore(tmp_path).put(HASH_A, result)  # "another process"
+        assert ours.stats()["namespaces"]["results"]["documents"] == 0
+        assert ours.stats(refresh=True)["namespaces"]["results"]["documents"] == 1
+
+
+class TestGcClockSkew:
+    """gc compares ages, not raw wall-clock cutoffs (shared-store skew)."""
+
+    @pytest.fixture()
+    def store(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        return store
+
+    def _plant_orphan(self, store, *, mtime_offset_s=0.0):
+        """One stranded writer tmp file with its mtime shifted by offset."""
+        import os
+        import time
+
+        path = store.root / RESULT_SCHEMA / ".deadbeef-crashed.tmp"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"torn":')
+        when = time.time() + mtime_offset_s
+        os.utime(path, (when, when))
+        return path
+
+    def test_far_future_mtime_is_collected_not_immortal(self, store):
+        # Regression: a cutoff of now - older_than never reaches a file
+        # stamped by a badly skewed clock, leaving it immortal litter.
+        orphan = self._plant_orphan(store, mtime_offset_s=86_400.0)
+        report = store.gc(older_than_s=3600.0)
+        assert report["removedFiles"] == 1
+        assert not orphan.exists()
+
+    def test_slightly_future_mtime_is_spared_as_fresh(self, store):
+        # A writer whose clock runs a little ahead (or our clock stepped
+        # back) must keep its in-flight files — PR 7's "fresh files
+        # spared" guarantee, now skew-tolerant.
+        orphan = self._plant_orphan(store, mtime_offset_s=120.0)
+        report = store.gc(older_than_s=3600.0)
+        assert report["removedFiles"] == 0
+        assert orphan.exists()
+
+    def test_future_skew_tolerance_is_configurable(self, store):
+        orphan = self._plant_orphan(store, mtime_offset_s=120.0)
+        report = store.gc(older_than_s=3600.0, future_skew_s=60.0)
+        assert report["removedFiles"] == 1
+        assert not orphan.exists()
+
+    def test_gc_invalidates_the_stats_snapshot(self, tmp_path, result):
+        store = ResultStore(tmp_path, stats_ttl=3600.0)
+        store.put(HASH_A, result)
+        self._plant_orphan(store, mtime_offset_s=-7200.0)
+        assert store.stats()["orphans"]["files"] == 1
+        store.gc(older_than_s=3600.0)
+        assert store.stats()["orphans"]["files"] == 0
+
+
+class TestEviction:
+    """LRU-by-mtime document eviction bounds the store's disk use."""
+
+    def _put_aged(self, store, result, hashes, *, step_s=100.0):
+        """Documents with strictly increasing mtimes (oldest first)."""
+        import os
+        import time
+
+        base = time.time() - step_s * (len(hashes) + 1)
+        for index, spec_hash in enumerate(hashes):
+            store.put(spec_hash, result)
+            when = base + index * step_s
+            os.utime(store.path_for(spec_hash), (when, when))
+
+    def _document_bytes(self, store):
+        namespaces = store.stats(refresh=True)["namespaces"]
+        return sum(
+            namespaces[name]["bytes"] for name in store.EVICTABLE_NAMESPACES
+        )
+
+    def test_evicts_oldest_first_down_to_the_budget(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        hashes = [f"{i:02x}" + "0" * 62 for i in range(4)]
+        self._put_aged(store, result, hashes)
+        size = store.path_for(hashes[0]).stat().st_size
+        report = store.evict(max_bytes=2 * size)
+        assert report["evictedFiles"] == 2
+        assert report["remainingBytes"] <= 2 * size
+        assert store.get(hashes[0]) is None  # oldest two gone
+        assert store.get(hashes[1]) is None
+        assert store.get(hashes[2]) == result  # newest two kept
+        assert store.get(hashes[3]) == result
+        assert store.stats()["evictions"]["files"] == 2
+
+    def test_under_budget_is_a_no_op(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        report = store.evict(max_bytes=10**9)
+        assert report["evictedFiles"] == 0
+        assert store.get(HASH_A) == result
+
+    def test_never_touches_queue_leases_or_journal(self, tmp_path, result):
+        from repro.estimator.store import JOBS_SCHEMA, QUEUE_SCHEMA
+
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        chunk = store.root / QUEUE_SCHEMA / HASH_A / "chunks" / "000000.json"
+        chunk.parent.mkdir(parents=True)
+        chunk.write_text('{"chunk": 0}')
+        lease = store.root / QUEUE_SCHEMA / HASH_A / "leases" / "000000.lease"
+        lease.parent.mkdir(parents=True)
+        lease.write_text('{"owner": "w1"}')
+        journal = store.root / JOBS_SCHEMA / HASH_A[:2] / f"{HASH_A}.json"
+        journal.parent.mkdir(parents=True)
+        journal.write_text('{"status": "running"}')
+        report = store.evict(max_bytes=0)
+        assert store.get(HASH_A) is None  # documents evicted...
+        assert chunk.exists()  # ...crash-safety substrate untouched
+        assert lease.exists()
+        assert journal.exists()
+        assert report["remainingBytes"] == 0
+
+    def test_memory_cache_entries_die_with_their_documents(
+        self, tmp_path, result
+    ):
+        # Regression: the PR 8 read-through LRU must not serve a
+        # document eviction removed from disk.
+        store = ResultStore(tmp_path)
+        store.put(HASH_A, result)
+        assert store.get(HASH_A) == result  # populates the memory cache
+        assert store.get(HASH_A) == result  # cache hit
+        assert store.memory_cache_stats()["results"]["hits"] >= 1
+        store.evict(max_bytes=0)
+        assert store.get(HASH_A) is None  # miss, never a stale cache hit
+
+    def test_counts_memory_cache_invalidated_too(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ee" + "2" * 62
+        store.put_counts(key, COUNTS)
+        assert store.get_counts(key) == COUNTS
+        store.evict(max_bytes=0)
+        assert store.get_counts(key) is None
+
+    def test_max_bytes_store_stays_bounded_across_writes(
+        self, tmp_path, result
+    ):
+        probe = ResultStore(tmp_path / "probe")
+        probe.put(HASH_A, result)
+        size = probe.path_for(HASH_A).stat().st_size
+        budget = 3 * size + size // 2
+        store = ResultStore(tmp_path / "bounded", max_bytes=budget)
+        hashes = [f"{i:02x}" + "3" * 62 for i in range(8)]
+        for spec_hash in hashes:
+            store.put(spec_hash, result)
+            assert self._document_bytes(store) <= budget
+        # The newest document always survives its own write.
+        assert store.get(hashes[-1]) == result
+
+    def test_evict_without_budget_is_an_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="budget"):
+            store.evict()
+        with pytest.raises(ValueError, match=">= 0"):
+            store.evict(max_bytes=-1)
+
+
 class TestDefaultRoot:
     def test_env_var_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "custom"))
