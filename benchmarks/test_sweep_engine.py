@@ -1,0 +1,141 @@
+"""Benchmark of the persistent execution engine (``estimator/engine.py``).
+
+The acceptance floor for the engine layer, on a chunked sweep of cheap
+points (where pool lifecycle overhead — spawn, interpreter state, cold
+worker memo tables — dominates the actual estimation work):
+
+* a warm persistent pool sustains **>= 2x** the points/sec of per-call
+  pools over the same chunk schedule (a local run measures far more —
+  per-call pays a full pool spawn per chunk), and
+* every pass — per-call cold/warm, persistent cold/warm — produces
+  **bit-for-bit identical** outcomes; the engine only changes where
+  processes are spawned, never what is computed.
+
+Measured numbers are emitted to ``BENCH_sweep_engine.json`` next to the
+repository root for trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import LogicalCounts, Registry
+from repro.estimator.batch import EstimateCache
+from repro.estimator.engine import ExecutionEngine
+from repro.estimator.spec import EstimateSpec, run_specs
+
+#: Cheap, distinct points: a small program over a geometric budget
+#: ladder, so per-point estimation is milliseconds and the pool
+#: lifecycle is the measured quantity.
+COUNTS = LogicalCounts(num_qubits=30, t_count=10_000, measurement_count=100)
+BUDGETS = [1e-2 * (0.7**i) for i in range(24)]
+
+CHUNK_SIZE = 3
+WORKERS = 2
+SPEEDUP_FLOOR = 2.0
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep_engine.json"
+
+
+def _specs() -> list[EstimateSpec]:
+    return [
+        EstimateSpec(program=COUNTS, qubit="qubit_gate_ns_e3", budget=budget)
+        for budget in BUDGETS
+    ]
+
+
+def _run_chunked(
+    registry: Registry, engine: ExecutionEngine | None
+) -> tuple[list, float, int]:
+    """One pass over the ladder in fixed chunks, timing the whole drive.
+
+    A fresh default-designer cache per pass keeps parent-side memo
+    tables cold, so worker-resident warmth (the engine's whole point)
+    is the only difference between the modes.
+    """
+    specs = _specs()
+    cache = EstimateCache()
+    outcomes: list = []
+    chunks = 0
+    start = time.perf_counter()
+    for position in range(0, len(specs), CHUNK_SIZE):
+        outcomes.extend(
+            run_specs(
+                specs[position : position + CHUNK_SIZE],
+                registry=registry,
+                cache=cache,
+                max_workers=WORKERS,
+                engine=engine,
+            )
+        )
+        chunks += 1
+    return outcomes, max(time.perf_counter() - start, 1e-9), chunks
+
+
+def _portable(outcomes: list) -> list:
+    return [
+        outcome.result.to_dict() if outcome.result is not None else outcome.error
+        for outcome in outcomes
+    ]
+
+
+def test_persistent_pool_at_least_2x_per_call_with_equal_results():
+    registry = Registry()
+    passes: dict[str, dict[str, dict[str, float]]] = {}
+    baseline: list | None = None
+
+    def record(mode: str, phase: str, engine: ExecutionEngine | None) -> None:
+        nonlocal baseline
+        outcomes, seconds, chunks = _run_chunked(registry, engine)
+        passes.setdefault(mode, {})[phase] = {
+            "time_s": round(seconds, 4),
+            "points_per_s": round(len(BUDGETS) / seconds, 1),
+            "chunks_per_s": round(chunks / seconds, 2),
+        }
+        if baseline is None:
+            baseline = _portable(outcomes)
+        else:
+            assert _portable(outcomes) == baseline, f"{mode}/{phase} diverged"
+
+    record("perCall", "cold", None)
+    record("perCall", "warm", None)
+    with ExecutionEngine(max_workers=WORKERS) as engine:
+        record("persistent", "cold", engine)
+        record("persistent", "warm", engine)
+        stats = engine.stats()
+
+    assert stats["poolSpawns"] == 1, stats
+    assert stats["rebuilds"] == 0, stats
+
+    speedup = (
+        passes["persistent"]["warm"]["points_per_s"]
+        / passes["perCall"]["warm"]["points_per_s"]
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm persistent pool reached only {speedup:.1f}x the per-call "
+        f"throughput ({passes}); floor is {SPEEDUP_FLOOR}x"
+    )
+
+    print(
+        f"\nengine: persistent warm {passes['persistent']['warm']['points_per_s']} "
+        f"pts/s vs per-call warm {passes['perCall']['warm']['points_per_s']} "
+        f"pts/s ({speedup:.1f}x)"
+    )
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "points": len(BUDGETS),
+                "chunkSize": CHUNK_SIZE,
+                "workers": WORKERS,
+                "perCall": passes["perCall"],
+                "persistent": passes["persistent"],
+                "warmSpeedup": round(speedup, 1),
+                "resultsEqual": True,
+                "engineStats": stats,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -633,6 +633,24 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "'Fault tolerance and multi-process execution')",
     )
     parser.add_argument(
+        "--pool",
+        choices=("keep", "per-call"),
+        default="keep",
+        help="parallel-executor lifecycle with --workers > 1: 'keep' "
+        "(default) reuses one persistent process pool for the whole sweep "
+        "(worker caches stay warm across chunks), 'per-call' spawns a "
+        "fresh pool per chunk; results are bit-for-bit identical",
+    )
+    parser.add_argument(
+        "--chunk-target",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="adapt the chunk size toward this per-chunk wall time using "
+        "measured points/sec (default: fixed --chunk-size; results never "
+        "depend on chunking)",
+    )
+    parser.add_argument(
         "--lease-ttl",
         type=float,
         default=None,
@@ -698,6 +716,8 @@ def _sweep_main(argv: list[str]) -> int:
         parser.error("--enqueue-only requires --executor queue")
     if args.lease_ttl is not None and args.lease_ttl <= 0:
         parser.error(f"--lease-ttl must be > 0, got {args.lease_ttl}")
+    if args.chunk_target is not None and args.chunk_target <= 0:
+        parser.error(f"--chunk-target must be > 0, got {args.chunk_target}")
     registry = _load_scenarios(args.scenario)
     try:
         document = json.loads(args.sweep.read_text())
@@ -790,6 +810,8 @@ def _sweep_main(argv: list[str]) -> int:
             progress=progress,
             executor=args.executor,
             lease_ttl=args.lease_ttl,
+            pool=args.pool,
+            chunk_target_s=args.chunk_target,
         )
     except KeyboardInterrupt:
         print(
@@ -1078,6 +1100,20 @@ def build_work_parser() -> argparse.ArgumentParser:
         default="auto",
         help="estimation kernel (bit-for-bit identical results; default: auto)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per claimed chunk (1 = serial; default: 1)",
+    )
+    parser.add_argument(
+        "--pool",
+        choices=("keep", "per-call"),
+        default="keep",
+        help="with --workers > 1: 'keep' reuses one persistent process "
+        "pool across every chunk this worker drains, 'per-call' spawns a "
+        "fresh pool per chunk; identical results (default: keep)",
+    )
     _add_scenario_argument(parser)
     parser.add_argument(
         "--quiet",
@@ -1113,13 +1149,17 @@ def _work_main(argv: list[str]) -> int:
         parser.error(f"--ttl must be > 0, got {args.ttl}")
     if args.poll is not None and args.poll <= 0:
         parser.error(f"--poll must be > 0, got {args.poll}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     registry = _load_scenarios(args.scenario)
     store = ResultStore(args.dir)
     log = None
     if args.log_json:
+        from .estimator.batch import set_executor_log
         from .jsonlog import StructuredLogger
 
         log = StructuredLogger(sys.stderr)
+        set_executor_log(log)
 
     def progress(event) -> None:
         if not args.quiet:
@@ -1136,6 +1176,8 @@ def _work_main(argv: list[str]) -> int:
             job_id=args.job,
             registry=registry,
             kernel=args.kernel,
+            max_workers=args.workers,
+            pool=args.pool,
             ttl=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL,
             poll=args.poll if args.poll is not None else DEFAULT_POLL_INTERVAL,
             deadline_s=args.deadline,
@@ -1180,6 +1222,32 @@ def build_bench_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="sweep mode only: JSON sweep specification file to time",
+    )
+    parser.add_argument(
+        "--pool-compare",
+        action="store_true",
+        help="sweep mode only: instead of kernels, compare per-call "
+        "process pools against one persistent execution engine over a "
+        "chunked sweep (cold and warm passes, identical results)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="--pool-compare: worker processes per pool (default: 2)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4,
+        help="--pool-compare: points per dispatched chunk (default: 4)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="--pool-compare: also write the JSON record to FILE",
     )
     parser.add_argument(
         "--algorithm",
@@ -1399,13 +1467,139 @@ def _bench_sweep(
     return 1 if failures else 0
 
 
+def _bench_sweep_engine(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> int:
+    """Compare per-call pools against one persistent execution engine.
+
+    The sweep is dispatched in fixed-size chunks, the way ``run_sweep``
+    and the queue workers actually drive the batch layer. The per-call
+    mode pays a fresh ``ProcessPoolExecutor`` (spawn + import + cold
+    worker caches) for every chunk; the persistent mode spawns once and
+    keeps worker-resident memo tables warm across chunks. Each pass uses
+    a fresh parent-side cache so pool lifetime — not parent memoization —
+    is the measured effect, and both modes must produce identical
+    outcomes.
+    """
+    from .estimator.engine import ExecutionEngine
+
+    if args.sweep is None:
+        parser.error("bench sweep requires --sweep FILE")
+    if args.workers < 2:
+        parser.error(f"--pool-compare needs --workers >= 2, got {args.workers}")
+    if args.chunk_size < 1:
+        parser.error(f"--chunk-size must be >= 1, got {args.chunk_size}")
+    registry = _load_scenarios(args.scenario)
+    try:
+        document = json.loads(args.sweep.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read sweep file: {exc}")
+    try:
+        sweep = SweepSpec.from_dict(document)
+        points = sweep.expand()
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid sweep spec: {exc}")
+    specs = [point.spec for point in points]
+    if not specs:
+        raise SystemExit("error: sweep expands to zero points")
+
+    def run_chunked(engine: "ExecutionEngine | None") -> tuple[list, float, int]:
+        cache = EstimateCache()
+        outcomes: list = []
+        chunks = 0
+        start = time.perf_counter()
+        for position in range(0, len(specs), args.chunk_size):
+            chunk = specs[position : position + args.chunk_size]
+            try:
+                outcomes.extend(
+                    run_specs(
+                        chunk,
+                        registry=registry,
+                        cache=cache,
+                        max_workers=args.workers,
+                        engine=engine,
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise SystemExit(f"error: {exc}")
+            chunks += 1
+        return outcomes, max(time.perf_counter() - start, 1e-9), chunks
+
+    def portable(outcomes: list) -> list:
+        return [
+            outcome.result.to_dict() if outcome.result is not None else None
+            for outcome in outcomes
+        ]
+
+    passes: dict[str, dict[str, dict[str, float]]] = {}
+    baseline: list | None = None
+    results_equal = True
+    engine_stats: dict[str, object] = {}
+    with ExecutionEngine(max_workers=args.workers) as engine:
+        for mode, handle in (("perCall", None), ("persistent", engine)):
+            passes[mode] = {}
+            for phase in ("cold", "warm"):
+                outcomes, seconds, chunks = run_chunked(handle)
+                passes[mode][phase] = {
+                    "time_s": seconds,
+                    "points_per_s": len(specs) / seconds,
+                    "chunks_per_s": chunks / seconds,
+                }
+                if baseline is None:
+                    baseline = portable(outcomes)
+                elif portable(outcomes) != baseline:
+                    results_equal = False
+        engine_stats = engine.stats()
+
+    warm_speedup = (
+        passes["perCall"]["warm"]["time_s"] / passes["persistent"]["warm"]["time_s"]
+    )
+    record = {
+        "mode": "sweep-engine",
+        "sweep": str(args.sweep),
+        "points": len(specs),
+        "workers": args.workers,
+        "chunkSize": args.chunk_size,
+        "perCall": passes["perCall"],
+        "persistent": passes["persistent"],
+        "warmSpeedup": warm_speedup,
+        "resultsEqual": results_equal,
+        "engineStats": engine_stats,
+    }
+    if args.out is not None:
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(
+            f"{args.sweep}: {len(specs)} points, chunks of {args.chunk_size}, "
+            f"{args.workers} workers"
+        )
+        print(f"{'pool':<12} {'pass':<6} {'time[s]':>10} {'points/sec':>12}")
+        print("-" * 44)
+        for mode in ("perCall", "persistent"):
+            for phase in ("cold", "warm"):
+                timing = passes[mode][phase]
+                print(
+                    f"{mode:<12} {phase:<6} {timing['time_s']:>10.3f} "
+                    f"{timing['points_per_s']:>12.1f}"
+                )
+        print(f"warm speedup (persistent vs per-call): {warm_speedup:.1f}x")
+        print(f"results equal: {results_equal}")
+    return 0 if results_equal else 1
+
+
 def _bench_main(argv: list[str]) -> int:
     parser = build_bench_parser()
     args = parser.parse_args(argv)
     if args.mode == "sweep":
+        if args.pool_compare:
+            return _bench_sweep_engine(parser, args)
         return _bench_sweep(parser, args)
     if args.sweep is not None:
         parser.error("--sweep only applies to 'repro bench sweep'")
+    if args.pool_compare:
+        parser.error("--pool-compare only applies to 'repro bench sweep'")
     if args.bits < 1:
         raise SystemExit(f"error: --bits must be >= 1, got {args.bits}")
     registry = _load_scenarios(args.scenario)
@@ -1743,6 +1937,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "latency for dead workers (default: 30)",
     )
     parser.add_argument(
+        "--pool",
+        choices=("keep", "per-call"),
+        default=None,
+        help="parallel-executor lifecycle with --workers > 1: 'keep' "
+        "shares one persistent process pool across every request and job "
+        "for the server's lifetime, 'per-call' spawns a fresh pool per "
+        "batch; identical results (default: keep)",
+    )
+    parser.add_argument(
+        "--chunk-target",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="adapt sweep-job chunk sizes toward this per-chunk wall time "
+        "(default: fixed chunk size)",
+    )
+    parser.add_argument(
         "--max-body-bytes",
         type=int,
         default=None,
@@ -1812,6 +2023,8 @@ def _serve_main(argv: list[str]) -> int:
             store_max_bytes=args.store_max_bytes,
             metrics_ttl=args.metrics_ttl,
             verbose=args.verbose,
+            pool=args.pool,
+            chunk_target_s=args.chunk_target,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -1827,6 +2040,12 @@ def _serve_main(argv: list[str]) -> int:
         )
     )
     log = StructuredLogger(sys.stderr) if args.log_json else None
+    if log is not None:
+        # Executor degradations (pool unavailable, unpicklable batch)
+        # join the request/job records instead of vanishing silently.
+        from .estimator.batch import set_executor_log
+
+        set_executor_log(log)
     service = EstimationService.from_settings(
         settings, registry=registry, store=store, log=log
     )

@@ -47,6 +47,7 @@ from typing import Callable, Hashable, Sequence
 from ..budget import ErrorBudget
 from ..counts import LogicalCounts
 from ..distillation import TFactory, TFactoryDesigner
+from ..jsonlog import StructuredLogger
 from ..qec import LogicalQubit, QECScheme
 from ..qubits import PhysicalQubitParams
 from ..synthesis import RotationSynthesis
@@ -138,6 +139,7 @@ class CacheStats:
     kernel_vectorized_points: int = 0
     kernel_fallback_points: int = 0
     kernel_scalar_points: int = 0
+    executor_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -161,6 +163,7 @@ class EstimateCache:
 
     def __post_init__(self) -> None:
         self._stats = CacheStats()
+        self._fallback_reason: str | None = None
         # program key -> (program ref, counts); the ref pins object ids.
         self._counts: dict[Hashable, tuple[object, LogicalCounts]] = {}
         # (designer id, ...) -> (designer ref, factory); the ref pins ids.
@@ -180,7 +183,21 @@ class EstimateCache:
                 "scalarFallback": s.kernel_fallback_points,
                 "scalar": s.kernel_scalar_points,
             },
+            "executor": {
+                "serialFallbacks": s.executor_fallbacks,
+                "lastFallbackReason": self._fallback_reason,
+            },
         }
+
+    def record_executor_fallback(self, reason: str) -> None:
+        """Count a parallel-executor degradation to serial execution.
+
+        Lets operators distinguish "ran parallel" from "quietly ran
+        serial" in ``cacheStats`` — the results are identical either way,
+        only the wall clock differs.
+        """
+        self._stats.executor_fallbacks += 1
+        self._fallback_reason = reason
 
     def record_kernel_points(
         self, *, vectorized: int = 0, fallback: int = 0, scalar: int = 0
@@ -288,6 +305,54 @@ _SHARED_CACHE = EstimateCache()
 #: Per-worker-process cache for parallel runs (initialized lazily).
 _WORKER_CACHE: EstimateCache | None = None
 
+#: Structured logger for executor degradation events. Disabled by
+#: default; the serve/work CLI entry points install theirs so fallback
+#: events land in the operator's JSON log stream.
+_EXECUTOR_LOG = StructuredLogger.disabled()
+
+
+def set_executor_log(log: StructuredLogger | None) -> None:
+    """Install the structured logger used for executor fallback events."""
+    global _EXECUTOR_LOG
+    _EXECUTOR_LOG = log if log is not None else StructuredLogger.disabled()
+
+
+def _note_fallback(
+    cache: EstimateCache,
+    reason: str,
+    exc: BaseException | None = None,
+    log: StructuredLogger | None = None,
+) -> None:
+    """Record one parallel-to-serial degradation (counter + log event)."""
+    cache.record_executor_fallback(reason)
+    (log or _EXECUTOR_LOG).event(
+        "executor.fallback",
+        reason=reason,
+        error=str(exc) if exc is not None else None,
+    )
+
+
+def _init_worker(store_root: str | None = None) -> None:
+    """Process-pool initializer: pre-warm the worker-resident state.
+
+    Creates the process-global :data:`_WORKER_CACHE` eagerly (instead of
+    on first chunk) and, when a store root is known, primes the
+    per-process :class:`~repro.estimator.store.ResultStore` handle so the
+    counts-cache memory LRU persists across every chunk this worker runs.
+    """
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = EstimateCache()
+    if store_root:
+        from .spec import _store_handle
+
+        try:
+            _store_handle(store_root)
+        except OSError:
+            # An unreadable root only disables handle pre-warming; the
+            # chunk itself will surface the error if the store is used.
+            pass
+
 
 def _run_request(
     request: EstimateRequest, cache: EstimateCache
@@ -391,6 +456,7 @@ def estimate_batch(
     max_workers: int | None = 1,
     cache: EstimateCache | None = None,
     backend: str = "auto",
+    engine: "object | None" = None,
 ) -> list[BatchOutcome]:
     """Evaluate many estimation points, preserving input order.
 
@@ -424,6 +490,12 @@ def estimate_batch(
     Input validation errors (bad program type, malformed budget or
     constraints) raise immediately — only :class:`EstimationError`
     infeasibility is captured per point.
+
+    When ``engine`` (an :class:`~repro.estimator.engine.ExecutionEngine`)
+    is given, parallel execution reuses its persistent process pool
+    instead of spawning a fresh per-call pool, keeping worker-resident
+    caches warm across batches; ``max_workers`` is then ignored in favor
+    of the engine's worker count.
     """
     requests = list(requests)
     shared = cache is None
@@ -434,6 +506,10 @@ def estimate_batch(
         raise ValueError(
             f"backend must be one of {BACKEND_CHOICES}, got {backend!r}"
         )
+    if engine is not None:
+        # The engine owns serial/parallel routing, fallback recording,
+        # and (shared-cache) pruning for the whole batch.
+        return engine.run(requests, cache=cache if not shared else None, backend=backend)
     try:
         if max_workers == 1 or len(requests) <= 1:
             return _run_serial(requests, cache, backend=backend)
@@ -452,7 +528,8 @@ def estimate_batch(
             # Probe picklability up front: unpicklable programs (lambdas,
             # open handles) run serially instead of dying in the pool.
             pickle.dumps(pieces)
-        except Exception:
+        except Exception as exc:
+            _note_fallback(cache, "unpicklable", exc)
             return _run_serial(requests, cache, backend=backend)
         try:
             with ProcessPoolExecutor(max_workers=num_workers) as pool:
@@ -462,9 +539,12 @@ def estimate_batch(
                 for start, payloads in pool.map(_run_chunk, pieces):
                     for offset, payload in enumerate(payloads):
                         results[start + offset] = payload
-        except (OSError, PermissionError, BrokenProcessPool):
+        except (OSError, PermissionError, BrokenProcessPool) as exc:
             # Sandboxes without process spawning fall back to serial
             # execution; genuine worker exceptions propagate unchanged.
+            # The degradation is recorded so operators can tell "parallel"
+            # from "quietly serial" in cacheStats / the structured log.
+            _note_fallback(cache, f"pool-unavailable:{type(exc).__name__}", exc)
             return _run_serial(requests, cache, backend=backend)
         return [
             BatchOutcome(request=request, result=result, error=error)

@@ -68,6 +68,7 @@ from .sweep import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..registry import Registry
     from .batch import EstimateCache
+    from .engine import ExecutionEngine
     from .store import ResultStore
 
 __all__ = [
@@ -874,6 +875,8 @@ def run_optimize(
     lease_ttl: float | None = None,
     progress: Callable[[OptimizeProgress], None] | None = None,
     lock: Any | None = None,
+    engine: "ExecutionEngine | None" = None,
+    pool: str = "keep",
 ) -> OptimizeResult:
     """Answer an inverse-design question adaptively over its grid.
 
@@ -896,7 +899,10 @@ def run_optimize(
 
     ``progress`` is called after each round; ``lock`` (any context
     manager) serializes probe batches with other users of a shared cache,
-    exactly like ``run_sweep``.
+    exactly like ``run_sweep``. ``engine`` / ``pool`` likewise mirror
+    ``run_sweep``: with parallel workers the default ``pool="keep"``
+    reuses one persistent process pool across every probe round (closed
+    on return unless the ``engine`` was supplied by the caller).
     """
     from ..registry import default_registry
 
@@ -905,6 +911,8 @@ def run_optimize(
         raise ValueError(f"unknown executor {executor!r}: use 'local' or 'queue'")
     if executor == "queue" and store is None:
         raise ValueError("executor='queue' requires a result store")
+    if pool not in ("keep", "per-call"):
+        raise ValueError(f"unknown pool mode {pool!r}: use 'keep' or 'per-call'")
     optimize_hash = spec.content_hash(resolved_registry)
     if store is not None:
         trace = store.get_optimize(optimize_hash)
@@ -925,6 +933,28 @@ def run_optimize(
     spec_document = spec.to_dict()
     rounds: list[dict[str, Any]] = []
     evaluations = from_store_total = 0
+    owned_engine: list[Any] = [None]
+
+    def probe_engine() -> Any:
+        """The persistent engine shared by every local probe round.
+
+        Created lazily on the first round that actually evaluates, so a
+        warm re-ask (``from_trace``) or all-store-hit run never spawns a
+        pool; a caller-supplied ``engine`` is used as-is and never closed
+        here.
+        """
+        if engine is not None:
+            return engine
+        if pool != "keep" or (max_workers is not None and max_workers <= 1):
+            return None
+        if owned_engine[0] is None:
+            from .engine import ExecutionEngine
+
+            owned_engine[0] = ExecutionEngine(
+                max_workers=max_workers,
+                store_root=store.root if store is not None else None,
+            )
+        return owned_engine[0]
 
     def evaluate(indices: list[int]) -> tuple[int, int]:
         """Probe a deduped batch of grid points; returns (evals, hits)."""
@@ -961,6 +991,8 @@ def run_optimize(
                 executor="queue",
                 lease_ttl=lease_ttl,
                 lock=lock,
+                engine=engine,
+                pool=pool,
             )
             outcomes = [
                 (point.spec_hash, point.result, point.error, hit)
@@ -976,6 +1008,7 @@ def run_optimize(
                     cache=cache,
                     max_workers=max_workers,
                     kernel=kernel,
+                    engine=probe_engine(),
                 )
             ]
         hits = 0
@@ -1020,48 +1053,52 @@ def run_optimize(
         except StopIteration as stop:
             collected[position] = stop.value
     round_number = 0
-    while pending:
-        round_number += 1
-        requested = sorted(
-            {
-                index
-                for indices in pending.values()
-                for index in indices
-                if index not in search.probes
-            }
-        )
-        if requested:
-            round_evals, round_hits = evaluate(requested)
-            evaluations += round_evals
-            from_store_total += round_hits
-            rounds.append(
+    try:
+        while pending:
+            round_number += 1
+            requested = sorted(
                 {
-                    "round": round_number,
-                    "requested": len(requested),
-                    "evaluations": round_evals,
-                    "fromStore": round_hits,
+                    index
+                    for indices in pending.values()
+                    for index in indices
+                    if index not in search.probes
                 }
             )
-            persist("running")
-        if progress is not None:
-            progress(
-                OptimizeProgress(
-                    round=round_number,
-                    requested=len(requested),
-                    probes=len(search.probes),
-                    evaluations=evaluations,
-                    from_store=from_store_total,
-                    feasible=sum(
-                        1 for probe in search.probes.values() if probe.feasible
-                    ),
+            if requested:
+                round_evals, round_hits = evaluate(requested)
+                evaluations += round_evals
+                from_store_total += round_hits
+                rounds.append(
+                    {
+                        "round": round_number,
+                        "requested": len(requested),
+                        "evaluations": round_evals,
+                        "fromStore": round_hits,
+                    }
                 )
-            )
-        for position in sorted(pending):
-            try:
-                pending[position] = next(strategies[position])
-            except StopIteration as stop:
-                collected[position] = stop.value
-                del pending[position]
+                persist("running")
+            if progress is not None:
+                progress(
+                    OptimizeProgress(
+                        round=round_number,
+                        requested=len(requested),
+                        probes=len(search.probes),
+                        evaluations=evaluations,
+                        from_store=from_store_total,
+                        feasible=sum(
+                            1 for probe in search.probes.values() if probe.feasible
+                        ),
+                    )
+                )
+            for position in sorted(pending):
+                try:
+                    pending[position] = next(strategies[position])
+                except StopIteration as stop:
+                    collected[position] = stop.value
+                    del pending[position]
+    finally:
+        if owned_engine[0] is not None:
+            owned_engine[0].close()
 
     candidates: set[int] = set()
     for winner in collected:

@@ -100,6 +100,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..jsonlog import StructuredLogger
     from ..registry import Registry
     from .batch import EstimateCache
+    from .engine import ExecutionEngine
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
@@ -692,6 +693,8 @@ def run_worker(
     deadline_s: float | None = None,
     heartbeat: bool = True,
     log: "StructuredLogger | None" = None,
+    engine: "ExecutionEngine | None" = None,
+    pool: str = "keep",
 ) -> WorkerReport:
     """Drain queued sweep chunks from a shared store; one worker process.
 
@@ -720,16 +723,36 @@ def run_worker(
     chunk evaluated or observed, with the job id), ``worker.done`` —
     so ``repro work`` output joins the service's request/job records on
     ``jobId``. Defaults to disabled.
+
+    ``engine`` / ``pool`` control the parallel-executor lifecycle when
+    ``max_workers`` enables process fan-out, exactly as in
+    :func:`~repro.estimator.sweep.run_sweep`: the default ``pool="keep"``
+    creates one persistent pool for this worker's whole drain (closed on
+    return); a caller-supplied ``engine`` is shared and left open.
     """
     from ..jsonlog import StructuredLogger
     from ..registry import default_registry
 
     resolved_registry = registry if registry is not None else default_registry()
+    if pool not in ("keep", "per-call"):
+        raise ValueError(f"unknown pool mode {pool!r}: use 'keep' or 'per-call'")
     queue = SweepQueue(store, owner=owner, ttl=ttl, clock=clock)
     report = WorkerReport(owner=queue.owner)
     guard = lock if lock is not None else nullcontext()
     logger = log if log is not None else StructuredLogger.disabled()
     started = time.monotonic()
+    owned_engine = None
+    if (
+        engine is None
+        and pool == "keep"
+        and (max_workers is None or max_workers > 1)
+    ):
+        from .engine import ExecutionEngine
+
+        owned_engine = ExecutionEngine(
+            max_workers=max_workers, store_root=store.root, log=logger
+        )
+        engine = owned_engine
 
     def out_of_time() -> bool:
         return deadline_s is not None and time.monotonic() - started >= deadline_s
@@ -751,26 +774,31 @@ def run_worker(
         jobs=len(jobs),
         jobId=job_id,
     )
-    for job in jobs:
-        report.jobs_seen += 1
-        done = _drain_job(
-            queue,
-            job,
-            report,
-            registry=resolved_registry,
-            cache=cache,
-            max_workers=max_workers,
-            kernel=kernel,
-            guard=guard,
-            progress=progress,
-            wait=wait_for_others,
-            poll=poll,
-            out_of_time=out_of_time,
-            heartbeat=heartbeat,
-            log=logger,
-        )
-        if not done:
-            report.incomplete_jobs.append(job.job_id)
+    try:
+        for job in jobs:
+            report.jobs_seen += 1
+            done = _drain_job(
+                queue,
+                job,
+                report,
+                registry=resolved_registry,
+                cache=cache,
+                max_workers=max_workers,
+                kernel=kernel,
+                guard=guard,
+                progress=progress,
+                wait=wait_for_others,
+                poll=poll,
+                out_of_time=out_of_time,
+                heartbeat=heartbeat,
+                log=logger,
+                engine=engine,
+            )
+            if not done:
+                report.incomplete_jobs.append(job.job_id)
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
     logger.event(
         "worker.done",
         owner=queue.owner,
@@ -800,6 +828,7 @@ def _drain_job(
     out_of_time: Callable[[], bool],
     heartbeat: bool,
     log: "StructuredLogger | None" = None,
+    engine: "ExecutionEngine | None" = None,
 ) -> bool:
     """Work one job to completion (or until blocked); True when finished."""
     if queue.store.get_sweep(job.job_id) is not None:
@@ -862,6 +891,7 @@ def _drain_job(
                             cache=cache,
                             max_workers=max_workers,
                             kernel=kernel,
+                            engine=engine,
                         )
                     _fault_point("evaluated", index)
                     outcome_objs = [

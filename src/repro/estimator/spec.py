@@ -62,6 +62,7 @@ from .result import PhysicalResourceEstimates
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..registry import Registry
+    from .engine import ExecutionEngine
     from .store import ResultStore
 
 __all__ = [
@@ -228,15 +229,32 @@ def _camel(field: str) -> str:
     return head + "".join(part.capitalize() for part in rest)
 
 
+#: Per-process ResultStore handles keyed by root path. Pool workers (and
+#: serial callers) reuse one handle per store so its in-memory counts
+#: LRU stays warm across every chunk the process evaluates, instead of
+#: re-reading counts documents from disk per chunk.
+_STORE_HANDLES: dict[str, "ResultStore"] = {}
+
+
+def _store_handle(root: str) -> "ResultStore":
+    """The process-resident :class:`ResultStore` for ``root`` (memoized)."""
+    from .store import ResultStore
+
+    store = _STORE_HANDLES.get(root)
+    if store is None:
+        store = ResultStore(root)
+        _STORE_HANDLES[root] = store
+    return store
+
+
 def _counts_via_store(
     root: str, counts_key: str, program: object, backend: str
 ) -> LogicalCounts:
     """Store-backed counts factory: answer from the counts namespace or
     trace once and persist (runs inside batch workers; picklable)."""
     from .stages import resolve_counts
-    from .store import ResultStore
 
-    store = ResultStore(root)
+    store = _store_handle(root)
     hit = store.get_counts(counts_key)
     if hit is not None:
         return hit
@@ -519,6 +537,7 @@ def run_specs(
     cache: EstimateCache | None = None,
     max_workers: int | None = 1,
     kernel: str = "auto",
+    engine: "ExecutionEngine | None" = None,
 ) -> list[SpecOutcome]:
     """Evaluate declarative specs through the store and the batch engine.
 
@@ -542,6 +561,12 @@ def run_specs(
     own ``backend`` field, which picks the *counts* backend. Backends are
     bit-for-bit interchangeable, so stored documents and spec hashes do
     not depend on this choice.
+
+    ``engine`` routes parallel evaluation through a persistent
+    :class:`~repro.estimator.engine.ExecutionEngine` pool instead of a
+    per-call pool; results are identical either way. Successful misses
+    are persisted with one :meth:`ResultStore.put_many` batch write per
+    call rather than per-point writes.
     """
     from ..registry import default_registry
     from .batch import _SHARED_CACHE  # shared instance also used by defaults
@@ -604,16 +629,23 @@ def run_specs(
             max_workers=max_workers,
             cache=cache,
             backend=kernel,
+            engine=engine,
         )
+        writes: list[tuple[str, Any, dict[str, Any]]] = []
         for (index, spec_hash, _), outcome in zip(to_run, outcomes):
             if outcome.ok:
                 results[spec_hash] = outcome.result
                 if store is not None:
-                    store.put(
-                        spec_hash, outcome.result, spec=specs[index].to_dict()
+                    writes.append(
+                        (spec_hash, outcome.result, specs[index].to_dict())
                     )
             else:
                 errors[index] = outcome.error or "estimation failed"
+        if store is not None and writes:
+            # One batched write per run_specs call: one stats
+            # invalidation and one eviction check instead of per-point
+            # bookkeeping churn.
+            store.put_many(writes)
 
     final: list[SpecOutcome] = []
     for index, (spec, spec_hash) in enumerate(zip(specs, hashes)):

@@ -70,7 +70,7 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from ..counts import LogicalCounts
 from .result import PhysicalResourceEstimates
@@ -468,6 +468,44 @@ class ResultStore:
             self._note_document_written(path)
         return ok
 
+    def put_many(
+        self,
+        entries: Iterable[
+            tuple[str, PhysicalResourceEstimates, dict[str, Any] | None]
+        ],
+    ) -> int:
+        """Persist many result documents with one bookkeeping pass.
+
+        Equivalent to calling :meth:`put` per ``(spec_hash, result,
+        spec)`` entry, but the stats invalidation, byte-estimate growth,
+        and eviction check run once for the whole batch instead of once
+        per point — the chunk-write path of
+        :func:`repro.estimator.spec.run_specs` uses this so persistence
+        bookkeeping stays off the per-point hot path. Returns the number
+        of documents actually written (unwritable documents are skipped,
+        matching :meth:`put`).
+        """
+        written = 0
+        batch_bytes = 0
+        for spec_hash, result, spec in entries:
+            path = self.path_for(spec_hash)
+            document = {
+                "schema": self.schema,
+                "specHash": spec_hash,
+                "spec": spec,
+                "result": result.to_dict(),
+            }
+            if self._write_document(path, document):
+                written += 1
+                if self.max_bytes is not None:
+                    try:
+                        batch_bytes += path.stat().st_size
+                    except OSError:
+                        pass
+        if written:
+            self._note_batch_written(batch_bytes)
+        return written
+
     def clear(self) -> int:
         """Remove every entry under this schema tag; returns the count."""
         removed = 0
@@ -814,16 +852,27 @@ class ResultStore:
         bound (idempotent rewrites double-count), which only makes
         eviction run early; :meth:`evict` recomputes the exact total.
         """
+        size = 0
+        if self.max_bytes is not None:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+        self._note_batch_written(size)
+
+    def _note_batch_written(self, size: int) -> None:
+        """Coalesced bookkeeping for one or many document writes.
+
+        One stats invalidation, one byte-estimate update of ``size``
+        (the batch's total on-disk growth), and at most one eviction
+        check — regardless of how many documents the batch contained.
+        """
         self._invalidate_stats()
         if self.max_bytes is None:
             return
         if self._evictable_bytes is None:
             self.evict()  # first write under a budget: measure and prune
             return
-        try:
-            size = path.stat().st_size
-        except OSError:
-            size = 0
         with self._stats_lock:
             self._evictable_bytes += size
             over = self._evictable_bytes > self.max_bytes

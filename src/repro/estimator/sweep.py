@@ -53,6 +53,7 @@ import hashlib
 import io
 import itertools
 import json
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
@@ -63,6 +64,7 @@ from .spec import SPEC_SCHEMA, EstimateSpec, run_specs
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..registry import Registry
     from .batch import EstimateCache
+    from .engine import ExecutionEngine
     from .store import ResultStore
 
 __all__ = [
@@ -86,6 +88,31 @@ SWEEP_SCHEMA = "repro-sweep-v1"
 
 #: Points evaluated (and persisted) per chunk when the caller picks none.
 DEFAULT_CHUNK_SIZE = 16
+
+#: Bounds for adaptive chunk sizing (``chunk_target_s``): the size never
+#: leaves this window, and never more than doubles or halves per step.
+ADAPTIVE_MIN_CHUNK = 1
+ADAPTIVE_MAX_CHUNK = 4096
+
+
+def _next_chunk_size(
+    current: int, points_done: int, elapsed_s: float, target_s: float
+) -> int:
+    """Chunk size for the next step, steered toward ``target_s`` of work.
+
+    Uses the measured points/sec of the chunk just completed; growth and
+    shrinkage are clamped to one doubling/halving per step so a single
+    anomalous chunk (cold caches, store-hit burst) cannot whipsaw the
+    size. Chunk boundaries never affect results — chunking is excluded
+    from :meth:`SweepSpec.content_hash` — so this is purely a wall-clock
+    and persistence-granularity knob.
+    """
+    if points_done <= 0:
+        return current
+    rate = points_done / max(elapsed_s, 1e-9)
+    ideal = rate * target_s
+    stepped = max(min(ideal, current * 2), current // 2, ADAPTIVE_MIN_CHUNK)
+    return int(min(stepped, ADAPTIVE_MAX_CHUNK))
 
 #: Supported frontier reductions. ``qubits-runtime`` keeps the Pareto
 #: non-dominated (runtime, physical qubits) points per group — the
@@ -763,6 +790,9 @@ def run_sweep(
     kernel: str = "auto",
     executor: str = "local",
     lease_ttl: float | None = None,
+    engine: "ExecutionEngine | None" = None,
+    pool: str = "keep",
+    chunk_target_s: float | None = None,
 ) -> SweepResult:
     """Execute a sweep in store-backed chunks and reduce its frontiers.
 
@@ -799,12 +829,36 @@ def run_sweep(
     journal survives a crash for a later worker to resume. Both
     executors produce bit-for-bit identical results; ``lease_ttl``
     (queue only) tunes crash-detection latency.
+
+    ``pool`` selects the parallel-executor lifecycle when
+    ``max_workers`` enables process fan-out: ``"keep"`` (default) runs
+    every chunk through one persistent
+    :class:`~repro.estimator.engine.ExecutionEngine` pool created for
+    the whole sweep (workers keep their memo tables and store handles
+    warm across chunks), ``"per-call"`` restores the historical
+    fresh-pool-per-chunk behavior. An explicit ``engine`` overrides
+    ``pool`` and is *not* closed by this call — the estimation service
+    shares one engine across jobs. Results are identical for every
+    combination.
+
+    ``chunk_target_s`` enables adaptive chunk sizing: starting from the
+    resolved ``chunk_size``, each subsequent chunk grows or shrinks
+    (at most 2x per step, within [:data:`ADAPTIVE_MIN_CHUNK`,
+    :data:`ADAPTIVE_MAX_CHUNK`]) toward the target per-chunk wall time
+    using the measured points/sec. Results never depend on chunk
+    boundaries.
     """
     from ..registry import default_registry
 
     resolved_registry = registry if registry is not None else default_registry()
     if executor not in ("local", "queue"):
         raise ValueError(f"unknown executor {executor!r}: use 'local' or 'queue'")
+    if pool not in ("keep", "per-call"):
+        raise ValueError(f"unknown pool mode {pool!r}: use 'keep' or 'per-call'")
+    if chunk_target_s is not None and chunk_target_s <= 0:
+        raise ValueError(
+            f"chunk_target_s must be positive, got {chunk_target_s}"
+        )
     if executor == "queue":
         if store is None:
             raise ValueError("executor='queue' requires a result store")
@@ -823,6 +877,8 @@ def run_sweep(
                 ttl=lease_ttl or DEFAULT_LEASE_TTL,
                 progress=progress,
                 lock=lock,
+                engine=engine,
+                pool=pool,
             )
         document = store.get_sweep(job.job_id)
         if document is not None:
@@ -846,50 +902,82 @@ def run_sweep(
         size = DEFAULT_CHUNK_SIZE if store is not None else max(len(points), 1)
     guard = lock if lock is not None else nullcontext()
 
+    # Parallel sweeps default to one persistent pool for the whole run;
+    # an engine passed in by the caller (the service) is shared, not owned.
+    owned_engine = None
+    if (
+        engine is None
+        and pool == "keep"
+        and (max_workers is None or max_workers > 1)
+        and len(points) > 1
+    ):
+        from .engine import ExecutionEngine
+
+        owned_engine = ExecutionEngine(
+            max_workers=max_workers,
+            store_root=store.root if store is not None else None,
+        )
+        engine = owned_engine
+
     outcomes: list[SweepPointOutcome] = []
-    num_chunks = max(1, -(-len(points) // size)) if points else 0
     ok = failed = from_store = 0
-    for chunk_index in range(num_chunks):
-        chunk = points[chunk_index * size : (chunk_index + 1) * size]
-        with guard:
-            chunk_outcomes = run_specs(
-                [point.spec for point in chunk],
-                registry=resolved_registry,
-                store=store,
-                cache=cache,
-                max_workers=max_workers,
-                kernel=kernel,
-            )
-        for point, outcome in zip(chunk, chunk_outcomes):
-            outcomes.append(
-                SweepPointOutcome(
-                    index=point.index,
-                    coords=point.coords,
-                    label=point.spec.label,
-                    spec_hash=outcome.spec_hash,
-                    result=outcome.result,
-                    error=outcome.error,
-                    from_store=outcome.from_store,
+    chunk_index = 0
+    position = 0
+    try:
+        while position < len(points):
+            chunk = points[position : position + size]
+            started = time.perf_counter()
+            with guard:
+                chunk_outcomes = run_specs(
+                    [point.spec for point in chunk],
+                    registry=resolved_registry,
+                    store=store,
+                    cache=cache,
+                    max_workers=max_workers,
+                    kernel=kernel,
+                    engine=engine,
                 )
-            )
-            if outcome.ok:
-                ok += 1
-            else:
-                failed += 1
-            if outcome.from_store:
-                from_store += 1
-        if progress is not None:
-            progress(
-                SweepProgress(
-                    chunk=chunk_index + 1,
-                    num_chunks=num_chunks,
-                    completed=len(outcomes),
-                    total=len(points),
-                    ok=ok,
-                    failed=failed,
-                    from_store=from_store,
+            elapsed = time.perf_counter() - started
+            position += len(chunk)
+            chunk_index += 1
+            for point, outcome in zip(chunk, chunk_outcomes):
+                outcomes.append(
+                    SweepPointOutcome(
+                        index=point.index,
+                        coords=point.coords,
+                        label=point.spec.label,
+                        spec_hash=outcome.spec_hash,
+                        result=outcome.result,
+                        error=outcome.error,
+                        from_store=outcome.from_store,
+                    )
                 )
-            )
+                if outcome.ok:
+                    ok += 1
+                else:
+                    failed += 1
+                if outcome.from_store:
+                    from_store += 1
+            if chunk_target_s is not None and position < len(points):
+                size = _next_chunk_size(size, len(chunk), elapsed, chunk_target_s)
+            if engine is not None:
+                engine.note_chunk_size(size)
+            if progress is not None:
+                remaining_chunks = -(-(len(points) - position) // size)
+                progress(
+                    SweepProgress(
+                        chunk=chunk_index,
+                        num_chunks=chunk_index + remaining_chunks,
+                        completed=len(outcomes),
+                        total=len(points),
+                        ok=ok,
+                        failed=failed,
+                        from_store=from_store,
+                    )
+                )
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
 
     frontiers = (
         _reduce_frontiers(spec.frontier, outcomes)

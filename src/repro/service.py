@@ -109,6 +109,7 @@ from urllib import error as urllib_error
 from urllib import request as urllib_request
 
 from .estimator.batch import EstimateCache
+from .estimator.engine import ExecutionEngine
 from .estimator.optimize import (
     OptimizeProgress,
     OptimizeSpec,
@@ -272,6 +273,8 @@ class EstimationService:
         metrics: MetricsRegistry | None = None,
         metrics_ttl: float = 10.0,
         log: StructuredLogger | None = None,
+        pool: str = "keep",
+        chunk_target_s: float | None = None,
     ) -> None:
         if executor not in ("auto", "local", "queue"):
             raise ValueError(
@@ -279,6 +282,10 @@ class EstimationService:
             )
         if executor == "queue" and store is None:
             raise ValueError("executor='queue' requires a result store")
+        if pool not in ("keep", "per-call"):
+            raise ValueError(
+                f"unknown pool mode {pool!r}: use 'keep' or 'per-call'"
+            )
         self.registry = registry if registry is not None else default_registry()
         self.store = store
         self.cache = cache if cache is not None else EstimateCache()
@@ -286,8 +293,20 @@ class EstimationService:
         self.kernel = kernel
         self.executor = executor
         self.lease_ttl = lease_ttl
+        self.pool = pool
+        self.chunk_target_s = chunk_target_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.log = log if log is not None else StructuredLogger.disabled()
+        # One persistent process pool shared by every request and job
+        # for the service's lifetime (closed in close()); per-call mode
+        # or a single worker keep the engine off entirely.
+        self._engine: ExecutionEngine | None = None
+        if pool == "keep" and (max_workers is None or max_workers > 1):
+            self._engine = ExecutionEngine(
+                max_workers=max_workers,
+                store_root=store.root if store is not None else None,
+                log=self.log,
+            )
         self._lock = threading.Lock()
         self._jobs: dict[str, SweepJob] = {}
         self._jobs_lock = threading.Lock()
@@ -330,6 +349,8 @@ class EstimationService:
             metrics=metrics,
             metrics_ttl=settings.metrics_ttl,
             log=log,
+            pool=settings.pool,
+            chunk_target_s=settings.chunk_target_s,
         )
 
     # -- metrics providers --------------------------------------------------
@@ -399,6 +420,31 @@ class EstimationService:
             "gauge",
             "Journaled sweep/optimize jobs not yet finished (TTL-cached).",
         )
+        metrics.describe(
+            "repro_pool_workers",
+            "gauge",
+            "Worker processes alive in the persistent execution-engine pool.",
+        )
+        metrics.describe(
+            "repro_pool_rebuilds_total",
+            "counter",
+            "Times the execution-engine pool was rebuilt after a worker crash.",
+        )
+        metrics.describe(
+            "repro_pool_chunks_total",
+            "counter",
+            "Chunks dispatched to the engine pool, by kind (dispatched/replayed).",
+        )
+        metrics.describe(
+            "repro_pool_chunk_size",
+            "gauge",
+            "Current (adaptive) sweep chunk size routed through the engine.",
+        )
+        metrics.describe(
+            "repro_executor_fallbacks_total",
+            "counter",
+            "Parallel-executor degradations to serial execution.",
+        )
         # Cheap in-memory counters refresh on every scrape; anything
         # that touches the disk sits behind the TTL so a scrape never
         # pays a directory walk.
@@ -439,6 +485,49 @@ class EstimationService:
                 )
         samples.append(("repro_optimize_probes_total", None, probes))
         samples.append(("repro_optimize_evaluations_total", None, evaluations))
+        engine_stats = self._engine.stats() if self._engine is not None else None
+        samples.append(
+            (
+                "repro_pool_workers",
+                None,
+                engine_stats["workersAlive"] if engine_stats else 0,
+            )
+        )
+        samples.append(
+            (
+                "repro_pool_rebuilds_total",
+                None,
+                engine_stats["rebuilds"] if engine_stats else 0,
+            )
+        )
+        samples.append(
+            (
+                "repro_pool_chunks_total",
+                {"kind": "dispatched"},
+                engine_stats["chunksDispatched"] if engine_stats else 0,
+            )
+        )
+        samples.append(
+            (
+                "repro_pool_chunks_total",
+                {"kind": "replayed"},
+                engine_stats["chunksReplayed"] if engine_stats else 0,
+            )
+        )
+        samples.append(
+            (
+                "repro_pool_chunk_size",
+                None,
+                engine_stats["lastChunkSize"] if engine_stats else 0,
+            )
+        )
+        samples.append(
+            (
+                "repro_executor_fallbacks_total",
+                None,
+                stats["executor"]["serialFallbacks"],
+            )
+        )
         if self.store is not None:
             memory = self.store.memory_cache_stats()
             for namespace in ("results", "counts"):
@@ -534,6 +623,8 @@ class EstimationService:
         """
         self._stopping.set()
         self._sweep_pool.shutdown(wait=wait, cancel_futures=True)
+        if self._engine is not None:
+            self._engine.close(wait=wait)
 
     # -- request handling --------------------------------------------------
 
@@ -587,6 +678,7 @@ class EstimationService:
                     cache=self.cache,
                     max_workers=self.max_workers,
                     kernel=self.kernel,
+                    engine=self._engine,
                 )
             for (index, spec), outcome in zip(parsed, outcomes):
                 records[index] = {
@@ -699,6 +791,9 @@ class EstimationService:
                 kernel=self.kernel,
                 executor=self.sweep_executor,
                 lease_ttl=self.lease_ttl,
+                engine=self._engine,
+                pool=self.pool,
+                chunk_target_s=self.chunk_target_s,
             )
             document = result.to_dict()
             persisted = (
@@ -827,6 +922,8 @@ class EstimationService:
                 kernel=self.kernel,
                 executor=self.sweep_executor,
                 lease_ttl=self.lease_ttl,
+                engine=self._engine,
+                pool=self.pool,
             )
             document = result.to_dict()
             with self._jobs_lock:
@@ -904,6 +1001,15 @@ class EstimationService:
         whether adaptive searches are warm and whether workers keep up.
         """
         stats: dict[str, Any] = self.cache.stats()
+        # The cache-level executor record (serial fallbacks) merged with
+        # the shared engine's pool counters; per-call mode reports its
+        # lifecycle so "no pool stats" is distinguishable from "no pool".
+        executor_stats = dict(stats.get("executor") or {})
+        if self._engine is not None:
+            executor_stats.update(self._engine.stats())
+        else:
+            executor_stats["pool"] = self.pool
+        stats["executor"] = executor_stats
         with self._jobs_lock:
             stats["optimize"] = dict(self._optimize_counters)
         queue_depth = 0

@@ -306,3 +306,46 @@ class TestParetoSinglePass:
         qubits = [p.physical_qubits for p in frontier]
         assert qubits == sorted(qubits, reverse=True)
         assert len(set(qubits)) == len(qubits)
+
+
+class TestExecutorFallbackObservability:
+    """Serial degradations are recorded, never silent (PR 10 bugfix)."""
+
+    def test_unpicklable_batch_records_reason_and_logs(self):
+        import io
+        import json as jsonlib
+
+        from repro.estimator.batch import set_executor_log
+        from repro.jsonlog import StructuredLogger
+
+        stream = io.StringIO()
+        set_executor_log(StructuredLogger(stream))
+        try:
+            cache = EstimateCache()
+            requests = [
+                EstimateRequest(
+                    program=(lambda: WORKLOAD),  # lambdas cannot pickle
+                    qubit=GATE,
+                    budget=budget,
+                )
+                for budget in (1e-3, 1e-4)
+            ]
+            outcomes = estimate_batch(requests, cache=cache, max_workers=2)
+        finally:
+            set_executor_log(None)
+        assert all(outcome.result is not None for outcome in outcomes)
+        executor = cache.stats()["executor"]
+        assert executor == {
+            "serialFallbacks": 1,
+            "lastFallbackReason": "unpicklable",
+        }
+        events = [
+            jsonlib.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        assert len(events) == 1
+        assert events[0]["event"] == "executor.fallback"
+        assert events[0]["reason"] == "unpicklable"
+
+    def test_fresh_cache_reports_zero_fallbacks(self):
+        executor = EstimateCache().stats()["executor"]
+        assert executor == {"serialFallbacks": 0, "lastFallbackReason": None}

@@ -1,0 +1,378 @@
+"""Tests for the persistent execution engine (``estimator/engine.py``).
+
+The load-bearing assertions extend the PR 4/7 equality properties to
+pool reuse and mid-run worker death: a chunked sweep driven through one
+persistent pool — including a pool whose worker is SIGKILLed mid-run —
+produces results and stored documents bit-for-bit equal to a serial
+run. The engine changes *where processes are spawned*, never *what is
+computed*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LogicalCounts, Registry, ResultStore
+from repro.estimator.batch import EstimateCache
+from repro.estimator.engine import (
+    DEFAULT_MAX_REBUILDS,
+    POOL_CHOICES,
+    ExecutionEngine,
+)
+from repro.estimator.spec import EstimateSpec, run_specs
+from repro.estimator.sweep import (
+    ADAPTIVE_MAX_CHUNK,
+    ADAPTIVE_MIN_CHUNK,
+    SweepSpec,
+    _next_chunk_size,
+    run_sweep,
+)
+
+COUNTS = LogicalCounts(
+    num_qubits=40, t_count=20_000, ccz_count=5_000, measurement_count=500
+)
+
+SWEEP_DOC = {
+    "base": {"program": {"counts": COUNTS.to_dict()}},
+    "axes": [
+        {"field": "budget", "values": [1e-4, 1e-3, 1e-2]},
+        {"field": "qubit", "values": ["qubit_gate_ns_e3", "qubit_maj_ns_e4"]},
+    ],
+    "frontier": {"objective": "qubits-runtime", "groupBy": ["qubit"]},
+}
+
+
+def small_sweep() -> SweepSpec:
+    return SweepSpec.from_dict(json.loads(json.dumps(SWEEP_DOC)))
+
+
+def some_specs(budgets=(1e-4, 1e-3, 1e-2, 1e-5)) -> list[EstimateSpec]:
+    return [
+        EstimateSpec(program=COUNTS, qubit="qubit_gate_ns_e3", budget=budget)
+        for budget in budgets
+    ]
+
+
+def portable(outcomes) -> list:
+    return [
+        outcome.result.to_dict() if outcome.result is not None else outcome.error
+        for outcome in outcomes
+    ]
+
+
+def store_documents(store: ResultStore) -> dict[str, bytes]:
+    """Every persisted result document, keyed by file name, as raw bytes."""
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(store.root.rglob("*.json"))
+    }
+
+
+def wait_for_worker_pids(engine: ExecutionEngine) -> list[int]:
+    """PIDs of the engine's live pool workers (pool must be spawned)."""
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        pool = engine._pool
+        processes = getattr(pool, "_processes", None) if pool is not None else None
+        pids = [
+            pid
+            for pid, proc in list((processes or {}).items())
+            if proc.is_alive()
+        ]
+        if pids:
+            return pids
+        time.sleep(0.05)
+    raise AssertionError("pool workers never came up")
+
+
+class TestEngineLifecycle:
+    def test_pool_spawned_once_across_runs(self):
+        registry = Registry()
+        serial = portable(
+            run_specs(some_specs(), registry=registry, cache=EstimateCache())
+        )
+        with ExecutionEngine(max_workers=2) as engine:
+            first = run_specs(
+                some_specs(),
+                registry=registry,
+                cache=EstimateCache(),
+                max_workers=2,
+                engine=engine,
+            )
+            second = run_specs(
+                some_specs(),
+                registry=registry,
+                cache=EstimateCache(),
+                max_workers=2,
+                engine=engine,
+            )
+            stats = engine.stats()
+        assert portable(first) == serial
+        assert portable(second) == serial
+        assert stats["poolSpawns"] == 1
+        assert stats["runs"] == 2
+        assert stats["chunksDispatched"] >= 2
+        assert stats["rebuilds"] == 0
+
+    def test_single_worker_engine_never_spawns_a_pool(self):
+        registry = Registry()
+        serial = portable(
+            run_specs(some_specs(), registry=registry, cache=EstimateCache())
+        )
+        with ExecutionEngine(max_workers=1) as engine:
+            outcomes = run_specs(
+                some_specs(),
+                registry=registry,
+                cache=EstimateCache(),
+                engine=engine,
+            )
+            assert engine.stats()["poolSpawns"] == 0
+        assert portable(outcomes) == serial
+
+    def test_close_is_idempotent_and_stats_survive(self):
+        engine = ExecutionEngine(max_workers=2)
+        engine.close()
+        engine.close()
+        stats = engine.stats()
+        assert stats["workersAlive"] == 0
+        assert stats["pool"] == "keep"
+
+    def test_closed_engine_refuses_parallel_work(self):
+        engine = ExecutionEngine(max_workers=2)
+        engine.close()
+        registry = Registry()
+        with pytest.raises(RuntimeError, match="closed"):
+            run_specs(
+                some_specs(),
+                registry=registry,
+                cache=EstimateCache(),
+                engine=engine,
+            )
+
+    def test_rejects_bad_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ExecutionEngine(max_workers=0)
+
+    def test_stats_shape(self):
+        with ExecutionEngine(max_workers=2) as engine:
+            engine.note_chunk_size(7)
+            stats = engine.stats()
+        assert set(stats) == {
+            "pool",
+            "maxWorkers",
+            "workersAlive",
+            "poolSpawns",
+            "rebuilds",
+            "chunksDispatched",
+            "chunksReplayed",
+            "points",
+            "runs",
+            "lastChunkSize",
+        }
+        assert stats["lastChunkSize"] == 7
+        assert POOL_CHOICES == ("keep", "per-call")
+
+
+class TestAdaptiveChunkSizing:
+    def test_grows_at_most_one_doubling_per_step(self):
+        # 4 points in 0.1s -> 40 points/s; a 1s target wants 40 but the
+        # step is clamped to one doubling.
+        assert _next_chunk_size(4, 4, 0.1, 1.0) == 8
+
+    def test_shrinks_at_most_one_halving_per_step(self):
+        # 8 points in 4s -> 2 points/s; a 1s target wants 2 but the step
+        # is clamped to one halving.
+        assert _next_chunk_size(8, 8, 4.0, 1.0) == 4
+
+    def test_clamps_to_bounds(self):
+        assert _next_chunk_size(1, 1, 100.0, 1e-6) == ADAPTIVE_MIN_CHUNK
+        assert (
+            _next_chunk_size(ADAPTIVE_MAX_CHUNK, 100_000, 0.001, 10.0)
+            == ADAPTIVE_MAX_CHUNK
+        )
+
+    def test_adaptive_sweep_results_equal_fixed(self, tmp_path):
+        registry = Registry()
+        fixed = run_sweep(
+            small_sweep(),
+            registry=registry,
+            cache=EstimateCache(),
+            chunk_size=2,
+        )
+        adaptive = run_sweep(
+            small_sweep(),
+            registry=registry,
+            cache=EstimateCache(),
+            chunk_size=2,
+            chunk_target_s=0.25,
+            pool="per-call",
+        )
+        assert adaptive.to_dict() == fixed.to_dict()
+
+
+class TestWorkerDeathChaos:
+    def test_sigkill_mid_run_rebuilds_and_matches_serial(self):
+        registry = Registry()
+        specs = some_specs((1e-4, 1e-3, 1e-2, 1e-5, 1e-6, 3e-4))
+        serial = portable(
+            run_specs(list(specs), registry=registry, cache=EstimateCache())
+        )
+        with ExecutionEngine(max_workers=2) as engine:
+            # Warm the pool, then kill a worker so the next dispatch hits
+            # a broken pool and must rebuild + replay.
+            run_specs(
+                list(specs[:2]),
+                registry=registry,
+                cache=EstimateCache(),
+                max_workers=2,
+                engine=engine,
+            )
+            os.kill(wait_for_worker_pids(engine)[0], signal.SIGKILL)
+            outcomes = run_specs(
+                list(specs),
+                registry=registry,
+                cache=EstimateCache(),
+                max_workers=2,
+                engine=engine,
+            )
+            stats = engine.stats()
+        assert portable(outcomes) == serial
+        assert stats["rebuilds"] >= 1
+        assert stats["chunksReplayed"] >= 1
+
+    def test_sigkill_mid_sweep_store_bytes_equal_serial(self, tmp_path):
+        registry = Registry()
+        serial_store = ResultStore(tmp_path / "serial")
+        baseline = run_sweep(
+            small_sweep(),
+            registry=registry,
+            store=serial_store,
+            cache=EstimateCache(),
+            chunk_size=2,
+        )
+        chaos_store = ResultStore(tmp_path / "chaos")
+        killed = {"done": False}
+        with ExecutionEngine(max_workers=2) as engine:
+
+            def kill_one_worker(event) -> None:
+                if not killed["done"] and engine._pool is not None:
+                    os.kill(wait_for_worker_pids(engine)[0], signal.SIGKILL)
+                    killed["done"] = True
+
+            survivor = run_sweep(
+                small_sweep(),
+                registry=registry,
+                store=chaos_store,
+                cache=EstimateCache(),
+                max_workers=2,
+                chunk_size=2,
+                engine=engine,
+                progress=kill_one_worker,
+            )
+            stats = engine.stats()
+        assert killed["done"], "progress callback never saw a live pool"
+        assert stats["rebuilds"] >= 1
+        assert survivor.to_dict() == baseline.to_dict()
+        assert store_documents(chaos_store) == store_documents(serial_store)
+
+    def test_rebuild_budget_degrades_to_serial_not_forever(self):
+        # A pool that is re-killed on every dispatch must not loop: after
+        # max_rebuilds the engine finishes serially with correct results
+        # and records an executor fallback.
+        registry = Registry()
+        specs = some_specs()
+        serial = portable(
+            run_specs(list(specs), registry=registry, cache=EstimateCache())
+        )
+        cache = EstimateCache()
+        with ExecutionEngine(max_workers=2, max_rebuilds=1) as engine:
+            run_specs(
+                list(specs[:2]),
+                registry=registry,
+                cache=EstimateCache(),
+                max_workers=2,
+                engine=engine,
+            )
+            os.kill(wait_for_worker_pids(engine)[0], signal.SIGKILL)
+            os.kill(wait_for_worker_pids(engine)[-1], signal.SIGKILL)
+            outcomes = run_specs(
+                list(specs),
+                registry=registry,
+                cache=cache,
+                max_workers=2,
+                engine=engine,
+            )
+        assert portable(outcomes) == serial
+        executor = cache.stats()["executor"]
+        if executor["serialFallbacks"]:
+            assert executor["lastFallbackReason"] == "pool-broken"
+        assert DEFAULT_MAX_REBUILDS >= 1
+
+
+class TestExecutionEquivalenceProperty:
+    @settings(deadline=None, max_examples=3)
+    @given(
+        budgets=st.lists(
+            st.sampled_from([1e-2, 1e-3, 1e-4, 1e-5, 1e-6]),
+            min_size=3,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_serial_percall_persistent_killed_all_store_identical(
+        self, tmp_path_factory, budgets
+    ):
+        registry = Registry()
+        doc = {
+            "base": {
+                "program": {"counts": COUNTS.to_dict()},
+                "qubit": {"profile": "qubit_gate_ns_e3"},
+            },
+            "axes": [{"field": "budget", "values": list(budgets)}],
+        }
+        stores: dict[str, ResultStore] = {}
+
+        def sweep_into(name: str, **kwargs) -> dict:
+            store = ResultStore(tmp_path_factory.mktemp(name))
+            stores[name] = store
+            result = run_sweep(
+                SweepSpec.from_dict(json.loads(json.dumps(doc))),
+                registry=registry,
+                store=store,
+                cache=EstimateCache(),
+                chunk_size=2,
+                **kwargs,
+            )
+            return result.to_dict()
+
+        serial = sweep_into("serial")
+        per_call = sweep_into("per-call", max_workers=2, pool="per-call")
+        with ExecutionEngine(max_workers=2) as engine:
+            persistent = sweep_into("persistent", max_workers=2, engine=engine)
+        with ExecutionEngine(max_workers=2) as engine:
+            killed = {"done": False}
+
+            def kill_one_worker(event) -> None:
+                if not killed["done"] and engine._pool is not None:
+                    os.kill(wait_for_worker_pids(engine)[0], signal.SIGKILL)
+                    killed["done"] = True
+
+            after_kill = sweep_into(
+                "killed",
+                max_workers=2,
+                engine=engine,
+                progress=kill_one_worker,
+            )
+        assert per_call == serial
+        assert persistent == serial
+        assert after_kill == serial
+        baseline_docs = store_documents(stores["serial"])
+        for name in ("per-call", "persistent", "killed"):
+            assert store_documents(stores[name]) == baseline_docs, name

@@ -465,3 +465,39 @@ class TestStructuredLogging:
         chunk_records = [r for r in events if r["event"] == "worker.chunk"]
         assert chunk_records
         assert all(r["jobId"] == job.job_id for r in chunk_records)
+
+
+class TestPoolMetrics:
+    def test_pool_gauge_family_present_with_engine(self, tmp_path):
+        with live_service(tmp_path, max_workers=2) as (service, base_url):
+            body, _ = scrape(base_url)
+            executor = service.cache_stats()["executor"]
+        assert_valid_exposition(body)
+        assert "# TYPE repro_pool_workers gauge" in body
+        assert "# TYPE repro_pool_rebuilds_total counter" in body
+        assert "# TYPE repro_pool_chunks_total counter" in body
+        assert "# TYPE repro_pool_chunk_size gauge" in body
+        assert "# TYPE repro_executor_fallbacks_total counter" in body
+        assert 'repro_pool_chunks_total{kind="dispatched"}' in body
+        assert 'repro_pool_chunks_total{kind="replayed"}' in body
+        assert "repro_executor_fallbacks_total 0" in body
+        # The idle engine has not spawned its pool yet: alive gauge is 0.
+        assert "repro_pool_workers 0" in body
+        assert executor["pool"] == "keep"
+        assert executor["maxWorkers"] == 2
+        assert executor["serialFallbacks"] == 0
+
+    def test_pool_samples_zero_without_engine(self, tmp_path):
+        with live_service(tmp_path, max_workers=1, pool="per-call") as (
+            service,
+            base_url,
+        ):
+            body, _ = scrape(base_url)
+            executor = service.cache_stats()["executor"]
+        assert_valid_exposition(body)
+        assert "repro_pool_workers 0" in body
+        assert 'repro_pool_chunks_total{kind="dispatched"} 0' in body
+        assert 'repro_pool_chunks_total{kind="replayed"} 0' in body
+        assert "repro_pool_chunk_size 0" in body
+        assert executor["pool"] == "per-call"
+        assert "maxWorkers" not in executor

@@ -612,3 +612,46 @@ class TestOptimizeNamespace:
         stats = store.stats()
         assert stats["namespaces"]["optimize"]["documents"] == 1
         assert stats["namespaces"]["optimize"]["bytes"] > 0
+
+
+class TestPutMany:
+    """Batched persistence writes documents identical to per-point put."""
+
+    def test_documents_byte_identical_to_put(self, tmp_path, result):
+        one = ResultStore(tmp_path / "one")
+        many = ResultStore(tmp_path / "many")
+        entries = [
+            (HASH_A, result, {"label": "a"}),
+            (HASH_B, result, {"label": "b"}),
+        ]
+        for spec_hash, res, spec in entries:
+            one.put(spec_hash, res, spec=spec)
+        assert many.put_many(entries) == 2
+        for spec_hash, _, _ in entries:
+            assert (
+                many.path_for(spec_hash).read_bytes()
+                == one.path_for(spec_hash).read_bytes()
+            )
+
+    def test_written_entries_are_retrievable_and_counted(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        assert store.put_many([(HASH_A, result, None), (HASH_B, result, None)]) == 2
+        assert store.get(HASH_A) == result
+        assert store.get(HASH_B) == result
+        assert len(store) == 2
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.put_many([]) == 0
+        assert len(store) == 0
+
+    def test_batch_respects_byte_budget_eviction(self, tmp_path, result):
+        # A budget roughly one document wide: after a two-document batch
+        # the store must have evicted back under (or near) the cap via
+        # the single batched bookkeeping pass.
+        probe = ResultStore(tmp_path / "probe")
+        probe.put(HASH_A, result)
+        document_bytes = probe.path_for(HASH_A).stat().st_size
+        store = ResultStore(tmp_path / "capped", max_bytes=document_bytes + 8)
+        store.put_many([(HASH_A, result, None), (HASH_B, result, None)])
+        assert len(store) == 1
